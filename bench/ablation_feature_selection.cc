@@ -1,0 +1,76 @@
+// Ablation: feature selection (§2.1.1).
+//
+// "Of all the terms in the universe, a subset F(c0) is selected...
+// Because training data is limited and noisy, accuracy may in fact be
+// reduced by including more terms." We sweep the per-node feature budget
+// for both ranking criteria (mutual information, Fisher's discriminant)
+// with scarce, noisy training data and measure held-out leaf accuracy.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "classify/hierarchical_classifier.h"
+#include "classify/trainer.h"
+#include "util/logging.h"
+
+namespace focus::bench {
+namespace {
+
+constexpr int kTrainDocsPerLeaf = 4;  // scarce, as the paper warns
+constexpr int kTestDocsPerLeaf = 20;
+
+int Run() {
+  taxonomy::Taxonomy tax = MakeWideTaxonomy(4, 8);
+  SyntheticTextOptions text_options;
+  text_options.tokens_per_doc = 70;     // short pages
+  text_options.leaf_fraction = 0.18;    // weak signal
+  text_options.category_fraction = 0.07;
+  text_options.shared_vocab = 20000;    // lots of noise terms
+  text_options.zipf_exponent = 0.5;     // noise spread over many rare terms
+  SyntheticText text(&tax, text_options);
+  Rng rng(83);
+
+  auto training = text.MakeTrainingSet(kTrainDocsPerLeaf, &rng);
+  auto leaves = tax.LeavesUnder(taxonomy::kRootCid);
+  std::vector<std::pair<taxonomy::Cid, text::TermVector>> held_out;
+  for (taxonomy::Cid leaf : leaves) {
+    for (int i = 0; i < kTestDocsPerLeaf; ++i) {
+      held_out.emplace_back(leaf, text.MakeDoc(leaf, &rng));
+    }
+  }
+
+  Note("ablation: feature budget vs held-out accuracy (", tax.num_topics(),
+       " topics, ", kTrainDocsPerLeaf, " noisy train docs/leaf)");
+  std::printf("features_per_node,accuracy_mutual_information,"
+              "accuracy_fisher\n");
+
+  for (int budget : {5, 15, 40, 100, 300, 1000, 100000}) {
+    double accuracy[2];
+    for (int which = 0; which < 2; ++which) {
+      classify::TrainerOptions options;
+      options.max_features_per_node = budget;
+      options.min_document_frequency = 1;
+      options.feature_selection =
+          which == 0 ? classify::FeatureSelection::kMutualInformation
+                     : classify::FeatureSelection::kFisher;
+      classify::Trainer trainer(options);
+      auto model = trainer.Train(tax, training);
+      FOCUS_CHECK(model.ok(), model.status().ToString());
+      classify::HierarchicalClassifier clf(&tax, &model.value());
+      int correct = 0;
+      for (const auto& [leaf, doc] : held_out) {
+        correct += clf.Classify(doc).BestLeaf(tax) == leaf;
+      }
+      accuracy[which] = static_cast<double>(correct) / held_out.size();
+    }
+    std::printf("%d,%.3f,%.3f\n", budget, accuracy[0], accuracy[1]);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace focus::bench
+
+int main() {
+  focus::SetLogLevel(focus::LogLevel::kWarning);
+  return focus::bench::Run();
+}

@@ -1,0 +1,99 @@
+// Shared helpers for the figure benchmarks.
+#ifndef FOCUS_BENCH_BENCH_UTIL_H_
+#define FOCUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "classify/model.h"
+#include "taxonomy/taxonomy.h"
+#include "text/document.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace focus::bench {
+
+// A wide taxonomy approximating the paper's Yahoo!-derived tree (the real
+// one had ~2100 nodes; statistics tables must dwarf the buffer pool).
+inline taxonomy::Taxonomy MakeWideTaxonomy(int categories,
+                                           int leaves_per_category) {
+  taxonomy::Taxonomy tax;
+  for (int c = 0; c < categories; ++c) {
+    auto cat = tax.AddTopic(taxonomy::kRootCid, StrCat("cat", c));
+    for (int l = 0; l < leaves_per_category; ++l) {
+      tax.AddTopic(cat.value(), StrCat("cat", c, "_leaf", l)).value();
+    }
+  }
+  return tax;
+}
+
+struct SyntheticTextOptions {
+  int tokens_per_doc = 200;
+  int leaf_vocab = 120;       // tokens unique to each leaf
+  int category_vocab = 60;    // shared by a category's leaves
+  int shared_vocab = 3000;    // background
+  double leaf_fraction = 0.45;
+  double category_fraction = 0.15;
+  double zipf_exponent = 1.1;
+};
+
+// Deterministic bag-of-words generator over a taxonomy; mirrors the
+// simulated web's per-topic language models without needing a web.
+class SyntheticText {
+ public:
+  SyntheticText(const taxonomy::Taxonomy* tax, SyntheticTextOptions options)
+      : tax_(tax),
+        options_(options),
+        leaf_zipf_(options.leaf_vocab, options.zipf_exponent),
+        cat_zipf_(options.category_vocab, options.zipf_exponent),
+        shared_zipf_(options.shared_vocab, options.zipf_exponent) {}
+
+  text::TermVector MakeDoc(taxonomy::Cid leaf, Rng* rng) const {
+    std::vector<std::string> tokens;
+    tokens.reserve(options_.tokens_per_doc);
+    taxonomy::Cid parent = tax_->Parent(leaf);
+    for (int i = 0; i < options_.tokens_per_doc; ++i) {
+      double u = rng->NextDouble();
+      if (u < options_.leaf_fraction) {
+        tokens.push_back(StrCat("w", leaf, "_", leaf_zipf_.Sample(rng)));
+      } else if (u < options_.leaf_fraction + options_.category_fraction) {
+        tokens.push_back(StrCat("p", parent, "_", cat_zipf_.Sample(rng)));
+      } else {
+        tokens.push_back(StrCat("bg_", shared_zipf_.Sample(rng)));
+      }
+    }
+    return text::BuildTermVector(tokens);
+  }
+
+  std::vector<classify::LabeledDocument> MakeTrainingSet(int docs_per_leaf,
+                                                         Rng* rng) const {
+    std::vector<classify::LabeledDocument> out;
+    uint64_t did = 1;
+    for (taxonomy::Cid leaf : tax_->LeavesUnder(taxonomy::kRootCid)) {
+      for (int i = 0; i < docs_per_leaf; ++i) {
+        out.push_back(
+            classify::LabeledDocument{did++, leaf, MakeDoc(leaf, rng)});
+      }
+    }
+    return out;
+  }
+
+ private:
+  const taxonomy::Taxonomy* tax_;
+  SyntheticTextOptions options_;
+  ZipfTable leaf_zipf_;
+  ZipfTable cat_zipf_;
+  ZipfTable shared_zipf_;
+};
+
+// Prints a labelled key=value line (stable, grep-able bench output).
+template <typename... Args>
+void Note(const Args&... args) {
+  std::string line = StrCat(args...);
+  std::printf("# %s\n", line.c_str());
+}
+
+}  // namespace focus::bench
+
+#endif  // FOCUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Micro-benchmarks for distillation: HITS iterations and PageRank at
+// various graph sizes.
+#include <benchmark/benchmark.h>
+
+#include "distill/hits.h"
+#include "distill/pagerank.h"
+#include "util/random.h"
+
+namespace focus::distill {
+namespace {
+
+std::vector<WeightedEdge> RandomEdges(int nodes, int edges, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> out;
+  out.reserve(edges);
+  for (int i = 0; i < edges; ++i) {
+    uint64_t u = 1 + rng.Uniform(nodes), v = 1 + rng.Uniform(nodes);
+    if (u == v) continue;
+    out.push_back(WeightedEdge{u, static_cast<int32_t>(u % 97), v,
+                               static_cast<int32_t>(v % 97),
+                               rng.NextDouble(), rng.NextDouble()});
+  }
+  return out;
+}
+
+void BM_HitsIterations(benchmark::State& state) {
+  int nodes = state.range(0);
+  auto edges = RandomEdges(nodes, nodes * 8, 3);
+  std::unordered_map<uint64_t, double> relevance;
+  Rng rng(4);
+  for (int n = 1; n <= nodes; ++n) relevance[n] = rng.NextDouble();
+  HitsEngine engine(edges, relevance);
+  for (auto _ : state) {
+    auto scores = engine.Run({.iterations = 10, .rho = 0.2});
+    benchmark::DoNotOptimize(scores.size());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size() * 10);
+}
+BENCHMARK(BM_HitsIterations)->Arg(1000)->Arg(10000);
+
+void BM_PageRank(benchmark::State& state) {
+  int nodes = state.range(0);
+  Rng rng(5);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (int i = 0; i < nodes * 8; ++i) {
+    uint32_t u = rng.Uniform(nodes), v = rng.Uniform(nodes);
+    if (u != v) edges.emplace_back(u, v);
+  }
+  for (auto _ : state) {
+    auto rank = PageRank(nodes, edges, {.damping = 0.85, .iterations = 20});
+    benchmark::DoNotOptimize(rank.size());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size() * 20);
+}
+BENCHMARK(BM_PageRank)->Arg(1000)->Arg(10000);
+
+void BM_AssignWeights(benchmark::State& state) {
+  auto edges = RandomEdges(5000, 40000, 6);
+  std::unordered_map<uint64_t, double> relevance;
+  Rng rng(7);
+  for (int n = 1; n <= 5000; ++n) relevance[n] = rng.NextDouble();
+  for (auto _ : state) {
+    auto copy = edges;
+    AssignRelevanceWeights(relevance, &copy);
+    benchmark::DoNotOptimize(copy.size());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_AssignWeights);
+
+}  // namespace
+}  // namespace focus::distill
+
+BENCHMARK_MAIN();

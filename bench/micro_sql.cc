@@ -1,0 +1,110 @@
+// Micro-benchmarks for the executor: joins, sort, aggregation, tokenizer.
+#include <benchmark/benchmark.h>
+
+#include "sql/exec/aggregate.h"
+#include "sql/exec/join.h"
+#include "sql/exec/operator.h"
+#include "sql/exec/sort.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace focus::sql {
+namespace {
+
+Schema TwoInts() {
+  return Schema({{"k", TypeId::kInt32}, {"v", TypeId::kInt32}});
+}
+
+std::vector<Tuple> RandomRows(int n, int key_range, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Tuple({Value::Int32(static_cast<int32_t>(
+                              rng.Uniform(key_range))),
+                          Value::Int32(i)}));
+  }
+  return rows;
+}
+
+void BM_MergeJoin(benchmark::State& state) {
+  int n = state.range(0);
+  auto left = RandomRows(n, n / 4, 1);
+  auto right = RandomRows(n, n / 4, 2);
+  for (auto _ : state) {
+    MergeJoin join(
+        std::make_unique<Sort>(
+            std::make_unique<MaterializedSource>(TwoInts(), left),
+            std::vector<SortKey>{{0, false}}),
+        std::make_unique<Sort>(
+            std::make_unique<MaterializedSource>(TwoInts(), right),
+            std::vector<SortKey>{{0, false}}),
+        std::vector<int>{0}, std::vector<int>{0});
+    auto rows = Collect(&join);
+    benchmark::DoNotOptimize(rows.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MergeJoin)->Arg(1000)->Arg(10000);
+
+void BM_HashJoin(benchmark::State& state) {
+  int n = state.range(0);
+  auto left = RandomRows(n, n / 4, 1);
+  auto right = RandomRows(n, n / 4, 2);
+  for (auto _ : state) {
+    HashJoin join(std::make_unique<MaterializedSource>(TwoInts(), left),
+                  std::make_unique<MaterializedSource>(TwoInts(), right),
+                  std::vector<int>{0}, std::vector<int>{0});
+    auto rows = Collect(&join);
+    benchmark::DoNotOptimize(rows.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+
+void BM_Sort(benchmark::State& state) {
+  int n = state.range(0);
+  auto rows = RandomRows(n, 1 << 30, 3);
+  for (auto _ : state) {
+    Sort sort(std::make_unique<MaterializedSource>(TwoInts(), rows),
+              std::vector<SortKey>{{0, false}});
+    auto sorted = Collect(&sort);
+    benchmark::DoNotOptimize(sorted.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Sort)->Arg(10000);
+
+void BM_HashAggregate(benchmark::State& state) {
+  int n = state.range(0);
+  auto rows = RandomRows(n, 64, 4);
+  for (auto _ : state) {
+    HashAggregate agg(std::make_unique<MaterializedSource>(TwoInts(), rows),
+                      {0}, {AggSpec{AggKind::kSum, 1, "sum"}});
+    auto out = Collect(&agg);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashAggregate)->Arg(10000);
+
+void BM_Tokenize(benchmark::State& state) {
+  std::string text;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    text += StrCat("token", rng.Uniform(5000), " ");
+  }
+  text::Tokenizer tokenizer;
+  for (auto _ : state) {
+    auto tokens = tokenizer.Tokenize(text);
+    benchmark::DoNotOptimize(tokens.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+BENCHMARK(BM_Tokenize);
+
+}  // namespace
+}  // namespace focus::sql
+
+BENCHMARK_MAIN();

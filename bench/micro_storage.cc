@@ -1,0 +1,110 @@
+// Micro-benchmarks for the storage engine: B+-tree, buffer pool, heap file.
+#include <benchmark/benchmark.h>
+
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "util/random.h"
+
+namespace focus::storage {
+namespace {
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 4096);
+  auto tree = BPlusTree::Create(&pool).TakeValue();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Insert(rng.Next(), rng.Next()).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeProbe(benchmark::State& state) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 4096);
+  auto tree = BPlusTree::Create(&pool).TakeValue();
+  const uint64_t n = state.range(0);
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)tree.Insert(i * 7919 % n, i);
+  }
+  Rng rng(2);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(tree.GetAll(rng.Uniform(n), &out).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeProbe)->Arg(10000)->Arg(100000);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 64);
+  PageId id;
+  (void)pool.NewPage(&id);
+  pool.UnpinPage(id, true);
+  for (auto _ : state) {
+    auto page = pool.FetchPage(id);
+    benchmark::DoNotOptimize(page.ok());
+    pool.UnpinPage(id, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissEvict(benchmark::State& state) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 16);
+  std::vector<PageId> ids(64);
+  for (auto& id : ids) {
+    (void)pool.NewPage(&id);
+    pool.UnpinPage(id, true);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    PageId id = ids[i++ % ids.size()];  // cycle > pool: every fetch misses
+    auto page = pool.FetchPage(id);
+    benchmark::DoNotOptimize(page.ok());
+    pool.UnpinPage(id, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolMissEvict);
+
+void BM_HeapFileInsert(benchmark::State& state) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 256);
+  auto file = HeapFile::Create(&pool).TakeValue();
+  std::string record(64, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(file.Insert(record).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapFileInsert);
+
+void BM_HeapFileScan(benchmark::State& state) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 1024);
+  auto file = HeapFile::Create(&pool).TakeValue();
+  std::string record(64, 'x');
+  for (int i = 0; i < 10000; ++i) (void)file.Insert(record);
+  for (auto _ : state) {
+    auto it = file.Scan();
+    Rid rid;
+    std::string rec;
+    int64_t count = 0;
+    while (it.Next(&rid, &rec)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_HeapFileScan);
+
+}  // namespace
+}  // namespace focus::storage
+
+BENCHMARK_MAIN();

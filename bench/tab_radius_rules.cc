@@ -1,0 +1,68 @@
+// The §2 premise table: radius-1 and radius-2 statistics of the web.
+//
+// "a page that points to a given first level topic of Yahoo! has about a
+// 45% chance of having another link to the same topic." We measure the
+// same statistics on the simulated web — these are the properties the
+// whole crawler design depends on, so the substrate must exhibit them.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/sample_taxonomy.h"
+#include "util/logging.h"
+#include "webgraph/simulated_web.h"
+
+namespace focus::bench {
+namespace {
+
+int Run() {
+  taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
+  webgraph::WebConfig config;
+  config.seed = 41;
+  config.pages_per_topic = 800;
+  config.background_pages = 60000;
+  config.background_servers = 1500;
+  auto web = webgraph::SimulatedWeb::Generate(tax, config, {});
+  FOCUS_CHECK(web.ok(), web.status().ToString());
+
+  Note("radius-1 / radius-2 statistics of the simulated web (the paper's "
+       "section 2 premises)");
+  Note("pages: ", web.value().num_pages());
+  std::printf("topic,p_same_per_link,p_random_page_links_topic,"
+              "p_second_link_given_first\n");
+
+  for (const char* name : {"cycling", "mutual_funds", "first_aid",
+                           "databases"}) {
+    taxonomy::Cid topic = tax.FindByName(name).value();
+    int64_t same = 0, topic_links = 0;
+    for (uint32_t idx : web.value().PagesOfTopic(topic)) {
+      for (uint32_t t : web.value().page(idx).outlinks) {
+        same += (web.value().page(t).topic == topic);
+        ++topic_links;
+      }
+    }
+    int64_t with_one = 0, with_two = 0;
+    for (uint32_t i = 0; i < web.value().num_pages(); ++i) {
+      int count = 0;
+      for (uint32_t t : web.value().page(i).outlinks) {
+        count += (web.value().page(t).topic == topic);
+      }
+      if (count >= 1) ++with_one;
+      if (count >= 2) ++with_two;
+    }
+    std::printf("%s,%.3f,%.5f,%.3f\n", name,
+                static_cast<double>(same) / topic_links,
+                static_cast<double>(with_one) / web.value().num_pages(),
+                static_cast<double>(with_two) / with_one);
+  }
+  Note("paper's reference point: P(second link | first link) ~ 0.45 for "
+       "Yahoo! first-level topics");
+  return 0;
+}
+
+}  // namespace
+}  // namespace focus::bench
+
+int main() {
+  focus::SetLogLevel(focus::LogLevel::kWarning);
+  return focus::bench::Run();
+}

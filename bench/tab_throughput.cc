@@ -1,0 +1,64 @@
+// System throughput, for context with §3's setup: "about thirty threads
+// fetch a total of 5-10 pages a second" — roughly ten thousand pages per
+// hour on the 1999 testbed.
+//
+// We report (a) virtual-time throughput — fetch latency is charged to the
+// virtual clock at fetch_latency_mean_ms per page, so this axis is
+// comparable to the paper's network-bound rate — and (b) wall-clock
+// throughput of the whole pipeline (fetch simulation + tokenization +
+// classification + relational bookkeeping), single- and multi-threaded.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/focus.h"
+#include "core/sample_taxonomy.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace focus::bench {
+namespace {
+
+constexpr int kBudget = 2000;
+
+int Run() {
+  taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
+  core::FocusOptions options;
+  options.seed = 73;
+  options.web.pages_per_topic = 1500;
+  options.web.background_pages = 30000;
+  options.web.background_servers = 800;
+  options.web.fetch_latency_mean_ms = 120;  // the paper's network regime
+  auto system = core::FocusSystem::Create(std::move(tax), options)
+                    .TakeValue();
+  FOCUS_CHECK(system->MarkGood("cycling").ok());
+  FOCUS_CHECK(system->Train().ok());
+  auto cycling = system->tax().FindByName("cycling").value();
+  auto seeds = system->web().KeywordSeeds(cycling, 12);
+
+  Note("crawler throughput (paper: ~30 threads, 5-10 pages/s, ~10k "
+       "pages/hour)");
+  std::printf("threads,pages,wall_seconds,pages_per_wall_second,"
+              "virtual_seconds,pages_per_virtual_second\n");
+  for (int threads : {1, 8}) {
+    crawl::CrawlerOptions copts;
+    copts.max_fetches = kBudget;
+    copts.num_threads = threads;
+    auto session = system->NewCrawl(seeds, copts).TakeValue();
+    Stopwatch wall;
+    FOCUS_CHECK(session->crawler().Crawl().ok());
+    double wall_s = wall.ElapsedSeconds();
+    double virtual_s = session->crawler().clock().NowSeconds();
+    size_t pages = session->crawler().visits().size();
+    std::printf("%d,%zu,%.2f,%.0f,%.1f,%.1f\n", threads, pages, wall_s,
+                pages / wall_s, virtual_s, pages / virtual_s);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace focus::bench
+
+int main() {
+  focus::SetLogLevel(focus::LogLevel::kWarning);
+  return focus::bench::Run();
+}

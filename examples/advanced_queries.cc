@@ -1,0 +1,158 @@
+// The advanced queries of §1, answered over a focused crawl's relational
+// state. "The novelty ... is that page content is selected by topics, not
+// keyword matches":
+//
+//  * spam filter   — "find pages that are apparently about database
+//    research which are cited by at least two pages about Hawaiian
+//    vacations": topic-classified citation patterns expose endorsement
+//    spam;
+//  * community link census — "find the number of links from a page about
+//    environmental protection to a page related to oil and natural gas"
+//    (our taxonomy: mutual_funds -> investing_general): cross-community
+//    citation counting.
+//
+// Both are plain plans over CRAWL ⋈ LINK — the reason the system lives in
+// a relational database.
+#include <cstdio>
+
+#include "core/focus.h"
+#include "core/sample_taxonomy.h"
+#include "sql/exec/aggregate.h"
+#include "sql/exec/basic.h"
+#include "sql/exec/join.h"
+#include "sql/exec/scan.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace focus;
+using sql::AggKind;
+using sql::AggSpec;
+using sql::Collect;
+using sql::Filter;
+using sql::HashAggregate;
+using sql::HashJoin;
+using sql::OperatorPtr;
+using sql::SeqScan;
+using sql::Tuple;
+
+// CRAWL columns: 0 oid, 1 url, ..., 7 kcid, 8 visited.
+OperatorPtr VisitedOfClass(sql::Table* crawl, int32_t kcid) {
+  return std::make_unique<Filter>(
+      std::make_unique<SeqScan>(crawl), [kcid](const Tuple& t) {
+        return t.Get(8).AsInt32() != 0 && t.Get(7).AsInt32() == kcid;
+      });
+}
+
+int Run() {
+  taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
+  auto funds = tax.FindByName("mutual_funds").value();
+  auto investing = tax.FindByName("investing_general").value();
+  auto databases = tax.FindByName("databases").value();
+  auto yoga = tax.FindByName("yoga").value();  // our "Hawaiian vacations"
+
+  core::FocusOptions options;
+  options.seed = 71;
+  options.web.pages_per_topic = 500;
+  options.web.background_pages = 20000;
+  options.web.background_servers = 500;
+  // Link spam: yoga pages systematically endorse database pages, and the
+  // funds <-> investing community citations of the §1 evolution query.
+  auto system =
+      core::FocusSystem::Create(
+          std::move(tax), options,
+          {webgraph::TopicAffinity{yoga, databases, 0.15},
+           webgraph::TopicAffinity{funds, investing, 0.12}})
+          .TakeValue();
+  FOCUS_CHECK(system->MarkGood("business").ok());
+  FOCUS_CHECK(system->Train().ok());
+
+  // One broad crawl materializes the subgraph all queries run against;
+  // mark a second interest to cover both communities.
+  system->mutable_tax()->ClearMarks();
+  FOCUS_CHECK(system->MarkGood("business").ok());
+  FOCUS_CHECK(system->MarkGood("computers").ok());
+  FOCUS_CHECK(system->MarkGood("yoga").ok());
+  auto seeds = system->web().KeywordSeeds(funds, 8);
+  auto more = system->web().KeywordSeeds(databases, 8);
+  seeds.insert(seeds.end(), more.begin(), more.end());
+  auto yoga_seeds = system->web().KeywordSeeds(yoga, 8);
+  seeds.insert(seeds.end(), yoga_seeds.begin(), yoga_seeds.end());
+
+  crawl::CrawlerOptions copts;
+  copts.max_fetches = 3000;
+  auto session = system->NewCrawl(seeds, copts).TakeValue();
+  FOCUS_CHECK(session->crawler().Crawl().ok());
+  std::printf("crawled %zu pages; LINK has %llu rows\n\n",
+              session->crawler().visits().size(),
+              static_cast<unsigned long long>(session->db().num_links()));
+
+  sql::Table* crawl_t = session->db().crawl_table();
+  sql::Table* link_t = session->db().link_table();
+
+  // --- spam filter ---
+  // select d.url, count(*) from CRAWL y, LINK l, CRAWL d
+  // where y.kcid = 'yoga' and y.oid = l.oid_src
+  //   and l.oid_dst = d.oid and d.kcid = 'databases'
+  // group by d.url having count(*) >= 2
+  {
+    OperatorPtr yoga_pages = VisitedOfClass(crawl_t, yoga);
+    OperatorPtr citations = std::make_unique<HashJoin>(
+        std::move(yoga_pages), std::make_unique<SeqScan>(link_t),
+        std::vector<int>{0}, std::vector<int>{0});  // y.oid = l.oid_src
+    // citations: 0..8 CRAWL(y), 9..14 LINK
+    OperatorPtr db_pages = VisitedOfClass(crawl_t, databases);
+    OperatorPtr endorsed = std::make_unique<HashJoin>(
+        std::move(db_pages), std::move(citations), std::vector<int>{0},
+        std::vector<int>{11});  // d.oid = l.oid_dst
+    // endorsed: 0..8 CRAWL(d), 9.. rest
+    OperatorPtr counted = std::make_unique<HashAggregate>(
+        std::move(endorsed), std::vector<int>{1},  // group by d.url
+        std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}});
+    Filter having(std::move(counted),
+                  [](const Tuple& t) { return t.Get(1).AsInt64() >= 2; });
+    auto rows = Collect(&having);
+    FOCUS_CHECK(rows.ok(), rows.status().ToString());
+    std::printf("spam filter: %zu 'database' pages are endorsed by >= 2 "
+                "'yoga' pages, e.g.:\n",
+                rows.value().size());
+    for (size_t i = 0; i < std::min<size_t>(5, rows.value().size()); ++i) {
+      std::printf("  %-50s cited %lld times\n",
+                  rows.value()[i].Get(0).AsString().c_str(),
+                  static_cast<long long>(rows.value()[i].Get(1).AsInt64()));
+    }
+  }
+
+  // --- community link census ---
+  // select count(*) from CRAWL s, LINK l, CRAWL d
+  // where s.kcid = 'mutual_funds' and d.kcid = 'investing_general'
+  //   and s.oid = l.oid_src and l.oid_dst = d.oid
+  {
+    OperatorPtr funds_pages = VisitedOfClass(crawl_t, funds);
+    OperatorPtr out_links = std::make_unique<HashJoin>(
+        std::move(funds_pages), std::make_unique<SeqScan>(link_t),
+        std::vector<int>{0}, std::vector<int>{0});  // s.oid = l.oid_src
+    OperatorPtr investing_pages = VisitedOfClass(crawl_t, investing);
+    OperatorPtr cross = std::make_unique<HashJoin>(
+        std::move(investing_pages), std::move(out_links),
+        std::vector<int>{0}, std::vector<int>{11});
+    HashAggregate count(std::move(cross), {},
+                        {AggSpec{AggKind::kCount, -1, "links"}});
+    auto rows = Collect(&count);
+    FOCUS_CHECK(rows.ok(), rows.status().ToString());
+    long long links = rows.value().empty()
+                          ? 0
+                          : rows.value()[0].Get(0).AsInt64();
+    std::printf("\ncommunity census: %lld links from mutual_funds pages to "
+                "investing_general pages in the crawled subgraph\n",
+                links);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  focus::SetLogLevel(focus::LogLevel::kWarning);
+  return Run();
+}

@@ -1,0 +1,131 @@
+// Citation sociology (§1): "Find a topic (other than bicycling) within one
+// link of bicycling pages that is much more frequent than on the web at
+// large. The answer found by the system described in this paper is
+// first aid."
+//
+// Method: run a focused crawl on cycling; classify every page within one
+// link of a strongly-relevant cycling page; compare each topic's frequency
+// in that neighbourhood against its frequency in a uniform sample of the
+// web. Report topics by lift.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "core/focus.h"
+#include "core/sample_taxonomy.h"
+#include "text/document.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace {
+
+int Run() {
+  using namespace focus;
+
+  taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
+  auto cycling = tax.FindByName("cycling").value();
+  auto first_aid = tax.FindByName("first_aid").value();
+
+  core::FocusOptions options;
+  options.seed = 7;
+  options.web.pages_per_topic = 500;
+  options.web.background_pages = 30000;
+  options.web.background_servers = 800;
+
+  // The synthetic web embeds the sociology: cycling pages cite first-aid
+  // resources (clubs link to crash/first-aid pages).
+  auto system = core::FocusSystem::Create(
+                    std::move(tax), options,
+                    {webgraph::TopicAffinity{cycling, first_aid, 0.10}})
+                    .TakeValue();
+  FOCUS_CHECK(system->MarkGood("cycling").ok());
+  FOCUS_CHECK(system->Train().ok());
+
+  crawl::CrawlerOptions crawl_options;
+  crawl_options.max_fetches = 1200;
+  auto seeds = system->web().KeywordSeeds(cycling, 20);
+  auto session = system->NewCrawl(seeds, crawl_options).TakeValue();
+  FOCUS_CHECK(session->crawler().Crawl().ok());
+
+  const auto& clf = system->classifier();
+  auto topic_of = [&](const std::string& url)
+      -> std::optional<taxonomy::Cid> {
+    auto fetch = system->web().Fetch(url);
+    if (!fetch.ok()) return std::nullopt;
+    auto scores = clf.Classify(text::BuildTermVector(fetch.value().tokens));
+    return scores.BestLeaf(system->tax());
+  };
+
+  // Topic census of pages within one link of relevant cycling pages.
+  std::map<taxonomy::Cid, int> neighborhood;
+  std::unordered_set<std::string> judged;
+  int neighborhood_total = 0;
+  for (const auto& visit : session->crawler().visits()) {
+    if (visit.relevance < 0.5) continue;
+    auto fetch = system->web().Fetch(visit.url);
+    if (!fetch.ok()) continue;
+    for (const auto& out : fetch.value().outlink_urls) {
+      if (!judged.insert(out).second) continue;
+      if (auto topic = topic_of(out); topic.has_value()) {
+        ++neighborhood[*topic];
+        ++neighborhood_total;
+      }
+      if (neighborhood_total >= 4000) break;
+    }
+    if (neighborhood_total >= 4000) break;
+  }
+
+  // Topic census of the web at large (uniform page sample).
+  std::map<taxonomy::Cid, int> global;
+  int global_total = 0;
+  Rng rng(99);
+  while (global_total < 4000) {
+    uint32_t index =
+        static_cast<uint32_t>(rng.Uniform(system->web().num_pages()));
+    if (auto topic = topic_of(system->web().page(index).url);
+        topic.has_value()) {
+      ++global[*topic];
+      ++global_total;
+    }
+  }
+
+  std::printf("topic frequency within one link of cycling pages vs the "
+              "web at large (%d / %d pages judged):\n\n",
+              neighborhood_total, global_total);
+  std::printf("%-20s %12s %12s %8s\n", "topic", "neighborhood", "global",
+              "lift");
+  struct Row {
+    std::string name;
+    double near, far, lift;
+  };
+  std::vector<Row> rows;
+  for (const auto& [cid, count] : neighborhood) {
+    if (cid == cycling) continue;  // "other than bicycling"
+    double near = static_cast<double>(count) / neighborhood_total;
+    double far =
+        (global.contains(cid) ? global.at(cid) : 0.25) /
+        static_cast<double>(global_total);
+    rows.push_back(
+        {system->tax().Name(cid), near, far, near / std::max(far, 1e-6)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.lift > b.lift; });
+  for (const auto& row : rows) {
+    if (row.near < 0.005) continue;
+    std::printf("%-20s %11.1f%% %11.1f%% %7.1fx\n", row.name.c_str(),
+                100 * row.near, 100 * row.far, row.lift);
+  }
+  if (!rows.empty()) {
+    std::printf("\nanswer: \"%s\" (the paper's answer was first aid)\n",
+                rows.front().name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  focus::SetLogLevel(focus::LogLevel::kWarning);
+  return Run();
+}

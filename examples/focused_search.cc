@@ -1,0 +1,117 @@
+// Focused-corpus search — the paper's §3.6 outlook made concrete:
+// "a standard search over the corpus ... [is] likely to be much more
+// satisfying in the scope of the focused corpus."
+//
+// We build two corpora of equal size with the same fetch budget — one via
+// a focused crawl, one via an unfocused crawl — index both, run the same
+// keyword query, and compare precision@10 against ground truth.
+#include <cstdio>
+
+#include "core/focus.h"
+#include "core/sample_taxonomy.h"
+#include "text/corpus_index.h"
+#include "util/logging.h"
+
+namespace {
+
+int Run() {
+  using namespace focus;
+
+  taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
+  core::FocusOptions options;
+  options.seed = 13;
+  options.web.pages_per_topic = 800;
+  options.web.background_pages = 40000;
+  options.web.background_servers = 1000;
+  auto system = core::FocusSystem::Create(std::move(tax), options)
+                    .TakeValue();
+  FOCUS_CHECK(system->MarkGood("cycling").ok());
+  FOCUS_CHECK(system->Train().ok());
+  auto cycling = system->tax().FindByName("cycling").value();
+  auto seeds = system->web().KeywordSeeds(cycling, 15);
+
+  // Build a corpus from a crawl: index every fetched page's text.
+  auto build_corpus = [&](crawl::ExpansionRule rule,
+                          crawl::PriorityPolicy policy,
+                          text::CorpusIndex* index,
+                          std::unordered_map<uint64_t, std::string>* urls) {
+    crawl::CrawlerOptions copts;
+    copts.max_fetches = 1500;
+    copts.expansion = rule;
+    copts.policy = policy;
+    auto session = system->NewCrawl(seeds, copts).TakeValue();
+    FOCUS_CHECK(session->crawler().Crawl().ok());
+    for (const auto& visit : session->crawler().visits()) {
+      auto fetch = system->web().Fetch(visit.url);
+      if (!fetch.ok()) continue;
+      FOCUS_CHECK(index
+                      ->AddDocument(visit.oid,
+                                    text::BuildTermVector(
+                                        fetch.value().tokens))
+                      .ok());
+      (*urls)[visit.oid] = visit.url;
+    }
+  };
+
+  text::CorpusIndex focused_index, unfocused_index;
+  std::unordered_map<uint64_t, std::string> focused_urls, unfocused_urls;
+  build_corpus(crawl::ExpansionRule::kSoftFocus,
+               crawl::PriorityPolicy::kAggressiveDiscovery, &focused_index,
+               &focused_urls);
+  build_corpus(crawl::ExpansionRule::kUnfocused,
+               crawl::PriorityPolicy::kBreadthFirst, &unfocused_index,
+               &unfocused_urls);
+  std::printf("focused corpus: %zu docs; unfocused corpus: %zu docs\n\n",
+              focused_index.num_documents(),
+              unfocused_index.num_documents());
+
+  // The query: the topic's characteristic keywords (cycl* bicycl* bike).
+  auto query = system->web().TopicKeywords(cycling, 3);
+  std::printf("query: %s %s %s\n\n", query[0].c_str(), query[1].c_str(),
+              query[2].c_str());
+
+  auto evaluate = [&](const char* name, const text::CorpusIndex& index,
+                      const std::unordered_map<uint64_t, std::string>&
+                          urls) {
+    int in_corpus = 0;
+    for (const auto& [oid, url] : urls) {
+      auto idx = system->web().PageIndexByUrl(url);
+      if (idx.ok() && system->web().page(idx.value()).topic == cycling) {
+        ++in_corpus;
+      }
+    }
+    auto top10 = index.Search(query, 10);
+    int p10 = 0;
+    for (const auto& r : top10) {
+      auto idx = system->web().PageIndexByUrl(urls.at(r.did));
+      p10 += idx.ok() &&
+             system->web().page(idx.value()).topic == cycling;
+    }
+    auto top500 = index.Search(query, 500);
+    int good500 = 0;
+    for (const auto& r : top500) {
+      auto idx = system->web().PageIndexByUrl(urls.at(r.did));
+      good500 += idx.ok() &&
+                 system->web().page(idx.value()).topic == cycling;
+    }
+    std::printf("%-10s corpus: %4d relevant pages indexed | "
+                "precision@10 = %.1f | relevant in top-500 = %d\n",
+                name, in_corpus, p10 / 10.0, good500);
+    return good500;
+  };
+  int focused_found = evaluate("focused", focused_index, focused_urls);
+  int unfocused_found = evaluate("unfocused", unfocused_index,
+                                 unfocused_urls);
+  std::printf("\nwith the same fetch budget, searching the focused corpus "
+              "surfaces %.1fx as many relevant resources\n",
+              static_cast<double>(focused_found) /
+                  std::max(unfocused_found, 1));
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  focus::SetLogLevel(focus::LogLevel::kWarning);
+  return Run();
+}

@@ -1,0 +1,200 @@
+#include "classify/bulk_probe.h"
+
+#include <map>
+
+#include "sql/exec/aggregate.h"
+#include "sql/exec/basic.h"
+#include "sql/exec/join.h"
+#include "sql/exec/scan.h"
+#include "sql/exec/sort.h"
+#include "util/clock.h"
+#include "util/string_util.h"
+
+namespace focus::classify {
+
+using sql::AggKind;
+using sql::AggSpec;
+using sql::Collect;
+using sql::Filter;
+using sql::HashAggregate;
+using sql::HashJoin;
+using sql::MergeJoin;
+using sql::NestedLoopJoin;
+using sql::Operator;
+using sql::OperatorPtr;
+using sql::ProjExpr;
+using sql::Project;
+using sql::SeqScan;
+using sql::Sort;
+using sql::SortKey;
+using sql::Tuple;
+using sql::TypeId;
+using sql::Value;
+
+Status BulkProbeClassifier::BulkProbeNode(
+    taxonomy::Cid c0, const sql::Schema& doc_schema,
+    const std::vector<sql::Tuple>& doc_sorted,
+    std::unordered_map<uint64_t, std::vector<double>>* acc) const {
+  auto it = tables_->stat.find(c0);
+  if (it == tables_->stat.end()) {
+    return Status::Internal(StrCat("no STAT table for node ", c0));
+  }
+  const sql::Table* stat = it->second;
+  const auto& children = ref_->tax().Children(c0);
+  std::unordered_map<taxonomy::Cid, int> child_index;
+  for (size_t i = 0; i < children.size(); ++i) {
+    child_index[children[i]] = static_cast<int>(i);
+  }
+
+  Stopwatch join_timer;
+
+  // PARTIAL(did, kcid, lpr1): DOCUMENT ⋈_tid STAT_c0 ⋈_kcid TAXONOMY,
+  // group by (did, kcid), sum(freq * (logtheta + logdenom)).
+  OperatorPtr doc_by_tid =
+      std::make_unique<sql::BorrowedSource>(doc_schema, &doc_sorted);
+  // STAT_c0's heap is already in (tid, kcid) order.
+  OperatorPtr stat_scan = std::make_unique<SeqScan>(stat);
+  OperatorPtr joined = std::make_unique<MergeJoin>(
+      std::move(doc_by_tid), std::move(stat_scan), std::vector<int>{1},
+      std::vector<int>{1});
+  // joined: 0 did, 1 tid, 2 freq, 3 kcid, 4 tid, 5 logtheta
+  OperatorPtr tax_children = std::make_unique<sql::IndexScanEq>(
+      tables_->taxonomy, tables_->taxonomy->IndexId("by_pcid"),
+      std::vector<Value>{Value::Int32(c0)});
+  OperatorPtr with_denom = std::make_unique<HashJoin>(
+      std::move(tax_children), std::move(joined), std::vector<int>{1},
+      std::vector<int>{3});
+  // with_denom: 0 pcid, 1 kcid, 2 logprior, 3 logdenom, 4 type, 5 name,
+  //             6 did, 7 tid, 8 freq, 9 kcid, 10 tid, 11 logtheta
+  OperatorPtr contrib = std::make_unique<Project>(
+      std::move(with_denom),
+      std::vector<ProjExpr>{
+          ProjExpr{"did", TypeId::kInt64,
+                   [](const Tuple& t) { return t.Get(6); }},
+          ProjExpr{"kcid", TypeId::kInt32,
+                   [](const Tuple& t) { return t.Get(1); }},
+          ProjExpr{"contrib", TypeId::kDouble,
+                   [](const Tuple& t) {
+                     return Value::Double(
+                         t.Get(8).AsInt32() *
+                         (t.Get(11).AsDouble() + t.Get(3).AsDouble()));
+                   }}});
+  OperatorPtr partial_op = std::make_unique<HashAggregate>(
+      std::move(contrib), std::vector<int>{0, 1},
+      std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "lpr1"}});
+  // Ascending (did, kcid) by construction (ordered aggregation output).
+
+  // DOCLEN(did, len): DOCUMENT restricted to F(c0), grouped by did.
+  OperatorPtr features = std::make_unique<HashAggregate>(
+      std::make_unique<SeqScan>(stat), std::vector<int>{1},
+      std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}});
+  OperatorPtr doc_by_tid2 =
+      std::make_unique<sql::BorrowedSource>(doc_schema, &doc_sorted);
+  OperatorPtr doc_features = std::make_unique<MergeJoin>(
+      std::move(doc_by_tid2), std::move(features), std::vector<int>{1},
+      std::vector<int>{0});
+  // doc_features: 0 did, 1 tid, 2 freq, 3 tid, 4 cnt
+  OperatorPtr doclen_op = std::make_unique<HashAggregate>(
+      std::move(doc_features), std::vector<int>{0},
+      std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "len"}});
+
+  // COMPLETE(did, kcid, lpr2): DOCLEN × children(c0), -len * logdenom.
+  OperatorPtr tax_children2 = std::make_unique<sql::IndexScanEq>(
+      tables_->taxonomy, tables_->taxonomy->IndexId("by_pcid"),
+      std::vector<Value>{Value::Int32(c0)});
+  OperatorPtr cross = std::make_unique<NestedLoopJoin>(
+      std::move(doclen_op), std::move(tax_children2),
+      [](const Tuple&, const Tuple&) { return true; });
+  // cross: 0 did, 1 len, 2 pcid, 3 kcid, 4 logprior, 5 logdenom, ...
+  OperatorPtr complete_op = std::make_unique<Project>(
+      std::move(cross),
+      std::vector<ProjExpr>{
+          ProjExpr{"did", TypeId::kInt64,
+                   [](const Tuple& t) { return t.Get(0); }},
+          ProjExpr{"kcid", TypeId::kInt32,
+                   [](const Tuple& t) { return t.Get(3); }},
+          ProjExpr{"lpr2", TypeId::kDouble,
+                   [](const Tuple& t) {
+                     return Value::Double(-t.Get(1).AsInt64() *
+                                          t.Get(5).AsDouble());
+                   }}});
+  // Children arrive in ascending kcid order from the index scan only if
+  // TAXONOMY rows were inserted in cid order (they were), but sort
+  // explicitly to keep the merge-join precondition independent of that.
+  OperatorPtr complete_sorted = std::make_unique<Sort>(
+      std::move(complete_op),
+      std::vector<SortKey>{{0, false}, {1, false}});
+
+  // final: COMPLETE left outer join PARTIAL on (did, kcid).
+  MergeJoin final_join(std::move(complete_sorted), std::move(partial_op),
+                       {0, 1}, {0, 1}, /*left_outer=*/true);
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(&final_join));
+  stats_.join_seconds += join_timer.ElapsedSeconds();
+
+  Stopwatch finalize_timer;
+  // rows: 0 did, 1 kcid, 2 lpr2, 3 did, 4 kcid, 5 lpr1(or NULL)
+  for (const Tuple& row : rows) {
+    uint64_t did = static_cast<uint64_t>(row.Get(0).AsInt64());
+    taxonomy::Cid kcid = static_cast<taxonomy::Cid>(row.Get(1).AsInt32());
+    double lpr = row.Get(2).AsDouble() +
+                 (row.Get(5).is_null() ? 0.0 : row.Get(5).AsDouble());
+    if (!row.Get(5).is_null()) ++stats_.partial_rows;
+    auto [entry, inserted] = acc->try_emplace(did);
+    if (inserted) entry->second.assign(children.size(), 0.0);
+    entry->second[child_index.at(kcid)] = lpr;
+  }
+  stats_.output_rows += rows.size();
+  stats_.finalize_seconds += finalize_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<std::unordered_map<uint64_t, ClassScores>>
+BulkProbeClassifier::ClassifyAll(const sql::Table* document) const {
+  // One sequential pass sorts DOCUMENT by tid into a temp reused by every
+  // node's merge joins (as a clustered sort temp would be in DB2).
+  Stopwatch sort_timer;
+  Sort doc_sort(std::make_unique<SeqScan>(document),
+                std::vector<SortKey>{{1, false}});
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> doc_sorted,
+                         sql::Collect(&doc_sort));
+  stats_.join_seconds += sort_timer.ElapsedSeconds();
+
+  // Distinct document ids (docs with no feature terms anywhere still get
+  // scores — priors only).
+  std::unordered_map<uint64_t, bool> dids;
+  for (const Tuple& row : doc_sorted) {
+    dids.emplace(static_cast<uint64_t>(row.Get(0).AsInt64()), true);
+  }
+
+  // Per internal node, per did: child log-likelihood vector.
+  std::unordered_map<taxonomy::Cid,
+                     std::unordered_map<uint64_t, std::vector<double>>>
+      node_acc;
+  for (taxonomy::Cid c0 : ref_->tax().InternalPreorder()) {
+    FOCUS_RETURN_IF_ERROR(BulkProbeNode(c0, document->schema(), doc_sorted,
+                                        &node_acc[c0]));
+  }
+
+  Stopwatch finalize_timer;
+  std::unordered_map<uint64_t, ClassScores> out;
+  out.reserve(dids.size());
+  for (const auto& [did, _] : dids) {
+    std::unordered_map<taxonomy::Cid, std::vector<double>> child_ll;
+    for (taxonomy::Cid c0 : ref_->tax().InternalPreorder()) {
+      auto& acc = node_acc[c0];
+      auto it = acc.find(did);
+      if (it != acc.end()) {
+        child_ll.emplace(c0, it->second);
+      } else {
+        child_ll.emplace(c0,
+                         std::vector<double>(ref_->tax().Children(c0).size(),
+                                             0.0));
+      }
+    }
+    out.emplace(did, ref_->PropagateScores(child_ll));
+  }
+  stats_.finalize_seconds += finalize_timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace focus::classify

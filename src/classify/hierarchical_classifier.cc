@@ -1,0 +1,80 @@
+#include "classify/hierarchical_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace focus::classify {
+
+namespace {
+// log(sum_i exp(x_i)) computed stably.
+double LogSumExp(const std::vector<double>& x) {
+  double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0;
+  for (double v : x) s += std::exp(v - m);
+  return m + std::log(s);
+}
+}  // namespace
+
+void HierarchicalClassifier::ChildLogLikelihoods(
+    taxonomy::Cid c0, const text::TermVector& terms,
+    std::vector<double>* out) const {
+  const auto& children = tax_->Children(c0);
+  out->assign(children.size(), 0.0);
+  const NodeModel* node = model_->NodeFor(c0);
+  if (node == nullptr) return;
+  for (const auto& tf : terms) {
+    auto it = node->stats.find(tf.tid);
+    if (it == node->stats.end()) continue;  // t not in F(c0)
+    // Start everyone at the smoothed default, then overwrite with stored
+    // stats — equivalent to Figure 2's present/missing split.
+    for (size_t i = 0; i < children.size(); ++i) {
+      (*out)[i] -= tf.freq * model_->logdenom[children[i]];
+    }
+    for (const ChildStat& cs : it->second) {
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (children[i] == cs.kcid) {
+          (*out)[i] += tf.freq * (cs.logtheta +
+                                  model_->logdenom[children[i]]);
+          break;
+        }
+      }
+    }
+  }
+}
+
+ClassScores HierarchicalClassifier::PropagateScores(
+    const std::unordered_map<taxonomy::Cid, std::vector<double>>& child_ll)
+    const {
+  ClassScores scores;
+  scores.logp.assign(tax_->num_topics(),
+                     -std::numeric_limits<double>::infinity());
+  scores.logp[taxonomy::kRootCid] = 0.0;
+  for (taxonomy::Cid c0 : tax_->InternalPreorder()) {
+    const auto& children = tax_->Children(c0);
+    auto it = child_ll.find(c0);
+    if (it == child_ll.end()) continue;
+    std::vector<double> post = it->second;
+    for (size_t i = 0; i < children.size(); ++i) {
+      post[i] += model_->logprior[children[i]];
+    }
+    double lse = LogSumExp(post);
+    for (size_t i = 0; i < children.size(); ++i) {
+      scores.logp[children[i]] = scores.logp[c0] + (post[i] - lse);
+    }
+  }
+  return scores;
+}
+
+ClassScores HierarchicalClassifier::Classify(
+    const text::TermVector& terms) const {
+  std::unordered_map<taxonomy::Cid, std::vector<double>> child_ll;
+  for (taxonomy::Cid c0 : tax_->InternalPreorder()) {
+    std::vector<double> ll;
+    ChildLogLikelihoods(c0, terms, &ll);
+    child_ll.emplace(c0, std::move(ll));
+  }
+  return PropagateScores(child_ll);
+}
+
+}  // namespace focus::classify

@@ -1,0 +1,59 @@
+// In-memory hierarchical classification (the reference implementation of
+// Figure 2's math, without the database access path).
+//
+// The DB-resident SingleProbe/BulkProbe classifiers compute identical
+// scores (verified by tests); they differ only in where the statistics
+// live and in I/O behaviour.
+#ifndef FOCUS_CLASSIFY_HIERARCHICAL_CLASSIFIER_H_
+#define FOCUS_CLASSIFY_HIERARCHICAL_CLASSIFIER_H_
+
+#include "classify/model.h"
+#include "taxonomy/taxonomy.h"
+#include "text/document.h"
+
+namespace focus::classify {
+
+class HierarchicalClassifier {
+ public:
+  // Both references must outlive the classifier.
+  HierarchicalClassifier(const taxonomy::Taxonomy* tax,
+                         const ClassifierModel* model)
+      : tax_(tax), model_(model) {}
+
+  // Computes log Pr[c|d] for every topic by recursive application of the
+  // chain rule from the root (Equation 2), with log-sum-exp
+  // normalization among siblings.
+  ClassScores Classify(const text::TermVector& terms) const;
+
+  // Soft-focus relevance R(d) (Equation 3).
+  double Relevance(const text::TermVector& terms) const {
+    return Classify(terms).Relevance(*tax_);
+  }
+
+  const taxonomy::Taxonomy& tax() const { return *tax_; }
+  const ClassifierModel& model() const { return *model_; }
+
+  // Computes the unnormalized per-child class-conditional log-likelihoods
+  // at internal node `c0` for one document:
+  //   L[i] = sum over feature terms t of freq(d,t) * logtheta(ci, t),
+  // with the smoothed default -logdenom(ci) for absent stats (Figure 2).
+  // Shared by the DB-backed classifiers, which produce the same vector
+  // from table probes. `out` is indexed like tax.Children(c0).
+  void ChildLogLikelihoods(taxonomy::Cid c0, const text::TermVector& terms,
+                           std::vector<double>* out) const;
+
+  // Turns per-node child log-likelihoods into final ClassScores: adds
+  // logprior, normalizes among siblings and accumulates down the tree.
+  // `child_ll` maps each internal cid to its ChildLogLikelihoods vector.
+  ClassScores PropagateScores(
+      const std::unordered_map<taxonomy::Cid, std::vector<double>>& child_ll)
+      const;
+
+ private:
+  const taxonomy::Taxonomy* tax_;
+  const ClassifierModel* model_;
+};
+
+}  // namespace focus::classify
+
+#endif  // FOCUS_CLASSIFY_HIERARCHICAL_CLASSIFIER_H_

@@ -1,0 +1,100 @@
+#include "classify/single_probe.h"
+
+#include "util/clock.h"
+#include "util/string_util.h"
+
+namespace focus::classify {
+
+using sql::Tuple;
+using sql::Value;
+
+Status SingleProbeClassifier::ProbeNode(taxonomy::Cid c0,
+                                        const text::TermVector& terms,
+                                        std::vector<double>* out) const {
+  const auto& children = ref_->tax().Children(c0);
+  const ClassifierModel& model = ref_->model();
+  out->assign(children.size(), 0.0);
+
+  auto child_index = [&](taxonomy::Cid kcid) -> int {
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i] == kcid) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  std::vector<ChildStat> stats;
+  for (const auto& tf : terms) {
+    stats.clear();
+    Stopwatch probe_timer;
+    ++stats_.probes;
+    if (variant_ == Variant::kBlob) {
+      std::vector<storage::Rid> rids;
+      FOCUS_RETURN_IF_ERROR(tables_->blob->IndexLookup(
+          0,
+          {Value::Int32(c0), Value::Int64(static_cast<int64_t>(tf.tid))},
+          &rids));
+      if (rids.size() > 1) {
+        return Status::Internal(
+            StrCat("duplicate BLOB row for node ", c0, " tid ", tf.tid));
+      }
+      if (!rids.empty()) {
+        Tuple row;
+        FOCUS_RETURN_IF_ERROR(tables_->blob->Get(rids[0], &row));
+        ++stats_.rows_fetched;
+        FOCUS_ASSIGN_OR_RETURN(stats,
+                               DecodeBlobPayload(row.Get(2).AsString()));
+      }
+    } else {
+      auto it = tables_->stat.find(c0);
+      if (it == tables_->stat.end()) {
+        return Status::Internal(StrCat("no STAT table for node ", c0));
+      }
+      std::vector<storage::Rid> rids;
+      FOCUS_RETURN_IF_ERROR(it->second->IndexLookup(
+          0, {Value::Int64(static_cast<int64_t>(tf.tid))}, &rids));
+      Tuple row;
+      for (const auto& rid : rids) {
+        FOCUS_RETURN_IF_ERROR(it->second->Get(rid, &row));
+        ++stats_.rows_fetched;
+        stats.push_back(
+            ChildStat{static_cast<taxonomy::Cid>(row.Get(0).AsInt32()),
+                      row.Get(2).AsDouble()});
+      }
+    }
+    stats_.probe_seconds += probe_timer.ElapsedSeconds();
+
+    if (stats.empty()) continue;  // t is not a feature at c0
+    Stopwatch compute_timer;
+    // Figure 2: present children get freq*logtheta, absent children pay the
+    // smoothed default -freq*logdenom. Expressed as default-then-correct.
+    for (size_t i = 0; i < children.size(); ++i) {
+      (*out)[i] -= tf.freq * model.logdenom[children[i]];
+    }
+    for (const ChildStat& cs : stats) {
+      int i = child_index(cs.kcid);
+      if (i < 0) {
+        return Status::Internal(
+            StrCat("stat row for ", cs.kcid, " not a child of ", c0));
+      }
+      (*out)[i] += tf.freq * (cs.logtheta + model.logdenom[cs.kcid]);
+    }
+    stats_.compute_seconds += compute_timer.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+Result<ClassScores> SingleProbeClassifier::Classify(
+    const text::TermVector& terms) const {
+  std::unordered_map<taxonomy::Cid, std::vector<double>> child_ll;
+  for (taxonomy::Cid c0 : ref_->tax().InternalPreorder()) {
+    std::vector<double> ll;
+    FOCUS_RETURN_IF_ERROR(ProbeNode(c0, terms, &ll));
+    child_ll.emplace(c0, std::move(ll));
+  }
+  Stopwatch compute_timer;
+  ClassScores scores = ref_->PropagateScores(child_ll);
+  stats_.compute_seconds += compute_timer.ElapsedSeconds();
+  return scores;
+}
+
+}  // namespace focus::classify

@@ -1,0 +1,55 @@
+// SingleProbe: document-at-a-time classification against the DB-resident
+// statistics (Figure 2), in two access-path variants:
+//
+//  * kSqlRows — probes STAT_<c0> by tid, fetching each (kcid, logtheta)
+//    row individually (the paper's "SQL" bar in Figure 8(a));
+//  * kBlob    — probes BLOB by (c0, tid), fetching one packed record with
+//    every child's statistic (the "BLOB" bar).
+//
+// Both produce scores identical to HierarchicalClassifier (tested); they
+// differ only in I/O: one index descent plus k heap fetches vs one index
+// descent plus one heap fetch, both random, per (document, node, term).
+#ifndef FOCUS_CLASSIFY_SINGLE_PROBE_H_
+#define FOCUS_CLASSIFY_SINGLE_PROBE_H_
+
+#include "classify/db_tables.h"
+#include "classify/hierarchical_classifier.h"
+#include "util/status.h"
+
+namespace focus::classify {
+
+class SingleProbeClassifier {
+ public:
+  enum class Variant { kSqlRows, kBlob };
+
+  struct Stats {
+    uint64_t probes = 0;          // index probes issued
+    uint64_t rows_fetched = 0;    // heap records read
+    double probe_seconds = 0;     // time in table probes
+    double compute_seconds = 0;   // time in the scoring math
+  };
+
+  // `ref` provides the taxonomy/model for score propagation; `tables` are
+  // the DB-resident statistics. Both must outlive the classifier.
+  SingleProbeClassifier(const HierarchicalClassifier* ref,
+                        const ClassifierTables* tables, Variant variant)
+      : ref_(ref), tables_(tables), variant_(variant) {}
+
+  Result<ClassScores> Classify(const text::TermVector& terms) const;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  Status ProbeNode(taxonomy::Cid c0, const text::TermVector& terms,
+                   std::vector<double>* out) const;
+
+  const HierarchicalClassifier* ref_;
+  const ClassifierTables* tables_;
+  Variant variant_;
+  mutable Stats stats_;
+};
+
+}  // namespace focus::classify
+
+#endif  // FOCUS_CLASSIFY_SINGLE_PROBE_H_

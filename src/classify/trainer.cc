@@ -1,0 +1,197 @@
+#include "classify/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace focus::classify {
+
+namespace {
+
+// Per-term accumulators at one internal node.
+struct TermAccum {
+  // Document frequency and token count per child index, plus first and
+  // second moments of the per-document term rate (for Fisher's index).
+  std::vector<int32_t> df;
+  std::vector<int64_t> count;
+  std::vector<double> rate_sum;
+  std::vector<double> rate_sq_sum;
+
+  explicit TermAccum(size_t num_children)
+      : df(num_children, 0),
+        count(num_children, 0),
+        rate_sum(num_children, 0),
+        rate_sq_sum(num_children, 0) {}
+};
+
+// Binary mutual information between term presence and the child class,
+// computed from per-child document frequencies.
+double MutualInformation(const std::vector<int32_t>& df,
+                         const std::vector<int64_t>& docs_per_child,
+                         int64_t total_docs) {
+  double mi = 0;
+  int64_t df_total = 0;
+  for (int32_t d : df) df_total += d;
+  double p_present = static_cast<double>(df_total) / total_docs;
+  for (size_t i = 0; i < df.size(); ++i) {
+    if (docs_per_child[i] == 0) continue;
+    double p_class = static_cast<double>(docs_per_child[i]) / total_docs;
+    // x = 1 (term present)
+    if (df[i] > 0 && p_present > 0) {
+      double p_joint = static_cast<double>(df[i]) / total_docs;
+      mi += p_joint * std::log(p_joint / (p_present * p_class));
+    }
+    // x = 0 (term absent)
+    int64_t absent = docs_per_child[i] - df[i];
+    if (absent > 0 && p_present < 1.0) {
+      double p_joint = static_cast<double>(absent) / total_docs;
+      mi += p_joint * std::log(p_joint / ((1.0 - p_present) * p_class));
+    }
+  }
+  return mi;
+}
+
+// Fisher's discriminant index over per-document term rates: ratio of
+// between-class scatter of the class means to the pooled within-class
+// variance. Larger = the term separates the children better.
+double FisherIndex(const TermAccum& acc,
+                   const std::vector<int64_t>& docs_per_child) {
+  size_t k = docs_per_child.size();
+  double grand_sum = 0;
+  int64_t grand_n = 0;
+  std::vector<double> mean(k, 0);
+  for (size_t i = 0; i < k; ++i) {
+    if (docs_per_child[i] == 0) continue;
+    mean[i] = acc.rate_sum[i] / docs_per_child[i];
+    grand_sum += acc.rate_sum[i];
+    grand_n += docs_per_child[i];
+  }
+  double grand_mean = grand_n == 0 ? 0 : grand_sum / grand_n;
+  double between = 0, within = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (docs_per_child[i] == 0) continue;
+    double diff = mean[i] - grand_mean;
+    between += diff * diff;
+    double var = acc.rate_sq_sum[i] / docs_per_child[i] - mean[i] * mean[i];
+    within += var > 0 ? var : 0;
+  }
+  constexpr double kEps = 1e-12;  // all-identical rates: avoid 0/0
+  return between / (within + kEps);
+}
+
+}  // namespace
+
+Result<ClassifierModel> Trainer::Train(
+    const taxonomy::Taxonomy& tax,
+    const std::vector<LabeledDocument>& examples) const {
+  ClassifierModel model;
+  model.logprior.assign(tax.num_topics(), 0.0);
+  model.logdenom.assign(tax.num_topics(), 0.0);
+
+  // Map each document to the path of topics it trains (a doc labelled at a
+  // leaf contributes to D(c) for every ancestor c of that leaf).
+  for (const auto& doc : examples) {
+    if (!tax.IsValidCid(doc.label)) {
+      return Status::InvalidArgument(StrCat("bad label cid ", doc.label));
+    }
+  }
+
+  for (taxonomy::Cid c0 : tax.InternalPreorder()) {
+    const std::vector<taxonomy::Cid>& children = tax.Children(c0);
+    size_t k = children.size();
+    // Child index of a leaf-labelled doc at this node, or -1.
+    auto child_index_of = [&](taxonomy::Cid label) -> int {
+      for (size_t i = 0; i < k; ++i) {
+        if (tax.IsAncestor(children[i], label, /*or_self=*/true)) {
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    };
+
+    // --- accumulate counts ---
+    std::unordered_map<uint32_t, TermAccum> terms;
+    std::vector<int64_t> docs_per_child(k, 0);
+    std::vector<int64_t> tokens_per_child(k, 0);
+    std::unordered_set<uint32_t> vocab;  // union of terms over D(c0)
+    int64_t total_docs = 0;
+    for (const auto& doc : examples) {
+      int ci = child_index_of(doc.label);
+      if (ci < 0) continue;
+      ++docs_per_child[ci];
+      ++total_docs;
+      int64_t doc_len = text::TermVectorLength(doc.terms);
+      for (const auto& tf : doc.terms) {
+        vocab.insert(tf.tid);
+        auto [it, _] = terms.try_emplace(tf.tid, k);
+        ++it->second.df[ci];
+        it->second.count[ci] += tf.freq;
+        tokens_per_child[ci] += tf.freq;
+        if (doc_len > 0) {
+          double rate = static_cast<double>(tf.freq) / doc_len;
+          it->second.rate_sum[ci] += rate;
+          it->second.rate_sq_sum[ci] += rate * rate;
+        }
+      }
+    }
+    for (size_t i = 0; i < k; ++i) {
+      if (docs_per_child[i] == 0) {
+        return Status::FailedPrecondition(
+            StrCat("no training documents under topic ",
+                   tax.Name(children[i])));
+      }
+    }
+
+    // --- feature selection by mutual information ---
+    std::vector<std::pair<double, uint32_t>> ranked;
+    ranked.reserve(terms.size());
+    for (const auto& [tid, acc] : terms) {
+      int32_t df_total = 0;
+      for (int32_t d : acc.df) df_total += d;
+      if (df_total < options_.min_document_frequency) continue;
+      double score =
+          options_.feature_selection == FeatureSelection::kFisher
+              ? FisherIndex(acc, docs_per_child)
+              : MutualInformation(acc.df, docs_per_child, total_docs);
+      ranked.emplace_back(score, tid);
+    }
+    size_t keep = std::min<size_t>(options_.max_features_per_node,
+                                   ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    ranked.resize(keep);
+
+    // --- parameter estimation (Equation 1) ---
+    // denominator(ci) = |vocab(c0)| + total tokens in D(ci).
+    for (size_t i = 0; i < k; ++i) {
+      model.logdenom[children[i]] =
+          std::log(static_cast<double>(vocab.size()) + tokens_per_child[i]);
+      model.logprior[children[i]] =
+          std::log(static_cast<double>(docs_per_child[i]) / total_docs);
+    }
+
+    NodeModel node;
+    node.cid = c0;
+    for (const auto& [mi, tid] : ranked) {
+      (void)mi;
+      const TermAccum& acc = terms.at(tid);
+      std::vector<ChildStat> stats;
+      for (size_t i = 0; i < k; ++i) {
+        if (acc.count[i] == 0) continue;  // keep the table sparse (§2.1.1)
+        double logtheta = std::log(1.0 + acc.count[i]) -
+                          model.logdenom[children[i]];
+        stats.push_back(ChildStat{children[i], logtheta});
+      }
+      if (!stats.empty()) node.stats.emplace(tid, std::move(stats));
+    }
+    model.nodes.emplace(c0, std::move(node));
+  }
+  return model;
+}
+
+}  // namespace focus::classify

@@ -1,0 +1,50 @@
+// Classifier training (§2.1.1): feature selection, parameter estimation
+// (Equation 1) and prior estimation, per internal taxonomy node.
+#ifndef FOCUS_CLASSIFY_TRAINER_H_
+#define FOCUS_CLASSIFY_TRAINER_H_
+
+#include <vector>
+
+#include "classify/model.h"
+#include "taxonomy/taxonomy.h"
+#include "util/status.h"
+
+namespace focus::classify {
+
+// Feature ranking criterion (§2.1.1 cites feature selection "studied in
+// detail elsewhere" — the companion VLDB-J paper uses Fisher's
+// discriminant; mutual information is the common alternative).
+enum class FeatureSelection {
+  kMutualInformation,
+  kFisher,
+};
+
+struct TrainerOptions {
+  // Per internal node, keep at most this many terms, ranked by the chosen
+  // criterion.
+  int max_features_per_node = 600;
+  FeatureSelection feature_selection = FeatureSelection::kMutualInformation;
+  // Terms must appear in at least this many training documents of the node
+  // to be feature candidates.
+  int min_document_frequency = 2;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainerOptions options = {}) : options_(options) {}
+
+  // Trains a model for `tax` from leaf-labelled example documents. Every
+  // internal node must have at least one training document under each
+  // child (otherwise that child can never be predicted; an error is
+  // returned naming it).
+  Result<ClassifierModel> Train(
+      const taxonomy::Taxonomy& tax,
+      const std::vector<LabeledDocument>& examples) const;
+
+ private:
+  TrainerOptions options_;
+};
+
+}  // namespace focus::classify
+
+#endif  // FOCUS_CLASSIFY_TRAINER_H_

@@ -1,0 +1,114 @@
+#include "core/focus.h"
+
+#include "distill/join_distiller.h"
+#include "util/string_util.h"
+
+namespace focus::core {
+
+Result<DistillResult> CrawlSession::Distill(
+    const distill::HitsOptions& options, int top_k) {
+  if (!distill_ready_) {
+    distill_tables_.link = db_->link_table();
+    distill_tables_.crawl = db_->crawl_table();
+    // The crawler may already have created HUBS/AUTH for periodic boosts.
+    if (sql::Table* hubs = catalog_->GetTable("HUBS"); hubs != nullptr) {
+      distill_tables_.hubs = hubs;
+      distill_tables_.auth = catalog_->GetTable("AUTH");
+    } else {
+      FOCUS_RETURN_IF_ERROR(
+          distill::CreateHubsAuthTables(catalog_.get(), &distill_tables_));
+    }
+    distill_ready_ = true;
+  }
+  FOCUS_RETURN_IF_ERROR(db_->RefreshEdgeWeights());
+  distill::JoinDistiller distiller(distill_tables_);
+  FOCUS_RETURN_IF_ERROR(distiller.Run(options));
+
+  auto ranked_from = [&](const sql::Table* table)
+      -> Result<std::vector<RankedPage>> {
+    FOCUS_ASSIGN_OR_RETURN(auto scores, distill::CollectScores(table));
+    std::unordered_map<uint64_t, distill::HubAuthScore> wrapped;
+    for (const auto& [oid, s] : scores) wrapped[oid].hub = s;
+    auto top = distill::HitsEngine::TopHubs(wrapped, top_k);
+    std::vector<RankedPage> pages;
+    pages.reserve(top.size());
+    for (const auto& [oid, score] : top) {
+      RankedPage page;
+      page.oid = oid;
+      page.score = score;
+      FOCUS_ASSIGN_OR_RETURN(auto rec, db_->Lookup(oid));
+      if (rec.has_value()) page.url = rec->url;
+      pages.push_back(std::move(page));
+    }
+    return pages;
+  };
+
+  DistillResult result;
+  FOCUS_ASSIGN_OR_RETURN(result.hubs, ranked_from(distill_tables_.hubs));
+  FOCUS_ASSIGN_OR_RETURN(result.authorities,
+                         ranked_from(distill_tables_.auth));
+  return result;
+}
+
+Result<std::unique_ptr<FocusSystem>> FocusSystem::Create(
+    taxonomy::Taxonomy tax, FocusOptions options,
+    std::vector<webgraph::TopicAffinity> affinities) {
+  options.web.seed = options.web.seed == 1 ? options.seed : options.web.seed;
+  auto system = std::unique_ptr<FocusSystem>(
+      new FocusSystem(std::move(tax), options));
+  FOCUS_ASSIGN_OR_RETURN(
+      webgraph::SimulatedWeb web,
+      webgraph::SimulatedWeb::Generate(system->tax_, options.web,
+                                       std::move(affinities)));
+  system->web_ = std::make_unique<webgraph::SimulatedWeb>(std::move(web));
+  return system;
+}
+
+Status FocusSystem::MarkGood(std::string_view topic_name) {
+  FOCUS_ASSIGN_OR_RETURN(taxonomy::Cid cid, tax_.FindByName(topic_name));
+  return tax_.MarkGood(cid);
+}
+
+Status FocusSystem::Train() {
+  Rng rng(options_.seed ^ 0xD0C5EED5u);
+  std::vector<classify::LabeledDocument> examples;
+  uint64_t did = 1;
+  for (taxonomy::Cid leaf : tax_.LeavesUnder(taxonomy::kRootCid)) {
+    for (int i = 0; i < options_.examples_per_topic; ++i) {
+      examples.push_back(classify::LabeledDocument{
+          did++, leaf, web_->SampleDocumentForTopic(leaf, &rng)});
+    }
+  }
+  classify::Trainer trainer(options_.trainer);
+  FOCUS_ASSIGN_OR_RETURN(model_, trainer.Train(tax_, examples));
+  classifier_ =
+      std::make_unique<classify::HierarchicalClassifier>(&tax_, &model_);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CrawlSession>> FocusSystem::NewCrawl(
+    const std::vector<std::string>& seed_urls,
+    const crawl::CrawlerOptions& crawler_options) {
+  if (!trained()) {
+    return Status::FailedPrecondition("call Train() before NewCrawl()");
+  }
+  auto session = std::unique_ptr<CrawlSession>(new CrawlSession());
+  session->disk_ = std::make_unique<storage::MemDiskManager>();
+  session->pool_ = std::make_unique<storage::BufferPool>(
+      session->disk_.get(), options_.session_buffer_frames);
+  session->catalog_ = std::make_unique<sql::Catalog>(session->pool_.get());
+  FOCUS_ASSIGN_OR_RETURN(crawl::CrawlDb db,
+                         crawl::CrawlDb::Create(session->catalog_.get()));
+  session->db_ = std::make_unique<crawl::CrawlDb>(std::move(db));
+  session->evaluator_ =
+      std::make_unique<crawl::ClassifierEvaluator>(classifier_.get());
+  session->crawler_ = std::make_unique<crawl::Crawler>(
+      web_.get(), session->evaluator_.get(), session->db_.get(),
+      session->catalog_.get(), crawler_options);
+  for (const std::string& url : seed_urls) {
+    FOCUS_RETURN_IF_ERROR(session->crawler_->AddSeed(url));
+  }
+  return session;
+}
+
+}  // namespace focus::core

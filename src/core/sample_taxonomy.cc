@@ -1,0 +1,37 @@
+#include "core/sample_taxonomy.h"
+
+#include "util/logging.h"
+
+namespace focus::core {
+
+taxonomy::Taxonomy BuildSampleTaxonomy() {
+  taxonomy::Taxonomy tax;
+  struct Category {
+    const char* name;
+    const char* leaves[6];
+  };
+  static constexpr Category kCategories[] = {
+      {"recreation",
+       {"cycling", "gardening", "hiking", "fishing", "running", "chess"}},
+      {"business",
+       {"mutual_funds", "investing_general", "insurance", "banking",
+        "startups", "real_estate"}},
+      {"health",
+       {"first_aid", "hiv_aids", "nutrition", "yoga", "pediatrics",
+        "cardiology"}},
+      {"computers",
+       {"databases", "networking", "graphics", "compilers", "security",
+        "machine_learning"}},
+  };
+  for (const Category& cat : kCategories) {
+    auto parent = tax.AddTopic(taxonomy::kRootCid, cat.name);
+    FOCUS_CHECK(parent.ok(), parent.status().ToString());
+    for (const char* leaf : cat.leaves) {
+      auto added = tax.AddTopic(parent.value(), leaf);
+      FOCUS_CHECK(added.ok(), added.status().ToString());
+    }
+  }
+  return tax;
+}
+
+}  // namespace focus::core

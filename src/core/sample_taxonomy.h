@@ -1,0 +1,21 @@
+// A Yahoo!-style master category list (§3.3): four top-level categories
+// with six leaf topics each, including the topics the paper evaluates on
+// (cycling, gardening, mutual funds, HIV/first aid).
+//
+// With 24 leaves, a page about nothing in particular carries ~1/24 prior
+// mass per leaf, so irrelevant regions of the web measure near-zero
+// soft-focus relevance — the regime the paper's giant taxonomy operated
+// in.
+#ifndef FOCUS_CORE_SAMPLE_TAXONOMY_H_
+#define FOCUS_CORE_SAMPLE_TAXONOMY_H_
+
+#include "taxonomy/taxonomy.h"
+
+namespace focus::core {
+
+// Builds the sample taxonomy. Never fails for the built-in topic list.
+taxonomy::Taxonomy BuildSampleTaxonomy();
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_SAMPLE_TAXONOMY_H_

@@ -1,0 +1,190 @@
+#include "crawl/crawl_db.h"
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace focus::crawl {
+
+using sql::IndexSpec;
+using sql::Schema;
+using sql::Tuple;
+using sql::TypeId;
+using sql::Value;
+
+int32_t ServerIdOf(std::string_view url) {
+  size_t start = 0;
+  if (auto pos = url.find("://"); pos != std::string_view::npos) {
+    start = pos + 3;
+  }
+  size_t end = url.find('/', start);
+  std::string_view host = url.substr(
+      start, end == std::string_view::npos ? url.size() - start
+                                           : end - start);
+  // Keep it non-negative so it packs into index keys if ever needed.
+  return static_cast<int32_t>(Fnv1a32(host) & 0x7FFFFFFF);
+}
+
+std::string TruncateToHostRoot(std::string_view url) {
+  size_t start = 0;
+  if (auto pos = url.find("://"); pos != std::string_view::npos) {
+    start = pos + 3;
+  }
+  size_t slash = url.find('/', start);
+  if (slash == std::string_view::npos) return std::string(url) + "/";
+  return std::string(url.substr(0, slash + 1));
+}
+
+Result<CrawlDb> CrawlDb::Create(sql::Catalog* catalog) {
+  CrawlDb db;
+  FOCUS_ASSIGN_OR_RETURN(
+      db.crawl_,
+      catalog->CreateTable("CRAWL",
+                           Schema({{"oid", TypeId::kInt64},
+                                   {"url", TypeId::kString},
+                                   {"sid", TypeId::kInt32},
+                                   {"numtries", TypeId::kInt32},
+                                   {"relevance", TypeId::kDouble},
+                                   {"serverload", TypeId::kInt32},
+                                   {"lastvisited", TypeId::kInt64},
+                                   {"kcid", TypeId::kInt32},
+                                   {"visited", TypeId::kInt32}}),
+                           {IndexSpec{"by_oid", {0}, {}}}));
+  FOCUS_ASSIGN_OR_RETURN(
+      db.link_,
+      catalog->CreateTable("LINK",
+                           Schema({{"oid_src", TypeId::kInt64},
+                                   {"sid_src", TypeId::kInt32},
+                                   {"oid_dst", TypeId::kInt64},
+                                   {"sid_dst", TypeId::kInt32},
+                                   {"wgt_fwd", TypeId::kDouble},
+                                   {"wgt_rev", TypeId::kDouble}}),
+                           {IndexSpec{"by_src", {0}, {}},
+                            IndexSpec{"by_dst", {2}, {}}}));
+  return db;
+}
+
+Result<storage::Rid> CrawlDb::RidOf(uint64_t oid) const {
+  std::vector<storage::Rid> rids;
+  FOCUS_RETURN_IF_ERROR(crawl_->IndexLookup(
+      0, {Value::Int64(static_cast<int64_t>(oid))}, &rids));
+  if (rids.empty()) {
+    return Status::NotFound(StrCat("oid ", oid, " not in CRAWL"));
+  }
+  return rids[0];
+}
+
+Status CrawlDb::AddUrl(std::string_view url, double relevance_estimate,
+                       int32_t serverload) {
+  uint64_t oid = UrlOid(url);
+  std::vector<storage::Rid> rids;
+  FOCUS_RETURN_IF_ERROR(crawl_->IndexLookup(
+      0, {Value::Int64(static_cast<int64_t>(oid))}, &rids));
+  if (!rids.empty()) {
+    return Status::AlreadyExists(StrCat("url ", url));
+  }
+  return crawl_
+      ->Insert(Tuple({Value::Int64(static_cast<int64_t>(oid)),
+                      Value::Str(std::string(url)),
+                      Value::Int32(ServerIdOf(url)), Value::Int32(0),
+                      Value::Double(relevance_estimate),
+                      Value::Int32(serverload), Value::Int64(0),
+                      Value::Int32(-1), Value::Int32(0)}))
+      .status();
+}
+
+Status CrawlDb::RecordAttempt(uint64_t oid) {
+  FOCUS_ASSIGN_OR_RETURN(storage::Rid rid, RidOf(oid));
+  Tuple row;
+  FOCUS_RETURN_IF_ERROR(crawl_->Get(rid, &row));
+  row.Mutable(3) = Value::Int32(row.Get(3).AsInt32() + 1);
+  return crawl_->Update(rid, row);
+}
+
+Status CrawlDb::RecordVisit(uint64_t oid, double relevance, int32_t kcid,
+                            int64_t lastvisited) {
+  FOCUS_ASSIGN_OR_RETURN(storage::Rid rid, RidOf(oid));
+  Tuple row;
+  FOCUS_RETURN_IF_ERROR(crawl_->Get(rid, &row));
+  row.Mutable(4) = Value::Double(relevance);
+  row.Mutable(6) = Value::Int64(lastvisited);
+  row.Mutable(7) = Value::Int32(kcid);
+  row.Mutable(8) = Value::Int32(1);
+  return crawl_->Update(rid, row);
+}
+
+Status CrawlDb::RaiseRelevance(uint64_t oid, double relevance) {
+  FOCUS_ASSIGN_OR_RETURN(storage::Rid rid, RidOf(oid));
+  Tuple row;
+  FOCUS_RETURN_IF_ERROR(crawl_->Get(rid, &row));
+  if (row.Get(8).AsInt32() != 0) return Status::OK();  // already visited
+  if (row.Get(4).AsDouble() >= relevance) return Status::OK();
+  row.Mutable(4) = Value::Double(relevance);
+  return crawl_->Update(rid, row);
+}
+
+Status CrawlDb::AddLink(std::string_view src_url, std::string_view dst_url) {
+  return link_
+      ->Insert(Tuple({Value::Int64(static_cast<int64_t>(UrlOid(src_url))),
+                      Value::Int32(ServerIdOf(src_url)),
+                      Value::Int64(static_cast<int64_t>(UrlOid(dst_url))),
+                      Value::Int32(ServerIdOf(dst_url)), Value::Double(0),
+                      Value::Double(0)}))
+      .status();
+}
+
+Status CrawlDb::RefreshEdgeWeights() {
+  auto relevance_of = [this](int64_t oid) -> Result<double> {
+    std::vector<storage::Rid> rids;
+    FOCUS_RETURN_IF_ERROR(crawl_->IndexLookup(0, {Value::Int64(oid)}, &rids));
+    if (rids.empty()) return 0.0;
+    Tuple row;
+    FOCUS_RETURN_IF_ERROR(crawl_->Get(rids[0], &row));
+    return row.Get(4).AsDouble();
+  };
+  auto it = link_->Scan();
+  storage::Rid rid;
+  Tuple row;
+  while (it.Next(&rid, &row)) {
+    FOCUS_ASSIGN_OR_RETURN(double r_dst, relevance_of(row.Get(2).AsInt64()));
+    FOCUS_ASSIGN_OR_RETURN(double r_src, relevance_of(row.Get(0).AsInt64()));
+    row.Mutable(4) = Value::Double(r_dst);
+    row.Mutable(5) = Value::Double(r_src);
+    FOCUS_RETURN_IF_ERROR(link_->Update(rid, row));
+  }
+  return it.status();
+}
+
+CrawlRecord CrawlDb::RecordFromTuple(const Tuple& t) {
+  CrawlRecord r;
+  r.oid = static_cast<uint64_t>(t.Get(0).AsInt64());
+  r.url = t.Get(1).AsString();
+  r.sid = t.Get(2).AsInt32();
+  r.numtries = t.Get(3).AsInt32();
+  r.relevance = t.Get(4).AsDouble();
+  r.serverload = t.Get(5).AsInt32();
+  r.lastvisited = t.Get(6).AsInt64();
+  r.kcid = t.Get(7).AsInt32();
+  r.visited = t.Get(8).AsInt32() != 0;
+  return r;
+}
+
+Result<std::optional<CrawlRecord>> CrawlDb::Lookup(uint64_t oid) const {
+  std::vector<storage::Rid> rids;
+  FOCUS_RETURN_IF_ERROR(crawl_->IndexLookup(
+      0, {Value::Int64(static_cast<int64_t>(oid))}, &rids));
+  if (rids.empty()) return std::optional<CrawlRecord>{};
+  Tuple row;
+  FOCUS_RETURN_IF_ERROR(crawl_->Get(rids[0], &row));
+  return std::optional<CrawlRecord>(RecordFromTuple(row));
+}
+
+Result<CrawlRecord> CrawlDb::LookupByUrl(std::string_view url) const {
+  FOCUS_ASSIGN_OR_RETURN(std::optional<CrawlRecord> rec,
+                         Lookup(UrlOid(url)));
+  if (!rec.has_value()) {
+    return Status::NotFound(StrCat("url ", url, " not in CRAWL"));
+  }
+  return *rec;
+}
+
+}  // namespace focus::crawl

@@ -1,0 +1,97 @@
+// The crawler's relational state: the CRAWL and LINK tables of Figure 1.
+//
+//   CRAWL(oid:int64, url:string, sid:int32, numtries:int32,
+//         relevance:double, serverload:int32, lastvisited:int64,
+//         kcid:int32, visited:int32)        index by_oid
+//   LINK(oid_src:int64, sid_src:int32, oid_dst:int64, sid_dst:int32,
+//        wgt_fwd:double, wgt_rev:double)    indexes by_src, by_dst
+//
+// oid is the 64-bit URL hash; sid identifies the server (hash of the URL's
+// host — standing in for the paper's resolved IP). For unvisited pages,
+// `relevance` holds the inherited priority estimate (best citing page's
+// R); after a visit it holds the page's own R(d).
+#ifndef FOCUS_CRAWL_CRAWL_DB_H_
+#define FOCUS_CRAWL_CRAWL_DB_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/catalog.h"
+#include "sql/table.h"
+#include "util/status.h"
+
+namespace focus::crawl {
+
+// Server id for a URL: hash of its host component.
+int32_t ServerIdOf(std::string_view url);
+
+// "http://host/path" -> "http://host/" (the §3.2 URL-truncation device).
+// Returns the input unchanged when there is no path to strip.
+std::string TruncateToHostRoot(std::string_view url);
+
+struct CrawlRecord {
+  uint64_t oid = 0;
+  std::string url;
+  int32_t sid = 0;
+  int32_t numtries = 0;
+  double relevance = 0;
+  int32_t serverload = 0;
+  int64_t lastvisited = 0;
+  int32_t kcid = -1;
+  bool visited = false;
+};
+
+class CrawlDb {
+ public:
+  // Creates CRAWL and LINK in `catalog`.
+  static Result<CrawlDb> Create(sql::Catalog* catalog);
+
+  // Inserts a new URL row (visited = 0). AlreadyExists if the oid is known.
+  Status AddUrl(std::string_view url, double relevance_estimate,
+                int32_t serverload);
+
+  // Fetch-attempt bookkeeping: numtries += 1.
+  Status RecordAttempt(uint64_t oid);
+
+  // Marks `oid` visited with its judged relevance, class and visit time.
+  Status RecordVisit(uint64_t oid, double relevance, int32_t kcid,
+                     int64_t lastvisited);
+
+  // Raises the stored relevance estimate of an *unvisited* row to
+  // `relevance` if higher (used for hub boosts and better citations).
+  Status RaiseRelevance(uint64_t oid, double relevance);
+
+  // Appends a LINK row; edge weights start at 0 (assigned by
+  // RefreshEdgeWeights once endpoint relevances are known).
+  Status AddLink(std::string_view src_url, std::string_view dst_url);
+
+  // Sets wgt_fwd = R(dst), wgt_rev = R(src) for every LINK row, reading
+  // relevances from CRAWL (§2.2.2). Unvisited endpoints weigh their
+  // current estimate.
+  Status RefreshEdgeWeights();
+
+  Result<std::optional<CrawlRecord>> Lookup(uint64_t oid) const;
+  Result<CrawlRecord> LookupByUrl(std::string_view url) const;
+
+  sql::Table* crawl_table() const { return crawl_; }
+  sql::Table* link_table() const { return link_; }
+
+  uint64_t num_urls() const { return crawl_->num_rows(); }
+  uint64_t num_links() const { return link_->num_rows(); }
+
+  static CrawlRecord RecordFromTuple(const sql::Tuple& t);
+
+ private:
+  CrawlDb() = default;
+
+  Result<storage::Rid> RidOf(uint64_t oid) const;
+
+  sql::Table* crawl_ = nullptr;
+  sql::Table* link_ = nullptr;
+};
+
+}  // namespace focus::crawl
+
+#endif  // FOCUS_CRAWL_CRAWL_DB_H_

@@ -1,0 +1,392 @@
+#include "crawl/crawler.h"
+
+#include <algorithm>
+
+#include "distill/join_distiller.h"
+#include "distill/pagerank.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace focus::crawl {
+
+Crawler::Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
+                 CrawlDb* db, sql::Catalog* catalog, CrawlerOptions options)
+    : web_(web),
+      evaluator_(evaluator),
+      db_(db),
+      options_(options),
+      frontier_(options.policy),
+      catalog_(catalog) {}
+
+Status Crawler::AddSeed(std::string_view url) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status s = db_->AddUrl(url, /*relevance_estimate=*/1.0, /*serverload=*/0);
+  if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+  FrontierEntry entry;
+  entry.oid = UrlOid(url);
+  entry.url = std::string(url);
+  entry.relevance = 1.0;
+  frontier_.AddOrUpdate(entry);
+  return Status::OK();
+}
+
+Result<bool> Crawler::Step() {
+  webgraph::SimulatedWeb::FetchResult fetch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (static_cast<int>(visits_.size()) + in_flight_ >=
+        options_.max_fetches) {
+      return false;
+    }
+    std::optional<FrontierEntry> entry = frontier_.PopBest();
+    if (!entry.has_value()) {
+      stats_.stagnated = true;
+      return false;
+    }
+    ++stats_.attempts;
+    FOCUS_RETURN_IF_ERROR(db_->RecordAttempt(entry->oid));
+    auto fetched = web_->Fetch(entry->url, &clock_);
+    if (!fetched.ok()) {
+      ++stats_.failures;
+      // 404s are permanent (truncated guesses often miss); transient
+      // failures are retried up to the limit.
+      if (fetched.status().code() != StatusCode::kNotFound &&
+          entry->numtries + 1 < options_.max_retries) {
+        FrontierEntry retry = *entry;
+        ++retry.numtries;
+        retry.serverload = server_fetches_[ServerIdOf(retry.url)];
+        frontier_.AddOrUpdate(retry);
+      }
+      return true;
+    }
+    fetch = fetched.TakeValue();
+    ++in_flight_;
+  }
+
+  // Classification runs outside the lock (the CPU-heavy part; the paper
+  // runs ~30 fetch threads against one classifier).
+  text::TermVector terms = text::BuildTermVector(fetch.tokens);
+  FOCUS_ASSIGN_OR_RETURN(PageJudgment judgment, evaluator_->Judge(terms));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
+  uint64_t oid = UrlOid(fetch.url);
+  FOCUS_RETURN_IF_ERROR(db_->RecordVisit(oid, judgment.relevance,
+                                         judgment.best_leaf,
+                                         clock_.NowMicros()));
+  ++server_fetches_[fetch.server_id];
+  Visit visit;
+  visit.fetch_index = static_cast<int>(visits_.size());
+  visit.oid = oid;
+  visit.url = fetch.url;
+  visit.relevance = judgment.relevance;
+  visit.best_leaf = judgment.best_leaf;
+  visit.virtual_time_us = clock_.NowMicros();
+  visits_.push_back(visit);
+
+  FOCUS_RETURN_IF_ERROR(ExpandLinks(fetch, judgment));
+
+  if (options_.expand_backlinks &&
+      judgment.relevance > options_.backlink_relevance_threshold) {
+    // Pages pointing to a relevant page are likely hubs (radius-2 rule).
+    FOCUS_ASSIGN_OR_RETURN(
+        std::vector<std::string> citers,
+        web_->Backlinks(fetch.url, options_.backlinks_per_page));
+    for (const std::string& citer : citers) {
+      uint64_t citer_oid = UrlOid(citer);
+      FOCUS_ASSIGN_OR_RETURN(std::optional<CrawlRecord> known,
+                             db_->Lookup(citer_oid));
+      if (known.has_value()) continue;
+      FOCUS_RETURN_IF_ERROR(
+          db_->AddUrl(citer, judgment.relevance,
+                      server_fetches_[ServerIdOf(citer)]));
+      FrontierEntry entry;
+      entry.oid = citer_oid;
+      entry.url = citer;
+      entry.relevance = judgment.relevance;
+      entry.serverload = server_fetches_[ServerIdOf(citer)];
+      frontier_.AddOrUpdate(entry);
+    }
+  }
+
+  if (options_.distill_every > 0 &&
+      visits_.size() % options_.distill_every == 0) {
+    FOCUS_RETURN_IF_ERROR(RunDistillationBoost());
+  }
+  if (options_.policy == PriorityPolicy::kPageRankOrder &&
+      options_.pagerank_every > 0 &&
+      visits_.size() % options_.pagerank_every == 0) {
+    FOCUS_RETURN_IF_ERROR(RefreshPageRankPriorities());
+  }
+  return true;
+}
+
+Status Crawler::RefreshPageRankPriorities() {
+  // Build the known crawl graph from LINK.
+  std::unordered_map<uint64_t, uint32_t> node_index;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  auto index_of = [&](uint64_t oid) {
+    auto [it, inserted] = node_index.try_emplace(
+        oid, static_cast<uint32_t>(node_index.size()));
+    return it->second;
+  };
+  {
+    auto it = db_->link_table()->Scan();
+    storage::Rid rid;
+    sql::Tuple row;
+    while (it.Next(&rid, &row)) {
+      edges.emplace_back(
+          index_of(static_cast<uint64_t>(row.Get(0).AsInt64())),
+          index_of(static_cast<uint64_t>(row.Get(2).AsInt64())));
+    }
+    FOCUS_RETURN_IF_ERROR(it.status());
+  }
+  std::vector<double> rank = distill::PageRank(node_index.size(), edges);
+  for (FrontierEntry entry : frontier_.Snapshot()) {
+    auto it = node_index.find(entry.oid);
+    entry.hub_score = it == node_index.end() ? 0.0 : rank[it->second];
+    frontier_.AddOrUpdate(entry);
+  }
+  return Status::OK();
+}
+
+Status Crawler::ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
+                            const PageJudgment& judgment) {
+  bool expand_frontier = true;
+  if (options_.expansion == ExpansionRule::kHardFocus) {
+    expand_frontier = judgment.best_leaf_is_good;
+  }
+  // Revisits must not duplicate LINK rows.
+  bool record_links = links_recorded_.insert(UrlOid(fetch.url)).second;
+  for (const std::string& dst : fetch.outlink_urls) {
+    // The LINK table records the crawl graph regardless of the expansion
+    // decision; only frontier insertion is gated.
+    if (record_links) {
+      FOCUS_RETURN_IF_ERROR(db_->AddLink(fetch.url, dst));
+    }
+    if (!expand_frontier) continue;
+
+    uint64_t dst_oid = UrlOid(dst);
+    if (options_.try_truncated_urls) {
+      // Also consider the target's host root (server index pages are often
+      // excellent resource lists).
+      std::string root = TruncateToHostRoot(dst);
+      if (root != dst) {
+        FOCUS_ASSIGN_OR_RETURN(std::optional<CrawlRecord> known,
+                               db_->Lookup(UrlOid(root)));
+        if (!known.has_value()) {
+          FOCUS_RETURN_IF_ERROR(
+              db_->AddUrl(root, judgment.relevance,
+                          server_fetches_[ServerIdOf(root)]));
+          FrontierEntry entry;
+          entry.oid = UrlOid(root);
+          entry.url = root;
+          entry.relevance = judgment.relevance;
+          entry.serverload = server_fetches_[ServerIdOf(root)];
+          frontier_.AddOrUpdate(entry);
+        }
+      }
+    }
+    FOCUS_ASSIGN_OR_RETURN(std::optional<CrawlRecord> existing,
+                           db_->Lookup(dst_oid));
+    double estimate = judgment.relevance;
+    int32_t load = server_fetches_[ServerIdOf(dst)];
+    if (!existing.has_value()) {
+      FOCUS_RETURN_IF_ERROR(db_->AddUrl(dst, estimate, load));
+      FrontierEntry entry;
+      entry.oid = dst_oid;
+      entry.url = dst;
+      entry.relevance = estimate;
+      entry.serverload = load;
+      entry.backlinks = ++backlink_counts_[dst_oid];
+      frontier_.AddOrUpdate(entry);
+    } else if (!existing->visited) {
+      // A better citation raises the unvisited page's priority; every
+      // citation raises its backlink count (Cho ordering signal).
+      int32_t backlinks = ++backlink_counts_[dst_oid];
+      if (estimate > existing->relevance) {
+        FOCUS_RETURN_IF_ERROR(db_->RaiseRelevance(dst_oid, estimate));
+      }
+      if (const FrontierEntry* in_frontier = frontier_.Peek(dst_oid);
+          in_frontier != nullptr) {
+        FrontierEntry updated = *in_frontier;
+        updated.relevance = std::max(updated.relevance, estimate);
+        updated.serverload = load;
+        updated.backlinks = backlinks;
+        frontier_.AddOrUpdate(updated);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Crawler::RunDistillationBoost() {
+  if (!distill_tables_ready_) {
+    distill_tables_.link = db_->link_table();
+    distill_tables_.crawl = db_->crawl_table();
+    FOCUS_RETURN_IF_ERROR(
+        distill::CreateHubsAuthTables(catalog_, &distill_tables_));
+    distill_tables_ready_ = true;
+  }
+  FOCUS_RETURN_IF_ERROR(db_->RefreshEdgeWeights());
+  distill::JoinDistiller distiller(distill_tables_);
+  distill::HitsOptions hits_options;
+  hits_options.iterations = options_.distill_iterations;
+  hits_options.rho = options_.distill_rho;
+  FOCUS_RETURN_IF_ERROR(distiller.Run(hits_options));
+  ++stats_.distill_rounds;
+
+  FOCUS_ASSIGN_OR_RETURN(auto hub_scores,
+                         distill::CollectScores(distill_tables_.hubs));
+  std::vector<std::pair<uint64_t, double>> top =
+      distill::HitsEngine::TopHubs(
+          [&] {
+            std::unordered_map<uint64_t, distill::HubAuthScore> s;
+            for (const auto& [oid, score] : hub_scores) s[oid].hub = score;
+            return s;
+          }(),
+          options_.top_hubs_to_boost);
+
+  // Raise priority of unvisited pages cited by the top hubs (§3.7's
+  // "possibly missed neighbors of great hubs").
+  sql::Table* link = db_->link_table();
+  int by_src = link->IndexId("by_src");
+  for (const auto& [hub_oid, score] : top) {
+    std::vector<storage::Rid> rids;
+    FOCUS_RETURN_IF_ERROR(link->IndexLookup(
+        by_src, {sql::Value::Int64(static_cast<int64_t>(hub_oid))}, &rids));
+    sql::Tuple row;
+    for (const auto& rid : rids) {
+      FOCUS_RETURN_IF_ERROR(link->Get(rid, &row));
+      uint64_t dst_oid = static_cast<uint64_t>(row.Get(2).AsInt64());
+      const FrontierEntry* entry = frontier_.Peek(dst_oid);
+      if (entry == nullptr) continue;
+      FOCUS_RETURN_IF_ERROR(
+          db_->RaiseRelevance(dst_oid, options_.hub_boost_relevance));
+      FrontierEntry boosted = *entry;
+      boosted.relevance =
+          std::max(boosted.relevance, options_.hub_boost_relevance);
+      boosted.hub_score = score;
+      frontier_.AddOrUpdate(boosted);
+    }
+  }
+  return Status::OK();
+}
+
+Status Crawler::ResumeFromDb() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = db_->crawl_table()->Scan();
+  storage::Rid rid;
+  sql::Tuple row;
+  uint64_t restored = 0;
+  while (it.Next(&rid, &row)) {
+    CrawlRecord rec = CrawlDb::RecordFromTuple(row);
+    if (rec.visited) {
+      ++server_fetches_[rec.sid];
+      links_recorded_.insert(rec.oid);
+      continue;
+    }
+    if (rec.numtries >= options_.max_retries) continue;  // dead link
+    FrontierEntry entry;
+    entry.oid = rec.oid;
+    entry.url = rec.url;
+    entry.numtries = rec.numtries;
+    entry.relevance = rec.relevance;
+    entry.serverload = rec.serverload;
+    entry.lastvisited = rec.lastvisited;
+    frontier_.AddOrUpdate(entry);
+    ++restored;
+  }
+  FOCUS_RETURN_IF_ERROR(it.status());
+  FOCUS_LOG(Info, "resumed crawl: ", restored, " frontier entries, ",
+            links_recorded_.size(), " pages already visited");
+  return Status::OK();
+}
+
+Status Crawler::ScheduleRevisits(const sql::Table* hubs, int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Hub scores by oid, when a distillation round is available.
+  std::unordered_map<int64_t, double> hub_score;
+  if (hubs != nullptr) {
+    auto it = hubs->Scan();
+    storage::Rid rid;
+    sql::Tuple row;
+    while (it.Next(&rid, &row)) {
+      hub_score[row.Get(0).AsInt64()] = row.Get(1).AsDouble();
+    }
+    FOCUS_RETURN_IF_ERROR(it.status());
+  }
+  // Collect visited pages, stalest first, best hubs first within a tie.
+  std::vector<CrawlRecord> visited;
+  {
+    auto it = db_->crawl_table()->Scan();
+    storage::Rid rid;
+    sql::Tuple row;
+    while (it.Next(&rid, &row)) {
+      CrawlRecord rec = CrawlDb::RecordFromTuple(row);
+      if (rec.visited) visited.push_back(std::move(rec));
+    }
+    FOCUS_RETURN_IF_ERROR(it.status());
+  }
+  auto score_of = [&](const CrawlRecord& r) {
+    auto it = hub_score.find(static_cast<int64_t>(r.oid));
+    return it == hub_score.end() ? 0.0 : it->second;
+  };
+  std::sort(visited.begin(), visited.end(),
+            [&](const CrawlRecord& a, const CrawlRecord& b) {
+              if (a.lastvisited != b.lastvisited) {
+                return a.lastvisited < b.lastvisited;
+              }
+              return score_of(a) > score_of(b);
+            });
+  int scheduled = 0;
+  for (const CrawlRecord& rec : visited) {
+    if (scheduled >= count) break;
+    FrontierEntry entry;
+    entry.oid = rec.oid;
+    entry.url = rec.url;
+    entry.numtries = rec.numtries;
+    entry.relevance = rec.relevance;
+    entry.serverload = rec.serverload;
+    entry.lastvisited = rec.lastvisited;
+    entry.hub_score = score_of(rec);
+    frontier_.AddOrUpdate(entry);
+    ++scheduled;
+  }
+  options_.max_fetches += scheduled;
+  frontier_.SetPolicy(PriorityPolicy::kRevisitHubs);
+  return Status::OK();
+}
+
+Status Crawler::Crawl() {
+  if (options_.num_threads <= 1) {
+    for (;;) {
+      auto more = Step();
+      FOCUS_RETURN_IF_ERROR(more.status());
+      if (!more.value()) break;
+    }
+    return Status::OK();
+  }
+  ThreadPool pool(options_.num_threads);
+  std::mutex status_mutex;
+  Status first_error;
+  for (int i = 0; i < options_.num_threads; ++i) {
+    pool.Submit([this, &status_mutex, &first_error] {
+      for (;;) {
+        auto more = Step();
+        if (!more.ok()) {
+          std::lock_guard<std::mutex> lock(status_mutex);
+          if (first_error.ok()) first_error = more.status();
+          return;
+        }
+        if (!more.value()) return;
+      }
+    });
+  }
+  pool.Wait();
+  return first_error;
+}
+
+}  // namespace focus::crawl

@@ -1,0 +1,166 @@
+// The focused crawler (§2, §3.2): fetch → classify → expand, driven by the
+// classifier's relevance judgments and (optionally) periodic distillation.
+#ifndef FOCUS_CRAWL_CRAWLER_H_
+#define FOCUS_CRAWL_CRAWLER_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crawl/crawl_db.h"
+#include "crawl/frontier.h"
+#include "crawl/relevance_evaluator.h"
+#include "distill/distiller.h"
+#include "sql/catalog.h"
+#include "text/tokenizer.h"
+#include "util/clock.h"
+#include "webgraph/simulated_web.h"
+
+namespace focus::crawl {
+
+// How relevance judgments gate link expansion (§2.1.2).
+enum class ExpansionRule {
+  // Insert outlinks always; the frontier priority (relevance-ordered) does
+  // the focusing. The paper's preferred, stagnation-robust rule.
+  kSoftFocus,
+  // Expand only when the best leaf class has a good ancestor-or-self.
+  // Faithful to the paper's description — and to its failure mode: crawls
+  // can stagnate (§2.1.2, §3.7).
+  kHardFocus,
+  // Ignore the classifier for control (still recorded for measurement):
+  // the standard-crawler baseline of Figure 5(a).
+  kUnfocused,
+};
+
+struct CrawlerOptions {
+  int max_fetches = 6000;
+  int max_retries = 3;
+  ExpansionRule expansion = ExpansionRule::kSoftFocus;
+  PriorityPolicy policy = PriorityPolicy::kAggressiveDiscovery;
+
+  // Periodic distillation (0 = off): every `distill_every` visits, refresh
+  // edge weights, run the join distiller and raise the priority of
+  // unvisited pages cited by the top hubs (§3.2, §3.7).
+  int distill_every = 0;
+  // For the kPageRankOrder policy: recompute PageRank over the known
+  // crawl graph every `pagerank_every` visits and refresh frontier
+  // priorities (0 = at seed time only).
+  int pagerank_every = 0;
+  int distill_iterations = 5;
+  double distill_rho = 0.0;
+  int top_hubs_to_boost = 15;
+  double hub_boost_relevance = 0.9;
+
+  // §3.2's URL-truncation device: when expanding links, also enqueue the
+  // host root ("http://host/") of each target, hunting for server index
+  // pages.
+  bool try_truncated_urls = false;
+  // §3.2's backward-crawling device: after fetching a strongly relevant
+  // page, enqueue pages that point to it (they are radius-2 hub
+  // candidates). Requires the web's backlink metadata service.
+  bool expand_backlinks = false;
+  int backlinks_per_page = 5;
+  double backlink_relevance_threshold = 0.5;
+
+  int num_threads = 1;
+};
+
+struct Visit {
+  int fetch_index = 0;  // 0-based order of successful fetches
+  uint64_t oid = 0;
+  std::string url;
+  double relevance = 0;
+  taxonomy::Cid best_leaf = 0;
+  int64_t virtual_time_us = 0;
+};
+
+struct CrawlStats {
+  uint64_t attempts = 0;
+  uint64_t failures = 0;
+  uint64_t distill_rounds = 0;
+  bool stagnated = false;  // frontier ran dry before the budget
+};
+
+class Crawler {
+ public:
+  // `catalog` hosts the HUBS/AUTH tables for periodic distillation; all
+  // pointers must outlive the crawler.
+  Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
+          CrawlDb* db, sql::Catalog* catalog, CrawlerOptions options);
+
+  // Registers a start URL with relevance estimate 1.
+  Status AddSeed(std::string_view url);
+
+  // Rebuilds the in-memory frontier from the CRAWL table — the recovery
+  // path §3.1 motivates ("Few pages on the Web are formally checked for
+  // well-formedness, hence all crawlers crash"): the table is the durable
+  // crawl state; a fresh Crawler over the same CrawlDb resumes where the
+  // dead one stopped. Unvisited rows within the retry limit re-enter the
+  // frontier with their stored priority fields; visited rows seed the
+  // link-dedup set so resumed revisits do not duplicate LINK rows.
+  Status ResumeFromDb();
+
+  // Runs until the fetch budget is spent or the frontier stagnates.
+  Status Crawl();
+
+  const std::vector<Visit>& visits() const { return visits_; }
+  const CrawlStats& stats() const { return stats_; }
+  const VirtualClock& clock() const { return clock_; }
+  Frontier* frontier() { return &frontier_; }
+  CrawlDb* db() const { return db_; }
+  const distill::DistillTables& distill_tables() const {
+    return distill_tables_;
+  }
+
+  // Switches the frontier ordering mid-crawl (§3.2's dynamically
+  // reconfigurable priority controls).
+  void SetPolicy(PriorityPolicy policy) { frontier_.SetPolicy(policy); }
+
+  // Crawl maintenance (§3.2): re-enqueues up to `count` already-visited
+  // pages under the (lastvisited asc, hub_score desc) ordering and raises
+  // the fetch budget accordingly. `hubs` supplies hub scores from a
+  // distillation round (may be null). Switches the frontier policy to
+  // kRevisitHubs; under that ordering never-visited frontier entries
+  // (lastvisited = 0) still drain first, then the stalest pages. Re-visits
+  // refresh relevance, class and lastvisited; links are recorded only on
+  // the first visit.
+  Status ScheduleRevisits(const sql::Table* hubs, int count);
+
+ private:
+  // One fetch-classify-expand step; false when the frontier is empty.
+  Result<bool> Step();
+  Status ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
+                     const PageJudgment& judgment);
+  Status RunDistillationBoost();
+  // Recomputes PageRank over LINK and pushes the scores into the frontier
+  // (the Cho et al. perceived-prestige ordering).
+  Status RefreshPageRankPriorities();
+
+  webgraph::SimulatedWeb* web_;
+  RelevanceEvaluator* evaluator_;
+  CrawlDb* db_;
+  CrawlerOptions options_;
+  Frontier frontier_;
+  VirtualClock clock_;
+  text::Tokenizer tokenizer_;
+  distill::DistillTables distill_tables_;
+  bool distill_tables_ready_ = false;
+  sql::Catalog* catalog_;
+
+  std::unordered_map<int32_t, int32_t> server_fetches_;
+  // Pages whose outlinks are already in LINK (revisits must not duplicate
+  // edges).
+  std::unordered_set<uint64_t> links_recorded_;
+  // Citations seen so far per unvisited page (Cho backlink ordering).
+  std::unordered_map<uint64_t, int32_t> backlink_counts_;
+  std::vector<Visit> visits_;
+  CrawlStats stats_;
+  int in_flight_ = 0;  // fetches started but not yet recorded
+  std::mutex mutex_;  // guards everything above in multi-threaded crawls
+};
+
+}  // namespace focus::crawl
+
+#endif  // FOCUS_CRAWL_CRAWLER_H_

@@ -1,0 +1,139 @@
+#include "crawl/frontier.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace focus::crawl {
+
+const char* PolicyName(PriorityPolicy policy) {
+  switch (policy) {
+    case PriorityPolicy::kAggressiveDiscovery:
+      return "aggressive_discovery";
+    case PriorityPolicy::kBreadthFirst:
+      return "breadth_first";
+    case PriorityPolicy::kRevisitHubs:
+      return "revisit_hubs";
+    case PriorityPolicy::kRetryDeadLinks:
+      return "retry_dead_links";
+    case PriorityPolicy::kBacklinkCount:
+      return "backlink_count";
+    case PriorityPolicy::kPageRankOrder:
+      return "pagerank_order";
+  }
+  return "?";
+}
+
+// Returns true when `a` has *lower* priority than `b` (max-heap on
+// priority). Ties always break on seq then oid for determinism.
+bool Frontier::HeapLess::operator()(const HeapItem& a,
+                                    const HeapItem& b) const {
+  const FrontierEntry& x = a.entry;
+  const FrontierEntry& y = b.entry;
+  auto tie = [&] {
+    if (x.seq != y.seq) return x.seq > y.seq;
+    return x.oid > y.oid;
+  };
+  switch (policy) {
+    case PriorityPolicy::kAggressiveDiscovery: {
+      if (x.numtries != y.numtries) return x.numtries > y.numtries;
+      if (x.relevance != y.relevance) return x.relevance < y.relevance;
+      // serverload is a politeness signal ("crude and lazily updated"),
+      // not a fine ranking: compare in coarse buckets so lightly-loaded
+      // servers tie and FIFO order decides among them.
+      int32_t xload = x.serverload / 8, yload = y.serverload / 8;
+      if (xload != yload) return xload > yload;
+      return tie();
+    }
+    case PriorityPolicy::kBreadthFirst:
+      return tie();
+    case PriorityPolicy::kRevisitHubs: {
+      // Maintenance ordering: stalest visited pages first; never-visited
+      // entries (lastvisited = 0) are not maintenance targets and sort
+      // last.
+      int64_t lx = x.lastvisited == 0
+                       ? std::numeric_limits<int64_t>::max()
+                       : x.lastvisited;
+      int64_t ly = y.lastvisited == 0
+                       ? std::numeric_limits<int64_t>::max()
+                       : y.lastvisited;
+      if (lx != ly) return lx > ly;
+      if (x.hub_score != y.hub_score) return x.hub_score < y.hub_score;
+      return tie();
+    }
+    case PriorityPolicy::kRetryDeadLinks:
+      if (x.numtries != y.numtries) return x.numtries < y.numtries;
+      if (x.relevance != y.relevance) return x.relevance < y.relevance;
+      return tie();
+    case PriorityPolicy::kBacklinkCount:
+      if (x.backlinks != y.backlinks) return x.backlinks < y.backlinks;
+      return tie();
+    case PriorityPolicy::kPageRankOrder:
+      if (x.hub_score != y.hub_score) return x.hub_score < y.hub_score;
+      return tie();
+  }
+  return tie();
+}
+
+void Frontier::AddOrUpdate(const FrontierEntry& entry) {
+  FrontierEntry e = entry;
+  auto it = live_.find(e.oid);
+  if (it != live_.end()) {
+    e.seq = it->second.second.seq;  // preserve insertion order
+  } else if (e.seq == 0) {
+    e.seq = next_seq_++;
+  } else {
+    next_seq_ = std::max(next_seq_, e.seq + 1);
+  }
+  uint64_t version = next_version_++;
+  live_[e.oid] = {version, e};
+  heap_.push_back(HeapItem{e.oid, version, e});
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+}
+
+std::optional<FrontierEntry> Frontier::PopBest() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+    HeapItem item = std::move(heap_.back());
+    heap_.pop_back();
+    auto it = live_.find(item.oid);
+    if (it == live_.end() || it->second.first != item.version) {
+      continue;  // stale
+    }
+    FrontierEntry entry = it->second.second;
+    live_.erase(it);
+    return entry;
+  }
+  return std::nullopt;
+}
+
+void Frontier::Erase(uint64_t oid) { live_.erase(oid); }
+
+std::vector<FrontierEntry> Frontier::Snapshot() const {
+  std::vector<FrontierEntry> out;
+  out.reserve(live_.size());
+  for (const auto& [oid, versioned] : live_) {
+    out.push_back(versioned.second);
+  }
+  return out;
+}
+
+const FrontierEntry* Frontier::Peek(uint64_t oid) const {
+  auto it = live_.find(oid);
+  return it == live_.end() ? nullptr : &it->second.second;
+}
+
+void Frontier::SetPolicy(PriorityPolicy policy) {
+  policy_ = policy;
+  RebuildHeap();
+}
+
+void Frontier::RebuildHeap() {
+  heap_.clear();
+  heap_.reserve(live_.size());
+  for (const auto& [oid, versioned] : live_) {
+    heap_.push_back(HeapItem{oid, versioned.first, versioned.second});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+}
+
+}  // namespace focus::crawl

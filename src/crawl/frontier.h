@@ -1,0 +1,108 @@
+// Crawl frontier with reconfigurable lexicographic priorities (§3.2).
+//
+// "New work is checked out from the CRAWL table in the order
+//  (numtries ascending, relevance descending, serverload ascending)."
+// The frontier is an in-memory priority index over the unvisited rows of
+// the CRAWL table; the table remains the source of truth. serverload is
+// the paper's "crude and lazily updated" estimate: entries are re-ranked
+// only when re-pushed. The policy can be switched mid-crawl (the heap is
+// lazily rebuilt via entry versioning).
+#ifndef FOCUS_CRAWL_FRONTIER_H_
+#define FOCUS_CRAWL_FRONTIER_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace focus::crawl {
+
+struct FrontierEntry {
+  uint64_t oid = 0;
+  std::string url;
+  int32_t numtries = 0;
+  double relevance = 0;
+  int32_t serverload = 0;
+  int64_t lastvisited = 0;  // 0 = never
+  double hub_score = 0;     // distiller boost / PageRank ordering signal
+  int32_t backlinks = 0;    // known citations (Cho et al. ordering)
+  uint64_t seq = 0;         // insertion sequence (BFS/FIFO orderings)
+};
+
+enum class PriorityPolicy {
+  // (numtries asc, relevance desc, serverload asc) — §3.2's aggressive
+  // resource discovery order. The soft-focus crawler's default.
+  kAggressiveDiscovery,
+  // FIFO — the "standard crawler" baseline of Figure 5(a).
+  kBreadthFirst,
+  // (lastvisited asc, hub_score desc) — crawl maintenance ordering;
+  // never-visited entries (lastvisited = 0) sort last.
+  kRevisitHubs,
+  // (numtries desc, relevance desc) — picking off timeouts/dead links.
+  kRetryDeadLinks,
+  // Content-blind prestige orderings from Cho, Garcia-Molina & Page
+  // (§1.4's contrast: "PageRank has no notion of page content"):
+  // (backlinks desc) — most-cited-first.
+  kBacklinkCount,
+  // (hub_score desc) where hub_score carries the latest PageRank of the
+  // known crawl graph (refreshed periodically by the crawler).
+  kPageRankOrder,
+};
+
+const char* PolicyName(PriorityPolicy policy);
+
+class Frontier {
+ public:
+  explicit Frontier(PriorityPolicy policy = PriorityPolicy::
+                        kAggressiveDiscovery)
+      : policy_(policy) {}
+
+  // Inserts or re-ranks `entry` (keyed by oid).
+  void AddOrUpdate(const FrontierEntry& entry);
+
+  // Removes and returns the best entry, or nullopt when empty.
+  std::optional<FrontierEntry> PopBest();
+
+  // Removes `oid` from the frontier (e.g. once visited).
+  void Erase(uint64_t oid);
+
+  bool Contains(uint64_t oid) const { return live_.contains(oid); }
+  const FrontierEntry* Peek(uint64_t oid) const;
+
+  // Copies of every live entry (used to refresh ordering signals in bulk).
+  std::vector<FrontierEntry> Snapshot() const;
+
+  // Switches the ordering; existing entries are re-ranked.
+  void SetPolicy(PriorityPolicy policy);
+  PriorityPolicy policy() const { return policy_; }
+
+  size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+ private:
+  struct HeapItem {
+    uint64_t oid;
+    uint64_t version;
+    FrontierEntry entry;
+  };
+  struct HeapLess {
+    PriorityPolicy policy;
+    bool operator()(const HeapItem& a, const HeapItem& b) const;
+  };
+
+  void RebuildHeap();
+
+  PriorityPolicy policy_;
+  // oid -> (current version, entry). Heap items with stale versions are
+  // discarded on pop.
+  std::unordered_map<uint64_t, std::pair<uint64_t, FrontierEntry>> live_;
+  std::vector<HeapItem> heap_;
+  uint64_t next_version_ = 1;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace focus::crawl
+
+#endif  // FOCUS_CRAWL_FRONTIER_H_

@@ -1,0 +1,117 @@
+#include "crawl/metrics.h"
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "crawl/crawl_db.h"
+
+namespace focus::crawl {
+
+std::vector<double> MovingAverageRelevance(const std::vector<Visit>& visits,
+                                           int window) {
+  std::vector<double> out;
+  out.reserve(visits.size());
+  double sum = 0;
+  for (size_t i = 0; i < visits.size(); ++i) {
+    sum += visits[i].relevance;
+    if (i >= static_cast<size_t>(window)) {
+      sum -= visits[i - window].relevance;
+      out.push_back(sum / window);
+    } else {
+      out.push_back(sum / static_cast<double>(i + 1));
+    }
+  }
+  return out;
+}
+
+CoverageSeries Coverage(const std::vector<Visit>& test_visits,
+                        const std::unordered_set<uint64_t>& ref_oids,
+                        const std::unordered_set<int32_t>& ref_servers) {
+  CoverageSeries series;
+  series.url_fraction.reserve(test_visits.size());
+  series.server_fraction.reserve(test_visits.size());
+  std::unordered_set<uint64_t> seen_oids;
+  std::unordered_set<int32_t> seen_servers;
+  size_t url_hits = 0, server_hits = 0;
+  for (const Visit& v : test_visits) {
+    if (ref_oids.contains(v.oid) && seen_oids.insert(v.oid).second) {
+      ++url_hits;
+    }
+    int32_t sid = ServerIdOf(v.url);
+    if (ref_servers.contains(sid) && seen_servers.insert(sid).second) {
+      ++server_hits;
+    }
+    series.url_fraction.push_back(
+        ref_oids.empty() ? 0.0
+                         : static_cast<double>(url_hits) / ref_oids.size());
+    series.server_fraction.push_back(
+        ref_servers.empty()
+            ? 0.0
+            : static_cast<double>(server_hits) / ref_servers.size());
+  }
+  return series;
+}
+
+ReferenceSets RelevantReferenceSets(const std::vector<Visit>& visits,
+                                    double log_threshold) {
+  ReferenceSets sets;
+  double threshold = std::exp(log_threshold);
+  for (const Visit& v : visits) {
+    if (v.relevance > threshold) {
+      sets.oids.insert(v.oid);
+      sets.servers.insert(ServerIdOf(v.url));
+    }
+  }
+  return sets;
+}
+
+Result<std::vector<int>> CrawledGraphDistances(
+    const CrawlDb& db, const std::vector<uint64_t>& sources,
+    const std::vector<uint64_t>& targets) {
+  // Adjacency from the LINK table.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> adj;
+  {
+    auto it = db.link_table()->Scan();
+    storage::Rid rid;
+    sql::Tuple row;
+    while (it.Next(&rid, &row)) {
+      adj[static_cast<uint64_t>(row.Get(0).AsInt64())].push_back(
+          static_cast<uint64_t>(row.Get(2).AsInt64()));
+    }
+    FOCUS_RETURN_IF_ERROR(it.status());
+  }
+  std::unordered_map<uint64_t, int> dist;
+  std::deque<uint64_t> queue;
+  for (uint64_t s : sources) {
+    if (dist.emplace(s, 0).second) queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    uint64_t u = queue.front();
+    queue.pop_front();
+    auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (uint64_t v : it->second) {
+      if (dist.emplace(v, dist[u] + 1).second) queue.push_back(v);
+    }
+  }
+  std::vector<int> out;
+  out.reserve(targets.size());
+  for (uint64_t t : targets) {
+    auto it = dist.find(t);
+    out.push_back(it == dist.end() ? -1 : it->second);
+  }
+  return out;
+}
+
+std::vector<int> DistanceHistogram(const std::vector<int>& distances,
+                                   int max_distance) {
+  std::vector<int> hist(max_distance + 1, 0);
+  for (int d : distances) {
+    if (d < 0) continue;
+    ++hist[std::min(d, max_distance)];
+  }
+  return hist;
+}
+
+}  // namespace focus::crawl

@@ -1,0 +1,51 @@
+// Measurement helpers behind the paper's evaluation figures.
+#ifndef FOCUS_CRAWL_METRICS_H_
+#define FOCUS_CRAWL_METRICS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "crawl/crawl_db.h"
+#include "crawl/crawler.h"
+#include "util/status.h"
+
+namespace focus::crawl {
+
+// Harvest rate (§3.4): moving average of R(p) over a window of fetches.
+// Point i covers visits [max(0, i-window+1), i].
+std::vector<double> MovingAverageRelevance(const std::vector<Visit>& visits,
+                                           int window);
+
+// Coverage (§3.5): after each test-crawl fetch, the fraction of the
+// reference sets already visited.
+struct CoverageSeries {
+  std::vector<double> url_fraction;     // of ref_urls
+  std::vector<double> server_fraction;  // of ref_servers
+};
+CoverageSeries Coverage(const std::vector<Visit>& test_visits,
+                        const std::unordered_set<uint64_t>& ref_oids,
+                        const std::unordered_set<int32_t>& ref_servers);
+
+// Relevant reference sets from a finished crawl: visited pages with
+// log R(u) > log_threshold (the paper uses -1), plus their servers.
+struct ReferenceSets {
+  std::unordered_set<uint64_t> oids;
+  std::unordered_set<int32_t> servers;
+};
+ReferenceSets RelevantReferenceSets(const std::vector<Visit>& visits,
+                                    double log_threshold = -1.0);
+
+// Shortest link distances within the *crawled* graph (LINK table) from
+// `sources` to each of `targets`; -1 when unreachable (§3.6).
+Result<std::vector<int>> CrawledGraphDistances(
+    const CrawlDb& db, const std::vector<uint64_t>& sources,
+    const std::vector<uint64_t>& targets);
+
+// Bucket counts of non-negative distances: hist[d] = #targets at distance
+// d (distances beyond max_distance are clamped into the last bucket).
+std::vector<int> DistanceHistogram(const std::vector<int>& distances,
+                                   int max_distance);
+
+}  // namespace focus::crawl
+
+#endif  // FOCUS_CRAWL_METRICS_H_

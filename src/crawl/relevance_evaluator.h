@@ -1,0 +1,82 @@
+// The crawler's hook into the classifier (§2.1.2).
+#ifndef FOCUS_CRAWL_RELEVANCE_EVALUATOR_H_
+#define FOCUS_CRAWL_RELEVANCE_EVALUATOR_H_
+
+#include "classify/hierarchical_classifier.h"
+#include "taxonomy/taxonomy.h"
+#include "text/document.h"
+#include "util/status.h"
+
+namespace focus::crawl {
+
+struct PageJudgment {
+  // Soft-focus relevance R(d) (Equation 3).
+  double relevance = 0;
+  // Best leaf class c* (used by the hard focus rule).
+  taxonomy::Cid best_leaf = taxonomy::kRootCid;
+  // True when some ancestor-or-self of c* is good (hard focus predicate).
+  bool best_leaf_is_good = false;
+};
+
+class RelevanceEvaluator {
+ public:
+  virtual ~RelevanceEvaluator() = default;
+  virtual Result<PageJudgment> Judge(const text::TermVector& terms) = 0;
+};
+
+// Judges pages with the in-memory hierarchical classifier. The DB-resident
+// probe classifiers are drop-in equivalents (identical scores — see
+// classify tests); benchmarks choose per access path.
+class ClassifierEvaluator final : public RelevanceEvaluator {
+ public:
+  explicit ClassifierEvaluator(const classify::HierarchicalClassifier* clf)
+      : clf_(clf) {}
+
+  Result<PageJudgment> Judge(const text::TermVector& terms) override {
+    classify::ClassScores scores = clf_->Classify(terms);
+    PageJudgment j;
+    j.relevance = scores.Relevance(clf_->tax());
+    j.best_leaf = scores.BestLeaf(clf_->tax());
+    j.best_leaf_is_good = clf_->tax().IsGoodOrSubsumed(j.best_leaf);
+    return j;
+  }
+
+ private:
+  const classify::HierarchicalClassifier* clf_;
+};
+
+}  // namespace focus::crawl
+
+#include "classify/single_probe.h"
+
+namespace focus::crawl {
+
+// Judges pages through the DB-resident statistics tables (the paper's
+// configuration: the classifier is "integrated into the database").
+// Produces scores identical to ClassifierEvaluator; the difference is the
+// access path — every term triggers a BLOB/STAT probe through the buffer
+// pool.
+class SingleProbeEvaluator final : public RelevanceEvaluator {
+ public:
+  explicit SingleProbeEvaluator(const classify::SingleProbeClassifier* clf,
+                                const taxonomy::Taxonomy* tax)
+      : clf_(clf), tax_(tax) {}
+
+  Result<PageJudgment> Judge(const text::TermVector& terms) override {
+    FOCUS_ASSIGN_OR_RETURN(classify::ClassScores scores,
+                           clf_->Classify(terms));
+    PageJudgment j;
+    j.relevance = scores.Relevance(*tax_);
+    j.best_leaf = scores.BestLeaf(*tax_);
+    j.best_leaf_is_good = tax_->IsGoodOrSubsumed(j.best_leaf);
+    return j;
+  }
+
+ private:
+  const classify::SingleProbeClassifier* clf_;
+  const taxonomy::Taxonomy* tax_;
+};
+
+}  // namespace focus::crawl
+
+#endif  // FOCUS_CRAWL_RELEVANCE_EVALUATOR_H_

@@ -1,0 +1,36 @@
+#include "distill/distiller.h"
+
+namespace focus::distill {
+
+using sql::IndexSpec;
+using sql::Schema;
+using sql::Tuple;
+using sql::TypeId;
+
+Status CreateHubsAuthTables(sql::Catalog* catalog, DistillTables* tables) {
+  Schema score_schema({{"oid", TypeId::kInt64}, {"score", TypeId::kDouble}});
+  FOCUS_ASSIGN_OR_RETURN(
+      tables->hubs,
+      catalog->CreateTable("HUBS", score_schema,
+                           {IndexSpec{"by_oid", {0}, {}}}));
+  FOCUS_ASSIGN_OR_RETURN(
+      tables->auth,
+      catalog->CreateTable("AUTH", score_schema,
+                           {IndexSpec{"by_oid", {0}, {}}}));
+  return Status::OK();
+}
+
+Result<std::unordered_map<uint64_t, double>> CollectScores(
+    const sql::Table* table) {
+  std::unordered_map<uint64_t, double> out;
+  auto it = table->Scan();
+  storage::Rid rid;
+  Tuple row;
+  while (it.Next(&rid, &row)) {
+    out[static_cast<uint64_t>(row.Get(0).AsInt64())] = row.Get(1).AsDouble();
+  }
+  FOCUS_RETURN_IF_ERROR(it.status());
+  return out;
+}
+
+}  // namespace focus::distill

@@ -1,0 +1,78 @@
+// DB-resident distillation (§2.2.3): shared table handles and interface.
+//
+// Two implementations run against the same LINK/HUBS/AUTH/CRAWL tables:
+//   * NaiveDistiller  — sequential LINK scan with per-edge index lookups
+//     and score updates (the pre-database, main-memory style);
+//   * JoinDistiller   — each update expressed as the Figure 4 join +
+//     group-by plan, with HUBS/AUTH bulk-replaced in sorted order.
+// Both reproduce HitsEngine's scores exactly (tested); Figure 8(d) measures
+// their I/O difference.
+#ifndef FOCUS_DISTILL_DISTILLER_H_
+#define FOCUS_DISTILL_DISTILLER_H_
+
+#include <unordered_map>
+
+#include "distill/hits.h"
+#include "sql/catalog.h"
+#include "sql/table.h"
+#include "util/status.h"
+
+namespace focus::distill {
+
+struct DistillTables {
+  // LINK(oid_src:int64, sid_src:int32, oid_dst:int64, sid_dst:int32,
+  //      wgt_fwd:double, wgt_rev:double), indexes by_src, by_dst.
+  sql::Table* link = nullptr;
+  // HUBS/AUTH(oid:int64, score:double), index by_oid. Maintained in
+  // ascending-oid heap order by the join distiller.
+  sql::Table* hubs = nullptr;
+  sql::Table* auth = nullptr;
+  // Any table with "oid" (int64) and "relevance" (double) columns and an
+  // index named "by_oid"; normally the crawler's CRAWL table.
+  sql::Table* crawl = nullptr;
+};
+
+// Creates empty HUBS and AUTH tables in `catalog` (names "HUBS", "AUTH").
+Status CreateHubsAuthTables(sql::Catalog* catalog, DistillTables* tables);
+
+class Distiller {
+ public:
+  struct Stats {
+    double scan_seconds = 0;    // LINK scans
+    double lookup_seconds = 0;  // per-edge index lookups (naive only)
+    double update_seconds = 0;  // score writes / bulk replacement
+    double join_seconds = 0;    // join+aggregate execution (join only)
+  };
+
+  virtual ~Distiller() = default;
+
+  // Seeds HUBS with score 1 for every distinct oid_src and clears AUTH.
+  virtual Status Initialize() = 0;
+  // One UpdateAuth + UpdateHubs round (Figure 4), L1-normalizing each.
+  virtual Status RunIteration(double rho) = 0;
+
+  Status Run(const HitsOptions& options) {
+    FOCUS_RETURN_IF_ERROR(Initialize());
+    for (int i = 0; i < options.iterations; ++i) {
+      FOCUS_RETURN_IF_ERROR(RunIteration(options.rho));
+    }
+    return Status::OK();
+  }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ protected:
+  explicit Distiller(DistillTables tables) : tables_(tables) {}
+
+  DistillTables tables_;
+  Stats stats_;
+};
+
+// Reads a score table (HUBS or AUTH) into an oid -> score map.
+Result<std::unordered_map<uint64_t, double>> CollectScores(
+    const sql::Table* table);
+
+}  // namespace focus::distill
+
+#endif  // FOCUS_DISTILL_DISTILLER_H_

@@ -1,0 +1,97 @@
+#include "distill/hits.h"
+
+#include <algorithm>
+
+namespace focus::distill {
+
+HitsEngine::HitsEngine(std::vector<WeightedEdge> edges,
+                       std::unordered_map<uint64_t, double> relevance)
+    : edges_(std::move(edges)), relevance_(std::move(relevance)) {}
+
+std::unordered_map<uint64_t, HubAuthScore> HitsEngine::Run(
+    const HitsOptions& options) const {
+  std::unordered_map<uint64_t, HubAuthScore> scores;
+  auto relevance_of = [&](uint64_t oid) {
+    auto it = relevance_.find(oid);
+    return it == relevance_.end() ? 0.0 : it->second;
+  };
+  // Initialize hub scores uniformly over link sources.
+  for (const auto& e : edges_) {
+    scores[e.oid_src];
+    scores[e.oid_dst];
+  }
+  if (scores.empty()) return scores;
+  for (auto& [oid, s] : scores) s.hub = 1.0;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // UpdateAuth: a(v) = sum over edges (u,v), u off-server, R(v) > rho of
+    // h(u) * wgt_fwd.
+    for (auto& [oid, s] : scores) s.auth = 0;
+    for (const auto& e : edges_) {
+      if (options.nepotism_filter && e.sid_src == e.sid_dst) continue;
+      if (relevance_of(e.oid_dst) <= options.rho) continue;
+      scores[e.oid_dst].auth += scores[e.oid_src].hub * e.wgt_fwd;
+    }
+    double auth_total = 0;
+    for (const auto& [oid, s] : scores) auth_total += s.auth;
+    if (auth_total > 0) {
+      for (auto& [oid, s] : scores) s.auth /= auth_total;
+    }
+    // UpdateHubs: h(u) = sum over edges (u,v), off-server, of
+    // a(v) * wgt_rev.
+    for (auto& [oid, s] : scores) s.hub = 0;
+    for (const auto& e : edges_) {
+      if (options.nepotism_filter && e.sid_src == e.sid_dst) continue;
+      scores[e.oid_src].hub += scores[e.oid_dst].auth * e.wgt_rev;
+    }
+    double hub_total = 0;
+    for (const auto& [oid, s] : scores) hub_total += s.hub;
+    if (hub_total > 0) {
+      for (auto& [oid, s] : scores) s.hub /= hub_total;
+    }
+  }
+  return scores;
+}
+
+namespace {
+std::vector<std::pair<uint64_t, double>> TopBy(
+    const std::unordered_map<uint64_t, HubAuthScore>& scores, int k,
+    bool hub) {
+  std::vector<std::pair<uint64_t, double>> all;
+  all.reserve(scores.size());
+  for (const auto& [oid, s] : scores) {
+    all.emplace_back(oid, hub ? s.hub : s.auth);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+}  // namespace
+
+std::vector<std::pair<uint64_t, double>> HitsEngine::TopHubs(
+    const std::unordered_map<uint64_t, HubAuthScore>& scores, int k) {
+  return TopBy(scores, k, /*hub=*/true);
+}
+
+std::vector<std::pair<uint64_t, double>> HitsEngine::TopAuthorities(
+    const std::unordered_map<uint64_t, HubAuthScore>& scores, int k) {
+  return TopBy(scores, k, /*hub=*/false);
+}
+
+void AssignRelevanceWeights(
+    std::unordered_map<uint64_t, double> const& relevance,
+    std::vector<WeightedEdge>* edges) {
+  auto relevance_of = [&](uint64_t oid) {
+    auto it = relevance.find(oid);
+    return it == relevance.end() ? 0.0 : it->second;
+  };
+  for (auto& e : *edges) {
+    e.wgt_fwd = relevance_of(e.oid_dst);
+    e.wgt_rev = relevance_of(e.oid_src);
+  }
+}
+
+}  // namespace focus::distill

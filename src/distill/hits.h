@@ -1,0 +1,75 @@
+// Relevance-weighted HITS (§2.2) — in-memory reference implementation.
+//
+// Kleinberg's mutual recursion with the paper's enhancements:
+//   * forward edge weight  EF[u,v] = relevance(v)  (stored as wgt_fwd),
+//   * backward edge weight EB[u,v] = relevance(u)  (stored as wgt_rev),
+//   * nepotism filter: edges within one server (sid_src == sid_dst) are
+//     ignored,
+//   * authority updates only flow to pages with relevance > rho.
+// One iteration = UpdateAuth (from hubs) then UpdateHubs (from the new
+// authorities), each L1-normalized, exactly as in Figure 4.
+#ifndef FOCUS_DISTILL_HITS_H_
+#define FOCUS_DISTILL_HITS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace focus::distill {
+
+struct WeightedEdge {
+  uint64_t oid_src = 0;
+  int32_t sid_src = 0;
+  uint64_t oid_dst = 0;
+  int32_t sid_dst = 0;
+  double wgt_fwd = 0;  // EF[u,v] = relevance(v)
+  double wgt_rev = 0;  // EB[u,v] = relevance(u)
+};
+
+struct HubAuthScore {
+  double hub = 0;
+  double auth = 0;
+};
+
+struct HitsOptions {
+  int iterations = 20;
+  // Authority relevance threshold rho (Figure 4's filter).
+  double rho = 0.0;
+  // Ignore same-server edges (always on in the paper; exposed here so the
+  // ablation bench can quantify what the filter buys). The DB-resident
+  // distillers always filter.
+  bool nepotism_filter = true;
+};
+
+class HitsEngine {
+ public:
+  // `relevance` maps oid -> R(u); pages absent from the map are treated as
+  // relevance 0 (they fail any rho >= 0 filter).
+  HitsEngine(std::vector<WeightedEdge> edges,
+             std::unordered_map<uint64_t, double> relevance);
+
+  // Runs the iterations and returns final scores per oid.
+  std::unordered_map<uint64_t, HubAuthScore> Run(
+      const HitsOptions& options) const;
+
+  // Top-k oids by hub / authority score (descending, oid tiebreak for
+  // determinism).
+  static std::vector<std::pair<uint64_t, double>> TopHubs(
+      const std::unordered_map<uint64_t, HubAuthScore>& scores, int k);
+  static std::vector<std::pair<uint64_t, double>> TopAuthorities(
+      const std::unordered_map<uint64_t, HubAuthScore>& scores, int k);
+
+ private:
+  std::vector<WeightedEdge> edges_;
+  std::unordered_map<uint64_t, double> relevance_;
+};
+
+// Assigns the paper's edge weights from endpoint relevances:
+// wgt_fwd = R(dst), wgt_rev = R(src).
+void AssignRelevanceWeights(std::unordered_map<uint64_t, double> const&
+                                relevance,
+                            std::vector<WeightedEdge>* edges);
+
+}  // namespace focus::distill
+
+#endif  // FOCUS_DISTILL_HITS_H_

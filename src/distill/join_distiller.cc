@@ -1,0 +1,163 @@
+#include "distill/join_distiller.h"
+
+#include "sql/exec/aggregate.h"
+#include "sql/exec/basic.h"
+#include "sql/exec/join.h"
+#include "sql/exec/scan.h"
+#include "sql/exec/external_sort.h"
+#include "sql/exec/sort.h"
+#include "util/clock.h"
+
+namespace focus::distill {
+
+using sql::AggKind;
+using sql::AggSpec;
+using sql::Collect;
+using sql::Filter;
+using sql::HashAggregate;
+using sql::HashJoin;
+using sql::MergeJoin;
+using sql::OperatorPtr;
+using sql::ProjExpr;
+using sql::Project;
+using sql::ExternalSort;
+using sql::SeqScan;
+using sql::SortKey;
+using sql::Tuple;
+using sql::TypeId;
+using sql::Value;
+
+namespace {
+// LINK rows with sid_src <> sid_dst (the nepotism filter).
+OperatorPtr OffServerLinks(const sql::Table* link) {
+  return std::make_unique<Filter>(
+      std::make_unique<SeqScan>(link), [](const Tuple& t) {
+        return t.Get(1).AsInt32() != t.Get(3).AsInt32();
+      });
+}
+}  // namespace
+
+Status JoinDistiller::Initialize() {
+  crawl_oid_col_ = tables_.crawl->schema().ColumnIndex("oid");
+  crawl_rel_col_ = tables_.crawl->schema().ColumnIndex("relevance");
+  if (crawl_oid_col_ < 0 || crawl_rel_col_ < 0) {
+    return Status::InvalidArgument(
+        "crawl table must have oid and relevance columns");
+  }
+  Stopwatch join_timer;
+  // Distinct sources in ascending order, via group-by over LINK.
+  HashAggregate distinct_srcs(
+      std::make_unique<SeqScan>(tables_.link), std::vector<int>{0},
+      std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}});
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> srcs, Collect(&distinct_srcs));
+  stats_.join_seconds += join_timer.ElapsedSeconds();
+
+  Stopwatch update_timer;
+  FOCUS_RETURN_IF_ERROR(tables_.hubs->Clear());
+  FOCUS_RETURN_IF_ERROR(tables_.auth->Clear());
+  for (const Tuple& row : srcs) {
+    FOCUS_RETURN_IF_ERROR(
+        tables_.hubs->Insert(Tuple({row.Get(0), Value::Double(1.0)}))
+            .status());
+  }
+  stats_.update_seconds += update_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status JoinDistiller::ReplaceNormalized(sql::Table* table,
+                                        const std::vector<Tuple>& rows) {
+  Stopwatch timer;
+  double total = 0;
+  for (const Tuple& row : rows) total += row.Get(1).AsNumeric();
+  FOCUS_RETURN_IF_ERROR(table->Clear());
+  for (const Tuple& row : rows) {
+    double score = row.Get(1).AsNumeric();
+    if (total > 0) score /= total;
+    FOCUS_RETURN_IF_ERROR(
+        table->Insert(Tuple({row.Get(0), Value::Double(score)})).status());
+  }
+  stats_.update_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status JoinDistiller::UpdateAuth(double rho) {
+  Stopwatch join_timer;
+  // Relevant pages: select oid from CRAWL where relevance > rho.
+  int rel_col = crawl_rel_col_;
+  int oid_col = crawl_oid_col_;
+  OperatorPtr relevant = std::make_unique<Project>(
+      std::make_unique<Filter>(std::make_unique<SeqScan>(tables_.crawl),
+                               [rel_col, rho](const Tuple& t) {
+                                 return t.Get(rel_col).AsDouble() > rho;
+                               }),
+      std::vector<ProjExpr>{ProjExpr{"oid", TypeId::kInt64,
+                                     [oid_col](const Tuple& t) {
+                                       return t.Get(oid_col);
+                                     }}});
+  // Eligible links: off-server links whose destination is relevant.
+  OperatorPtr eligible = std::make_unique<HashJoin>(
+      std::move(relevant), OffServerLinks(tables_.link), std::vector<int>{0},
+      std::vector<int>{2});
+  // eligible: 0 oid, 1 oid_src, 2 sid_src, 3 oid_dst, 4 sid_dst,
+  //           5 wgt_fwd, 6 wgt_rev
+  // External sort: spills through the same buffer pool when the eligible
+  // link set outgrows the memory budget, as DB2's sort would.
+  OperatorPtr by_src = std::make_unique<ExternalSort>(
+      std::move(eligible), std::vector<SortKey>{{1, false}},
+      tables_.link->buffer_pool());
+  // HUBS is maintained in ascending-oid heap order: merge join directly.
+  OperatorPtr with_hub = std::make_unique<MergeJoin>(
+      std::move(by_src), std::make_unique<SeqScan>(tables_.hubs),
+      std::vector<int>{1}, std::vector<int>{0});
+  // with_hub: ..., 7 oid(hub), 8 score
+  OperatorPtr contrib = std::make_unique<Project>(
+      std::move(with_hub),
+      std::vector<ProjExpr>{
+          ProjExpr{"oid_dst", TypeId::kInt64,
+                   [](const Tuple& t) { return t.Get(3); }},
+          ProjExpr{"w", TypeId::kDouble,
+                   [](const Tuple& t) {
+                     return Value::Double(t.Get(8).AsDouble() *
+                                          t.Get(5).AsDouble());
+                   }}});
+  HashAggregate agg(std::move(contrib), {0},
+                    {AggSpec{AggKind::kSum, 1, "score"}});
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(&agg));
+  stats_.join_seconds += join_timer.ElapsedSeconds();
+  return ReplaceNormalized(tables_.auth, rows);
+}
+
+Status JoinDistiller::UpdateHubs() {
+  Stopwatch join_timer;
+  OperatorPtr by_dst = std::make_unique<ExternalSort>(
+      OffServerLinks(tables_.link), std::vector<SortKey>{{2, false}},
+      tables_.link->buffer_pool());
+  // AUTH is in ascending-oid heap order (ReplaceNormalized preserved the
+  // aggregate's order).
+  OperatorPtr with_auth = std::make_unique<MergeJoin>(
+      std::move(by_dst), std::make_unique<SeqScan>(tables_.auth),
+      std::vector<int>{2}, std::vector<int>{0});
+  // with_auth: 0 oid_src .. 5 wgt_rev, 6 oid(auth), 7 score
+  OperatorPtr contrib = std::make_unique<Project>(
+      std::move(with_auth),
+      std::vector<ProjExpr>{
+          ProjExpr{"oid_src", TypeId::kInt64,
+                   [](const Tuple& t) { return t.Get(0); }},
+          ProjExpr{"w", TypeId::kDouble,
+                   [](const Tuple& t) {
+                     return Value::Double(t.Get(7).AsDouble() *
+                                          t.Get(5).AsDouble());
+                   }}});
+  HashAggregate agg(std::move(contrib), {0},
+                    {AggSpec{AggKind::kSum, 1, "score"}});
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(&agg));
+  stats_.join_seconds += join_timer.ElapsedSeconds();
+  return ReplaceNormalized(tables_.hubs, rows);
+}
+
+Status JoinDistiller::RunIteration(double rho) {
+  FOCUS_RETURN_IF_ERROR(UpdateAuth(rho));
+  return UpdateHubs();
+}
+
+}  // namespace focus::distill

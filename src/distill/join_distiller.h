@@ -1,0 +1,40 @@
+// Join-based distillation — the Figure 4 SQL, as executor plans
+// (the "Join" bars of Figure 8(d)).
+//
+//   insert into AUTH(oid, score)
+//     select oid_dst, sum(score * wgt_fwd)
+//     from HUBS, LINK, CRAWL
+//     where sid_src <> sid_dst and HUBS.oid = oid_src
+//       and oid_dst = CRAWL.oid and relevance > rho
+//     group by oid_dst;  -- then normalize
+// and symmetrically for HUBS (without the relevance filter).
+#ifndef FOCUS_DISTILL_JOIN_DISTILLER_H_
+#define FOCUS_DISTILL_JOIN_DISTILLER_H_
+
+#include "distill/distiller.h"
+
+namespace focus::distill {
+
+class JoinDistiller final : public Distiller {
+ public:
+  explicit JoinDistiller(DistillTables tables) : Distiller(tables) {}
+
+  Status Initialize() override;
+  Status RunIteration(double rho) override;
+
+ private:
+  // Replaces `table`'s rows with `rows` scaled to sum 1, in input order
+  // (callers supply ascending-oid rows so the heap stays merge-ready).
+  Status ReplaceNormalized(sql::Table* table,
+                           const std::vector<sql::Tuple>& rows);
+
+  Status UpdateAuth(double rho);
+  Status UpdateHubs();
+
+  int crawl_oid_col_ = -1;
+  int crawl_rel_col_ = -1;
+};
+
+}  // namespace focus::distill
+
+#endif  // FOCUS_DISTILL_JOIN_DISTILLER_H_

@@ -1,0 +1,32 @@
+#include "distill/pagerank.h"
+
+namespace focus::distill {
+
+std::vector<double> PageRank(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    const PageRankOptions& options) {
+  if (num_nodes == 0) return {};
+  std::vector<int> outdeg(num_nodes, 0);
+  for (const auto& [u, v] : edges) ++outdeg[u];
+
+  std::vector<double> rank(num_nodes, 1.0 / num_nodes);
+  std::vector<double> next(num_nodes, 0.0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    double dangling = 0;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      if (outdeg[i] == 0) dangling += rank[i];
+      next[i] = 0;
+    }
+    for (const auto& [u, v] : edges) {
+      next[v] += rank[u] / outdeg[u];
+    }
+    double base = (1.0 - options.damping) / num_nodes +
+                  options.damping * dangling / num_nodes;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      rank[i] = base + options.damping * next[i];
+    }
+  }
+  return rank;
+}
+
+}  // namespace focus::distill

@@ -1,0 +1,29 @@
+// PageRank (Brin & Page) over an explicit edge list.
+//
+// Used as a baseline crawl-ordering signal (Cho et al.'s "perceived
+// prestige" orderings) and as a contrast to the topic-weighted HITS
+// distiller: PageRank has no notion of page content (§1.4).
+#ifndef FOCUS_DISTILL_PAGERANK_H_
+#define FOCUS_DISTILL_PAGERANK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace focus::distill {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int iterations = 30;
+};
+
+// Computes PageRank for nodes [0, num_nodes) from directed `edges`.
+// Dangling mass is redistributed uniformly. Scores sum to 1.
+std::vector<double> PageRank(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    const PageRankOptions& options = {});
+
+}  // namespace focus::distill
+
+#endif  // FOCUS_DISTILL_PAGERANK_H_

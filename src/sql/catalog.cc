@@ -1,0 +1,41 @@
+#include "sql/catalog.h"
+
+#include "util/string_util.h"
+
+namespace focus::sql {
+
+Result<Table*> Catalog::CreateTable(std::string name, Schema schema,
+                                    std::vector<IndexSpec> indexes) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists(StrCat("table ", name));
+  }
+  FOCUS_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      Table::Create(pool_, name, std::move(schema), std::move(indexes)));
+  Table* raw = table.get();
+  tables_.emplace(std::move(name), std::move(table));
+  return raw;
+}
+
+Table* Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  auto it = tables_.find(std::string(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table ", name));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace focus::sql

@@ -1,0 +1,41 @@
+// Catalog: owns all tables of one database instance.
+#ifndef FOCUS_SQL_CATALOG_H_
+#define FOCUS_SQL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/table.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace focus::sql {
+
+class Catalog {
+ public:
+  // `pool` must outlive the catalog.
+  explicit Catalog(storage::BufferPool* pool) : pool_(pool) {}
+
+  Result<Table*> CreateTable(std::string name, Schema schema,
+                             std::vector<IndexSpec> indexes = {});
+
+  // Returns the table or nullptr.
+  Table* GetTable(std::string_view name) const;
+
+  Status DropTable(std::string_view name);
+
+  storage::BufferPool* buffer_pool() const { return pool_; }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  storage::BufferPool* pool_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace focus::sql
+
+#endif  // FOCUS_SQL_CATALOG_H_

@@ -1,0 +1,131 @@
+#include "sql/exec/aggregate.h"
+
+#include <cassert>
+
+namespace focus::sql {
+
+namespace {
+// Result type of an aggregate over a column of `in` type.
+TypeId AggOutputType(const AggSpec& spec, const Schema& in) {
+  switch (spec.kind) {
+    case AggKind::kCount:
+      return TypeId::kInt64;
+    case AggKind::kAvg:
+      return TypeId::kDouble;
+    case AggKind::kSum: {
+      TypeId t = in.column(spec.col).type;
+      return t == TypeId::kDouble ? TypeId::kDouble : TypeId::kInt64;
+    }
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return in.column(spec.col).type;
+  }
+  return TypeId::kDouble;
+}
+}  // namespace
+
+bool HashAggregate::GroupLess::operator()(
+    const std::vector<Value>& a, const std::vector<Value>& b) const {
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return false;
+}
+
+HashAggregate::HashAggregate(OperatorPtr child, std::vector<int> group_cols,
+                             std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_cols_(std::move(group_cols)),
+      aggs_(std::move(aggs)) {
+  std::vector<Column> cols;
+  const Schema& in = child_->schema();
+  for (int g : group_cols_) cols.push_back(in.column(g));
+  for (const auto& a : aggs_) cols.push_back({a.out_name,
+                                              AggOutputType(a, in)});
+  schema_ = Schema(std::move(cols));
+}
+
+Status HashAggregate::Open() {
+  FOCUS_RETURN_IF_ERROR(child_->Open());
+  groups_.clear();
+  Tuple t;
+  for (;;) {
+    FOCUS_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    if (!more) break;
+    std::vector<Value> key;
+    key.reserve(group_cols_.size());
+    for (int g : group_cols_) key.push_back(t.Get(g));
+    auto [it, inserted] = groups_.try_emplace(std::move(key));
+    if (inserted) it->second.resize(aggs_.size());
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      AggState& st = it->second[i];
+      const AggSpec& spec = aggs_[i];
+      ++st.count;
+      if (spec.kind == AggKind::kCount) continue;
+      const Value& v = t.Get(spec.col);
+      switch (spec.kind) {
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          st.sum += v.AsNumeric();
+          break;
+        case AggKind::kMin:
+          if (!st.has_minmax || v < st.min) st.min = v;
+          st.has_minmax = true;
+          break;
+        case AggKind::kMax:
+          if (!st.has_minmax || st.max < v) st.max = v;
+          st.has_minmax = true;
+          break;
+        case AggKind::kCount:
+          break;
+      }
+    }
+  }
+  emit_it_ = groups_.begin();
+  return Status::OK();
+}
+
+Result<bool> HashAggregate::Next(Tuple* out) {
+  if (emit_it_ == groups_.end()) return false;
+  std::vector<Value> values = emit_it_->first;
+  const Schema& in = child_->schema();
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    const AggState& st = emit_it_->second[i];
+    switch (spec.kind) {
+      case AggKind::kCount:
+        values.push_back(Value::Int64(st.count));
+        break;
+      case AggKind::kSum:
+        if (in.column(spec.col).type == TypeId::kDouble) {
+          values.push_back(Value::Double(st.sum));
+        } else {
+          values.push_back(Value::Int64(static_cast<int64_t>(st.sum)));
+        }
+        break;
+      case AggKind::kAvg:
+        values.push_back(
+            Value::Double(st.count == 0 ? 0.0 : st.sum / st.count));
+        break;
+      case AggKind::kMin:
+        assert(st.has_minmax);
+        values.push_back(st.min);
+        break;
+      case AggKind::kMax:
+        assert(st.has_minmax);
+        values.push_back(st.max);
+        break;
+    }
+  }
+  *out = Tuple(std::move(values));
+  ++emit_it_;
+  return true;
+}
+
+void HashAggregate::Close() {
+  groups_.clear();
+  child_->Close();
+}
+
+}  // namespace focus::sql

@@ -1,0 +1,63 @@
+// Hash-based GROUP BY aggregation.
+//
+// Supports the aggregates the paper's plans use: SUM, COUNT, AVG, MIN, MAX.
+// Output rows carry the group columns followed by one column per aggregate;
+// output order is unspecified (wrap in Sort when order matters).
+#ifndef FOCUS_SQL_EXEC_AGGREGATE_H_
+#define FOCUS_SQL_EXEC_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/exec/operator.h"
+
+namespace focus::sql {
+
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+struct AggSpec {
+  AggKind kind;
+  // Input column; ignored for kCount (COUNT(*) semantics).
+  int col = -1;
+  std::string out_name;
+};
+
+class HashAggregate final : public Operator {
+ public:
+  HashAggregate(OperatorPtr child, std::vector<int> group_cols,
+                std::vector<AggSpec> aggs);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  struct AggState {
+    double sum = 0;
+    int64_t count = 0;
+    bool has_minmax = false;
+    Value min, max;
+  };
+
+  OperatorPtr child_;
+  std::vector<int> group_cols_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+
+  // std::map keyed on group values gives deterministic output order, which
+  // keeps benchmark output stable run-to-run.
+  struct GroupLess {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+  std::map<std::vector<Value>, std::vector<AggState>, GroupLess> groups_;
+  std::map<std::vector<Value>, std::vector<AggState>, GroupLess>::iterator
+      emit_it_;
+};
+
+}  // namespace focus::sql
+
+#endif  // FOCUS_SQL_EXEC_AGGREGATE_H_

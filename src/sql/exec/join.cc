@@ -1,0 +1,234 @@
+#include "sql/exec/join.h"
+
+#include "util/hash.h"
+
+namespace focus::sql {
+
+namespace internal_join {
+
+int CompareKeys(const Tuple& a, const std::vector<int>& a_cols,
+                const Tuple& b, const std::vector<int>& b_cols) {
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    int c = a.Get(a_cols[i]).Compare(b.Get(b_cols[i]));
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Tuple ConcatTuples(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  for (const auto& v : left.values()) values.push_back(v);
+  for (const auto& v : right.values()) values.push_back(v);
+  return Tuple(std::move(values));
+}
+
+Tuple ConcatWithNulls(const Tuple& left, const Schema& right_schema) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right_schema.num_columns());
+  for (const auto& v : left.values()) values.push_back(v);
+  for (int i = 0; i < right_schema.num_columns(); ++i) {
+    values.push_back(Value::Null(right_schema.column(i).type));
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace internal_join
+
+using internal_join::CompareKeys;
+using internal_join::ConcatTuples;
+using internal_join::ConcatWithNulls;
+
+MergeJoin::MergeJoin(OperatorPtr left, OperatorPtr right,
+                     std::vector<int> left_keys, std::vector<int> right_keys,
+                     bool left_outer)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      left_outer_(left_outer),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Result<bool> MergeJoin::PullLeft() {
+  FOCUS_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+  left_matched_ = false;
+  return left_valid_;
+}
+
+Result<bool> MergeJoin::PullRight() {
+  FOCUS_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_row_));
+  return right_valid_;
+}
+
+Status MergeJoin::Open() {
+  FOCUS_RETURN_IF_ERROR(left_->Open());
+  FOCUS_RETURN_IF_ERROR(right_->Open());
+  group_.clear();
+  have_group_ = false;
+  group_pos_ = 0;
+  FOCUS_RETURN_IF_ERROR(PullLeft().status());
+  FOCUS_RETURN_IF_ERROR(PullRight().status());
+  return Status::OK();
+}
+
+Result<bool> MergeJoin::Next(Tuple* out) {
+  for (;;) {
+    if (!left_valid_) return false;
+
+    if (have_group_ &&
+        CompareKeys(left_row_, left_keys_, group_key_row_, right_keys_) ==
+            0) {
+      if (group_pos_ < group_.size()) {
+        *out = ConcatTuples(left_row_, group_[group_pos_++]);
+        left_matched_ = true;
+        return true;
+      }
+      // Exhausted the group for this left row: advance left, re-test.
+      FOCUS_RETURN_IF_ERROR(PullLeft().status());
+      group_pos_ = 0;
+      continue;
+    }
+
+    if (!right_valid_) {
+      // No further right rows can match any left row.
+      if (left_outer_ && !left_matched_) {
+        *out = ConcatWithNulls(left_row_, right_->schema());
+        FOCUS_RETURN_IF_ERROR(PullLeft().status());
+        group_pos_ = 0;
+        return true;
+      }
+      FOCUS_RETURN_IF_ERROR(PullLeft().status());
+      group_pos_ = 0;
+      continue;
+    }
+
+    int cmp = CompareKeys(left_row_, left_keys_, right_row_, right_keys_);
+    if (cmp < 0) {
+      if (left_outer_ && !left_matched_) {
+        *out = ConcatWithNulls(left_row_, right_->schema());
+        FOCUS_RETURN_IF_ERROR(PullLeft().status());
+        group_pos_ = 0;
+        return true;
+      }
+      FOCUS_RETURN_IF_ERROR(PullLeft().status());
+      group_pos_ = 0;
+      continue;
+    }
+    if (cmp > 0) {
+      FOCUS_RETURN_IF_ERROR(PullRight().status());
+      continue;
+    }
+    // Equal: buffer the full right group sharing this key.
+    group_.clear();
+    group_key_row_ = right_row_;
+    do {
+      group_.push_back(right_row_);
+      FOCUS_ASSIGN_OR_RETURN(bool more, PullRight());
+      if (!more) break;
+    } while (CompareKeys(right_row_, right_keys_, group_key_row_,
+                         right_keys_) == 0);
+    have_group_ = true;
+    group_pos_ = 0;
+  }
+}
+
+void MergeJoin::Close() {
+  left_->Close();
+  right_->Close();
+  group_.clear();
+}
+
+HashJoin::HashJoin(OperatorPtr left, OperatorPtr right,
+                   std::vector<int> left_keys, std::vector<int> right_keys)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+uint64_t HashJoin::KeyHash(const Tuple& t, const std::vector<int>& cols)
+    const {
+  uint64_t h = 0x12345;
+  for (int c : cols) h = HashCombine(h, t.Get(c).Hash());
+  return h;
+}
+
+bool HashJoin::KeysEqual(const Tuple& l, const Tuple& r) const {
+  return CompareKeys(l, left_keys_, r, right_keys_) == 0;
+}
+
+Status HashJoin::Open() {
+  FOCUS_RETURN_IF_ERROR(left_->Open());
+  FOCUS_RETURN_IF_ERROR(right_->Open());
+  build_.clear();
+  matches_.clear();
+  match_pos_ = 0;
+  Tuple t;
+  for (;;) {
+    FOCUS_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+    if (!more) break;
+    build_.emplace(KeyHash(t, left_keys_), t);
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoin::Next(Tuple* out) {
+  for (;;) {
+    if (match_pos_ < matches_.size()) {
+      *out = ConcatTuples(*matches_[match_pos_++], probe_row_);
+      return true;
+    }
+    FOCUS_ASSIGN_OR_RETURN(bool more, right_->Next(&probe_row_));
+    if (!more) return false;
+    matches_.clear();
+    match_pos_ = 0;
+    auto [lo, hi] = build_.equal_range(KeyHash(probe_row_, right_keys_));
+    for (auto it = lo; it != hi; ++it) {
+      if (KeysEqual(it->second, probe_row_)) matches_.push_back(&it->second);
+    }
+  }
+}
+
+void HashJoin::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+}
+
+NestedLoopJoin::NestedLoopJoin(OperatorPtr left, OperatorPtr right,
+                               Predicate pred)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Status NestedLoopJoin::Open() {
+  FOCUS_RETURN_IF_ERROR(left_->Open());
+  // Collect() opens and closes the right child itself.
+  FOCUS_ASSIGN_OR_RETURN(right_rows_, Collect(right_.get()));
+  FOCUS_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoin::Next(Tuple* out) {
+  while (left_valid_) {
+    while (right_pos_ < right_rows_.size()) {
+      const Tuple& r = right_rows_[right_pos_++];
+      if (pred_(left_row_, r)) {
+        *out = ConcatTuples(left_row_, r);
+        return true;
+      }
+    }
+    FOCUS_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+    right_pos_ = 0;
+  }
+  return false;
+}
+
+void NestedLoopJoin::Close() {
+  left_->Close();
+  right_rows_.clear();
+}
+
+}  // namespace focus::sql

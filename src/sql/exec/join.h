@@ -1,0 +1,113 @@
+// Join operators: merge join (inner and left outer), hash join, and a
+// nested-loop join kept as a correctness oracle for tests.
+//
+// Merge joins require both inputs sorted ascending on their key columns
+// (wrap children in Sort if needed); this is the access pattern behind the
+// paper's BulkProbe (Figure 3) and join-based distillation (Figure 4).
+#ifndef FOCUS_SQL_EXEC_JOIN_H_
+#define FOCUS_SQL_EXEC_JOIN_H_
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sql/exec/operator.h"
+
+namespace focus::sql {
+
+namespace internal_join {
+// Shared merge-join machinery; emits (left, right-or-null) pairs.
+int CompareKeys(const Tuple& a, const std::vector<int>& a_cols,
+                const Tuple& b, const std::vector<int>& b_cols);
+Tuple ConcatTuples(const Tuple& left, const Tuple& right);
+Tuple ConcatWithNulls(const Tuple& left, const Schema& right_schema);
+}  // namespace internal_join
+
+class MergeJoin final : public Operator {
+ public:
+  // `left_outer` selects LEFT OUTER JOIN semantics (unmatched left rows are
+  // emitted once, padded with NULLs).
+  MergeJoin(OperatorPtr left, OperatorPtr right, std::vector<int> left_keys,
+            std::vector<int> right_keys, bool left_outer = false);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Result<bool> PullLeft();
+  Result<bool> PullRight();
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+  bool left_outer_;
+  Schema schema_;
+
+  Tuple left_row_, right_row_;
+  bool left_valid_ = false, right_valid_ = false;
+  std::vector<Tuple> group_;     // buffered right rows sharing group key
+  Tuple group_key_row_;          // representative right row for the group
+  bool have_group_ = false;
+  size_t group_pos_ = 0;
+  bool left_matched_ = false;
+};
+
+// Builds a hash table on the left input, probes with the right input.
+// Output column order is left columns then right columns.
+class HashJoin final : public Operator {
+ public:
+  HashJoin(OperatorPtr left, OperatorPtr right, std::vector<int> left_keys,
+           std::vector<int> right_keys);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  uint64_t KeyHash(const Tuple& t, const std::vector<int>& cols) const;
+  bool KeysEqual(const Tuple& l, const Tuple& r) const;
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+  Schema schema_;
+
+  std::unordered_multimap<uint64_t, Tuple> build_;
+  Tuple probe_row_;
+  std::vector<const Tuple*> matches_;
+  size_t match_pos_ = 0;
+};
+
+// O(n*m) join with an arbitrary predicate; the test oracle.
+class NestedLoopJoin final : public Operator {
+ public:
+  using Predicate = std::function<bool(const Tuple& l, const Tuple& r)>;
+
+  NestedLoopJoin(OperatorPtr left, OperatorPtr right, Predicate pred);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  Predicate pred_;
+  Schema schema_;
+
+  std::vector<Tuple> right_rows_;
+  Tuple left_row_;
+  bool left_valid_ = false;
+  size_t right_pos_ = 0;
+};
+
+}  // namespace focus::sql
+
+#endif  // FOCUS_SQL_EXEC_JOIN_H_

@@ -1,0 +1,18 @@
+#include "sql/exec/operator.h"
+
+namespace focus::sql {
+
+Result<std::vector<Tuple>> Collect(Operator* op) {
+  FOCUS_RETURN_IF_ERROR(op->Open());
+  std::vector<Tuple> rows;
+  Tuple t;
+  for (;;) {
+    FOCUS_ASSIGN_OR_RETURN(bool more, op->Next(&t));
+    if (!more) break;
+    rows.push_back(t);
+  }
+  op->Close();
+  return rows;
+}
+
+}  // namespace focus::sql

@@ -1,0 +1,26 @@
+#include "sql/exec/scan.h"
+
+namespace focus::sql {
+
+Result<bool> SeqScan::Next(Tuple* out) {
+  storage::Rid rid;
+  if (!it_->Next(&rid, out)) {
+    FOCUS_RETURN_IF_ERROR(it_->status());
+    return false;
+  }
+  return true;
+}
+
+Status IndexScanEq::Open() {
+  rids_.clear();
+  pos_ = 0;
+  return table_->IndexLookup(index_idx_, key_, &rids_);
+}
+
+Result<bool> IndexScanEq::Next(Tuple* out) {
+  if (pos_ >= rids_.size()) return false;
+  FOCUS_RETURN_IF_ERROR(table_->Get(rids_[pos_++], out));
+  return true;
+}
+
+}  // namespace focus::sql

@@ -1,0 +1,51 @@
+// Table access operators: sequential scan and index equality scan.
+#ifndef FOCUS_SQL_EXEC_SCAN_H_
+#define FOCUS_SQL_EXEC_SCAN_H_
+
+#include <optional>
+#include <vector>
+
+#include "sql/exec/operator.h"
+#include "sql/table.h"
+
+namespace focus::sql {
+
+// Full scan in heap order — sequential page access.
+class SeqScan final : public Operator {
+ public:
+  explicit SeqScan(const Table* table) : table_(table) {}
+
+  Status Open() override {
+    it_.emplace(table_->Scan());
+    return Status::OK();
+  }
+  Result<bool> Next(Tuple* out) override;
+  const Schema& schema() const override { return table_->schema(); }
+
+ private:
+  const Table* table_;
+  std::optional<Table::Iterator> it_;
+};
+
+// Equality probe: B+-tree descent plus one heap fetch per match — the
+// random-access path of the paper's SingleProbe and naive distiller.
+class IndexScanEq final : public Operator {
+ public:
+  IndexScanEq(const Table* table, int index_idx, std::vector<Value> key)
+      : table_(table), index_idx_(index_idx), key_(std::move(key)) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& schema() const override { return table_->schema(); }
+
+ private:
+  const Table* table_;
+  int index_idx_;
+  std::vector<Value> key_;
+  std::vector<storage::Rid> rids_;
+  size_t pos_ = 0;
+};
+
+}  // namespace focus::sql
+
+#endif  // FOCUS_SQL_EXEC_SCAN_H_

@@ -1,0 +1,39 @@
+#include "sql/exec/sort.h"
+
+#include <algorithm>
+
+namespace focus::sql {
+
+int CompareOnKeys(const Tuple& a, const Tuple& b,
+                  const std::vector<SortKey>& keys) {
+  for (const auto& k : keys) {
+    int c = a.Get(k.col).Compare(b.Get(k.col));
+    if (c != 0) return k.descending ? -c : c;
+  }
+  return 0;
+}
+
+Status Sort::Open() {
+  FOCUS_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  Tuple t;
+  for (;;) {
+    FOCUS_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    if (!more) break;
+    rows_.push_back(t);
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     return CompareOnKeys(a, b, keys_) < 0;
+                   });
+  return Status::OK();
+}
+
+Result<bool> Sort::Next(Tuple* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+}  // namespace focus::sql

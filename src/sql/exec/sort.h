@@ -1,0 +1,48 @@
+// Sort operator (materializing).
+//
+// The sort itself runs in memory; the I/O character of a sort-merge plan
+// comes from reading the inputs sequentially exactly once, which this
+// preserves. (DB2 would spill large sorts; our experiment tables fit the
+// sort budget, as the paper's did.)
+#ifndef FOCUS_SQL_EXEC_SORT_H_
+#define FOCUS_SQL_EXEC_SORT_H_
+
+#include <utility>
+#include <vector>
+
+#include "sql/exec/operator.h"
+
+namespace focus::sql {
+
+struct SortKey {
+  int col;
+  bool descending = false;
+};
+
+class Sort final : public Operator {
+ public:
+  Sort(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override {
+    rows_.clear();
+    child_->Close();
+  }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+// Compares tuples on `keys`; exposed for reuse by merge join tests.
+int CompareOnKeys(const Tuple& a, const Tuple& b,
+                  const std::vector<SortKey>& keys);
+
+}  // namespace focus::sql
+
+#endif  // FOCUS_SQL_EXEC_SORT_H_

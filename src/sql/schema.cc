@@ -1,0 +1,59 @@
+#include "sql/schema.h"
+
+#include "util/string_util.h"
+
+namespace focus::sql {
+
+int Schema::ColumnIndex(std::string_view name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return -1;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Column> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(StrCat(c.name, ":", TypeName(c.type)));
+  }
+  return StrCat("(", StrJoin(parts, ", "), ")");
+}
+
+void Tuple::SerializeTo(const Schema& schema, std::string* out) const {
+  (void)schema;
+  for (const auto& v : values_) v.SerializeTo(out);
+}
+
+Result<Tuple> Tuple::Deserialize(const Schema& schema,
+                                 std::string_view data) {
+  std::vector<Value> values;
+  values.reserve(schema.num_columns());
+  size_t offset = 0;
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    FOCUS_ASSIGN_OR_RETURN(Value v,
+                           Value::Deserialize(schema.column(i).type, data,
+                                              &offset));
+    values.push_back(std::move(v));
+  }
+  if (offset != data.size()) {
+    return Status::InvalidArgument(
+        StrCat("trailing bytes in record: ", data.size() - offset));
+  }
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const auto& v : values_) parts.push_back(v.ToString());
+  return StrCat("[", StrJoin(parts, ", "), "]");
+}
+
+}  // namespace focus::sql

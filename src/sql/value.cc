@@ -1,0 +1,170 @@
+#include "sql/value.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace focus::sql {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::AsNumeric() const {
+  switch (type_) {
+    case TypeId::kInt32:
+      return AsInt32();
+    case TypeId::kInt64:
+      return static_cast<double>(AsInt64());
+    case TypeId::kDouble:
+      return AsDouble();
+    case TypeId::kString:
+      break;
+  }
+  assert(false && "AsNumeric on string value");
+  return 0.0;
+}
+
+int Value::Compare(const Value& other) const {
+  assert(type_ == other.type_ && "comparing values of different types");
+  if (null_ || other.null_) {
+    if (null_ && other.null_) return 0;
+    return null_ ? -1 : 1;
+  }
+  auto cmp3 = [](auto a, auto b) { return a < b ? -1 : (a > b ? 1 : 0); };
+  switch (type_) {
+    case TypeId::kInt32:
+      return cmp3(AsInt32(), other.AsInt32());
+    case TypeId::kInt64:
+      return cmp3(AsInt64(), other.AsInt64());
+    case TypeId::kDouble:
+      return cmp3(AsDouble(), other.AsDouble());
+    case TypeId::kString:
+      return AsString().compare(other.AsString()) < 0
+                 ? -1
+                 : (AsString() == other.AsString() ? 0 : 1);
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  if (null_) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case TypeId::kInt32:
+      return Mix64(static_cast<uint64_t>(static_cast<uint32_t>(AsInt32())));
+    case TypeId::kInt64:
+      return Mix64(static_cast<uint64_t>(AsInt64()));
+    case TypeId::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case TypeId::kString:
+      return Fnv1a64(AsString());
+  }
+  return 0;
+}
+
+void Value::SerializeTo(std::string* out) const {
+  assert(!null_ && "cannot serialize NULL");
+  switch (type_) {
+    case TypeId::kInt32: {
+      int32_t v = AsInt32();
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      return;
+    }
+    case TypeId::kInt64: {
+      int64_t v = AsInt64();
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      return;
+    }
+    case TypeId::kDouble: {
+      double v = AsDouble();
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      return;
+    }
+    case TypeId::kString: {
+      const std::string& s = AsString();
+      assert(s.size() <= 0xFFFF);
+      uint16_t len = static_cast<uint16_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      return;
+    }
+  }
+}
+
+Result<Value> Value::Deserialize(TypeId type, std::string_view data,
+                                 size_t* offset) {
+  auto need = [&](size_t n) -> Status {
+    if (*offset + n > data.size()) {
+      return Status::OutOfRange(
+          StrCat("truncated value at offset ", *offset));
+    }
+    return Status::OK();
+  };
+  switch (type) {
+    case TypeId::kInt32: {
+      FOCUS_RETURN_IF_ERROR(need(4));
+      int32_t v;
+      std::memcpy(&v, data.data() + *offset, 4);
+      *offset += 4;
+      return Int32(v);
+    }
+    case TypeId::kInt64: {
+      FOCUS_RETURN_IF_ERROR(need(8));
+      int64_t v;
+      std::memcpy(&v, data.data() + *offset, 8);
+      *offset += 8;
+      return Int64(v);
+    }
+    case TypeId::kDouble: {
+      FOCUS_RETURN_IF_ERROR(need(8));
+      double v;
+      std::memcpy(&v, data.data() + *offset, 8);
+      *offset += 8;
+      return Double(v);
+    }
+    case TypeId::kString: {
+      FOCUS_RETURN_IF_ERROR(need(2));
+      uint16_t len;
+      std::memcpy(&len, data.data() + *offset, 2);
+      *offset += 2;
+      FOCUS_RETURN_IF_ERROR(need(len));
+      std::string s(data.substr(*offset, len));
+      *offset += len;
+      return Str(std::move(s));
+    }
+  }
+  return Status::InvalidArgument("unknown type id");
+}
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case TypeId::kInt32:
+      return StrCat(AsInt32());
+    case TypeId::kInt64:
+      return StrCat(AsInt64());
+    case TypeId::kDouble:
+      return StrCat(AsDouble());
+    case TypeId::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+}  // namespace focus::sql

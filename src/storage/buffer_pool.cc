@@ -1,0 +1,139 @@
+#include "storage/buffer_pool.h"
+
+#include "util/string_util.h"
+
+namespace focus::storage {
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames) : disk_(disk) {
+  if (num_frames < 4) num_frames = 4;  // room for a root, a leaf, a heap page
+  frames_.reserve(num_frames);
+  free_frames_.reserve(num_frames);
+  for (size_t i = 0; i < num_frames; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_frames_.push_back(num_frames - 1 - i);
+  }
+}
+
+void BufferPool::Touch(size_t frame_idx) {
+  Frame& f = *frames_[frame_idx];
+  if (f.in_lru) lru_.erase(f.lru_pos);
+  lru_.push_front(frame_idx);
+  f.lru_pos = lru_.begin();
+  f.in_lru = true;
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  // Scan from least-recently-used; skip pinned frames.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t idx = *it;
+    Frame& f = *frames_[idx];
+    if (f.pin_count > 0) continue;
+    if (f.dirty) {
+      FOCUS_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page.data));
+      ++stats_.dirty_writebacks;
+      f.dirty = false;
+    }
+    page_table_.erase(f.page_id);
+    lru_.erase(std::next(it).base());
+    f.in_lru = false;
+    f.page_id = kInvalidPageId;
+    ++stats_.evictions;
+    return idx;
+  }
+  return Status::ResourceExhausted(
+      StrCat("all ", frames_.size(), " buffer frames are pinned"));
+}
+
+Result<Page*> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.fetches;
+  if (auto it = page_table_.find(id); it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& f = *frames_[it->second];
+    ++f.pin_count;
+    Touch(it->second);
+    return &f.page;
+  }
+  ++stats_.misses;
+  FOCUS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = *frames_[idx];
+  Status s = disk_->ReadPage(id, f.page.data);
+  if (!s.ok()) {
+    free_frames_.push_back(idx);
+    return s;
+  }
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  page_table_[id] = idx;
+  Touch(idx);
+  return &f.page;
+}
+
+Result<Page*> BufferPool::NewPage(PageId* out_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FOCUS_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  FOCUS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = *frames_[idx];
+  f.page.Zero();
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // must be written back even if untouched
+  page_table_[id] = idx;
+  Touch(idx);
+  *out_id = id;
+  return &f.page;
+}
+
+void BufferPool::UnpinPage(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return;
+  Frame& f = *frames_[it->second];
+  if (f.pin_count > 0) --f.pin_count;
+  if (dirty) f.dirty = true;
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [page_id, idx] : page_table_) {
+    Frame& f = *frames_[idx];
+    if (f.dirty) {
+      FOCUS_RETURN_IF_ERROR(disk_->WritePage(page_id, f.page.data));
+      ++stats_.dirty_writebacks;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = page_table_.begin(); it != page_table_.end();) {
+    Frame& f = *frames_[it->second];
+    if (f.pin_count > 0) {
+      ++it;
+      continue;
+    }
+    if (f.dirty) {
+      FOCUS_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page.data));
+      ++stats_.dirty_writebacks;
+      f.dirty = false;
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    free_frames_.push_back(it->second);
+    f.page_id = kInvalidPageId;
+    it = page_table_.erase(it);
+  }
+  return Status::OK();
+}
+
+}  // namespace focus::storage

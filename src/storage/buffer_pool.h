@@ -1,0 +1,137 @@
+// LRU buffer pool.
+//
+// Every table and index access in focus goes through this pool, so the
+// hit/miss counters directly measure the access-path behaviour that the
+// paper's Figure 8 experiments are about (random index probes vs sequential
+// sort-merge scans under a bounded number of 4 KiB frames).
+#ifndef FOCUS_STORAGE_BUFFER_POOL_H_
+#define FOCUS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace focus::storage {
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t fetches = 0;    // FetchPage calls
+    uint64_t hits = 0;       // served from a resident frame
+    uint64_t misses = 0;     // required a disk read
+    uint64_t evictions = 0;  // victim frames recycled
+    uint64_t dirty_writebacks = 0;
+
+    Stats operator-(const Stats& other) const {
+      Stats d;
+      d.fetches = fetches - other.fetches;
+      d.hits = hits - other.hits;
+      d.misses = misses - other.misses;
+      d.evictions = evictions - other.evictions;
+      d.dirty_writebacks = dirty_writebacks - other.dirty_writebacks;
+      return d;
+    }
+  };
+
+  // The pool holds at most `num_frames` pages of `disk`. `disk` must outlive
+  // the pool.
+  BufferPool(DiskManager* disk, size_t num_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins page `id` in memory and returns it. The caller must balance with
+  // UnpinPage. Fails if every frame is pinned.
+  Result<Page*> FetchPage(PageId id);
+
+  // Allocates a fresh page on disk, pins it and returns it via `out_id`.
+  Result<Page*> NewPage(PageId* out_id);
+
+  // Releases one pin; `dirty` marks the frame for write-back on eviction.
+  void UnpinPage(PageId id, bool dirty);
+
+  // Writes back every dirty resident page.
+  Status FlushAll();
+
+  // Drops every unpinned page (writing back dirty ones). Used by benchmarks
+  // to measure cold-cache behaviour.
+  Status EvictAll();
+
+  size_t num_frames() const { return frames_.size(); }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  struct Frame {
+    Page page;
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when the frame is resident and unpinned-eligible.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  // Picks a frame to hold a new page: a free frame if any, else the least
+  // recently used unpinned frame (writing it back if dirty).
+  Result<size_t> GetVictimFrame();
+  void Touch(size_t frame_idx);
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<PageId, size_t> page_table_;
+  Stats stats_;
+  mutable std::mutex mutex_;
+};
+
+// RAII pin guard. Fetches on construction (check ok()), unpins on
+// destruction.
+class PageGuard {
+ public:
+  PageGuard(BufferPool* pool, PageId id) : pool_(pool), id_(id) {
+    auto r = pool->FetchPage(id);
+    if (r.ok()) {
+      page_ = r.value();
+    } else {
+      status_ = r.status();
+    }
+  }
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool ok() const { return page_ != nullptr; }
+  const Status& status() const { return status_; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+  void MarkDirty() { dirty_ = true; }
+
+  // Unpins early (idempotent).
+  void Release() {
+    if (page_ != nullptr) {
+      pool_->UnpinPage(id_, dirty_);
+      page_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_;
+  PageId id_;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+  Status status_;
+};
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,106 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/clock.h"
+#include "util/string_util.h"
+
+namespace focus::storage {
+
+namespace {
+// Busy-waits so simulated latency shows up in wall time like a real seek.
+void SpinFor(double micros) {
+  if (micros <= 0) return;
+  Stopwatch sw;
+  while (sw.ElapsedMicros() < micros) {
+  }
+}
+}  // namespace
+
+Status MemDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange(StrCat("read of unallocated page ", id));
+  }
+  SpinFor(options_.read_latency_us);
+  std::memcpy(out, pages_[id]->data, kPageSize);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status MemDiskManager::WritePage(PageId id, const char* in) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange(StrCat("write of unallocated page ", id));
+  }
+  SpinFor(options_.write_latency_us);
+  std::memcpy(pages_[id]->data, in, kPageSize);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<PageId> MemDiskManager::AllocatePage() {
+  auto page = std::make_unique<Page>();
+  page->Zero();
+  pages_.push_back(std::move(page));
+  ++stats_.allocations;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrCat("open(", path, ") failed: ", std::strerror(errno)));
+  }
+  return std::unique_ptr<FileDiskManager>(new FileDiskManager(fd, path));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange(StrCat("read of unallocated page ", id));
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StrCat("pread page ", id, " returned ", n));
+  }
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const char* in) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange(StrCat("write of unallocated page ", id));
+  }
+  ssize_t n = ::pwrite(fd_, in, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StrCat("pwrite page ", id, " returned ", n));
+  }
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  Page zero;
+  zero.Zero();
+  PageId id = num_pages_;
+  ssize_t n = ::pwrite(fd_, zero.data, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StrCat("extend to page ", id, " returned ", n));
+  }
+  ++num_pages_;
+  ++stats_.allocations;
+  return id;
+}
+
+}  // namespace focus::storage

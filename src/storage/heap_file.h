@@ -1,0 +1,89 @@
+// Heap file: unordered record storage over slotted pages.
+//
+// Records are addressed by RID (page id + slot). Inserts append to the last
+// page, allocating a new page when full; scans walk the page chain in
+// allocation order, which makes a full-table scan sequential on disk — the
+// access pattern the paper's bulk (sort-merge) plans rely on.
+#ifndef FOCUS_STORAGE_HEAP_FILE_H_
+#define FOCUS_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace focus::storage {
+
+// Record id: packs (page_id, slot).
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_id) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t packed) {
+    Rid r;
+    r.page_id = static_cast<PageId>(packed >> 16);
+    r.slot = static_cast<uint16_t>(packed & 0xFFFF);
+    return r;
+  }
+  bool operator==(const Rid& other) const = default;
+};
+
+class HeapFile {
+ public:
+  // Creates an empty heap file, allocating its first page.
+  static Result<HeapFile> Create(BufferPool* pool);
+
+  // Inserts a record; fails if the record cannot fit in a fresh page.
+  Result<Rid> Insert(std::string_view record);
+
+  // Reads the record at `rid` into `out`.
+  Status Get(const Rid& rid, std::string* out) const;
+
+  // Overwrites the record at `rid` in place. The new record must have
+  // exactly the original length (all mutated focus rows are fixed-width).
+  Status Update(const Rid& rid, std::string_view record);
+
+  // Tombstones the record at `rid`. Space within the page is not compacted.
+  Status Delete(const Rid& rid);
+
+  uint64_t num_records() const { return num_records_; }
+  PageId first_page_id() const { return first_page_id_; }
+
+  // Forward scan over live records in page order.
+  class Iterator {
+   public:
+    // Advances to the next live record. Returns false at end-of-file or on
+    // error (check status()).
+    bool Next(Rid* rid, std::string* record);
+    const Status& status() const { return status_; }
+
+   private:
+    friend class HeapFile;
+    Iterator(const HeapFile* file, PageId page_id)
+        : file_(file), page_id_(page_id) {}
+    const HeapFile* file_;
+    PageId page_id_;
+    uint16_t slot_ = 0;
+    Status status_;
+  };
+
+  Iterator Scan() const { return Iterator(this, first_page_id_); }
+
+ private:
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  BufferPool* pool_;
+  PageId first_page_id_ = kInvalidPageId;
+  PageId last_page_id_ = kInvalidPageId;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_STORAGE_HEAP_FILE_H_

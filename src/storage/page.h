@@ -1,0 +1,41 @@
+// Fixed-size pages — the unit of I/O between the disk manager and the
+// buffer pool. 4 KiB matches the DB2 buffer-pool page size the paper's
+// Figure 8(b) sweeps over ("Buffer Pool (x 4kB)").
+#ifndef FOCUS_STORAGE_PAGE_H_
+#define FOCUS_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace focus::storage {
+
+inline constexpr uint32_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+// Raw page buffer. Layout within the buffer is owned by the consumer
+// (heap file, B+-tree node, ...).
+struct Page {
+  char data[kPageSize];
+
+  void Zero() { std::memset(data, 0, kPageSize); }
+
+  // Typed accessors for reading/writing plain-old-data at a byte offset.
+  template <typename T>
+  T Read(uint32_t offset) const {
+    T v;
+    std::memcpy(&v, data + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void Write(uint32_t offset, const T& v) {
+    std::memcpy(data + offset, &v, sizeof(T));
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_STORAGE_PAGE_H_

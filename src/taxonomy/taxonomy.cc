@@ -1,0 +1,158 @@
+#include "taxonomy/taxonomy.h"
+
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace focus::taxonomy {
+
+const char* MarkName(Mark mark) {
+  switch (mark) {
+    case Mark::kNull:
+      return "null";
+    case Mark::kGood:
+      return "good";
+    case Mark::kPath:
+      return "path";
+    case Mark::kSubsumed:
+      return "subsumed";
+  }
+  return "?";
+}
+
+Taxonomy::Taxonomy() {
+  nodes_.push_back(Node{"root", kRootCid, {}, Mark::kNull});
+}
+
+Result<Cid> Taxonomy::AddTopic(Cid parent, std::string name) {
+  if (!IsValidCid(parent)) {
+    return Status::InvalidArgument(StrCat("invalid parent cid ", parent));
+  }
+  if (nodes_.size() >= std::numeric_limits<Cid>::max()) {
+    return Status::ResourceExhausted("taxonomy full (16-bit cids)");
+  }
+  if (FindByName(name).ok()) {
+    return Status::AlreadyExists(StrCat("topic ", name));
+  }
+  Cid cid = static_cast<Cid>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), parent, {}, Mark::kNull});
+  nodes_[parent].children.push_back(cid);
+  return cid;
+}
+
+Result<Cid> Taxonomy::FindByName(std::string_view name) const {
+  for (Cid cid = 0; cid < nodes_.size(); ++cid) {
+    if (nodes_[cid].name == name) return cid;
+  }
+  return Status::NotFound(StrCat("topic ", name));
+}
+
+bool Taxonomy::IsAncestor(Cid ancestor, Cid cid, bool or_self) const {
+  if (ancestor == cid) return or_self;
+  while (cid != kRootCid) {
+    cid = nodes_[cid].parent;
+    if (cid == ancestor) return true;
+  }
+  return false;
+}
+
+std::vector<Cid> Taxonomy::PathFromRoot(Cid cid) const {
+  std::vector<Cid> path;
+  for (Cid c = cid;; c = nodes_[c].parent) {
+    path.push_back(c);
+    if (c == kRootCid) break;
+  }
+  return {path.rbegin(), path.rend()};
+}
+
+std::vector<Cid> Taxonomy::LeavesUnder(Cid cid) const {
+  std::vector<Cid> leaves;
+  std::vector<Cid> stack = {cid};
+  while (!stack.empty()) {
+    Cid c = stack.back();
+    stack.pop_back();
+    if (IsLeaf(c)) {
+      leaves.push_back(c);
+    } else {
+      for (Cid child : nodes_[c].children) stack.push_back(child);
+    }
+  }
+  return leaves;
+}
+
+std::vector<Cid> Taxonomy::InternalPreorder() const {
+  std::vector<Cid> order;
+  std::vector<Cid> stack = {kRootCid};
+  while (!stack.empty()) {
+    Cid c = stack.back();
+    stack.pop_back();
+    if (IsLeaf(c)) continue;
+    order.push_back(c);
+    const auto& kids = nodes_[c].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+Status Taxonomy::MarkGood(Cid cid) {
+  if (!IsValidCid(cid)) {
+    return Status::InvalidArgument(StrCat("invalid cid ", cid));
+  }
+  // Paper invariant: no good topic is an ancestor of another good topic.
+  for (Cid other = 0; other < nodes_.size(); ++other) {
+    if (nodes_[other].mark != Mark::kGood) continue;
+    if (IsAncestor(other, cid, /*or_self=*/true) ||
+        IsAncestor(cid, other, /*or_self=*/false)) {
+      return Status::FailedPrecondition(
+          StrCat("topic ", Name(cid), " conflicts with good topic ",
+                 Name(other)));
+    }
+  }
+  nodes_[cid].mark = Mark::kGood;
+  RefreshDerivedMarks();
+  return Status::OK();
+}
+
+void Taxonomy::ClearMarks() {
+  for (auto& n : nodes_) n.mark = Mark::kNull;
+}
+
+void Taxonomy::RefreshDerivedMarks() {
+  // Recompute path/subsumed from the set of good topics.
+  for (auto& n : nodes_) {
+    if (n.mark != Mark::kGood) n.mark = Mark::kNull;
+  }
+  for (Cid cid = 0; cid < nodes_.size(); ++cid) {
+    if (nodes_[cid].mark != Mark::kGood) continue;
+    // Ancestors become path topics.
+    for (Cid c = nodes_[cid].parent;; c = nodes_[c].parent) {
+      nodes_[c].mark = Mark::kPath;
+      if (c == kRootCid) break;
+    }
+    // Descendants become subsumed.
+    std::vector<Cid> stack(nodes_[cid].children);
+    while (!stack.empty()) {
+      Cid c = stack.back();
+      stack.pop_back();
+      nodes_[c].mark = Mark::kSubsumed;
+      for (Cid child : nodes_[c].children) stack.push_back(child);
+    }
+  }
+}
+
+bool Taxonomy::IsGoodOrSubsumed(Cid cid) const {
+  return nodes_[cid].mark == Mark::kGood ||
+         nodes_[cid].mark == Mark::kSubsumed;
+}
+
+std::vector<Cid> Taxonomy::GoodTopics() const {
+  std::vector<Cid> good;
+  for (Cid cid = 0; cid < nodes_.size(); ++cid) {
+    if (nodes_[cid].mark == Mark::kGood) good.push_back(cid);
+  }
+  return good;
+}
+
+}  // namespace focus::taxonomy

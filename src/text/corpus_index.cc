@@ -1,0 +1,76 @@
+#include "text/corpus_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace focus::text {
+
+Status CorpusIndex::AddDocument(uint64_t did, const TermVector& terms) {
+  if (docs_.contains(did)) {
+    return Status::AlreadyExists(StrCat("document ", did));
+  }
+  docs_.emplace(did, terms);
+  for (const auto& tf : terms) {
+    postings_[tf.tid].push_back(Posting{did, tf.freq});
+  }
+  norms_dirty_ = true;
+  return Status::OK();
+}
+
+double CorpusIndex::Idf(uint32_t tid) const {
+  auto it = postings_.find(tid);
+  if (it == postings_.end()) return 0.0;
+  return std::log(1.0 + static_cast<double>(docs_.size()) /
+                            it->second.size());
+}
+
+std::vector<CorpusIndex::SearchResult> CorpusIndex::Search(
+    const TermVector& query, int k) const {
+  if (norms_dirty_) {
+    doc_norms_.clear();
+    for (const auto& [did, terms] : docs_) {
+      double norm_sq = 0;
+      for (const auto& tf : terms) {
+        double w = (1.0 + std::log(tf.freq)) * Idf(tf.tid);
+        norm_sq += w * w;
+      }
+      doc_norms_[did] = std::sqrt(norm_sq);
+    }
+    norms_dirty_ = false;
+  }
+
+  std::unordered_map<uint64_t, double> dot;
+  double query_norm_sq = 0;
+  for (const auto& qt : query) {
+    double idf = Idf(qt.tid);
+    if (idf == 0.0) continue;
+    double qw = (1.0 + std::log(qt.freq)) * idf;
+    query_norm_sq += qw * qw;
+    auto it = postings_.find(qt.tid);
+    if (it == postings_.end()) continue;
+    for (const Posting& p : it->second) {
+      double dw = (1.0 + std::log(p.freq)) * idf;
+      dot[p.did] += qw * dw;
+    }
+  }
+  double query_norm = std::sqrt(query_norm_sq);
+
+  std::vector<SearchResult> results;
+  results.reserve(dot.size());
+  for (const auto& [did, d] : dot) {
+    double denom = query_norm * doc_norms_.at(did);
+    if (denom <= 0) continue;
+    results.push_back(SearchResult{did, d / denom});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.did < b.did;
+            });
+  if (static_cast<int>(results.size()) > k) results.resize(k);
+  return results;
+}
+
+}  // namespace focus::text

@@ -1,0 +1,61 @@
+// TF-IDF inverted index over a document corpus.
+//
+// Implements the paper's §3.6 outlook: "we envisage that a standard
+// search over the corpus ... [is] likely to be much more satisfying in
+// the scope of the focused corpus". The focused crawler materializes a
+// small topical corpus; this index serves keyword queries over it with
+// cosine-normalized TF-IDF ranking.
+#ifndef FOCUS_TEXT_CORPUS_INDEX_H_
+#define FOCUS_TEXT_CORPUS_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/document.h"
+#include "util/status.h"
+
+namespace focus::text {
+
+class CorpusIndex {
+ public:
+  struct SearchResult {
+    uint64_t did = 0;
+    double score = 0;
+  };
+
+  // Adds a document. AlreadyExists if `did` was indexed before.
+  Status AddDocument(uint64_t did, const TermVector& terms);
+
+  // Top-k documents by cosine similarity between the TF-IDF vectors of
+  // the query and each document. Ties break on did for determinism.
+  std::vector<SearchResult> Search(const TermVector& query, int k) const;
+  std::vector<SearchResult> Search(const std::vector<std::string>& tokens,
+                                   int k) const {
+    return Search(BuildTermVector(tokens), k);
+  }
+
+  size_t num_documents() const { return doc_norms_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+
+ private:
+  struct Posting {
+    uint64_t did;
+    int32_t freq;
+  };
+
+  // idf(t) = log(1 + N / df(t)); tf weight = 1 + log(freq).
+  double Idf(uint32_t tid) const;
+
+  std::unordered_map<uint32_t, std::vector<Posting>> postings_;
+  // did -> Euclidean norm of its TF-IDF vector (computed lazily because
+  // idf changes as documents arrive; invalidated on AddDocument).
+  mutable std::unordered_map<uint64_t, double> doc_norms_;
+  std::unordered_map<uint64_t, TermVector> docs_;
+  mutable bool norms_dirty_ = true;
+};
+
+}  // namespace focus::text
+
+#endif  // FOCUS_TEXT_CORPUS_INDEX_H_

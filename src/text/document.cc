@@ -1,0 +1,28 @@
+#include "text/document.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace focus::text {
+
+TermVector BuildTermVector(const std::vector<std::string>& tokens) {
+  std::unordered_map<uint32_t, int32_t> counts;
+  counts.reserve(tokens.size());
+  for (const auto& tok : tokens) ++counts[TermId(tok)];
+  TermVector terms;
+  terms.reserve(counts.size());
+  for (auto [tid, freq] : counts) terms.push_back({tid, freq});
+  std::sort(terms.begin(), terms.end(),
+            [](const TermFreq& a, const TermFreq& b) { return a.tid < b.tid; });
+  return terms;
+}
+
+int64_t TermVectorLength(const TermVector& terms) {
+  int64_t total = 0;
+  for (const auto& t : terms) total += t.freq;
+  return total;
+}
+
+}  // namespace focus::text

@@ -1,0 +1,41 @@
+// Bag-of-words documents.
+//
+// Terms are identified by 32-bit hashes (the paper's tid representation,
+// §2.1.3); documents by 64-bit ids (did). A TermVector is the sparse
+// (tid, freq) form sorted by tid — the in-memory analogue of the DOCUMENT
+// table's (did, tid, freq) rows.
+#ifndef FOCUS_TEXT_DOCUMENT_H_
+#define FOCUS_TEXT_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace focus::text {
+
+struct TermFreq {
+  uint32_t tid;
+  int32_t freq;
+
+  bool operator==(const TermFreq&) const = default;
+};
+
+// Sparse term-frequency vector, sorted ascending by tid.
+using TermVector = std::vector<TermFreq>;
+
+// Builds a TermVector from raw tokens (hashing each token to its tid).
+TermVector BuildTermVector(const std::vector<std::string>& tokens);
+
+// Total token count n(d) of a term vector.
+int64_t TermVectorLength(const TermVector& terms);
+
+struct Document {
+  uint64_t did = 0;
+  TermVector terms;
+
+  int64_t length() const { return TermVectorLength(terms); }
+};
+
+}  // namespace focus::text
+
+#endif  // FOCUS_TEXT_DOCUMENT_H_

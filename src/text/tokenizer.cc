@@ -1,0 +1,52 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace focus::text {
+
+namespace {
+// A compact stopword list; enough to keep function words out of the term
+// statistics (the paper's feature selection would down-weight them anyway).
+constexpr std::array<std::string_view, 50> kStopwords = {
+    "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but", "by",
+    "for",  "from", "had",  "has",  "have", "he",   "her",  "his", "if",
+    "in",   "is",   "it",   "its",  "not",  "of",   "on",   "or",  "she",
+    "that", "the",  "their", "them", "then", "there", "they", "this",
+    "to",   "was",  "we",   "were", "what", "when", "which", "who", "will",
+    "with", "you",  "your", "i",    "do",   "so"};
+}  // namespace
+
+bool IsStopword(std::string_view token) {
+  for (std::string_view w : kStopwords) {
+    if (w == token) return true;
+  }
+  return false;
+}
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (static_cast<int>(current.size()) >= options_.min_token_length &&
+        !(options_.remove_stopwords && IsStopword(current))) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) || c == '_') {
+      current.push_back(
+          static_cast<char>(std::tolower(uc)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace focus::text

@@ -1,0 +1,35 @@
+// Tokenization: lowercased alphanumeric tokens with stopword removal.
+#ifndef FOCUS_TEXT_TOKENIZER_H_
+#define FOCUS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focus::text {
+
+struct TokenizerOptions {
+  // Tokens shorter than this are dropped.
+  int min_token_length = 2;
+  // Drop common English stopwords.
+  bool remove_stopwords = true;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  // Splits `text` into lowercase tokens (letters and digits; everything
+  // else is a separator).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+// True if `token` (already lowercase) is in the built-in stopword list.
+bool IsStopword(std::string_view token);
+
+}  // namespace focus::text
+
+#endif  // FOCUS_TEXT_TOKENIZER_H_

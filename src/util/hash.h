@@ -1,0 +1,52 @@
+// Hash functions used throughout focus.
+//
+// Following the paper (§2.1.3): terms get 32-bit hash ids ("tid"), URLs get
+// 64-bit hash ids ("oid"), topics get 16-bit ids assigned by the taxonomy.
+#ifndef FOCUS_UTIL_HASH_H_
+#define FOCUS_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace focus {
+
+// FNV-1a, 64-bit.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// FNV-1a folded to 32 bits (xor-fold preserves avalanche quality).
+inline uint32_t Fnv1a32(std::string_view data) {
+  uint64_t h = Fnv1a64(data);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+// Finalizer from SplitMix64; a good integer mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Order-independent-free combiner (boost-style, widened to 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+// 32-bit term id for a token, per the paper's representation.
+inline uint32_t TermId(std::string_view token) { return Fnv1a32(token); }
+
+// 64-bit object id for a URL, per the paper's representation.
+inline uint64_t UrlOid(std::string_view url) { return Fnv1a64(url); }
+
+}  // namespace focus
+
+#endif  // FOCUS_UTIL_HASH_H_

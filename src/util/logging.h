@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: FOCUS_LOG(Info, "crawled ", n, " pages"). Arguments are formatted
+// with operator<<. The global level gates output; benchmarks default to
+// Warning so their stdout stays machine-parseable.
+#ifndef FOCUS_UTIL_LOGGING_H_
+#define FOCUS_UTIL_LOGGING_H_
+
+#include <string>
+
+#include "util/string_util.h"
+
+namespace focus {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets/gets the minimum level that is emitted. Thread-safe (atomic).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+void Emit(LogLevel level, const char* file, int line,
+          const std::string& message);
+}  // namespace internal_log
+
+}  // namespace focus
+
+#define FOCUS_LOG(level, ...)                                               \
+  do {                                                                      \
+    if (::focus::LogLevel::k##level >= ::focus::GetLogLevel()) {            \
+      ::focus::internal_log::Emit(::focus::LogLevel::k##level, __FILE__,    \
+                                  __LINE__, ::focus::StrCat(__VA_ARGS__));  \
+    }                                                                       \
+  } while (0)
+
+// Fatal check; aborts with a message. Used for programming errors only
+// (invariant violations), never for data-dependent failures.
+#define FOCUS_CHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::focus::internal_log::Emit(::focus::LogLevel::kError, __FILE__,      \
+                                  __LINE__,                                 \
+                                  ::focus::StrCat("CHECK failed: " #cond    \
+                                                  " ",                      \
+                                                  ##__VA_ARGS__));          \
+      ::abort();                                                            \
+    }                                                                       \
+  } while (0)
+
+#endif  // FOCUS_UTIL_LOGGING_H_

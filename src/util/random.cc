@@ -1,0 +1,116 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace focus {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64Next(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Irwin-Hall with n=4: sum of 4 U(0,1) has mean 2, variance 1/3.
+  double sum = NextDouble() + NextDouble() + NextDouble() + NextDouble();
+  double z = (sum - 2.0) * std::sqrt(3.0);
+  return mean + stddev * z;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  assert(k <= n);
+  if (k == 0) return {};
+  // For small k relative to n, rejection; otherwise partial shuffle.
+  if (k * 4 < n) {
+    std::unordered_set<size_t> seen;
+    std::vector<size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      size_t idx = Uniform(n);
+      if (seen.insert(idx).second) out.push_back(idx);
+    }
+    return out;
+  }
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Uniform(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+ZipfTable::ZipfTable(size_t n, double exponent) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+size_t ZipfTable::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfTable::Pmf(size_t r) const {
+  if (r >= cdf_.size()) return 0.0;
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace focus

@@ -1,0 +1,152 @@
+// Status and Result<T>: exception-free error handling for the focus library.
+//
+// Library code never throws. Fallible operations return a Status (or a
+// Result<T> when they also produce a value). The conventions mirror
+// absl::Status / arrow::Result: `Status::OK()` on success, a code plus a
+// human-readable message on failure.
+#ifndef FOCUS_UTIL_STATUS_H_
+#define FOCUS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace focus {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kUnavailable,
+};
+
+// Returns a stable lowercase name for `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// A value or an error. `value()` must only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from Status keeps call sites
+  // readable (`return 42;` / `return Status::NotFound(...)`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+
+  // Moves the value out; the Result must be ok().
+  T TakeValue() {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace focus
+
+// Propagates a non-OK Status from an expression to the caller.
+#define FOCUS_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::focus::Status focus_status_ = (expr);        \
+    if (!focus_status_.ok()) return focus_status_; \
+  } while (0)
+
+// Evaluates a Result expression, propagating errors, else binds the value.
+#define FOCUS_ASSIGN_OR_RETURN(lhs, expr)                 \
+  FOCUS_ASSIGN_OR_RETURN_IMPL_(                           \
+      FOCUS_STATUS_CONCAT_(focus_result_, __LINE__), lhs, expr)
+
+#define FOCUS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).TakeValue()
+
+#define FOCUS_STATUS_CONCAT_(a, b) FOCUS_STATUS_CONCAT_IMPL_(a, b)
+#define FOCUS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // FOCUS_UTIL_STATUS_H_

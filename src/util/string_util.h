@@ -1,0 +1,58 @@
+// Small string helpers (concatenation, joining, splitting, case folding).
+#ifndef FOCUS_UTIL_STRING_UTIL_H_
+#define FOCUS_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focus {
+
+namespace internal_string {
+inline void AppendPieces(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& first,
+                  const Rest&... rest) {
+  os << first;
+  AppendPieces(os, rest...);
+}
+}  // namespace internal_string
+
+// Concatenates streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_string::AppendPieces(os, args...);
+  return os.str();
+}
+
+// Joins elements with `sep`, using operator<< for formatting.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    os << p;
+    first = false;
+  }
+  return os.str();
+}
+
+// Splits on a single delimiter; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+// ASCII lowercase copy.
+std::string AsciiToLower(std::string_view text);
+
+// True if `text` starts with `prefix`.
+inline bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace focus
+
+#endif  // FOCUS_UTIL_STRING_UTIL_H_

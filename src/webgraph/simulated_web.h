@@ -1,0 +1,116 @@
+// The simulated distributed hypertext graph G (§1.1) and its fetch API.
+//
+// Structure (topics, servers, links) is generated eagerly and
+// deterministically from the seed; page *text* is generated lazily on fetch
+// from a per-page RNG, so unvisited pages cost nothing — mirroring the
+// non-trivial cost of visiting a vertex that motivates focused crawling.
+#ifndef FOCUS_WEBGRAPH_SIMULATED_WEB_H_
+#define FOCUS_WEBGRAPH_SIMULATED_WEB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+#include "text/document.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "webgraph/web_config.h"
+
+namespace focus::webgraph {
+
+struct PageInfo {
+  std::string url;
+  int32_t server_id = 0;
+  taxonomy::Cid topic = kBackgroundTopic;  // ground-truth leaf topic
+  bool is_hub = false;
+  std::vector<uint32_t> outlinks;  // page indices
+};
+
+class SimulatedWeb {
+ public:
+  struct FetchResult {
+    std::string url;
+    int32_t server_id = 0;
+    std::vector<std::string> tokens;        // page text
+    std::vector<std::string> outlink_urls;  // scanned hyperlinks
+  };
+
+  // Generates a web for the leaf topics of `tax`.
+  static Result<SimulatedWeb> Generate(const taxonomy::Taxonomy& tax,
+                                       const WebConfig& config,
+                                       std::vector<TopicAffinity> affinities);
+
+  // --- the crawler-facing API ---
+
+  // Fetches a page. Charges latency to `clock` when provided; fails with
+  // kUnavailable with probability fetch_failure_prob (deterministic per
+  // (page, attempt)).
+  Result<FetchResult> Fetch(std::string_view url,
+                            VirtualClock* clock = nullptr);
+
+  // Pages that link to `url` (up to `max_results`, deterministic order) —
+  // the backlink metadata service of §3.2's backward-crawling device
+  // (citing "Surfing the web backwards"). The reverse adjacency is built
+  // lazily on first use.
+  Result<std::vector<std::string>> Backlinks(std::string_view url,
+                                             int max_results);
+
+  // A keyword-search seeder: ranks pages of `topic` by occurrences of the
+  // topic's characteristic keywords in their text and returns
+  // [first, first+count) of that ranking — disjoint slices give the
+  // disjoint start sets S1, S2 of the coverage experiment (§3.5).
+  std::vector<std::string> KeywordSeeds(taxonomy::Cid topic, int count,
+                                        int first = 0) const;
+
+  // --- ground truth (evaluation only; the crawler never calls these) ---
+
+  size_t num_pages() const { return pages_.size(); }
+  const PageInfo& page(uint32_t index) const { return pages_[index]; }
+  Result<uint32_t> PageIndexByUrl(std::string_view url) const;
+  std::vector<uint32_t> PagesOfTopic(taxonomy::Cid topic) const;
+
+  // BFS shortest link distance (in the full graph) from `sources` to every
+  // page; unreachable pages get -1.
+  std::vector<int> ShortestDistances(
+      const std::vector<uint32_t>& sources) const;
+
+  // Samples a held-out document with topic `leaf`'s language model (used
+  // as classifier training examples D(c); never a crawlable page).
+  text::TermVector SampleDocumentForTopic(taxonomy::Cid leaf, Rng* rng) const;
+
+  // Tokens most characteristic of `leaf` (its top vocabulary), e.g. for
+  // building keyword queries.
+  std::vector<std::string> TopicKeywords(taxonomy::Cid leaf,
+                                         int count = 3) const;
+
+  uint64_t fetch_count() const { return fetch_count_; }
+
+ private:
+  SimulatedWeb(const taxonomy::Taxonomy* tax, WebConfig config)
+      : tax_(tax), config_(config) {}
+
+  // Deterministic token stream for page `index`.
+  std::vector<std::string> GenerateText(uint32_t index) const;
+  std::vector<std::string> GenerateTopicText(taxonomy::Cid leaf,
+                                             Rng* rng) const;
+  std::string TopicToken(taxonomy::Cid owner, size_t rank) const;
+
+  const taxonomy::Taxonomy* tax_;
+  WebConfig config_;
+  std::vector<PageInfo> pages_;
+  std::unordered_map<std::string, uint32_t> url_index_;
+  std::unordered_map<taxonomy::Cid, std::vector<uint32_t>> topic_pages_;
+  std::vector<ZipfTable> zipfs_;  // [0]=topic vocab, [1]=parent, [2]=shared
+  uint64_t fetch_count_ = 0;
+  std::unordered_map<uint32_t, int> attempt_counts_;  // per-page fetch tries
+  // Lazily built reverse adjacency for Backlinks().
+  std::unordered_map<uint32_t, std::vector<uint32_t>> inlinks_;
+  bool inlinks_built_ = false;
+};
+
+}  // namespace focus::webgraph
+
+#endif  // FOCUS_WEBGRAPH_SIMULATED_WEB_H_

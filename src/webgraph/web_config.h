@@ -1,0 +1,96 @@
+// Generation parameters for the simulated web.
+//
+// The real 1999 web is replaced by a deterministic synthetic hypertext
+// graph whose *statistics* match what the paper's method depends on:
+//   * radius-1 rule: a page's links go to its own topic with probability
+//     p_same_topic (~0.45, the paper's measured Yahoo! statistic), to
+//     topically affine communities with p_related_topic, else into the
+//     background "web at large";
+//   * radius-2 rule: a hub_fraction of topic pages are hubs with high
+//     outdegree concentrated on their topic;
+//   * topical locality: same-topic links stay within a window of page
+//     indices, so communities have large effective diameter and good
+//     resources sit many links from any seed set (Figure 7's premise);
+//   * designated authorities: a fraction of topic pages attract a biased
+//     share of in-links.
+#ifndef FOCUS_WEBGRAPH_WEB_CONFIG_H_
+#define FOCUS_WEBGRAPH_WEB_CONFIG_H_
+
+#include <cstdint>
+
+#include "taxonomy/taxonomy.h"
+
+namespace focus::webgraph {
+
+// Topic id used for background pages (not in any taxonomy community).
+inline constexpr taxonomy::Cid kBackgroundTopic = 0xFFFF;
+
+struct WebConfig {
+  uint64_t seed = 1;
+
+  // --- community structure ---
+  int pages_per_topic = 400;
+  int servers_per_topic = 25;
+  int background_pages = 30000;
+  int background_servers = 500;
+
+  // --- text ---
+  int topic_vocab = 150;    // tokens unique to each leaf topic
+  int parent_vocab = 80;    // tokens shared by siblings (per internal node)
+  int shared_vocab = 4000;  // background vocabulary
+  int doc_len_mean = 200;
+  int doc_len_stddev = 40;
+  double topic_token_fraction = 0.50;
+  // Per-page jitter of the topic fraction (pages differ in topical
+  // purity, so judged relevance varies continuously as on the real web).
+  double topic_fraction_jitter = 0.15;
+  double parent_token_fraction = 0.12;
+  double zipf_exponent = 1.1;
+
+  // --- linkage ---
+  int outdegree_min = 6;
+  int outdegree_max = 14;
+  double p_same_topic = 0.25;
+  double p_related_topic = 0.08;
+  // Remaining probability goes to background targets.
+  int locality_window = 25;       // same-topic links stay within +/- window
+  double p_long_range = 0.20;     // fraction of same-topic links that jump
+  double hub_fraction = 0.05;
+  int hub_outdegree = 36;
+  double hub_same_topic = 0.85;   // hubs concentrate on their topic
+  int hub_locality_window = 80;
+  double authority_bias = 0.20;   // probability a same-topic link is
+                                  // redirected to a designated authority
+  int authority_every = 12;       // page indices divisible by this are
+                                  // designated authorities
+  double background_to_topic = 0.003;  // background rarely links inward
+  // "Pages of all topics point to Netscape and Free Speech Online"
+  // (§2.2.2): a handful of universally popular off-topic portals receive a
+  // disproportionate share of background-directed links from everywhere.
+  int popular_background_pages = 12;
+  double popular_background_share = 0.15;
+
+  // When enabled, every server hosts an index page at its root
+  // ("http://host/") linking to a sample of its pages — the target of the
+  // §3.2 URL-truncation frontier device. Off by default so the graph
+  // statistics above are exactly as configured.
+  bool generate_server_index_pages = false;
+  int index_page_links = 15;
+
+  // --- fetch simulation ---
+  double fetch_latency_mean_ms = 120;
+  double fetch_failure_prob = 0.01;
+};
+
+// A topical affinity: pages of `from` link to pages of `to` with
+// probability `weight` per link (the citation-sociology mechanism; e.g.
+// cycling -> first_aid).
+struct TopicAffinity {
+  taxonomy::Cid from;
+  taxonomy::Cid to;
+  double weight;
+};
+
+}  // namespace focus::webgraph
+
+#endif  // FOCUS_WEBGRAPH_WEB_CONFIG_H_

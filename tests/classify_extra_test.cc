@@ -1,0 +1,234 @@
+// Classifier extras: degenerate documents, multiple good topics, trainer
+// options, and the DB-resident table layouts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/db_tables.h"
+#include "classify/hierarchical_classifier.h"
+#include "classify/trainer.h"
+#include "sql/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "taxonomy/taxonomy.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace focus::classify {
+namespace {
+
+using taxonomy::Cid;
+using taxonomy::Taxonomy;
+using text::TermVector;
+
+class ClassifyExtraTest : public testing::Test {
+ protected:
+  ClassifyExtraTest() : pool_(&disk_, 512), catalog_(&pool_), rng_(7) {
+    Cid a = tax_.AddTopic(taxonomy::kRootCid, "alpha").value();
+    Cid b = tax_.AddTopic(taxonomy::kRootCid, "beta").value();
+    a1_ = tax_.AddTopic(a, "a1").value();
+    a2_ = tax_.AddTopic(a, "a2").value();
+    b1_ = tax_.AddTopic(b, "b1").value();
+    b2_ = tax_.AddTopic(b, "b2").value();
+  }
+
+  TermVector MakeDoc(Cid leaf, int n = 100) {
+    std::vector<std::string> tokens;
+    for (int i = 0; i < n; ++i) {
+      if (rng_.Bernoulli(0.6)) {
+        tokens.push_back(StrCat("w", leaf, "_", rng_.Uniform(25)));
+      } else {
+        tokens.push_back(StrCat("bg_", rng_.Uniform(60)));
+      }
+    }
+    return text::BuildTermVector(tokens);
+  }
+
+  std::vector<LabeledDocument> TrainingSet(int per_leaf) {
+    std::vector<LabeledDocument> out;
+    uint64_t did = 1;
+    for (Cid leaf : {a1_, a2_, b1_, b2_}) {
+      for (int i = 0; i < per_leaf; ++i) {
+        out.push_back({did++, leaf, MakeDoc(leaf)});
+      }
+    }
+    return out;
+  }
+
+  ClassifierModel TrainedModel(TrainerOptions options = {}) {
+    Trainer trainer(options);
+    auto model = trainer.Train(tax_, TrainingSet(15));
+    EXPECT_TRUE(model.ok()) << model.status();
+    return model.TakeValue();
+  }
+
+  storage::MemDiskManager disk_;
+  storage::BufferPool pool_;
+  sql::Catalog catalog_;
+  Rng rng_;
+  Taxonomy tax_;
+  Cid a1_, a2_, b1_, b2_;
+};
+
+TEST_F(ClassifyExtraTest, EmptyDocumentFallsBackToPriors) {
+  ClassifierModel model = TrainedModel();
+  HierarchicalClassifier clf(&tax_, &model);
+  ClassScores scores = clf.Classify({});
+  // No evidence: posteriors equal priors, which sum to 1 at each level.
+  EXPECT_NEAR(scores.Prob(taxonomy::kRootCid), 1.0, 1e-12);
+  double leaf_sum = 0;
+  for (Cid c : {a1_, a2_, b1_, b2_}) leaf_sum += scores.Prob(c);
+  EXPECT_NEAR(leaf_sum, 1.0, 1e-9);
+  for (Cid c : {a1_, a2_, b1_, b2_}) {
+    double prior_path = std::exp(model.logprior[c] +
+                                 model.logprior[tax_.Parent(c)]);
+    EXPECT_NEAR(scores.Prob(c), prior_path, 1e-9);
+  }
+}
+
+TEST_F(ClassifyExtraTest, UnknownTermsAreIgnored) {
+  ClassifierModel model = TrainedModel();
+  HierarchicalClassifier clf(&tax_, &model);
+  TermVector junk = text::BuildTermVector({"zzzz", "qqqq", "xxxx"});
+  ClassScores scores = clf.Classify(junk);
+  ClassScores empty = clf.Classify({});
+  for (int c = 0; c < tax_.num_topics(); ++c) {
+    EXPECT_NEAR(scores.logp[c], empty.logp[c], 1e-12);
+  }
+}
+
+TEST_F(ClassifyExtraTest, MultipleGoodTopicsSumRelevance) {
+  ClassifierModel model = TrainedModel();
+  ASSERT_TRUE(tax_.MarkGood(a1_).ok());
+  ASSERT_TRUE(tax_.MarkGood(b1_).ok());
+  HierarchicalClassifier clf(&tax_, &model);
+  TermVector doc = MakeDoc(a1_);
+  ClassScores scores = clf.Classify(doc);
+  EXPECT_NEAR(clf.Relevance(doc),
+              std::min(1.0, scores.Prob(a1_) + scores.Prob(b1_)), 1e-12);
+}
+
+TEST_F(ClassifyExtraTest, GoodInternalTopicCountsWholeSubtree) {
+  ClassifierModel model = TrainedModel();
+  Cid alpha = tax_.FindByName("alpha").value();
+  ASSERT_TRUE(tax_.MarkGood(alpha).ok());
+  HierarchicalClassifier clf(&tax_, &model);
+  TermVector doc = MakeDoc(a2_);
+  ClassScores scores = clf.Classify(doc);
+  // R = Pr[alpha|d] = Pr[a1|d] + Pr[a2|d].
+  EXPECT_NEAR(clf.Relevance(doc), scores.Prob(alpha), 1e-12);
+  EXPECT_NEAR(scores.Prob(alpha), scores.Prob(a1_) + scores.Prob(a2_),
+              1e-9);
+  EXPECT_GT(clf.Relevance(doc), 0.8);
+}
+
+TEST_F(ClassifyExtraTest, FeatureCapIsHonored) {
+  ClassifierModel small = TrainedModel(
+      TrainerOptions{.max_features_per_node = 10});
+  for (const auto& [cid, node] : small.nodes) {
+    EXPECT_LE(node.stats.size(), 10u) << "node " << cid;
+  }
+  ClassifierModel big = TrainedModel(
+      TrainerOptions{.max_features_per_node = 10000});
+  size_t small_total = 0, big_total = 0;
+  for (const auto& [cid, node] : small.nodes) small_total += node.stats.size();
+  for (const auto& [cid, node] : big.nodes) big_total += node.stats.size();
+  EXPECT_GT(big_total, small_total);
+}
+
+TEST_F(ClassifyExtraTest, MinDocumentFrequencyPrunesRareTerms) {
+  // Give every document a singleton token that only a df>=2 filter drops.
+  auto training = TrainingSet(15);
+  for (auto& doc : training) {
+    auto extra = text::BuildTermVector({StrCat("unique_", doc.did)});
+    doc.terms.insert(doc.terms.end(), extra.begin(), extra.end());
+  }
+  Trainer strict_trainer(TrainerOptions{.max_features_per_node = 10000,
+                                        .min_document_frequency = 2});
+  Trainer loose_trainer(TrainerOptions{.max_features_per_node = 10000,
+                                       .min_document_frequency = 1});
+  auto strict_or = strict_trainer.Train(tax_, training);
+  auto loose_or = loose_trainer.Train(tax_, training);
+  ASSERT_TRUE(strict_or.ok());
+  ASSERT_TRUE(loose_or.ok());
+  const ClassifierModel& strict = strict_or.value();
+  const ClassifierModel& loose = loose_or.value();
+  size_t strict_total = 0, loose_total = 0;
+  for (const auto& [cid, node] : strict.nodes) {
+    strict_total += node.stats.size();
+  }
+  for (const auto& [cid, node] : loose.nodes) {
+    loose_total += node.stats.size();
+  }
+  EXPECT_LT(strict_total, loose_total);
+}
+
+TEST_F(ClassifyExtraTest, TaxonomyTableHasOneRowPerNonRootTopic) {
+  ClassifierModel model = TrainedModel();
+  auto tables = BuildClassifierTables(&catalog_, tax_, model);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables.value().taxonomy->num_rows(),
+            static_cast<uint64_t>(tax_.num_topics() - 1));
+  // Every internal node got a STAT table, heap-ordered by tid.
+  EXPECT_EQ(tables.value().stat.size(), 3u);  // root, alpha, beta
+  for (const auto& [cid, table] : tables.value().stat) {
+    int64_t prev_tid = -1;
+    auto it = table->Scan();
+    storage::Rid rid;
+    sql::Tuple row;
+    while (it.Next(&rid, &row)) {
+      EXPECT_GE(row.Get(1).AsInt64(), prev_tid)
+          << "STAT_" << cid << " not tid-ordered";
+      prev_tid = row.Get(1).AsInt64();
+    }
+    ASSERT_TRUE(it.status().ok());
+  }
+}
+
+TEST_F(ClassifyExtraTest, BlobRowCountMatchesFeatureCount) {
+  ClassifierModel model = TrainedModel();
+  auto tables = BuildClassifierTables(&catalog_, tax_, model);
+  ASSERT_TRUE(tables.ok());
+  uint64_t features = 0;
+  for (const auto& [cid, node] : model.nodes) features += node.stats.size();
+  EXPECT_EQ(tables.value().blob->num_rows(), features);
+}
+
+TEST_F(ClassifyExtraTest, FisherSelectionAlsoClassifiesWell) {
+  ClassifierModel fisher = TrainedModel(
+      TrainerOptions{.max_features_per_node = 150,
+                     .feature_selection = FeatureSelection::kFisher});
+  HierarchicalClassifier clf(&tax_, &fisher);
+  int correct = 0, total = 0;
+  for (Cid leaf : {a1_, a2_, b1_, b2_}) {
+    for (int i = 0; i < 8; ++i) {
+      correct += clf.Classify(MakeDoc(leaf)).BestLeaf(tax_) == leaf;
+      ++total;
+    }
+  }
+  EXPECT_GE(correct, total - 2);
+  // The two criteria need not agree on the feature set, but both must
+  // produce non-empty sparse models.
+  ClassifierModel mi = TrainedModel(
+      TrainerOptions{.max_features_per_node = 150});
+  for (const auto& [cid, node] : fisher.nodes) {
+    EXPECT_GT(node.stats.size(), 0u);
+    EXPECT_LE(node.stats.size(), 150u);
+  }
+  EXPECT_EQ(fisher.nodes.size(), mi.nodes.size());
+}
+
+TEST_F(ClassifyExtraTest, BestLeafPrefersEvidence) {
+  ClassifierModel model = TrainedModel();
+  HierarchicalClassifier clf(&tax_, &model);
+  for (Cid leaf : {a1_, a2_, b1_, b2_}) {
+    int correct = 0;
+    for (int i = 0; i < 8; ++i) {
+      correct += clf.Classify(MakeDoc(leaf)).BestLeaf(tax_) == leaf;
+    }
+    EXPECT_GE(correct, 7) << tax_.Name(leaf);
+  }
+}
+
+}  // namespace
+}  // namespace focus::classify

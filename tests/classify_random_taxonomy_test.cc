@@ -1,0 +1,137 @@
+// Property sweep: on randomly shaped taxonomies (variable depth and
+// branching), the four classifier implementations remain equivalent and
+// the hierarchical probability measure holds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/bulk_probe.h"
+#include "classify/db_tables.h"
+#include "classify/hierarchical_classifier.h"
+#include "classify/single_probe.h"
+#include "classify/trainer.h"
+#include "sql/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "taxonomy/taxonomy.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace focus::classify {
+namespace {
+
+using taxonomy::Cid;
+using taxonomy::Taxonomy;
+using text::TermVector;
+
+// Random tree: root gets 2-4 children; each child independently becomes
+// internal (2-3 children) or a leaf; depth <= 3.
+Taxonomy RandomTaxonomy(Rng* rng) {
+  Taxonomy tax;
+  int counter = 0;
+  int top = 2 + static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < top; ++i) {
+    Cid child =
+        tax.AddTopic(taxonomy::kRootCid, StrCat("t", counter++)).value();
+    if (rng->Bernoulli(0.5)) {
+      int grandchildren = 2 + static_cast<int>(rng->Uniform(2));
+      for (int j = 0; j < grandchildren; ++j) {
+        Cid grandchild =
+            tax.AddTopic(child, StrCat("t", counter++)).value();
+        if (rng->Bernoulli(0.3)) {
+          for (int k = 0; k < 2; ++k) {
+            tax.AddTopic(grandchild, StrCat("t", counter++)).value();
+          }
+        }
+      }
+    }
+  }
+  return tax;
+}
+
+TermVector RandomDoc(const Taxonomy& tax, Cid leaf, Rng* rng) {
+  std::vector<std::string> tokens;
+  int n = 40 + static_cast<int>(rng->Uniform(120));
+  for (int i = 0; i < n; ++i) {
+    double u = rng->NextDouble();
+    if (u < 0.5) {
+      tokens.push_back(StrCat("w", leaf, "_", rng->Uniform(30)));
+    } else if (u < 0.65) {
+      tokens.push_back(
+          StrCat("p", tax.Parent(leaf), "_", rng->Uniform(15)));
+    } else {
+      tokens.push_back(StrCat("bg_", rng->Uniform(80)));
+    }
+  }
+  return text::BuildTermVector(tokens);
+}
+
+class RandomTaxonomyTest : public testing::TestWithParam<int> {};
+
+TEST_P(RandomTaxonomyTest, AllClassifiersAgreeOnRandomShapes) {
+  Rng rng(GetParam() * 7919 + 13);
+  Taxonomy tax = RandomTaxonomy(&rng);
+  auto leaves = tax.LeavesUnder(taxonomy::kRootCid);
+  ASSERT_GE(leaves.size(), 2u);
+
+  std::vector<LabeledDocument> examples;
+  uint64_t did = 1;
+  for (Cid leaf : leaves) {
+    for (int i = 0; i < 10; ++i) {
+      examples.push_back({did++, leaf, RandomDoc(tax, leaf, &rng)});
+    }
+  }
+  Trainer trainer(TrainerOptions{.max_features_per_node = 200});
+  auto model = trainer.Train(tax, examples);
+  ASSERT_TRUE(model.ok()) << model.status();
+  HierarchicalClassifier ref(&tax, &model.value());
+
+  storage::MemDiskManager disk;
+  storage::BufferPool pool(&disk, 512);
+  sql::Catalog catalog(&pool);
+  auto tables = BuildClassifierTables(&catalog, tax, model.value());
+  ASSERT_TRUE(tables.ok());
+  SingleProbeClassifier sql_probe(&ref, &tables.value(),
+                                  SingleProbeClassifier::Variant::kSqlRows);
+  SingleProbeClassifier blob_probe(&ref, &tables.value(),
+                                   SingleProbeClassifier::Variant::kBlob);
+  BulkProbeClassifier bulk(&ref, &tables.value());
+
+  auto document = CreateDocumentTable(&catalog, "DOCUMENT");
+  ASSERT_TRUE(document.ok());
+  std::vector<TermVector> docs;
+  for (int i = 0; i < 6; ++i) {
+    docs.push_back(RandomDoc(tax, leaves[i % leaves.size()], &rng));
+    ASSERT_TRUE(InsertDocument(document.value(), i + 1, docs.back()).ok());
+  }
+  auto bulk_scores = bulk.ClassifyAll(document.value());
+  ASSERT_TRUE(bulk_scores.ok()) << bulk_scores.status();
+
+  for (size_t i = 0; i < docs.size(); ++i) {
+    ClassScores expected = ref.Classify(docs[i]);
+    // Probability measure: siblings sum to the parent everywhere.
+    for (Cid c0 : tax.InternalPreorder()) {
+      double child_sum = 0;
+      for (Cid ci : tax.Children(c0)) child_sum += expected.Prob(ci);
+      ASSERT_NEAR(child_sum, expected.Prob(c0), 1e-9);
+    }
+    auto s1 = sql_probe.Classify(docs[i]);
+    auto s2 = blob_probe.Classify(docs[i]);
+    ASSERT_TRUE(s1.ok());
+    ASSERT_TRUE(s2.ok());
+    const ClassScores& s3 = bulk_scores.value().at(i + 1);
+    for (Cid c = 0; c < tax.num_topics(); ++c) {
+      ASSERT_NEAR(s1.value().logp[c], expected.logp[c], 1e-9)
+          << "sql, shape seed " << GetParam() << " cid " << c;
+      ASSERT_NEAR(s2.value().logp[c], expected.logp[c], 1e-9)
+          << "blob, shape seed " << GetParam() << " cid " << c;
+      ASSERT_NEAR(s3.logp[c], expected.logp[c], 1e-9)
+          << "bulk, shape seed " << GetParam() << " cid " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RandomTaxonomyTest, testing::Range(1, 13));
+
+}  // namespace
+}  // namespace focus::classify

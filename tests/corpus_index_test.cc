@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "text/corpus_index.h"
+#include "text/document.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace focus::text {
+namespace {
+
+TermVector Doc(std::vector<std::string> tokens) {
+  return BuildTermVector(tokens);
+}
+
+TEST(CorpusIndexTest, EmptyIndexReturnsNothing) {
+  CorpusIndex index;
+  EXPECT_TRUE(index.Search(Doc({"bike"}), 10).empty());
+  EXPECT_EQ(index.num_documents(), 0u);
+}
+
+TEST(CorpusIndexTest, DuplicateDidRejected) {
+  CorpusIndex index;
+  ASSERT_TRUE(index.AddDocument(1, Doc({"bike"})).ok());
+  EXPECT_EQ(index.AddDocument(1, Doc({"ride"})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CorpusIndexTest, RanksByRelevance) {
+  CorpusIndex index;
+  // Doc 1 is all about bikes; doc 2 mentions them once among noise;
+  // doc 3 is unrelated.
+  ASSERT_TRUE(index.AddDocument(1, Doc({"bike", "bike", "ride", "race"}))
+                  .ok());
+  ASSERT_TRUE(index
+                  .AddDocument(2, Doc({"bike", "stock", "bond", "fund",
+                                       "market", "rate"}))
+                  .ok());
+  ASSERT_TRUE(index.AddDocument(3, Doc({"garden", "rose", "soil"})).ok());
+  auto results = index.Search(Doc({"bike", "ride"}), 10);
+  ASSERT_EQ(results.size(), 2u);  // doc 3 shares no terms
+  EXPECT_EQ(results[0].did, 1u);
+  EXPECT_EQ(results[1].did, 2u);
+  EXPECT_GT(results[0].score, results[1].score);
+}
+
+TEST(CorpusIndexTest, IdfDemotesUbiquitousTerms) {
+  CorpusIndex index;
+  // "common" appears everywhere, "rare" in one doc.
+  for (uint64_t d = 1; d <= 20; ++d) {
+    std::vector<std::string> tokens = {"common", "filler",
+                                       StrCat("noise", d)};
+    if (d == 7) tokens.push_back("rare");
+    ASSERT_TRUE(index.AddDocument(d, Doc(tokens)).ok());
+  }
+  auto results = index.Search(Doc({"rare"}), 5);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].did, 7u);
+  // A query for the ubiquitous term scores everyone but low.
+  auto common = index.Search(Doc({"common"}), 25);
+  EXPECT_EQ(common.size(), 20u);
+  EXPECT_GT(results[0].score, common[0].score);
+}
+
+TEST(CorpusIndexTest, KLimitsAndTiesAreDeterministic) {
+  CorpusIndex index;
+  for (uint64_t d = 1; d <= 10; ++d) {
+    ASSERT_TRUE(index.AddDocument(d, Doc({"same", "terms"})).ok());
+  }
+  auto results = index.Search(Doc({"same"}), 4);
+  ASSERT_EQ(results.size(), 4u);
+  // Identical scores: dids ascending.
+  EXPECT_EQ(results[0].did, 1u);
+  EXPECT_EQ(results[3].did, 4u);
+}
+
+TEST(CorpusIndexTest, IncrementalAdditionRecomputesIdf) {
+  CorpusIndex index;
+  ASSERT_TRUE(index.AddDocument(1, Doc({"bike", "ride"})).ok());
+  auto before = index.Search(Doc({"bike"}), 5);
+  ASSERT_EQ(before.size(), 1u);
+  // Adding many bike docs dilutes idf but must not break ranking.
+  for (uint64_t d = 2; d <= 6; ++d) {
+    ASSERT_TRUE(index.AddDocument(d, Doc({"bike"})).ok());
+  }
+  auto after = index.Search(Doc({"bike"}), 10);
+  EXPECT_EQ(after.size(), 6u);
+}
+
+TEST(CorpusIndexTest, QueryWithUnknownTermsOnly) {
+  CorpusIndex index;
+  ASSERT_TRUE(index.AddDocument(1, Doc({"bike"})).ok());
+  EXPECT_TRUE(index.Search(Doc({"zzz", "qqq"}), 5).empty());
+}
+
+}  // namespace
+}  // namespace focus::text

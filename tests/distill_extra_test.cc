@@ -1,0 +1,102 @@
+// Distillation extras: edge-weight assignment, ablation flags, ranking
+// determinism, and degenerate graphs.
+#include <gtest/gtest.h>
+
+#include "distill/hits.h"
+#include "distill/pagerank.h"
+#include "util/random.h"
+
+namespace focus::distill {
+namespace {
+
+TEST(AssignWeightsTest, MapsEndpointRelevances) {
+  std::vector<WeightedEdge> edges = {
+      {1, 10, 2, 20, 0, 0}, {2, 20, 3, 30, 0, 0}};
+  AssignRelevanceWeights({{1, 0.9}, {2, 0.5}}, &edges);
+  EXPECT_DOUBLE_EQ(edges[0].wgt_fwd, 0.5);  // R(dst=2)
+  EXPECT_DOUBLE_EQ(edges[0].wgt_rev, 0.9);  // R(src=1)
+  EXPECT_DOUBLE_EQ(edges[1].wgt_fwd, 0.0);  // R(3) unknown -> 0
+  EXPECT_DOUBLE_EQ(edges[1].wgt_rev, 0.5);
+}
+
+TEST(HitsAblationTest, NepotismFlagChangesScores) {
+  // Same-server edge from 1 to 2 plus off-server edge from 3 to 2.
+  std::vector<WeightedEdge> edges = {{1, 5, 2, 5, 1, 1},
+                                     {3, 7, 2, 8, 1, 1}};
+  std::unordered_map<uint64_t, double> rel = {{1, 1}, {2, 1}, {3, 1}};
+  HitsEngine engine(edges, rel);
+  auto with = engine.Run({.iterations = 5, .rho = 0, .nepotism_filter =
+                              true});
+  auto without = engine.Run({.iterations = 5, .rho = 0,
+                             .nepotism_filter = false});
+  // With the filter, only node 3 hubs; without it node 1 also does.
+  EXPECT_EQ(with[1].hub, 0.0);
+  EXPECT_GT(without[1].hub, 0.0);
+  EXPECT_NEAR(without[1].hub + without[3].hub, 1.0, 1e-9);
+}
+
+TEST(HitsRankingTest, TopListsDeterministicUnderTies) {
+  std::unordered_map<uint64_t, HubAuthScore> scores;
+  for (uint64_t oid = 1; oid <= 10; ++oid) {
+    scores[oid] = HubAuthScore{0.1, 0.1};  // all tied
+  }
+  auto hubs = HitsEngine::TopHubs(scores, 5);
+  ASSERT_EQ(hubs.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(hubs[i].first, i + 1);
+  auto auths = HitsEngine::TopAuthorities(scores, 3);
+  EXPECT_EQ(auths[0].first, 1u);
+}
+
+TEST(HitsDegenerateTest, EmptyGraph) {
+  HitsEngine engine({}, {});
+  auto scores = engine.Run({.iterations = 5});
+  EXPECT_TRUE(scores.empty());
+}
+
+TEST(HitsDegenerateTest, AllEdgesFiltered) {
+  // Every destination fails the rho filter: scores must not blow up.
+  std::vector<WeightedEdge> edges = {{1, 1, 2, 2, 1, 1}};
+  HitsEngine engine(edges, {{1, 0.1}, {2, 0.1}});
+  auto scores = engine.Run({.iterations = 5, .rho = 0.9});
+  EXPECT_EQ(scores[2].auth, 0.0);
+  EXPECT_EQ(scores[1].hub, 0.0);
+}
+
+TEST(HitsConvergenceTest, ScoresStabilizeAcrossIterations) {
+  Rng rng(13);
+  std::vector<WeightedEdge> edges;
+  std::unordered_map<uint64_t, double> rel;
+  for (int i = 0; i < 400; ++i) {
+    uint64_t u = 1 + rng.Uniform(60), v = 1 + rng.Uniform(60);
+    if (u == v) continue;
+    edges.push_back({u, static_cast<int32_t>(u % 11), v,
+                     static_cast<int32_t>(v % 11), 0, 0});
+    rel[u] = 1;
+    rel[v] = 1;
+  }
+  AssignRelevanceWeights(rel, &edges);
+  HitsEngine engine(edges, rel);
+  auto s20 = engine.Run({.iterations = 20});
+  auto s40 = engine.Run({.iterations = 40});
+  for (const auto& [oid, s] : s20) {
+    EXPECT_NEAR(s.hub, s40[oid].hub, 1e-6) << oid;
+    EXPECT_NEAR(s.auth, s40[oid].auth, 1e-6) << oid;
+  }
+}
+
+TEST(PageRankConvergenceTest, MoreIterationsAgree) {
+  Rng rng(17);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t u = rng.Uniform(80), v = rng.Uniform(80);
+    if (u != v) edges.emplace_back(u, v);
+  }
+  auto r30 = PageRank(80, edges, {.damping = 0.85, .iterations = 30});
+  auto r60 = PageRank(80, edges, {.damping = 0.85, .iterations = 60});
+  for (size_t i = 0; i < 80; ++i) {
+    EXPECT_NEAR(r30[i], r60[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace focus::distill

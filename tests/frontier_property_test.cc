@@ -1,0 +1,146 @@
+// Property test: under any policy and any interleaving of AddOrUpdate /
+// PopBest, the frontier pops exactly the best live entry according to a
+// naive reference implementation.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "crawl/frontier.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace focus::crawl {
+namespace {
+
+// Mirrors Frontier::HeapLess but as a straightforward "is a better than b"
+// comparison over a flat map — the oracle.
+bool Better(PriorityPolicy policy, const FrontierEntry& a,
+            const FrontierEntry& b) {
+  auto tie = [&] {
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.oid < b.oid;
+  };
+  switch (policy) {
+    case PriorityPolicy::kAggressiveDiscovery: {
+      if (a.numtries != b.numtries) return a.numtries < b.numtries;
+      if (a.relevance != b.relevance) return a.relevance > b.relevance;
+      int32_t la = a.serverload / 8, lb = b.serverload / 8;
+      if (la != lb) return la < lb;
+      return tie();
+    }
+    case PriorityPolicy::kBreadthFirst:
+      return tie();
+    case PriorityPolicy::kRevisitHubs: {
+      int64_t la = a.lastvisited == 0
+                       ? std::numeric_limits<int64_t>::max()
+                       : a.lastvisited;
+      int64_t lb = b.lastvisited == 0
+                       ? std::numeric_limits<int64_t>::max()
+                       : b.lastvisited;
+      if (la != lb) return la < lb;
+      if (a.hub_score != b.hub_score) return a.hub_score > b.hub_score;
+      return tie();
+    }
+    case PriorityPolicy::kRetryDeadLinks:
+      if (a.numtries != b.numtries) return a.numtries > b.numtries;
+      if (a.relevance != b.relevance) return a.relevance > b.relevance;
+      return tie();
+    case PriorityPolicy::kBacklinkCount:
+      if (a.backlinks != b.backlinks) return a.backlinks > b.backlinks;
+      return tie();
+    case PriorityPolicy::kPageRankOrder:
+      if (a.hub_score != b.hub_score) return a.hub_score > b.hub_score;
+      return tie();
+  }
+  return tie();
+}
+
+class FrontierPropertyTest
+    : public testing::TestWithParam<std::tuple<int, PriorityPolicy>> {};
+
+TEST_P(FrontierPropertyTest, MatchesReferenceSelection) {
+  auto [seed, policy] = GetParam();
+  Rng rng(seed);
+  Frontier frontier(policy);
+  std::map<uint64_t, FrontierEntry> reference;
+
+  for (int step = 0; step < 2000; ++step) {
+    double action = rng.NextDouble();
+    if (action < 0.55 || reference.empty()) {
+      FrontierEntry e;
+      e.oid = rng.Uniform(200);
+      e.url = StrCat("http://h/", e.oid);
+      e.numtries = static_cast<int32_t>(rng.Uniform(4));
+      e.relevance = rng.NextDouble();
+      e.serverload = static_cast<int32_t>(rng.Uniform(40));
+      e.lastvisited = static_cast<int64_t>(rng.Uniform(1000));
+      e.hub_score = rng.NextDouble();
+      e.backlinks = static_cast<int32_t>(rng.Uniform(6));
+      frontier.AddOrUpdate(e);
+      // Reference mirrors the seq-preservation rule.
+      auto it = reference.find(e.oid);
+      if (it != reference.end()) {
+        e.seq = it->second.seq;
+        it->second = e;
+      } else {
+        const FrontierEntry* in = frontier.Peek(e.oid);
+        ASSERT_NE(in, nullptr);
+        e.seq = in->seq;
+        reference[e.oid] = e;
+      }
+    } else if (action < 0.9) {
+      auto popped = frontier.PopBest();
+      ASSERT_TRUE(popped.has_value());
+      // Find the reference best.
+      const FrontierEntry* best = nullptr;
+      for (const auto& [oid, entry] : reference) {
+        if (best == nullptr || Better(policy, entry, *best)) {
+          best = &entry;
+        }
+      }
+      ASSERT_NE(best, nullptr);
+      EXPECT_EQ(popped->oid, best->oid) << "step " << step;
+      reference.erase(popped->oid);
+    } else if (!reference.empty()) {
+      // Erase a random entry.
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(reference.size()));
+      frontier.Erase(it->first);
+      reference.erase(it);
+    }
+    ASSERT_EQ(frontier.size(), reference.size());
+  }
+
+  // Drain fully; sequence must match the oracle's repeated selection.
+  while (!reference.empty()) {
+    auto popped = frontier.PopBest();
+    ASSERT_TRUE(popped.has_value());
+    const FrontierEntry* best = nullptr;
+    for (const auto& [oid, entry] : reference) {
+      if (best == nullptr || Better(policy, entry, *best)) best = &entry;
+    }
+    EXPECT_EQ(popped->oid, best->oid);
+    reference.erase(popped->oid);
+  }
+  EXPECT_TRUE(frontier.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, FrontierPropertyTest,
+    testing::Combine(testing::Range(1, 6),
+                     testing::Values(PriorityPolicy::kAggressiveDiscovery,
+                                     PriorityPolicy::kBreadthFirst,
+                                     PriorityPolicy::kRevisitHubs,
+                                     PriorityPolicy::kRetryDeadLinks,
+                                     PriorityPolicy::kBacklinkCount,
+                                     PriorityPolicy::kPageRankOrder)),
+    [](const testing::TestParamInfo<std::tuple<int, PriorityPolicy>>&
+           info) {
+      return StrCat("seed", std::get<0>(info.param), "_",
+                    PolicyName(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace focus::crawl

@@ -1,0 +1,135 @@
+// Golden tests: tiny hand-computed instances pinning the paper's exact
+// formulas — Equation 1's smoothing, Figure 2's scoring, Equation 3's
+// relevance, and one Figure-4 distillation iteration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/hierarchical_classifier.h"
+#include "classify/trainer.h"
+#include "distill/hits.h"
+#include "taxonomy/taxonomy.h"
+#include "text/document.h"
+#include "util/hash.h"
+
+namespace focus::classify {
+namespace {
+
+using taxonomy::Cid;
+using taxonomy::Taxonomy;
+
+// Two leaves under the root. Training:
+//   leaf a: one document "x x y"   (n=3)
+//   leaf b: one document "y z"     (n=2)
+// Vocabulary at the root: {x, y, z}, |V| = 3.
+// Equation 1:
+//   theta(a, x) = (1+2)/(3+3) = 1/2;  theta(a, y) = (1+1)/6 = 1/3
+//   theta(a, z) = 1/6 (smoothed default)
+//   theta(b, y) = (1+1)/(3+2) = 2/5;  theta(b, z) = 2/5;  theta(b, x) = 1/5
+// Priors: 1/2 each.
+class GoldenClassifierTest : public testing::Test {
+ protected:
+  GoldenClassifierTest() {
+    a_ = tax_.AddTopic(taxonomy::kRootCid, "a").value();
+    b_ = tax_.AddTopic(taxonomy::kRootCid, "b").value();
+    std::vector<LabeledDocument> train = {
+        {1, a_, text::BuildTermVector({"x", "x", "y"})},
+        {2, b_, text::BuildTermVector({"y", "z"})}};
+    Trainer trainer(TrainerOptions{.max_features_per_node = 100,
+                                   .min_document_frequency = 1});
+    auto model = trainer.Train(tax_, train);
+    EXPECT_TRUE(model.ok()) << model.status();
+    model_ = model.TakeValue();
+  }
+
+  double Theta(Cid child, const char* term) const {
+    const NodeModel* node = model_.NodeFor(taxonomy::kRootCid);
+    EXPECT_NE(node, nullptr);
+    auto it = node->stats.find(TermId(term));
+    if (it != node->stats.end()) {
+      for (const ChildStat& cs : it->second) {
+        if (cs.kcid == child) return std::exp(cs.logtheta);
+      }
+    }
+    // Smoothed default: 1/denominator.
+    return std::exp(-model_.logdenom[child]);
+  }
+
+  Taxonomy tax_;
+  Cid a_, b_;
+  ClassifierModel model_;
+};
+
+TEST_F(GoldenClassifierTest, Equation1Estimates) {
+  EXPECT_NEAR(Theta(a_, "x"), 0.5, 1e-12);
+  EXPECT_NEAR(Theta(a_, "y"), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(Theta(a_, "z"), 1.0 / 6, 1e-12);
+  EXPECT_NEAR(Theta(b_, "x"), 0.2, 1e-12);
+  EXPECT_NEAR(Theta(b_, "y"), 0.4, 1e-12);
+  EXPECT_NEAR(Theta(b_, "z"), 0.4, 1e-12);
+  EXPECT_NEAR(std::exp(model_.logprior[a_]), 0.5, 1e-12);
+  EXPECT_NEAR(std::exp(model_.logprior[b_]), 0.5, 1e-12);
+}
+
+TEST_F(GoldenClassifierTest, Figure2PosteriorOnTestDocument) {
+  // Test document "x y":
+  //   Pr[d|a] ∝ (1/2)(1/3) = 1/6;  Pr[d|b] ∝ (1/5)(2/5) = 2/25.
+  //   With equal priors: Pr[a|d] = (1/6) / (1/6 + 2/25) = 25/37.
+  HierarchicalClassifier clf(&tax_, &model_);
+  ClassScores scores = clf.Classify(text::BuildTermVector({"x", "y"}));
+  EXPECT_NEAR(scores.Prob(a_), 25.0 / 37, 1e-9);
+  EXPECT_NEAR(scores.Prob(b_), 12.0 / 37, 1e-9);
+  EXPECT_EQ(scores.BestLeaf(tax_), a_);
+}
+
+TEST_F(GoldenClassifierTest, Equation3Relevance) {
+  ASSERT_TRUE(tax_.MarkGood(b_).ok());
+  HierarchicalClassifier clf(&tax_, &model_);
+  // R(d) = Pr[b|d] = 12/37 for "x y".
+  EXPECT_NEAR(clf.Relevance(text::BuildTermVector({"x", "y"})), 12.0 / 37,
+              1e-9);
+}
+
+TEST_F(GoldenClassifierTest, TermFrequencyExponentiates) {
+  // "x x x" vs "x": the frequency multiplies the log-theta contribution.
+  HierarchicalClassifier clf(&tax_, &model_);
+  ClassScores one = clf.Classify(text::BuildTermVector({"x"}));
+  ClassScores three = clf.Classify(text::BuildTermVector({"x", "x", "x"}));
+  // Pr[a | "x"] = (1/2) / (1/2 + 1/5) = 5/7.
+  EXPECT_NEAR(one.Prob(a_), 5.0 / 7, 1e-9);
+  // Pr[a | "xxx"] = (1/8) / (1/8 + 1/125) = 125/133.
+  EXPECT_NEAR(three.Prob(a_), 125.0 / 133, 1e-9);
+}
+
+}  // namespace
+}  // namespace focus::classify
+
+namespace focus::distill {
+namespace {
+
+TEST(GoldenHitsTest, OneIterationByHand) {
+  // Graph: 1 -> 3, 2 -> 3, 2 -> 4; all off-server; weights:
+  //   wgt_fwd(1,3)=0.8, wgt_fwd(2,3)=0.6, wgt_fwd(2,4)=1.0
+  //   wgt_rev(1,3)=0.5, wgt_rev(2,3)=0.9, wgt_rev(2,4)=0.2
+  // Init h = 1 everywhere. UpdateAuth:
+  //   a(3) = h1*0.8 + h2*0.6 = 1.4;  a(4) = h2*1.0 = 1.0; total 2.4
+  //   -> a(3)=7/12, a(4)=5/12
+  // UpdateHubs:
+  //   h(1) = a(3)*0.5 = 7/24; h(2) = a(3)*0.9 + a(4)*0.2 = 7.3/12... :
+  //   h(2) = (7/12)*0.9 + (5/12)*0.2 = 6.3/12 + 1/12 = 7.3/12
+  //   total = 7/24 + 14.6/24 = 21.6/24 -> h(1)=7/21.6, h(2)=14.6/21.6
+  std::vector<WeightedEdge> edges = {{1, 10, 3, 30, 0.8, 0.5},
+                                     {2, 20, 3, 30, 0.6, 0.9},
+                                     {2, 20, 4, 40, 1.0, 0.2}};
+  std::unordered_map<uint64_t, double> rel = {{1, 1}, {2, 1}, {3, 1},
+                                              {4, 1}};
+  HitsEngine engine(edges, rel);
+  auto scores = engine.Run({.iterations = 1, .rho = 0.0});
+  EXPECT_NEAR(scores[3].auth, 7.0 / 12, 1e-12);
+  EXPECT_NEAR(scores[4].auth, 5.0 / 12, 1e-12);
+  EXPECT_NEAR(scores[1].hub, 7.0 / 21.6, 1e-12);
+  EXPECT_NEAR(scores[2].hub, 14.6 / 21.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace focus::distill

@@ -1,0 +1,123 @@
+// Integration test of the §3.7 "mutual funds" story: a soft-focus crawl on
+// the narrow topic shows a depressed harvest; the census query diagnoses a
+// general-investing neighbourhood; marking the ancestor good recovers the
+// harvest. (The runnable narrative lives in examples/crawl_monitoring.cc;
+// this test pins the behaviour.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/focus.h"
+#include "core/sample_taxonomy.h"
+#include "crawl/metrics.h"
+#include "crawl/monitor.h"
+
+namespace focus::core {
+namespace {
+
+using crawl::CrawlerOptions;
+using taxonomy::Cid;
+
+double TailHarvest(const std::vector<crawl::Visit>& visits) {
+  double sum = 0;
+  size_t start = visits.size() / 2;
+  for (size_t i = start; i < visits.size(); ++i) sum += visits[i].relevance;
+  return sum / (visits.size() - start);
+}
+
+TEST(MonitoringIntegrationTest, CensusDiagnosesAndAncestorMarkFixes) {
+  taxonomy::Taxonomy tax = BuildSampleTaxonomy();
+  Cid funds = tax.FindByName("mutual_funds").value();
+  Cid investing = tax.FindByName("investing_general").value();
+  FocusOptions options;
+  options.seed = 61;
+  options.web.pages_per_topic = 400;
+  options.web.background_pages = 20000;
+  options.web.background_servers = 500;
+  auto system =
+      FocusSystem::Create(std::move(tax), options,
+                          {webgraph::TopicAffinity{funds, investing, 0.2},
+                           webgraph::TopicAffinity{investing, funds, 0.1}})
+          .TakeValue();
+  ASSERT_TRUE(system->MarkGood("mutual_funds").ok());
+  ASSERT_TRUE(system->Train().ok());
+  auto seeds = system->web().KeywordSeeds(funds, 8);
+
+  CrawlerOptions copts;
+  copts.max_fetches = 800;
+  auto drooping = system->NewCrawl(seeds, copts).TakeValue();
+  ASSERT_TRUE(drooping->crawler().Crawl().ok());
+  double drooping_harvest = TailHarvest(drooping->crawler().visits());
+
+  // Census: the biggest neighbouring class among visited pages must be a
+  // business-category sibling (the diagnosis).
+  auto census = crawl::ClassCensus(drooping->db(), system->tax());
+  ASSERT_TRUE(census.ok());
+  ASSERT_GE(census.value().size(), 2u);
+  // Ignore the target class itself; find the largest other class.
+  std::string biggest_other;
+  int64_t biggest_count = 0;
+  for (const auto& row : census.value()) {
+    if (row.kcid == funds) continue;
+    if (row.count > biggest_count) {
+      biggest_count = row.count;
+      biggest_other = row.name;
+    }
+  }
+  EXPECT_TRUE(biggest_other == "investing_general" ||
+              biggest_other == "banking" || biggest_other == "insurance" ||
+              biggest_other == "startups" ||
+              biggest_other == "real_estate")
+      << "diagnosed neighbour was " << biggest_other;
+
+  // The fix: one marking update on the ancestor.
+  system->mutable_tax()->ClearMarks();
+  ASSERT_TRUE(system->MarkGood("business").ok());
+  auto fixed = system->NewCrawl(seeds, copts).TakeValue();
+  ASSERT_TRUE(fixed->crawler().Crawl().ok());
+  double fixed_harvest = TailHarvest(fixed->crawler().visits());
+
+  EXPECT_GT(fixed_harvest, drooping_harvest + 0.1);
+  EXPECT_GT(fixed_harvest, 1.5 * drooping_harvest);
+}
+
+TEST(MonitoringIntegrationTest, MissedHubNeighborsFlowsFromDistillation) {
+  // After a crawl + distillation, the §3.7 hub-neighbour query returns
+  // unvisited pages cited by top hubs — candidates the crawler was
+  // neglecting.
+  taxonomy::Taxonomy tax = BuildSampleTaxonomy();
+  FocusOptions options;
+  options.seed = 67;
+  options.web.pages_per_topic = 400;
+  options.web.background_pages = 10000;
+  options.web.background_servers = 300;
+  auto system = FocusSystem::Create(std::move(tax), options).TakeValue();
+  ASSERT_TRUE(system->MarkGood("cycling").ok());
+  ASSERT_TRUE(system->Train().ok());
+  Cid cycling = system->tax().FindByName("cycling").value();
+  CrawlerOptions copts;
+  copts.max_fetches = 250;  // small budget: plenty of unvisited citations
+  auto session = system->NewCrawl(system->web().KeywordSeeds(cycling, 8),
+                                  copts)
+                     .TakeValue();
+  ASSERT_TRUE(session->crawler().Crawl().ok());
+  auto result = session->Distill({.iterations = 10, .rho = 0.2}, 10);
+  ASSERT_TRUE(result.ok());
+
+  auto missed = crawl::MissedHubNeighbors(
+      session->db(), session->distill_tables().hubs, 0.9);
+  ASSERT_TRUE(missed.ok());
+  ASSERT_FALSE(missed.value().empty());
+  for (const auto& rec : missed.value()) {
+    EXPECT_FALSE(rec.visited);
+    EXPECT_EQ(rec.numtries, 0);
+  }
+  // Sorted by estimated relevance, descending.
+  for (size_t i = 1; i < missed.value().size(); ++i) {
+    EXPECT_GE(missed.value()[i - 1].relevance,
+              missed.value()[i].relevance);
+  }
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,168 @@
+// System-level robustness: determinism guarantees, multi-threaded stress
+// with failure injection, and hostile tokenizer input.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "core/focus.h"
+#include "core/sample_taxonomy.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace focus::core {
+namespace {
+
+using crawl::CrawlerOptions;
+using taxonomy::Cid;
+
+FocusOptions Options(uint64_t seed) {
+  FocusOptions options;
+  options.seed = seed;
+  options.web.pages_per_topic = 250;
+  options.web.background_pages = 4000;
+  options.web.background_servers = 120;
+  return options;
+}
+
+TEST(RobustnessTest, IdenticalSeedsGiveIdenticalCrawls) {
+  // The whole pipeline — generation, training, crawling, distillation —
+  // is a pure function of the seed.
+  std::vector<std::string> urls[2];
+  std::vector<double> scores[2];
+  for (int run = 0; run < 2; ++run) {
+    taxonomy::Taxonomy tax = BuildSampleTaxonomy();
+    auto system = FocusSystem::Create(std::move(tax), Options(99))
+                      .TakeValue();
+    ASSERT_TRUE(system->MarkGood("cycling").ok());
+    ASSERT_TRUE(system->Train().ok());
+    Cid cycling = system->tax().FindByName("cycling").value();
+    CrawlerOptions copts;
+    copts.max_fetches = 200;
+    copts.distill_every = 80;
+    auto session = system->NewCrawl(system->web().KeywordSeeds(cycling, 6),
+                                    copts)
+                       .TakeValue();
+    ASSERT_TRUE(session->crawler().Crawl().ok());
+    for (const auto& v : session->crawler().visits()) {
+      urls[run].push_back(v.url);
+      scores[run].push_back(v.relevance);
+    }
+    auto top = session->Distill({.iterations = 10, .rho = 0.1}, 5);
+    ASSERT_TRUE(top.ok());
+    for (const auto& hub : top.value().hubs) {
+      urls[run].push_back(hub.url);
+      scores[run].push_back(hub.score);
+    }
+  }
+  ASSERT_EQ(urls[0].size(), urls[1].size());
+  for (size_t i = 0; i < urls[0].size(); ++i) {
+    EXPECT_EQ(urls[0][i], urls[1][i]) << i;
+    EXPECT_DOUBLE_EQ(scores[0][i], scores[1][i]) << i;
+  }
+}
+
+TEST(RobustnessTest, DifferentSeedsDiverge) {
+  std::vector<std::string> first_urls[2];
+  for (int run = 0; run < 2; ++run) {
+    taxonomy::Taxonomy tax = BuildSampleTaxonomy();
+    auto system =
+        FocusSystem::Create(std::move(tax), Options(run == 0 ? 1 : 2))
+            .TakeValue();
+    ASSERT_TRUE(system->MarkGood("cycling").ok());
+    ASSERT_TRUE(system->Train().ok());
+    Cid cycling = system->tax().FindByName("cycling").value();
+    CrawlerOptions copts;
+    copts.max_fetches = 50;
+    auto session = system->NewCrawl(system->web().KeywordSeeds(cycling, 6),
+                                    copts)
+                       .TakeValue();
+    ASSERT_TRUE(session->crawler().Crawl().ok());
+    for (const auto& v : session->crawler().visits()) {
+      first_urls[run].push_back(v.url);
+    }
+  }
+  EXPECT_NE(first_urls[0], first_urls[1]);
+}
+
+TEST(RobustnessTest, MultiThreadedCrawlWithFailuresAndDistillation) {
+  taxonomy::Taxonomy tax = BuildSampleTaxonomy();
+  FocusOptions options = Options(7);
+  options.web.fetch_failure_prob = 0.15;
+  auto system = FocusSystem::Create(std::move(tax), options).TakeValue();
+  ASSERT_TRUE(system->MarkGood("cycling").ok());
+  ASSERT_TRUE(system->Train().ok());
+  Cid cycling = system->tax().FindByName("cycling").value();
+  CrawlerOptions copts;
+  copts.max_fetches = 400;
+  copts.num_threads = 8;
+  copts.distill_every = 150;
+  copts.try_truncated_urls = true;
+  auto session = system->NewCrawl(system->web().KeywordSeeds(cycling, 8),
+                                  copts)
+                     .TakeValue();
+  ASSERT_TRUE(session->crawler().Crawl().ok());
+  const auto& visits = session->crawler().visits();
+  EXPECT_EQ(visits.size(), 400u);
+  std::unordered_set<uint64_t> oids;
+  for (const auto& v : visits) {
+    EXPECT_TRUE(oids.insert(v.oid).second);
+  }
+  EXPECT_GT(session->crawler().stats().failures, 0u);
+  // The relational state is consistent: every visited row is classified.
+  auto it = session->db().crawl_table()->Scan();
+  storage::Rid rid;
+  sql::Tuple row;
+  int visited_rows = 0;
+  while (it.Next(&rid, &row)) {
+    if (row.Get(8).AsInt32() != 0) {
+      ++visited_rows;
+      EXPECT_GE(row.Get(7).AsInt32(), 0);   // kcid assigned
+      EXPECT_GT(row.Get(6).AsInt64(), 0);   // lastvisited set
+    }
+  }
+  EXPECT_EQ(visited_rows, 400);
+}
+
+TEST(RobustnessTest, TokenizerSurvivesHostileInput) {
+  text::Tokenizer tokenizer;
+  Rng rng(3);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    int len = static_cast<int>(rng.Uniform(2000));
+    for (int i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto tokens = tokenizer.Tokenize(garbage);
+    for (const auto& tok : tokens) {
+      EXPECT_GE(tok.size(), 2u);
+      for (char c : tok) {
+        EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) ||
+                    c == '_');
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, CrawlerHandlesAllSeedsFailing) {
+  taxonomy::Taxonomy tax = BuildSampleTaxonomy();
+  auto system = FocusSystem::Create(std::move(tax), Options(11))
+                    .TakeValue();
+  ASSERT_TRUE(system->MarkGood("cycling").ok());
+  ASSERT_TRUE(system->Train().ok());
+  CrawlerOptions copts;
+  copts.max_fetches = 50;
+  // Seeds that do not exist in the web: every fetch 404s.
+  auto session = system
+                     ->NewCrawl({"http://no.such.host/a",
+                                 "http://no.such.host/b"},
+                                copts)
+                     .TakeValue();
+  ASSERT_TRUE(session->crawler().Crawl().ok());
+  EXPECT_TRUE(session->crawler().visits().empty());
+  EXPECT_TRUE(session->crawler().stats().stagnated);
+  EXPECT_GT(session->crawler().stats().failures, 0u);
+}
+
+}  // namespace
+}  // namespace focus::core

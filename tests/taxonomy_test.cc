@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "taxonomy/taxonomy.h"
+
+namespace focus::taxonomy {
+namespace {
+
+// root -> {arts, recreation -> {cycling, gardening}, business ->
+// {investing -> {mutual_funds, stocks}}}
+Taxonomy MakeSample() {
+  Taxonomy tax;
+  Cid arts = tax.AddTopic(kRootCid, "arts").value();
+  (void)arts;
+  Cid rec = tax.AddTopic(kRootCid, "recreation").value();
+  tax.AddTopic(rec, "cycling").value();
+  tax.AddTopic(rec, "gardening").value();
+  Cid biz = tax.AddTopic(kRootCid, "business").value();
+  Cid inv = tax.AddTopic(biz, "investing").value();
+  tax.AddTopic(inv, "mutual_funds").value();
+  tax.AddTopic(inv, "stocks").value();
+  return tax;
+}
+
+TEST(TaxonomyTest, StructureNavigation) {
+  Taxonomy tax = MakeSample();
+  EXPECT_EQ(tax.num_topics(), 9);
+  Cid rec = tax.FindByName("recreation").value();
+  Cid cyc = tax.FindByName("cycling").value();
+  EXPECT_EQ(tax.Parent(cyc), rec);
+  EXPECT_TRUE(tax.IsLeaf(cyc));
+  EXPECT_FALSE(tax.IsLeaf(rec));
+  EXPECT_EQ(tax.Children(rec).size(), 2u);
+  EXPECT_FALSE(tax.FindByName("nope").ok());
+}
+
+TEST(TaxonomyTest, DuplicateNameRejected) {
+  Taxonomy tax = MakeSample();
+  EXPECT_EQ(tax.AddTopic(kRootCid, "arts").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TaxonomyTest, AncestorQueries) {
+  Taxonomy tax = MakeSample();
+  Cid biz = tax.FindByName("business").value();
+  Cid mf = tax.FindByName("mutual_funds").value();
+  EXPECT_TRUE(tax.IsAncestor(kRootCid, mf));
+  EXPECT_TRUE(tax.IsAncestor(biz, mf));
+  EXPECT_FALSE(tax.IsAncestor(mf, biz));
+  EXPECT_FALSE(tax.IsAncestor(mf, mf));
+  EXPECT_TRUE(tax.IsAncestor(mf, mf, /*or_self=*/true));
+}
+
+TEST(TaxonomyTest, PathFromRoot) {
+  Taxonomy tax = MakeSample();
+  Cid mf = tax.FindByName("mutual_funds").value();
+  auto path = tax.PathFromRoot(mf);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), kRootCid);
+  EXPECT_EQ(tax.Name(path[1]), "business");
+  EXPECT_EQ(tax.Name(path[2]), "investing");
+  EXPECT_EQ(path.back(), mf);
+}
+
+TEST(TaxonomyTest, LeavesUnder) {
+  Taxonomy tax = MakeSample();
+  Cid biz = tax.FindByName("business").value();
+  auto leaves = tax.LeavesUnder(biz);
+  std::vector<std::string> names;
+  for (Cid c : leaves) names.push_back(tax.Name(c));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"mutual_funds", "stocks"}));
+  auto root_leaves = tax.LeavesUnder(kRootCid);
+  EXPECT_EQ(root_leaves.size(), 5u);  // arts, cycling, gardening, mf, stocks
+}
+
+TEST(TaxonomyTest, InternalPreorderStartsAtRoot) {
+  Taxonomy tax = MakeSample();
+  auto order = tax.InternalPreorder();
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), kRootCid);
+  // Parents precede children.
+  Cid biz = tax.FindByName("business").value();
+  Cid inv = tax.FindByName("investing").value();
+  auto pos = [&](Cid c) {
+    return std::find(order.begin(), order.end(), c) - order.begin();
+  };
+  EXPECT_LT(pos(biz), pos(inv));
+  // Leaves are not internal.
+  Cid cyc = tax.FindByName("cycling").value();
+  EXPECT_EQ(std::find(order.begin(), order.end(), cyc), order.end());
+}
+
+TEST(TaxonomyTest, MarkGoodSetsPathAndSubsumed) {
+  Taxonomy tax = MakeSample();
+  Cid inv = tax.FindByName("investing").value();
+  ASSERT_TRUE(tax.MarkGood(inv).ok());
+  EXPECT_EQ(tax.mark(inv), Mark::kGood);
+  EXPECT_EQ(tax.mark(tax.FindByName("business").value()), Mark::kPath);
+  EXPECT_EQ(tax.mark(kRootCid), Mark::kPath);
+  EXPECT_EQ(tax.mark(tax.FindByName("mutual_funds").value()),
+            Mark::kSubsumed);
+  EXPECT_EQ(tax.mark(tax.FindByName("cycling").value()), Mark::kNull);
+  EXPECT_TRUE(tax.IsGoodOrSubsumed(tax.FindByName("stocks").value()));
+  EXPECT_FALSE(tax.IsGoodOrSubsumed(tax.FindByName("arts").value()));
+}
+
+TEST(TaxonomyTest, GoodInvariantEnforced) {
+  Taxonomy tax = MakeSample();
+  Cid inv = tax.FindByName("investing").value();
+  Cid mf = tax.FindByName("mutual_funds").value();
+  Cid biz = tax.FindByName("business").value();
+  ASSERT_TRUE(tax.MarkGood(inv).ok());
+  // Descendant of a good topic cannot be good.
+  EXPECT_EQ(tax.MarkGood(mf).code(), StatusCode::kFailedPrecondition);
+  // Ancestor of a good topic cannot be good.
+  EXPECT_EQ(tax.MarkGood(biz).code(), StatusCode::kFailedPrecondition);
+  // Re-marking the same topic is also a conflict (with itself).
+  EXPECT_EQ(tax.MarkGood(inv).code(), StatusCode::kFailedPrecondition);
+  // An unrelated topic is fine.
+  EXPECT_TRUE(tax.MarkGood(tax.FindByName("cycling").value()).ok());
+  auto good = tax.GoodTopics();
+  EXPECT_EQ(good.size(), 2u);
+}
+
+TEST(TaxonomyTest, MarkingTwoSiblingsIsAllowed) {
+  // "The user's interest is characterized by a subset of topics" — multiple
+  // good topics are allowed as long as none is an ancestor of another.
+  Taxonomy tax = MakeSample();
+  ASSERT_TRUE(tax.MarkGood(tax.FindByName("mutual_funds").value()).ok());
+  ASSERT_TRUE(tax.MarkGood(tax.FindByName("stocks").value()).ok());
+  EXPECT_EQ(tax.mark(tax.FindByName("investing").value()), Mark::kPath);
+}
+
+TEST(TaxonomyTest, ClearMarksResets) {
+  Taxonomy tax = MakeSample();
+  ASSERT_TRUE(tax.MarkGood(tax.FindByName("cycling").value()).ok());
+  tax.ClearMarks();
+  for (Cid c = 0; c < tax.num_topics(); ++c) {
+    EXPECT_EQ(tax.mark(c), Mark::kNull);
+  }
+  // After clearing, previously conflicting marks become possible.
+  EXPECT_TRUE(tax.MarkGood(tax.FindByName("recreation").value()).ok());
+}
+
+}  // namespace
+}  // namespace focus::taxonomy

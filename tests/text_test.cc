@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/document.h"
+#include "text/tokenizer.h"
+#include "util/hash.h"
+
+namespace focus::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("Mountain-Biking, Trails & Racing!");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"mountain", "biking", "trails",
+                                      "racing"}));
+}
+
+TEST(TokenizerTest, RemovesStopwordsAndShortTokens) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("the bike is on a hill");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"bike", "hill"}));
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenDisabled) {
+  Tokenizer tok(TokenizerOptions{.min_token_length = 1,
+                                 .remove_stopwords = false});
+  auto tokens = tok.Tokenize("the bike");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "bike"}));
+}
+
+TEST(TokenizerTest, DigitsAndUnderscoresAreTokenChars) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("db2 term_42 x");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"db2", "term_42"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  ,,  ").empty());
+}
+
+TEST(DocumentTest, TermVectorCountsAndSorts) {
+  TermVector tv = BuildTermVector({"bike", "race", "bike", "bike", "race"});
+  ASSERT_EQ(tv.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(tv.begin(), tv.end(),
+                             [](const TermFreq& a, const TermFreq& b) {
+                               return a.tid < b.tid;
+                             }));
+  int freq_bike = 0, freq_race = 0;
+  for (const auto& tf : tv) {
+    if (tf.tid == TermId("bike")) freq_bike = tf.freq;
+    if (tf.tid == TermId("race")) freq_race = tf.freq;
+  }
+  EXPECT_EQ(freq_bike, 3);
+  EXPECT_EQ(freq_race, 2);
+  EXPECT_EQ(TermVectorLength(tv), 5);
+}
+
+TEST(DocumentTest, EmptyTermVector) {
+  TermVector tv = BuildTermVector({});
+  EXPECT_TRUE(tv.empty());
+  EXPECT_EQ(TermVectorLength(tv), 0);
+}
+
+}  // namespace
+}  // namespace focus::text

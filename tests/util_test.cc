@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace focus {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing row");
+  EXPECT_EQ(s.ToString(), "not_found: missing row");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> r = std::string("payload");
+  std::string v = r.TakeValue();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  FOCUS_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseHalf(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(Fnv1a64("cycling"), Fnv1a64("cycling"));
+  EXPECT_NE(Fnv1a64("cycling"), Fnv1a64("cyclinG"));
+  EXPECT_EQ(TermId("bike"), TermId("bike"));
+  // 32-bit term ids over a modest vocabulary should be collision-free.
+  std::set<uint32_t> ids;
+  for (int i = 0; i < 20000; ++i) ids.insert(TermId(StrCat("term_", i)));
+  EXPECT_EQ(ids.size(), 20000u);
+}
+
+TEST(HashTest, UrlOidIs64Bit) {
+  std::set<uint64_t> oids;
+  for (int i = 0; i < 50000; ++i) {
+    oids.insert(UrlOid(StrCat("http://server", i % 97, ".example/page", i)));
+  }
+  EXPECT_EQ(oids.size(), 50000u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.15);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(5);
+  auto small = rng.SampleIndices(1000, 10);
+  EXPECT_EQ(std::set<size_t>(small.begin(), small.end()).size(), 10u);
+  auto big = rng.SampleIndices(100, 90);
+  EXPECT_EQ(std::set<size_t>(big.begin(), big.end()).size(), 90u);
+  for (size_t idx : big) EXPECT_LT(idx, 100u);
+}
+
+TEST(ZipfTest, RankZeroMostProbable) {
+  ZipfTable zipf(100, 1.0);
+  Rng rng(6);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+  double total_pmf = 0;
+  for (size_t r = 0; r < 100; ++r) total_pmf += zipf.Pmf(r);
+  EXPECT_NEAR(total_pmf, 1.0, 1e-9);
+}
+
+TEST(StringTest, StrCatAndJoin) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, ", "), "x, y, z");
+}
+
+TEST(StringTest, Split) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringTest, LowerAndPrefix) {
+  EXPECT_EQ(AsciiToLower("CyCling"), "cycling");
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.AdvanceMicros(1500);
+  clock.AdvanceSeconds(0.5);
+  EXPECT_EQ(clock.NowMicros(), 501500);
+  EXPECT_NEAR(clock.NowSeconds(), 0.5015, 1e-9);
+}
+
+TEST(StopwatchTest, MeasuresSomething) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace focus

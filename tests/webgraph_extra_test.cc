@@ -1,0 +1,176 @@
+// Webgraph extras: universal portals, determinism of lazy text, config
+// validation and fetch bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "taxonomy/taxonomy.h"
+#include "webgraph/simulated_web.h"
+
+namespace focus::webgraph {
+namespace {
+
+using taxonomy::Cid;
+using taxonomy::Taxonomy;
+
+Taxonomy TwoTopicTax() {
+  Taxonomy tax;
+  Cid rec = tax.AddTopic(taxonomy::kRootCid, "recreation").value();
+  tax.AddTopic(rec, "cycling").value();
+  tax.AddTopic(rec, "gardening").value();
+  return tax;
+}
+
+TEST(WebPortalsTest, PopularPagesAttractExtraInlinks) {
+  Taxonomy tax = TwoTopicTax();
+  WebConfig config;
+  config.seed = 3;
+  config.pages_per_topic = 150;
+  config.background_pages = 3000;
+  config.background_servers = 60;
+  config.popular_background_pages = 5;
+  config.popular_background_share = 0.3;
+  auto web = SimulatedWeb::Generate(tax, config, {}).TakeValue();
+
+  // Find the first background page index.
+  uint32_t background_start = 0;
+  for (uint32_t i = 0; i < web.num_pages(); ++i) {
+    if (web.page(i).topic == kBackgroundTopic) {
+      background_start = i;
+      break;
+    }
+  }
+  std::map<uint32_t, int> indegree;
+  for (uint32_t i = 0; i < web.num_pages(); ++i) {
+    for (uint32_t t : web.page(i).outlinks) ++indegree[t];
+  }
+  // Average in-degree of the 5 portals vs other background pages.
+  double portal_in = 0, other_in = 0;
+  int others = 0;
+  for (uint32_t i = background_start; i < web.num_pages(); ++i) {
+    if (i < background_start + 5) {
+      portal_in += indegree[i];
+    } else {
+      other_in += indegree[i];
+      ++others;
+    }
+  }
+  portal_in /= 5;
+  other_in /= others;
+  EXPECT_GT(portal_in, 20 * other_in);
+}
+
+TEST(WebPortalsTest, ZeroPortalsDisablesSkew) {
+  Taxonomy tax = TwoTopicTax();
+  WebConfig config;
+  config.seed = 3;
+  config.pages_per_topic = 100;
+  config.background_pages = 2000;
+  config.background_servers = 50;
+  config.popular_background_pages = 0;
+  auto web = SimulatedWeb::Generate(tax, config, {}).TakeValue();
+  std::map<uint32_t, int> indegree;
+  for (uint32_t i = 0; i < web.num_pages(); ++i) {
+    for (uint32_t t : web.page(i).outlinks) ++indegree[t];
+  }
+  int max_bg_in = 0;
+  for (uint32_t i = 0; i < web.num_pages(); ++i) {
+    if (web.page(i).topic == kBackgroundTopic) {
+      max_bg_in = std::max(max_bg_in, indegree[i]);
+    }
+  }
+  EXPECT_LT(max_bg_in, 30);  // no background page dominates
+}
+
+TEST(WebConfigTest, TooSmallWebRejected) {
+  Taxonomy tax = TwoTopicTax();
+  WebConfig config;
+  config.pages_per_topic = 1;
+  EXPECT_FALSE(SimulatedWeb::Generate(tax, config, {}).ok());
+  config.pages_per_topic = 100;
+  config.background_pages = 0;
+  EXPECT_FALSE(SimulatedWeb::Generate(tax, config, {}).ok());
+}
+
+TEST(WebFetchTest, FetchCountTracksSuccesses) {
+  Taxonomy tax = TwoTopicTax();
+  WebConfig config;
+  config.seed = 9;
+  config.pages_per_topic = 50;
+  config.background_pages = 500;
+  config.background_servers = 20;
+  config.fetch_failure_prob = 0.0;
+  auto web = SimulatedWeb::Generate(tax, config, {}).TakeValue();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(web.Fetch(web.page(i).url).ok());
+  }
+  EXPECT_EQ(web.fetch_count(), 10u);
+  EXPECT_FALSE(web.Fetch("http://not.a.page/").ok());
+  EXPECT_EQ(web.fetch_count(), 10u);
+}
+
+TEST(WebTextTest, PurityJitterVariesDocumentsButStaysDeterministic) {
+  Taxonomy tax = TwoTopicTax();
+  WebConfig config;
+  config.seed = 21;
+  config.pages_per_topic = 80;
+  config.background_pages = 400;
+  config.background_servers = 20;
+  config.topic_fraction_jitter = 0.2;
+  config.fetch_failure_prob = 0.0;
+  auto web = SimulatedWeb::Generate(tax, config, {}).TakeValue();
+  Cid cycling = tax.FindByName("cycling").value();
+  auto members = web.PagesOfTopic(cycling);
+  // Topic-token fraction should vary across pages.
+  std::vector<double> fractions;
+  for (int i = 0; i < 30; ++i) {
+    auto fetch = web.Fetch(web.page(members[i]).url);
+    ASSERT_TRUE(fetch.ok());
+    int topical = 0;
+    for (const auto& tok : fetch.value().tokens) {
+      topical += tok.rfind("w", 0) == 0;  // topic tokens start with 'w'
+    }
+    fractions.push_back(static_cast<double>(topical) /
+                        fetch.value().tokens.size());
+  }
+  auto [lo, hi] = std::minmax_element(fractions.begin(), fractions.end());
+  EXPECT_GT(*hi - *lo, 0.15);
+  // But refetching gives identical text.
+  auto f1 = web.Fetch(web.page(members[0]).url);
+  auto f2 = web.Fetch(web.page(members[0]).url);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f1.value().tokens, f2.value().tokens);
+}
+
+TEST(WebSeedsTest, SeedsAreRankedByKeywordDensity) {
+  Taxonomy tax = TwoTopicTax();
+  WebConfig config;
+  config.seed = 33;
+  config.pages_per_topic = 120;
+  config.background_pages = 500;
+  config.background_servers = 20;
+  config.fetch_failure_prob = 0.0;
+  auto web = SimulatedWeb::Generate(tax, config, {}).TakeValue();
+  Cid cycling = tax.FindByName("cycling").value();
+  auto keywords = web.TopicKeywords(cycling, 3);
+  auto count_hits = [&](const std::string& url) {
+    auto fetch = web.Fetch(url);
+    EXPECT_TRUE(fetch.ok());
+    int hits = 0;
+    for (const auto& tok : fetch.value().tokens) {
+      for (const auto& kw : keywords) hits += (tok == kw);
+    }
+    return hits;
+  };
+  auto top = web.KeywordSeeds(cycling, 3, 0);
+  auto bottom = web.KeywordSeeds(cycling, 3, 110);
+  int top_hits = 0, bottom_hits = 0;
+  for (const auto& url : top) top_hits += count_hits(url);
+  for (const auto& url : bottom) bottom_hits += count_hits(url);
+  EXPECT_GT(top_hits, bottom_hits);
+}
+
+}  // namespace
+}  // namespace focus::webgraph
