@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cho_orderings.dir/ablation_cho_orderings.cc.o"
+  "CMakeFiles/ablation_cho_orderings.dir/ablation_cho_orderings.cc.o.d"
+  "ablation_cho_orderings"
+  "ablation_cho_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cho_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

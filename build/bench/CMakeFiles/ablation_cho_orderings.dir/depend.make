@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_cho_orderings.
+# This may be replaced when dependencies are built.

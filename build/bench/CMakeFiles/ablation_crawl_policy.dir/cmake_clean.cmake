@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crawl_policy.dir/ablation_crawl_policy.cc.o"
+  "CMakeFiles/ablation_crawl_policy.dir/ablation_crawl_policy.cc.o.d"
+  "ablation_crawl_policy"
+  "ablation_crawl_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crawl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distillation.dir/ablation_distillation.cc.o"
+  "CMakeFiles/ablation_distillation.dir/ablation_distillation.cc.o.d"
+  "ablation_distillation"
+  "ablation_distillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

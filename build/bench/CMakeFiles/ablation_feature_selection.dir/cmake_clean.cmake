@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feature_selection.dir/ablation_feature_selection.cc.o"
+  "CMakeFiles/ablation_feature_selection.dir/ablation_feature_selection.cc.o.d"
+  "ablation_feature_selection"
+  "ablation_feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_distance_histogram.dir/fig7_distance_histogram.cc.o"
+  "CMakeFiles/fig7_distance_histogram.dir/fig7_distance_histogram.cc.o.d"
+  "fig7_distance_histogram"
+  "fig7_distance_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_distance_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_classifier_time.dir/fig8a_classifier_time.cc.o"
+  "CMakeFiles/fig8a_classifier_time.dir/fig8a_classifier_time.cc.o.d"
+  "fig8a_classifier_time"
+  "fig8a_classifier_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_classifier_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_memory_scaling.dir/fig8b_memory_scaling.cc.o"
+  "CMakeFiles/fig8b_memory_scaling.dir/fig8b_memory_scaling.cc.o.d"
+  "fig8b_memory_scaling"
+  "fig8b_memory_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_memory_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

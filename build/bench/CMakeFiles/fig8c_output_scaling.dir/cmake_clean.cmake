@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_output_scaling.dir/fig8c_output_scaling.cc.o"
+  "CMakeFiles/fig8c_output_scaling.dir/fig8c_output_scaling.cc.o.d"
+  "fig8c_output_scaling"
+  "fig8c_output_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_output_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

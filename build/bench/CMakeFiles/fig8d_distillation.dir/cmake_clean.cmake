@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8d_distillation.dir/fig8d_distillation.cc.o"
+  "CMakeFiles/fig8d_distillation.dir/fig8d_distillation.cc.o.d"
+  "fig8d_distillation"
+  "fig8d_distillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_distillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

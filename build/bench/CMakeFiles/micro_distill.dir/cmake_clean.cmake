@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_distill.dir/micro_distill.cc.o"
+  "CMakeFiles/micro_distill.dir/micro_distill.cc.o.d"
+  "micro_distill"
+  "micro_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_radius_rules.dir/tab_radius_rules.cc.o"
+  "CMakeFiles/tab_radius_rules.dir/tab_radius_rules.cc.o.d"
+  "tab_radius_rules"
+  "tab_radius_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_radius_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

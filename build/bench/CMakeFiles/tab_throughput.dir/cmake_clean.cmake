@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_throughput.dir/tab_throughput.cc.o"
+  "CMakeFiles/tab_throughput.dir/tab_throughput.cc.o.d"
+  "tab_throughput"
+  "tab_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

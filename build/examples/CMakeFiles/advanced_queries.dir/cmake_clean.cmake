@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_queries.dir/advanced_queries.cc.o"
+  "CMakeFiles/advanced_queries.dir/advanced_queries.cc.o.d"
+  "advanced_queries"
+  "advanced_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

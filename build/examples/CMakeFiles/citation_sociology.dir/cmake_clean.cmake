@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_sociology.dir/citation_sociology.cc.o"
+  "CMakeFiles/citation_sociology.dir/citation_sociology.cc.o.d"
+  "citation_sociology"
+  "citation_sociology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_sociology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_monitoring.dir/crawl_monitoring.cc.o"
+  "CMakeFiles/crawl_monitoring.dir/crawl_monitoring.cc.o.d"
+  "crawl_monitoring"
+  "crawl_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

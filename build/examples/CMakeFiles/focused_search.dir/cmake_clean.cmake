@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focused_search.dir/focused_search.cc.o"
+  "CMakeFiles/focused_search.dir/focused_search.cc.o.d"
+  "focused_search"
+  "focused_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focused_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

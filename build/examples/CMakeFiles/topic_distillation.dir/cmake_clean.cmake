@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_distillation.dir/topic_distillation.cc.o"
+  "CMakeFiles/topic_distillation.dir/topic_distillation.cc.o.d"
+  "topic_distillation"
+  "topic_distillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_distillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/bulk_probe.cc" "src/classify/CMakeFiles/focus_classify.dir/bulk_probe.cc.o" "gcc" "src/classify/CMakeFiles/focus_classify.dir/bulk_probe.cc.o.d"
+  "/root/repo/src/classify/db_tables.cc" "src/classify/CMakeFiles/focus_classify.dir/db_tables.cc.o" "gcc" "src/classify/CMakeFiles/focus_classify.dir/db_tables.cc.o.d"
+  "/root/repo/src/classify/hierarchical_classifier.cc" "src/classify/CMakeFiles/focus_classify.dir/hierarchical_classifier.cc.o" "gcc" "src/classify/CMakeFiles/focus_classify.dir/hierarchical_classifier.cc.o.d"
+  "/root/repo/src/classify/single_probe.cc" "src/classify/CMakeFiles/focus_classify.dir/single_probe.cc.o" "gcc" "src/classify/CMakeFiles/focus_classify.dir/single_probe.cc.o.d"
+  "/root/repo/src/classify/trainer.cc" "src/classify/CMakeFiles/focus_classify.dir/trainer.cc.o" "gcc" "src/classify/CMakeFiles/focus_classify.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/focus_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/focus_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/focus_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/focus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/focus_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

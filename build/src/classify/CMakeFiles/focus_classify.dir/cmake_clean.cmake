@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_classify.dir/bulk_probe.cc.o"
+  "CMakeFiles/focus_classify.dir/bulk_probe.cc.o.d"
+  "CMakeFiles/focus_classify.dir/db_tables.cc.o"
+  "CMakeFiles/focus_classify.dir/db_tables.cc.o.d"
+  "CMakeFiles/focus_classify.dir/hierarchical_classifier.cc.o"
+  "CMakeFiles/focus_classify.dir/hierarchical_classifier.cc.o.d"
+  "CMakeFiles/focus_classify.dir/single_probe.cc.o"
+  "CMakeFiles/focus_classify.dir/single_probe.cc.o.d"
+  "CMakeFiles/focus_classify.dir/trainer.cc.o"
+  "CMakeFiles/focus_classify.dir/trainer.cc.o.d"
+  "libfocus_classify.a"
+  "libfocus_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

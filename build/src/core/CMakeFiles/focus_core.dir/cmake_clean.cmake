@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_core.dir/focus.cc.o"
+  "CMakeFiles/focus_core.dir/focus.cc.o.d"
+  "CMakeFiles/focus_core.dir/sample_taxonomy.cc.o"
+  "CMakeFiles/focus_core.dir/sample_taxonomy.cc.o.d"
+  "libfocus_core.a"
+  "libfocus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

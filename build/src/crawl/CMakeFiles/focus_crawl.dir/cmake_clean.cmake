@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_crawl.dir/crawl_db.cc.o"
+  "CMakeFiles/focus_crawl.dir/crawl_db.cc.o.d"
+  "CMakeFiles/focus_crawl.dir/crawler.cc.o"
+  "CMakeFiles/focus_crawl.dir/crawler.cc.o.d"
+  "CMakeFiles/focus_crawl.dir/frontier.cc.o"
+  "CMakeFiles/focus_crawl.dir/frontier.cc.o.d"
+  "CMakeFiles/focus_crawl.dir/metrics.cc.o"
+  "CMakeFiles/focus_crawl.dir/metrics.cc.o.d"
+  "CMakeFiles/focus_crawl.dir/monitor.cc.o"
+  "CMakeFiles/focus_crawl.dir/monitor.cc.o.d"
+  "libfocus_crawl.a"
+  "libfocus_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

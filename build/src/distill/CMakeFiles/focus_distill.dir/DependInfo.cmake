@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distill/distiller.cc" "src/distill/CMakeFiles/focus_distill.dir/distiller.cc.o" "gcc" "src/distill/CMakeFiles/focus_distill.dir/distiller.cc.o.d"
+  "/root/repo/src/distill/hits.cc" "src/distill/CMakeFiles/focus_distill.dir/hits.cc.o" "gcc" "src/distill/CMakeFiles/focus_distill.dir/hits.cc.o.d"
+  "/root/repo/src/distill/join_distiller.cc" "src/distill/CMakeFiles/focus_distill.dir/join_distiller.cc.o" "gcc" "src/distill/CMakeFiles/focus_distill.dir/join_distiller.cc.o.d"
+  "/root/repo/src/distill/naive_distiller.cc" "src/distill/CMakeFiles/focus_distill.dir/naive_distiller.cc.o" "gcc" "src/distill/CMakeFiles/focus_distill.dir/naive_distiller.cc.o.d"
+  "/root/repo/src/distill/pagerank.cc" "src/distill/CMakeFiles/focus_distill.dir/pagerank.cc.o" "gcc" "src/distill/CMakeFiles/focus_distill.dir/pagerank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/focus_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/focus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/focus_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_distill.dir/distiller.cc.o"
+  "CMakeFiles/focus_distill.dir/distiller.cc.o.d"
+  "CMakeFiles/focus_distill.dir/hits.cc.o"
+  "CMakeFiles/focus_distill.dir/hits.cc.o.d"
+  "CMakeFiles/focus_distill.dir/join_distiller.cc.o"
+  "CMakeFiles/focus_distill.dir/join_distiller.cc.o.d"
+  "CMakeFiles/focus_distill.dir/naive_distiller.cc.o"
+  "CMakeFiles/focus_distill.dir/naive_distiller.cc.o.d"
+  "CMakeFiles/focus_distill.dir/pagerank.cc.o"
+  "CMakeFiles/focus_distill.dir/pagerank.cc.o.d"
+  "libfocus_distill.a"
+  "libfocus_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

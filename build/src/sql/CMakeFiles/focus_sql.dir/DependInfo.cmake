@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/catalog.cc" "src/sql/CMakeFiles/focus_sql.dir/catalog.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/catalog.cc.o.d"
+  "/root/repo/src/sql/exec/aggregate.cc" "src/sql/CMakeFiles/focus_sql.dir/exec/aggregate.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/sql/exec/basic.cc" "src/sql/CMakeFiles/focus_sql.dir/exec/basic.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/exec/basic.cc.o.d"
+  "/root/repo/src/sql/exec/external_sort.cc" "src/sql/CMakeFiles/focus_sql.dir/exec/external_sort.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/exec/external_sort.cc.o.d"
+  "/root/repo/src/sql/exec/join.cc" "src/sql/CMakeFiles/focus_sql.dir/exec/join.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/exec/join.cc.o.d"
+  "/root/repo/src/sql/exec/operator.cc" "src/sql/CMakeFiles/focus_sql.dir/exec/operator.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/exec/operator.cc.o.d"
+  "/root/repo/src/sql/exec/scan.cc" "src/sql/CMakeFiles/focus_sql.dir/exec/scan.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/exec/scan.cc.o.d"
+  "/root/repo/src/sql/exec/sort.cc" "src/sql/CMakeFiles/focus_sql.dir/exec/sort.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/exec/sort.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/sql/CMakeFiles/focus_sql.dir/schema.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/schema.cc.o.d"
+  "/root/repo/src/sql/table.cc" "src/sql/CMakeFiles/focus_sql.dir/table.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/table.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/sql/CMakeFiles/focus_sql.dir/value.cc.o" "gcc" "src/sql/CMakeFiles/focus_sql.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/focus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/focus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

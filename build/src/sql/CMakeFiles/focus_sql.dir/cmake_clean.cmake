@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_sql.dir/catalog.cc.o"
+  "CMakeFiles/focus_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/focus_sql.dir/exec/aggregate.cc.o"
+  "CMakeFiles/focus_sql.dir/exec/aggregate.cc.o.d"
+  "CMakeFiles/focus_sql.dir/exec/basic.cc.o"
+  "CMakeFiles/focus_sql.dir/exec/basic.cc.o.d"
+  "CMakeFiles/focus_sql.dir/exec/external_sort.cc.o"
+  "CMakeFiles/focus_sql.dir/exec/external_sort.cc.o.d"
+  "CMakeFiles/focus_sql.dir/exec/join.cc.o"
+  "CMakeFiles/focus_sql.dir/exec/join.cc.o.d"
+  "CMakeFiles/focus_sql.dir/exec/operator.cc.o"
+  "CMakeFiles/focus_sql.dir/exec/operator.cc.o.d"
+  "CMakeFiles/focus_sql.dir/exec/scan.cc.o"
+  "CMakeFiles/focus_sql.dir/exec/scan.cc.o.d"
+  "CMakeFiles/focus_sql.dir/exec/sort.cc.o"
+  "CMakeFiles/focus_sql.dir/exec/sort.cc.o.d"
+  "CMakeFiles/focus_sql.dir/schema.cc.o"
+  "CMakeFiles/focus_sql.dir/schema.cc.o.d"
+  "CMakeFiles/focus_sql.dir/table.cc.o"
+  "CMakeFiles/focus_sql.dir/table.cc.o.d"
+  "CMakeFiles/focus_sql.dir/value.cc.o"
+  "CMakeFiles/focus_sql.dir/value.cc.o.d"
+  "libfocus_sql.a"
+  "libfocus_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

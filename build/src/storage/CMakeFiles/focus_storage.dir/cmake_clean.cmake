@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/focus_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/focus_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/focus_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/focus_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/focus_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/focus_storage.dir/heap_file.cc.o"
+  "CMakeFiles/focus_storage.dir/heap_file.cc.o.d"
+  "libfocus_storage.a"
+  "libfocus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_taxonomy.dir/taxonomy.cc.o"
+  "CMakeFiles/focus_taxonomy.dir/taxonomy.cc.o.d"
+  "libfocus_taxonomy.a"
+  "libfocus_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_text.dir/corpus_index.cc.o"
+  "CMakeFiles/focus_text.dir/corpus_index.cc.o.d"
+  "CMakeFiles/focus_text.dir/document.cc.o"
+  "CMakeFiles/focus_text.dir/document.cc.o.d"
+  "CMakeFiles/focus_text.dir/tokenizer.cc.o"
+  "CMakeFiles/focus_text.dir/tokenizer.cc.o.d"
+  "libfocus_text.a"
+  "libfocus_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_util.dir/logging.cc.o"
+  "CMakeFiles/focus_util.dir/logging.cc.o.d"
+  "CMakeFiles/focus_util.dir/random.cc.o"
+  "CMakeFiles/focus_util.dir/random.cc.o.d"
+  "CMakeFiles/focus_util.dir/status.cc.o"
+  "CMakeFiles/focus_util.dir/status.cc.o.d"
+  "CMakeFiles/focus_util.dir/string_util.cc.o"
+  "CMakeFiles/focus_util.dir/string_util.cc.o.d"
+  "CMakeFiles/focus_util.dir/thread_pool.cc.o"
+  "CMakeFiles/focus_util.dir/thread_pool.cc.o.d"
+  "libfocus_util.a"
+  "libfocus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_webgraph.dir/simulated_web.cc.o"
+  "CMakeFiles/focus_webgraph.dir/simulated_web.cc.o.d"
+  "libfocus_webgraph.a"
+  "libfocus_webgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_webgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

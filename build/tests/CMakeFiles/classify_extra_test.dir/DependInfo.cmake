@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/classify_extra_test.cc" "tests/CMakeFiles/classify_extra_test.dir/classify_extra_test.cc.o" "gcc" "tests/CMakeFiles/classify_extra_test.dir/classify_extra_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/focus_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/focus_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/focus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/focus_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/focus_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/focus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_random_taxonomy_test.dir/classify_random_taxonomy_test.cc.o"
+  "CMakeFiles/classify_random_taxonomy_test.dir/classify_random_taxonomy_test.cc.o.d"
+  "classify_random_taxonomy_test"
+  "classify_random_taxonomy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_random_taxonomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_test.dir/crawl_test.cc.o"
+  "CMakeFiles/crawl_test.dir/crawl_test.cc.o.d"
+  "crawl_test"
+  "crawl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

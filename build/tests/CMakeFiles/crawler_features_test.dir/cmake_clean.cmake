@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawler_features_test.dir/crawler_features_test.cc.o"
+  "CMakeFiles/crawler_features_test.dir/crawler_features_test.cc.o.d"
+  "crawler_features_test"
+  "crawler_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawler_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

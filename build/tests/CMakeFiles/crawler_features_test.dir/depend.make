@@ -1,0 +1,2 @@
+# Empty dependencies file for crawler_features_test.
+# This may be replaced when dependencies are built.

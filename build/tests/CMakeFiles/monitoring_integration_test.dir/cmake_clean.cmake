@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_integration_test.dir/monitoring_integration_test.cc.o"
+  "CMakeFiles/monitoring_integration_test.dir/monitoring_integration_test.cc.o.d"
+  "monitoring_integration_test"
+  "monitoring_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

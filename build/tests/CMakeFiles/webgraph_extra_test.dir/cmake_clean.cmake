@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webgraph_extra_test.dir/webgraph_extra_test.cc.o"
+  "CMakeFiles/webgraph_extra_test.dir/webgraph_extra_test.cc.o.d"
+  "webgraph_extra_test"
+  "webgraph_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webgraph_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
