@@ -4,29 +4,77 @@
 //
 // We report (a) virtual-time throughput — fetch latency is charged to the
 // virtual clock at fetch_latency_mean_ms per page, so this axis is
-// comparable to the paper's network-bound rate — and (b) wall-clock
-// throughput of the whole pipeline (fetch simulation + tokenization +
-// classification + relational bookkeeping), single- and multi-threaded.
+// comparable to the paper's network-bound rate, and multi-threaded runs
+// overlap fetch waits exactly like the paper's fetch threads — and
+// (b) wall-clock throughput of the whole pipeline (fetch simulation +
+// tokenization + batched classification + relational bookkeeping).
+//
+// Flags (for the CI bench-smoke job):
+//   --budget N     pages to fetch per run (default 2000)
+//   --tiny         shrink the simulated web for fast smoke runs
+//   --json PATH    also write the result rows as a JSON array
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/focus.h"
 #include "core/sample_taxonomy.h"
+#include "crawl/metrics.h"
+#include "crawl/monitor.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
 namespace focus::bench {
 namespace {
 
-constexpr int kBudget = 2000;
+struct Flags {
+  int budget = 2000;
+  bool tiny = false;
+  std::string json_path;
+};
 
-int Run() {
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      flags.tiny = true;
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      flags.budget = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      flags.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: tab_throughput [--budget N] [--tiny] "
+                   "[--json PATH]\n");
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+struct Row {
+  int threads = 0;
+  size_t pages = 0;
+  double wall_s = 0;
+  double virtual_s = 0;
+  double batch_occupancy = 0;
+
+  double PerWallSecond() const { return wall_s == 0 ? 0 : pages / wall_s; }
+  double PerVirtualSecond() const {
+    return virtual_s == 0 ? 0 : pages / virtual_s;
+  }
+};
+
+int Run(const Flags& flags) {
   taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
   core::FocusOptions options;
   options.seed = 73;
-  options.web.pages_per_topic = 1500;
-  options.web.background_pages = 30000;
-  options.web.background_servers = 800;
+  options.web.pages_per_topic = flags.tiny ? 150 : 1500;
+  options.web.background_pages = flags.tiny ? 3000 : 30000;
+  options.web.background_servers = flags.tiny ? 120 : 800;
   options.web.fetch_latency_mean_ms = 120;  // the paper's network regime
   auto system = core::FocusSystem::Create(std::move(tax), options)
                     .TakeValue();
@@ -38,19 +86,55 @@ int Run() {
   Note("crawler throughput (paper: ~30 threads, 5-10 pages/s, ~10k "
        "pages/hour)");
   std::printf("threads,pages,wall_seconds,pages_per_wall_second,"
-              "virtual_seconds,pages_per_virtual_second\n");
+              "virtual_seconds,pages_per_virtual_second,"
+              "batch_occupancy\n");
+  std::vector<Row> rows;
   for (int threads : {1, 8}) {
     crawl::CrawlerOptions copts;
-    copts.max_fetches = kBudget;
+    copts.max_fetches = flags.budget;
     copts.num_threads = threads;
     auto session = system->NewCrawl(seeds, copts).TakeValue();
     Stopwatch wall;
     FOCUS_CHECK(session->crawler().Crawl().ok());
-    double wall_s = wall.ElapsedSeconds();
-    double virtual_s = session->crawler().clock().NowSeconds();
-    size_t pages = session->crawler().visits().size();
-    std::printf("%d,%zu,%.2f,%.0f,%.1f,%.1f\n", threads, pages, wall_s,
-                pages / wall_s, virtual_s, pages / virtual_s);
+    Row row;
+    row.threads = threads;
+    row.wall_s = wall.ElapsedSeconds();
+    row.virtual_s = session->crawler().clock().NowSeconds();
+    row.pages = session->crawler().visits().size();
+    const crawl::StageMetricsSnapshot metrics =
+        session->crawler().stage_metrics().Snapshot();
+    row.batch_occupancy = metrics.AvgBatchOccupancy();
+    std::printf("%d,%zu,%.2f,%.0f,%.1f,%.1f,%.1f\n", row.threads,
+                row.pages, row.wall_s, row.PerWallSecond(), row.virtual_s,
+                row.PerVirtualSecond(), row.batch_occupancy);
+    if (threads > 1) {
+      std::printf("%s", crawl::FormatStageMetrics(metrics).c_str());
+    }
+    rows.push_back(row);
+  }
+
+  if (!flags.json_path.empty()) {
+    std::FILE* f = std::fopen(flags.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "  {\"threads\": %d, \"pages\": %zu, "
+                   "\"wall_seconds\": %.3f, "
+                   "\"pages_per_wall_second\": %.1f, "
+                   "\"virtual_seconds\": %.3f, "
+                   "\"pages_per_virtual_second\": %.1f, "
+                   "\"batch_occupancy\": %.2f}%s\n",
+                   r.threads, r.pages, r.wall_s, r.PerWallSecond(),
+                   r.virtual_s, r.PerVirtualSecond(), r.batch_occupancy,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
   }
   return 0;
 }
@@ -58,7 +142,7 @@ int Run() {
 }  // namespace
 }  // namespace focus::bench
 
-int main() {
+int main(int argc, char** argv) {
   focus::SetLogLevel(focus::LogLevel::kWarning);
-  return focus::bench::Run();
+  return focus::bench::Run(focus::bench::ParseFlags(argc, argv));
 }

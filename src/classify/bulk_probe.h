@@ -38,6 +38,10 @@ class BulkProbeClassifier {
 
   // Classifies every document materialized in `document` (did, tid, freq).
   // Returns scores keyed by did.
+  //
+  // Not safe for concurrent calls: the plan reads shared catalog tables
+  // and accumulates into the mutable `stats_`. Callers that serve multiple
+  // threads (crawl::BatchRelevanceEvaluator) must serialize externally.
   Result<std::unordered_map<uint64_t, ClassScores>> ClassifyAll(
       const sql::Table* document) const;
 

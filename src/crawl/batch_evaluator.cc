@@ -1,0 +1,67 @@
+#include "crawl/batch_evaluator.h"
+
+#include "classify/db_tables.h"
+#include "util/string_util.h"
+
+namespace focus::crawl {
+
+PageJudgment BatchRelevanceEvaluator::FromScores(
+    const classify::ClassScores& scores) const {
+  const taxonomy::Taxonomy& tax = ref_->tax();
+  PageJudgment j;
+  j.relevance = scores.Relevance(tax);
+  j.best_leaf = scores.BestLeaf(tax);
+  j.best_leaf_is_good = tax.IsGoodOrSubsumed(j.best_leaf);
+  return j;
+}
+
+Result<PageJudgment> BatchRelevanceEvaluator::Judge(
+    const text::TermVector& terms) {
+  return FromScores(ref_->Classify(terms));
+}
+
+Result<std::vector<PageJudgment>> BatchRelevanceEvaluator::JudgeBatch(
+    const std::vector<text::TermVector>& docs) {
+  if (docs.empty()) return std::vector<PageJudgment>{};
+  if (docs.size() == 1) {
+    // A relational plan over one document is all fixed cost; use the
+    // in-memory path (identical scores).
+    FOCUS_ASSIGN_OR_RETURN(PageJudgment j, Judge(docs[0]));
+    return std::vector<PageJudgment>{j};
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string table_name = StrCat("DOCUMENT_BATCH_", next_batch_++);
+  FOCUS_ASSIGN_OR_RETURN(sql::Table * document,
+                         classify::CreateDocumentTable(scratch_, table_name));
+  Status status = Status::OK();
+  // dids are 1-based batch positions, so scores map back by index.
+  for (size_t i = 0; i < docs.size() && status.ok(); ++i) {
+    status = classify::InsertDocument(document, i + 1, docs[i]);
+  }
+  std::vector<PageJudgment> out;
+  if (status.ok()) {
+    auto scored = bulk_->ClassifyAll(document);
+    if (scored.ok()) {
+      out.reserve(docs.size());
+      for (size_t i = 0; i < docs.size(); ++i) {
+        auto it = scored.value().find(i + 1);
+        // An empty term vector materializes no DOCUMENT rows, so the plan
+        // never sees its did; the in-memory path scores it identically
+        // (priors only).
+        out.push_back(it == scored.value().end()
+                          ? FromScores(ref_->Classify(docs[i]))
+                          : FromScores(it->second));
+      }
+    } else {
+      status = scored.status();
+    }
+  }
+  // Drop the scratch table even on failure.
+  Status drop = scratch_->DropTable(table_name);
+  FOCUS_RETURN_IF_ERROR(status);
+  FOCUS_RETURN_IF_ERROR(drop);
+  return out;
+}
+
+}  // namespace focus::crawl

@@ -1,0 +1,54 @@
+// Batched page judging through the DB-resident bulk-probe classifier —
+// the paper's §2.1.3 insight (batched, I/O-conscious relational plans beat
+// per-document probing ~10x, Figure 8) applied to the live crawl loop.
+#ifndef FOCUS_CRAWL_BATCH_EVALUATOR_H_
+#define FOCUS_CRAWL_BATCH_EVALUATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "classify/bulk_probe.h"
+#include "classify/hierarchical_classifier.h"
+#include "crawl/relevance_evaluator.h"
+#include "sql/catalog.h"
+#include "util/status.h"
+
+namespace focus::crawl {
+
+// Judges micro-batches of fetched pages with one Figure 3 relational plan
+// per batch: the batch is materialized as a scratch DOCUMENT table, scored
+// in a single BulkProbeClassifier::ClassifyAll pass, and the scores are
+// mapped back in input order. Single-page batches (and Judge) fall back to
+// the in-memory hierarchical classifier — the relational plan's sequential
+// passes only pay off once several documents share them; the scores are
+// identical either way (asserted by crawl_pipeline_test to 1e-9).
+//
+// Thread-safe: concurrent JudgeBatch calls are serialized internally, so
+// one evaluator can serve every fetch worker of a crawl pipeline.
+class BatchRelevanceEvaluator final : public RelevanceEvaluator {
+ public:
+  // `scratch` hosts the per-batch DOCUMENT tables (created and dropped per
+  // call); all pointers must outlive the evaluator.
+  BatchRelevanceEvaluator(const classify::BulkProbeClassifier* bulk,
+                          const classify::HierarchicalClassifier* ref,
+                          sql::Catalog* scratch)
+      : bulk_(bulk), ref_(ref), scratch_(scratch) {}
+
+  Result<PageJudgment> Judge(const text::TermVector& terms) override;
+  Result<std::vector<PageJudgment>> JudgeBatch(
+      const std::vector<text::TermVector>& docs) override;
+
+ private:
+  PageJudgment FromScores(const classify::ClassScores& scores) const;
+
+  const classify::BulkProbeClassifier* bulk_;
+  const classify::HierarchicalClassifier* ref_;
+  sql::Catalog* scratch_;
+  std::mutex mutex_;  // serializes scratch-table use across fetch workers
+  uint64_t next_batch_ = 0;
+};
+
+}  // namespace focus::crawl
+
+#endif  // FOCUS_CRAWL_BATCH_EVALUATOR_H_

@@ -1,15 +1,30 @@
 #include "crawl/crawler.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "crawl/metrics.h"
 #include "distill/join_distiller.h"
 #include "distill/pagerank.h"
 
+#include "util/clock.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace focus::crawl {
+
+namespace {
+
+int ResolveShardCount(const CrawlerOptions& options) {
+  if (options.frontier_shards > 0) return options.frontier_shards;
+  // Single-threaded crawls keep one shard: ShardedFrontier::PopBest is
+  // then bit-for-bit the classic frontier order.
+  if (options.num_threads <= 1) return 1;
+  return std::min(options.num_threads * 2, 16);
+}
+
+}  // namespace
 
 Crawler::Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
                  CrawlDb* db, sql::Catalog* catalog, CrawlerOptions options)
@@ -17,11 +32,18 @@ Crawler::Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
       evaluator_(evaluator),
       db_(db),
       options_(options),
-      frontier_(options.policy),
-      catalog_(catalog) {}
+      frontier_(options.policy, ResolveShardCount(options)),
+      catalog_(catalog),
+      stage_metrics_(std::make_unique<StageMetrics>()) {
+  if (options_.classify_batch_size < 1) options_.classify_batch_size = 1;
+  next_distill_at_ = options_.distill_every;
+  next_pagerank_at_ = options_.pagerank_every;
+}
+
+Crawler::~Crawler() = default;
 
 Status Crawler::AddSeed(std::string_view url) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   Status s = db_->AddUrl(url, /*relevance_estimate=*/1.0, /*serverload=*/0);
   if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
   FrontierEntry entry;
@@ -35,8 +57,8 @@ Status Crawler::AddSeed(std::string_view url) {
 Result<bool> Crawler::Step() {
   webgraph::SimulatedWeb::FetchResult fetch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (static_cast<int>(visits_.size()) + in_flight_ >=
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (static_cast<int>(visits_.size()) + in_flight_.load() >=
         options_.max_fetches) {
       return false;
     }
@@ -45,6 +67,7 @@ Result<bool> Crawler::Step() {
       stats_.stagnated = true;
       return false;
     }
+    stage_metrics_->RecordPop(/*stolen=*/false);
     ++stats_.attempts;
     FOCUS_RETURN_IF_ERROR(db_->RecordAttempt(entry->oid));
     auto fetched = web_->Fetch(entry->url, &clock_);
@@ -62,16 +85,24 @@ Result<bool> Crawler::Step() {
       return true;
     }
     fetch = fetched.TakeValue();
-    ++in_flight_;
+    in_flight_.fetch_add(1);
   }
 
   // Classification runs outside the lock (the CPU-heavy part; the paper
   // runs ~30 fetch threads against one classifier).
   text::TermVector terms = text::BuildTermVector(fetch.tokens);
-  FOCUS_ASSIGN_OR_RETURN(PageJudgment judgment, evaluator_->Judge(terms));
+  Stopwatch classify_timer;
+  auto judged = evaluator_->Judge(terms);
+  stage_metrics_->AddClassifyMicros(
+      static_cast<uint64_t>(classify_timer.ElapsedMicros()));
+  if (!judged.ok()) {
+    in_flight_.fetch_sub(1);
+    return judged.status();
+  }
+  PageJudgment judgment = judged.value();
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  --in_flight_;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  in_flight_.fetch_sub(1);
   uint64_t oid = UrlOid(fetch.url);
   FOCUS_RETURN_IF_ERROR(db_->RecordVisit(oid, judgment.relevance,
                                          judgment.best_leaf,
@@ -111,16 +142,23 @@ Result<bool> Crawler::Step() {
     }
   }
 
-  if (options_.distill_every > 0 &&
-      visits_.size() % options_.distill_every == 0) {
-    FOCUS_RETURN_IF_ERROR(RunDistillationBoost());
-  }
-  if (options_.policy == PriorityPolicy::kPageRankOrder &&
-      options_.pagerank_every > 0 &&
-      visits_.size() % options_.pagerank_every == 0) {
-    FOCUS_RETURN_IF_ERROR(RefreshPageRankPriorities());
-  }
+  FOCUS_RETURN_IF_ERROR(RunPeriodicBoosts());
   return true;
+}
+
+Status Crawler::RunPeriodicBoosts() {
+  while (options_.distill_every > 0 && next_distill_at_ > 0 &&
+         visits_.size() >= next_distill_at_) {
+    FOCUS_RETURN_IF_ERROR(RunDistillationBoost());
+    next_distill_at_ += options_.distill_every;
+  }
+  while (options_.policy == PriorityPolicy::kPageRankOrder &&
+         options_.pagerank_every > 0 && next_pagerank_at_ > 0 &&
+         visits_.size() >= next_pagerank_at_) {
+    FOCUS_RETURN_IF_ERROR(RefreshPageRankPriorities());
+    next_pagerank_at_ += options_.pagerank_every;
+  }
+  return Status::OK();
 }
 
 Status Crawler::RefreshPageRankPriorities() {
@@ -209,8 +247,9 @@ Status Crawler::ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
       if (estimate > existing->relevance) {
         FOCUS_RETURN_IF_ERROR(db_->RaiseRelevance(dst_oid, estimate));
       }
-      if (const FrontierEntry* in_frontier = frontier_.Peek(dst_oid);
-          in_frontier != nullptr) {
+      if (std::optional<FrontierEntry> in_frontier =
+              frontier_.PeekCopy(dst_oid);
+          in_frontier.has_value()) {
         FrontierEntry updated = *in_frontier;
         updated.relevance = std::max(updated.relevance, estimate);
         updated.serverload = load;
@@ -261,8 +300,8 @@ Status Crawler::RunDistillationBoost() {
     for (const auto& rid : rids) {
       FOCUS_RETURN_IF_ERROR(link->Get(rid, &row));
       uint64_t dst_oid = static_cast<uint64_t>(row.Get(2).AsInt64());
-      const FrontierEntry* entry = frontier_.Peek(dst_oid);
-      if (entry == nullptr) continue;
+      std::optional<FrontierEntry> entry = frontier_.PeekCopy(dst_oid);
+      if (!entry.has_value()) continue;
       FOCUS_RETURN_IF_ERROR(
           db_->RaiseRelevance(dst_oid, options_.hub_boost_relevance));
       FrontierEntry boosted = *entry;
@@ -276,7 +315,7 @@ Status Crawler::RunDistillationBoost() {
 }
 
 Status Crawler::ResumeFromDb() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   auto it = db_->crawl_table()->Scan();
   storage::Rid rid;
   sql::Tuple row;
@@ -306,7 +345,7 @@ Status Crawler::ResumeFromDb() {
 }
 
 Status Crawler::ScheduleRevisits(const sql::Table* hubs, int count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   // Hub scores by oid, when a distillation round is available.
   std::unordered_map<int64_t, double> hub_score;
   if (hubs != nullptr) {
@@ -360,6 +399,230 @@ Status Crawler::ScheduleRevisits(const sql::Table* hubs, int count) {
   return Status::OK();
 }
 
+std::vector<FrontierEntry> Crawler::GatherBatch(int worker) {
+  std::vector<FrontierEntry> batch;
+  batch.reserve(options_.classify_batch_size);
+  int shard = worker % frontier_.num_shards();
+  while (static_cast<int>(batch.size()) < options_.classify_batch_size) {
+    {
+      // Reserve one budget slot; release it below if the frontier is dry.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (static_cast<int>(visits_.size()) + in_flight_.load() >=
+          options_.max_fetches) {
+        break;
+      }
+      in_flight_.fetch_add(1);
+    }
+    bool stolen = false;
+    std::optional<FrontierEntry> entry =
+        frontier_.PopPreferShard(shard, &stolen);
+    if (!entry.has_value()) {
+      in_flight_.fetch_sub(1);
+      break;
+    }
+    stage_metrics_->RecordPop(stolen);
+    batch.push_back(std::move(*entry));
+  }
+  return batch;
+}
+
+Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
+                            const std::vector<PageJudgment>& judgments) {
+  Stopwatch lock_wait;
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  stage_metrics_->AddLockWaitMicros(
+      static_cast<uint64_t>(lock_wait.ElapsedMicros()));
+  Stopwatch expand_timer;
+  for (size_t i = 0; i < pages->size(); ++i) {
+    FetchedPage& page = (*pages)[i];
+    const PageJudgment& judgment = judgments[i];
+    uint64_t oid = UrlOid(page.fetch.url);
+    FOCUS_RETURN_IF_ERROR(db_->RecordVisit(oid, judgment.relevance,
+                                           judgment.best_leaf,
+                                           page.fetched_at_us));
+    ++server_fetches_[page.fetch.server_id];
+    Visit visit;
+    visit.fetch_index = static_cast<int>(visits_.size());
+    visit.oid = oid;
+    visit.url = page.fetch.url;
+    visit.relevance = judgment.relevance;
+    visit.best_leaf = judgment.best_leaf;
+    visit.virtual_time_us = page.fetched_at_us;
+    visits_.push_back(visit);
+
+    FOCUS_RETURN_IF_ERROR(ExpandLinks(page.fetch, judgment));
+
+    if (options_.expand_backlinks &&
+        judgment.relevance > options_.backlink_relevance_threshold) {
+      // Backlink metadata is a web service: web_mutex_ nests inside
+      // state_mutex_ here (never the other way around).
+      std::vector<std::string> citers;
+      {
+        std::lock_guard<std::mutex> web_lock(web_mutex_);
+        FOCUS_ASSIGN_OR_RETURN(
+            citers, web_->Backlinks(page.fetch.url,
+                                    options_.backlinks_per_page));
+      }
+      for (const std::string& citer : citers) {
+        uint64_t citer_oid = UrlOid(citer);
+        FOCUS_ASSIGN_OR_RETURN(std::optional<CrawlRecord> known,
+                               db_->Lookup(citer_oid));
+        if (known.has_value()) continue;
+        FOCUS_RETURN_IF_ERROR(
+            db_->AddUrl(citer, judgment.relevance,
+                        server_fetches_[ServerIdOf(citer)]));
+        FrontierEntry entry;
+        entry.oid = citer_oid;
+        entry.url = citer;
+        entry.relevance = judgment.relevance;
+        entry.serverload = server_fetches_[ServerIdOf(citer)];
+        frontier_.AddOrUpdate(entry);
+      }
+    }
+    in_flight_.fetch_sub(1);
+  }
+  Status boosts = RunPeriodicBoosts();
+  stage_metrics_->AddExpandMicros(
+      static_cast<uint64_t>(expand_timer.ElapsedMicros()));
+  lock.unlock();
+  work_cv_.notify_all();
+  return boosts;
+}
+
+Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
+  for (;;) {
+    if (abort_.load()) return Status::OK();
+    std::vector<FrontierEntry> batch = GatherBatch(worker);
+    if (batch.empty()) {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      if (static_cast<int>(visits_.size()) >= options_.max_fetches) {
+        return Status::OK();  // budget spent
+      }
+      if (in_flight_.load() == 0) {
+        if (frontier_.empty()) {
+          // Nothing left anywhere and nothing pending that could add
+          // links: the crawl stagnated short of its budget.
+          stats_.stagnated = true;
+          return Status::OK();
+        }
+        continue;  // entries present and capacity free: retry the pop
+      }
+      // Other workers hold in-flight pages that may expand the frontier
+      // or release budget; wait for them.
+      work_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+
+    // --- fetch stage (web lock only; latency charged to this worker's
+    // virtual timeline, so concurrent workers overlap fetch waits exactly
+    // like the paper's ~30 fetch threads) ---
+    std::vector<FetchedPage> fetched;
+    fetched.reserve(batch.size());
+    std::vector<uint64_t> attempt_oids;
+    attempt_oids.reserve(batch.size());
+    for (const FrontierEntry& entry : batch) {
+      attempt_oids.push_back(entry.oid);
+    }
+    std::vector<FrontierEntry> retries;
+    int dropped = 0;
+    Stopwatch fetch_timer;
+    for (FrontierEntry& entry : batch) {
+      Result<webgraph::SimulatedWeb::FetchResult> result = [&] {
+        std::lock_guard<std::mutex> web_lock(web_mutex_);
+        return web_->Fetch(entry.url, worker_clock);
+      }();
+      if (!result.ok()) {
+        if (result.status().code() != StatusCode::kNotFound &&
+            entry.numtries + 1 < options_.max_retries) {
+          FrontierEntry retry = std::move(entry);
+          ++retry.numtries;
+          retries.push_back(std::move(retry));
+        } else {
+          ++dropped;
+        }
+        continue;
+      }
+      FetchedPage page;
+      page.entry = std::move(entry);
+      page.fetch = result.TakeValue();
+      page.fetched_at_us = worker_clock->NowMicros();
+      fetched.push_back(std::move(page));
+    }
+    stage_metrics_->AddFetchMicros(
+        static_cast<uint64_t>(fetch_timer.ElapsedMicros()));
+
+    size_t failures = retries.size() + dropped;
+    {
+      // Attempt/failure bookkeeping in one short critical section.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      stats_.attempts += batch.size();
+      stats_.failures += failures;
+      for (uint64_t oid : attempt_oids) {
+        FOCUS_RETURN_IF_ERROR(db_->RecordAttempt(oid));
+      }
+      for (FrontierEntry& retry : retries) {
+        retry.serverload = server_fetches_[ServerIdOf(retry.url)];
+        frontier_.AddOrUpdate(retry);
+      }
+      in_flight_.fetch_sub(static_cast<int>(failures));
+    }
+    if (failures > 0) work_cv_.notify_all();
+    if (fetched.empty()) continue;
+
+    // --- classify stage (no locks; one batched evaluator call) ---
+    std::vector<text::TermVector> docs;
+    docs.reserve(fetched.size());
+    for (FetchedPage& page : fetched) {
+      page.terms = text::BuildTermVector(page.fetch.tokens);
+      docs.push_back(page.terms);
+    }
+    Stopwatch classify_timer;
+    auto judged = evaluator_->JudgeBatch(docs);
+    stage_metrics_->AddClassifyMicros(
+        static_cast<uint64_t>(classify_timer.ElapsedMicros()));
+    stage_metrics_->RecordBatch(fetched.size());
+    if (!judged.ok()) {
+      in_flight_.fetch_sub(static_cast<int>(fetched.size()));
+      work_cv_.notify_all();
+      return judged.status();
+    }
+
+    // --- record/expand stage (state lock) ---
+    FOCUS_RETURN_IF_ERROR(RecordBatch(&fetched, judged.value()));
+  }
+}
+
+Status Crawler::RunPipeline() {
+  ThreadPool pool(options_.num_threads);
+  std::mutex status_mutex;
+  Status first_error;
+  std::vector<VirtualClock> worker_clocks(options_.num_threads);
+  for (int i = 0; i < options_.num_threads; ++i) {
+    pool.Submit([this, i, &status_mutex, &first_error, &worker_clocks] {
+      Status s = PipelineWorker(i, &worker_clocks[i]);
+      if (!s.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(status_mutex);
+          if (first_error.ok()) first_error = std::move(s);
+        }
+        // Stop peers: a failed worker may never release its in-flight
+        // reservations, so waiting on them would hang the pool.
+        abort_.store(true);
+        work_cv_.notify_all();
+      }
+    });
+  }
+  pool.Wait();
+  // The crawl's virtual makespan is the slowest worker's timeline (workers
+  // fetch concurrently, so their waits overlap).
+  int64_t makespan = 0;
+  for (const VirtualClock& c : worker_clocks) {
+    makespan = std::max(makespan, c.NowMicros());
+  }
+  clock_.AdvanceMicros(makespan);
+  return first_error;
+}
+
 Status Crawler::Crawl() {
   if (options_.num_threads <= 1) {
     for (;;) {
@@ -369,24 +632,7 @@ Status Crawler::Crawl() {
     }
     return Status::OK();
   }
-  ThreadPool pool(options_.num_threads);
-  std::mutex status_mutex;
-  Status first_error;
-  for (int i = 0; i < options_.num_threads; ++i) {
-    pool.Submit([this, &status_mutex, &first_error] {
-      for (;;) {
-        auto more = Step();
-        if (!more.ok()) {
-          std::lock_guard<std::mutex> lock(status_mutex);
-          if (first_error.ok()) first_error = more.status();
-          return;
-        }
-        if (!more.value()) return;
-      }
-    });
-  }
-  pool.Wait();
-  return first_error;
+  return RunPipeline();
 }
 
 }  // namespace focus::crawl

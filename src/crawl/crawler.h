@@ -3,6 +3,9 @@
 #ifndef FOCUS_CRAWL_CRAWLER_H_
 #define FOCUS_CRAWL_CRAWLER_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -65,6 +68,14 @@ struct CrawlerOptions {
   double backlink_relevance_threshold = 0.5;
 
   int num_threads = 1;
+  // Pages accumulated by a fetch worker before one batched classify call
+  // (the paper's §2.1.3 batching insight applied to the live crawl loop).
+  // Only the multi-threaded pipeline batches; single-threaded crawls judge
+  // page-by-page for exact historical determinism.
+  int classify_batch_size = 32;
+  // Frontier shards, keyed by ServerIdOf(url). 0 = auto: one shard
+  // single-threaded (exactly the classic frontier), else two per thread.
+  int frontier_shards = 0;
 };
 
 struct Visit {
@@ -83,12 +94,15 @@ struct CrawlStats {
   bool stagnated = false;  // frontier ran dry before the budget
 };
 
+class StageMetrics;
+
 class Crawler {
  public:
   // `catalog` hosts the HUBS/AUTH tables for periodic distillation; all
   // pointers must outlive the crawler.
   Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
           CrawlDb* db, sql::Catalog* catalog, CrawlerOptions options);
+  ~Crawler();
 
   // Registers a start URL with relevance estimate 1.
   Status AddSeed(std::string_view url);
@@ -108,7 +122,10 @@ class Crawler {
   const std::vector<Visit>& visits() const { return visits_; }
   const CrawlStats& stats() const { return stats_; }
   const VirtualClock& clock() const { return clock_; }
-  Frontier* frontier() { return &frontier_; }
+  ShardedFrontier* frontier() { return &frontier_; }
+  // Per-stage pipeline counters (fetch/classify/expand time, lock wait,
+  // batch occupancy, work stealing).
+  const StageMetrics& stage_metrics() const { return *stage_metrics_; }
   CrawlDb* db() const { return db_; }
   const distill::DistillTables& distill_tables() const {
     return distill_tables_;
@@ -129,8 +146,33 @@ class Crawler {
   Status ScheduleRevisits(const sql::Table* hubs, int count);
 
  private:
-  // One fetch-classify-expand step; false when the frontier is empty.
+  // A page that cleared the fetch stage, waiting for classification.
+  struct FetchedPage {
+    FrontierEntry entry;
+    webgraph::SimulatedWeb::FetchResult fetch;
+    int64_t fetched_at_us = 0;  // the fetching worker's virtual time
+    text::TermVector terms;
+  };
+
+  // One fetch-classify-expand step (single-threaded path); false when the
+  // frontier is empty or the budget is spent.
   Result<bool> Step();
+  // The concurrent pipeline (num_threads > 1): sharded frontier pops,
+  // micro-batched classification, fine-grained critical sections.
+  Status RunPipeline();
+  // One worker's loop. `worker` indexes its preferred frontier shard;
+  // `worker_clock` accumulates the worker's virtual fetch timeline.
+  Status PipelineWorker(int worker, VirtualClock* worker_clock);
+  // Pops up to classify_batch_size entries within budget, reserving each
+  // against the fetch budget via in_flight_.
+  std::vector<FrontierEntry> GatherBatch(int worker);
+  // Records a classified batch under one state critical section.
+  Status RecordBatch(std::vector<FetchedPage>* pages,
+                     const std::vector<PageJudgment>& judgments);
+  // Runs any distillation / PageRank refresh whose visit threshold has
+  // been crossed. Caller holds state_mutex_.
+  Status RunPeriodicBoosts();
+
   Status ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
                      const PageJudgment& judgment);
   Status RunDistillationBoost();
@@ -142,12 +184,13 @@ class Crawler {
   RelevanceEvaluator* evaluator_;
   CrawlDb* db_;
   CrawlerOptions options_;
-  Frontier frontier_;
+  ShardedFrontier frontier_;  // internally locked, one lock per shard
   VirtualClock clock_;
   text::Tokenizer tokenizer_;
   distill::DistillTables distill_tables_;
   bool distill_tables_ready_ = false;
   sql::Catalog* catalog_;
+  std::unique_ptr<StageMetrics> stage_metrics_;
 
   std::unordered_map<int32_t, int32_t> server_fetches_;
   // Pages whose outlinks are already in LINK (revisits must not duplicate
@@ -157,8 +200,27 @@ class Crawler {
   std::unordered_map<uint64_t, int32_t> backlink_counts_;
   std::vector<Visit> visits_;
   CrawlStats stats_;
-  int in_flight_ = 0;  // fetches started but not yet recorded
-  std::mutex mutex_;  // guards everything above in multi-threaded crawls
+  // Visit counts at which the next distillation / PageRank refresh fire
+  // (thresholds rather than modulo so batched recording cannot step over a
+  // trigger).
+  uint64_t next_distill_at_ = 0;
+  uint64_t next_pagerank_at_ = 0;
+
+  // Fetches reserved against the budget but not yet recorded or failed.
+  std::atomic<int> in_flight_{0};
+  // Set when a pipeline worker fails, so its peers stop instead of waiting
+  // on reservations that will never be released.
+  std::atomic<bool> abort_{false};
+  // Guards db_, visits_, stats_, server/backlink/link bookkeeping and the
+  // periodic-boost thresholds. The frontier (per-shard locks) and the web
+  // (web_mutex_) are guarded separately so fetch workers only contend here
+  // in the short record sections.
+  std::mutex state_mutex_;
+  // Serializes SimulatedWeb access (fetch simulation mutates RNG and
+  // bookkeeping state).
+  std::mutex web_mutex_;
+  // Signaled when budget or frontier state changes; idle workers wait.
+  std::condition_variable work_cv_;
 };
 
 }  // namespace focus::crawl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "crawl/crawl_db.h"
+
 namespace focus::crawl {
 
 const char* PolicyName(PriorityPolicy policy) {
@@ -106,6 +108,29 @@ std::optional<FrontierEntry> Frontier::PopBest() {
   return std::nullopt;
 }
 
+void Frontier::CleanTop() {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.front();
+    auto it = live_.find(top.oid);
+    if (it != live_.end() && it->second.first == top.version) return;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+    heap_.pop_back();
+  }
+}
+
+const FrontierEntry* Frontier::PeekBest() {
+  CleanTop();
+  return heap_.empty() ? nullptr : &heap_.front().entry;
+}
+
+bool Frontier::HigherPriority(const FrontierEntry& a, const FrontierEntry& b,
+                              PriorityPolicy policy) {
+  HeapItem ia{a.oid, 0, a};
+  HeapItem ib{b.oid, 0, b};
+  // HeapLess(x, y) == "x ranks below y".
+  return HeapLess{policy}(ib, ia);
+}
+
 void Frontier::Erase(uint64_t oid) { live_.erase(oid); }
 
 std::vector<FrontierEntry> Frontier::Snapshot() const {
@@ -134,6 +159,127 @@ void Frontier::RebuildHeap() {
     heap_.push_back(HeapItem{oid, versioned.first, versioned.second});
   }
   std::make_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+}
+
+ShardedFrontier::ShardedFrontier(PriorityPolicy policy, int num_shards) {
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(policy));
+  }
+}
+
+int ShardedFrontier::ShardOf(std::string_view url) const {
+  uint32_t sid = static_cast<uint32_t>(ServerIdOf(url));
+  return static_cast<int>(sid % shards_.size());
+}
+
+void ShardedFrontier::AddOrUpdate(const FrontierEntry& entry) {
+  FrontierEntry e = entry;
+  if (e.seq == 0) e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[ShardOf(e.url)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.frontier.AddOrUpdate(e);
+}
+
+std::optional<FrontierEntry> ShardedFrontier::PopBest() {
+  // Lock every shard (index order) and take the best of the shard bests —
+  // with one shard this is exactly Frontier::PopBest.
+  for (auto& shard : shards_) shard->mu.lock();
+  Shard* best = nullptr;
+  const FrontierEntry* best_entry = nullptr;
+  PriorityPolicy policy = shards_[0]->frontier.policy();
+  for (auto& shard : shards_) {
+    const FrontierEntry* top = shard->frontier.PeekBest();
+    if (top == nullptr) continue;
+    if (best_entry == nullptr ||
+        Frontier::HigherPriority(*top, *best_entry, policy)) {
+      best = shard.get();
+      best_entry = top;
+    }
+  }
+  std::optional<FrontierEntry> out;
+  if (best != nullptr) out = best->frontier.PopBest();
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    (*it)->mu.unlock();
+  }
+  return out;
+}
+
+std::optional<FrontierEntry> ShardedFrontier::PopPreferShard(int shard,
+                                                             bool* stolen) {
+  int k = num_shards();
+  if (shard < 0) shard = 0;
+  for (int i = 0; i < k; ++i) {
+    Shard& s = *shards_[(shard + i) % k];
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::optional<FrontierEntry> popped = s.frontier.PopBest();
+    if (popped.has_value()) {
+      if (stolen != nullptr) *stolen = i != 0;
+      return popped;
+    }
+  }
+  if (stolen != nullptr) *stolen = false;
+  return std::nullopt;
+}
+
+void ShardedFrontier::Erase(uint64_t oid) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->frontier.Contains(oid)) {
+      shard->frontier.Erase(oid);
+      return;
+    }
+  }
+}
+
+bool ShardedFrontier::Contains(uint64_t oid) const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->frontier.Contains(oid)) return true;
+  }
+  return false;
+}
+
+std::optional<FrontierEntry> ShardedFrontier::PeekCopy(uint64_t oid) const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (const FrontierEntry* e = shard->frontier.Peek(oid); e != nullptr) {
+      return *e;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<FrontierEntry> ShardedFrontier::Snapshot() const {
+  std::vector<FrontierEntry> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    std::vector<FrontierEntry> part = shard->frontier.Snapshot();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+void ShardedFrontier::SetPolicy(PriorityPolicy policy) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->frontier.SetPolicy(policy);
+  }
+}
+
+PriorityPolicy ShardedFrontier::policy() const {
+  std::lock_guard<std::mutex> lock(shards_[0]->mu);
+  return shards_[0]->frontier.policy();
+}
+
+size_t ShardedFrontier::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->frontier.size();
+  }
+  return n;
 }
 
 }  // namespace focus::crawl

@@ -10,10 +10,14 @@
 #ifndef FOCUS_CRAWL_FRONTIER_H_
 #define FOCUS_CRAWL_FRONTIER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +69,15 @@ class Frontier {
   // Removes and returns the best entry, or nullopt when empty.
   std::optional<FrontierEntry> PopBest();
 
+  // The best live entry without removing it (nullptr when empty). The
+  // pointer is invalidated by any mutating call.
+  const FrontierEntry* PeekBest();
+
+  // True when `a` outranks `b` under `policy` (same total order the heap
+  // uses, including the deterministic seq/oid tie-break).
+  static bool HigherPriority(const FrontierEntry& a, const FrontierEntry& b,
+                             PriorityPolicy policy);
+
   // Removes `oid` from the frontier (e.g. once visited).
   void Erase(uint64_t oid);
 
@@ -93,6 +106,9 @@ class Frontier {
   };
 
   void RebuildHeap();
+  // Discards stale items from the heap top so heap_.front() (if any) is
+  // the live best entry.
+  void CleanTop();
 
   PriorityPolicy policy_;
   // oid -> (current version, entry). Heap items with stale versions are
@@ -101,6 +117,66 @@ class Frontier {
   std::vector<HeapItem> heap_;
   uint64_t next_version_ = 1;
   uint64_t next_seq_ = 1;
+};
+
+// A server-sharded frontier for the concurrent crawl pipeline. Entries are
+// assigned to shards by ServerIdOf(url) so each server's pages live in one
+// shard and the lexicographic priority order (which includes the per-server
+// politeness signal) is preserved within it. Every shard carries its own
+// lock; fetch workers pop from a preferred shard and steal from the others
+// when it runs dry. Insertion sequence numbers are issued from one atomic
+// counter so the cross-shard tie-break order stays globally consistent —
+// with a single shard, PopBest is exactly equivalent to a plain Frontier.
+class ShardedFrontier {
+ public:
+  explicit ShardedFrontier(
+      PriorityPolicy policy = PriorityPolicy::kAggressiveDiscovery,
+      int num_shards = 1);
+
+  ShardedFrontier(const ShardedFrontier&) = delete;
+  ShardedFrontier& operator=(const ShardedFrontier&) = delete;
+
+  // Inserts or re-ranks `entry` (keyed by oid; sharded by its URL's
+  // server).
+  void AddOrUpdate(const FrontierEntry& entry);
+
+  // Removes and returns the globally best entry (best among the shard
+  // bests), or nullopt when empty.
+  std::optional<FrontierEntry> PopBest();
+
+  // Work-stealing pop: takes the best entry of `shard`, or — when that
+  // shard is empty — of the nearest non-empty shard. `stolen` (optional)
+  // reports whether the entry came from another shard.
+  std::optional<FrontierEntry> PopPreferShard(int shard,
+                                              bool* stolen = nullptr);
+
+  void Erase(uint64_t oid);
+  bool Contains(uint64_t oid) const;
+  // A copy of the live entry for `oid` (frontier entries move under
+  // concurrent pops, so no pointer-returning Peek here).
+  std::optional<FrontierEntry> PeekCopy(uint64_t oid) const;
+
+  // Copies of every live entry across all shards.
+  std::vector<FrontierEntry> Snapshot() const;
+
+  // Switches the ordering on every shard.
+  void SetPolicy(PriorityPolicy policy);
+  PriorityPolicy policy() const;
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int ShardOf(std::string_view url) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    Frontier frontier;
+    explicit Shard(PriorityPolicy policy) : frontier(policy) {}
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_seq_{1};
 };
 
 }  // namespace focus::crawl

@@ -2,6 +2,8 @@
 #ifndef FOCUS_CRAWL_METRICS_H_
 #define FOCUS_CRAWL_METRICS_H_
 
+#include <atomic>
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
@@ -10,6 +12,68 @@
 #include "util/status.h"
 
 namespace focus::crawl {
+
+// A plain-value copy of the pipeline stage counters, safe to read after
+// (or during) a crawl.
+struct StageMetricsSnapshot {
+  uint64_t fetch_micros = 0;      // wall time inside the fetch stage
+  uint64_t classify_micros = 0;   // wall time inside the classify stage
+  uint64_t expand_micros = 0;     // wall time recording visits + expanding
+  uint64_t lock_wait_micros = 0;  // time blocked on the crawl-state lock
+  uint64_t batches = 0;           // classify batches submitted
+  uint64_t batched_pages = 0;     // pages across those batches
+  uint64_t frontier_pops = 0;     // successful frontier pops
+  uint64_t frontier_steals = 0;   // pops served by a non-preferred shard
+
+  // Mean pages per classify batch (the batch-occupancy signal: low values
+  // mean the fetch stage starves the classifier).
+  double AvgBatchOccupancy() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_pages) / batches;
+  }
+};
+
+// Per-stage counters for the concurrent crawl pipeline (fetch → classify →
+// expand). All counters are atomic so fetch workers update them without
+// taking the crawl-state lock.
+class StageMetrics {
+ public:
+  void AddFetchMicros(uint64_t us) { fetch_micros_ += us; }
+  void AddClassifyMicros(uint64_t us) { classify_micros_ += us; }
+  void AddExpandMicros(uint64_t us) { expand_micros_ += us; }
+  void AddLockWaitMicros(uint64_t us) { lock_wait_micros_ += us; }
+  void RecordBatch(uint64_t pages) {
+    ++batches_;
+    batched_pages_ += pages;
+  }
+  void RecordPop(bool stolen) {
+    ++frontier_pops_;
+    if (stolen) ++frontier_steals_;
+  }
+
+  StageMetricsSnapshot Snapshot() const {
+    StageMetricsSnapshot s;
+    s.fetch_micros = fetch_micros_.load();
+    s.classify_micros = classify_micros_.load();
+    s.expand_micros = expand_micros_.load();
+    s.lock_wait_micros = lock_wait_micros_.load();
+    s.batches = batches_.load();
+    s.batched_pages = batched_pages_.load();
+    s.frontier_pops = frontier_pops_.load();
+    s.frontier_steals = frontier_steals_.load();
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> fetch_micros_{0};
+  std::atomic<uint64_t> classify_micros_{0};
+  std::atomic<uint64_t> expand_micros_{0};
+  std::atomic<uint64_t> lock_wait_micros_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_pages_{0};
+  std::atomic<uint64_t> frontier_pops_{0};
+  std::atomic<uint64_t> frontier_steals_{0};
+};
 
 // Harvest rate (§3.4): moving average of R(p) over a window of fetches.
 // Point i covers visits [max(0, i-window+1), i].

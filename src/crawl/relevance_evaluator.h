@@ -2,6 +2,8 @@
 #ifndef FOCUS_CRAWL_RELEVANCE_EVALUATOR_H_
 #define FOCUS_CRAWL_RELEVANCE_EVALUATOR_H_
 
+#include <vector>
+
 #include "classify/hierarchical_classifier.h"
 #include "taxonomy/taxonomy.h"
 #include "text/document.h"
@@ -22,6 +24,23 @@ class RelevanceEvaluator {
  public:
   virtual ~RelevanceEvaluator() = default;
   virtual Result<PageJudgment> Judge(const text::TermVector& terms) = 0;
+
+  // Judges a micro-batch of pages in one call (the crawl pipeline's
+  // classify stage). The default delegates to Judge() per document;
+  // BatchRelevanceEvaluator overrides it with one relational bulk-probe
+  // plan per batch. Implementations must be safe to call from concurrent
+  // fetch workers and must return exactly docs.size() judgments, aligned
+  // by index.
+  virtual Result<std::vector<PageJudgment>> JudgeBatch(
+      const std::vector<text::TermVector>& docs) {
+    std::vector<PageJudgment> out;
+    out.reserve(docs.size());
+    for (const text::TermVector& terms : docs) {
+      FOCUS_ASSIGN_OR_RETURN(PageJudgment j, Judge(terms));
+      out.push_back(j);
+    }
+    return out;
+  }
 };
 
 // Judges pages with the in-memory hierarchical classifier. The DB-resident
