@@ -7,12 +7,32 @@
 #include <vector>
 
 #include "classify/model.h"
+#include "obs/json_writer.h"
 #include "taxonomy/taxonomy.h"
 #include "text/document.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
 namespace focus::bench {
+
+// Benches emit JSON through the same escaped writer as the metrics
+// snapshot exporter (obs::JsonWriter) — one JSON implementation repo-wide.
+using obs::JsonWriter;
+
+// Writes `content` (a JSON document or Prometheus text page) to `path`;
+// returns false (with a stderr note) on failure.
+inline bool WriteTextFile(const std::string& path,
+                          const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(content.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
 
 // A wide taxonomy approximating the paper's Yahoo!-derived tree (the real
 // one had ~2100 nodes; statistics tables must dwarf the buffer pool).

@@ -10,9 +10,12 @@
 // tokenization + batched classification + relational bookkeeping).
 //
 // Flags (for the CI bench-smoke job):
-//   --budget N     pages to fetch per run (default 2000)
-//   --tiny         shrink the simulated web for fast smoke runs
-//   --json PATH    also write the result rows as a JSON array
+//   --budget N           pages to fetch per run (default 2000)
+//   --tiny               shrink the simulated web for fast smoke runs
+//   --json PATH          write the result rows as JSON (schema 2)
+//   --metrics-json PATH  dump the full metrics-registry snapshot as JSON
+//   --metrics-text PATH  same snapshot in Prometheus text format
+//   --trace PATH         record trace spans, write Chrome trace_event JSON
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +27,8 @@
 #include "core/sample_taxonomy.h"
 #include "crawl/metrics.h"
 #include "crawl/monitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -34,6 +39,9 @@ struct Flags {
   int budget = 2000;
   bool tiny = false;
   std::string json_path;
+  std::string metrics_json_path;
+  std::string metrics_text_path;
+  std::string trace_path;
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -45,10 +53,17 @@ Flags ParseFlags(int argc, char** argv) {
       flags.budget = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       flags.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      flags.metrics_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-text") == 0 && i + 1 < argc) {
+      flags.metrics_text_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      flags.trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: tab_throughput [--budget N] [--tiny] "
-                   "[--json PATH]\n");
+                   "[--json PATH] [--metrics-json PATH] "
+                   "[--metrics-text PATH] [--trace PATH]\n");
       std::exit(2);
     }
   }
@@ -69,6 +84,10 @@ struct Row {
 };
 
 int Run(const Flags& flags) {
+  if (!flags.trace_path.empty()) obs::TraceBuffer::Global().Enable();
+  // A private registry: repeated bench runs (and other processes' global
+  // metrics) never leak into this run's snapshot.
+  obs::MetricsRegistry registry;
   taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
   core::FocusOptions options;
   options.seed = 73;
@@ -89,10 +108,14 @@ int Run(const Flags& flags) {
               "virtual_seconds,pages_per_virtual_second,"
               "batch_occupancy\n");
   std::vector<Row> rows;
+  // Sessions stay alive past the loop so their buffer-pool collectors are
+  // still registered when the registry snapshot is taken below.
+  std::vector<std::unique_ptr<core::CrawlSession>> sessions;
   for (int threads : {1, 8}) {
     crawl::CrawlerOptions copts;
     copts.max_fetches = flags.budget;
     copts.num_threads = threads;
+    copts.metrics_registry = &registry;
     auto session = system->NewCrawl(seeds, copts).TakeValue();
     Stopwatch wall;
     FOCUS_CHECK(session->crawler().Crawl().ok());
@@ -111,30 +134,39 @@ int Run(const Flags& flags) {
       std::printf("%s", crawl::FormatStageMetrics(metrics).c_str());
     }
     rows.push_back(row);
+    sessions.push_back(std::move(session));
   }
 
   if (!flags.json_path.empty()) {
-    std::FILE* f = std::fopen(flags.json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", flags.json_path.c_str());
-      return 1;
+    JsonWriter w;
+    w.BeginObject().Field("schema", 2).Field("benchmark", "tab_throughput");
+    w.Key("rows").BeginArray();
+    for (const Row& r : rows) {
+      w.BeginObject()
+          .Field("threads", r.threads)
+          .Field("pages", static_cast<uint64_t>(r.pages))
+          .Field("wall_seconds", r.wall_s)
+          .Field("pages_per_wall_second", r.PerWallSecond())
+          .Field("virtual_seconds", r.virtual_s)
+          .Field("pages_per_virtual_second", r.PerVirtualSecond())
+          .Field("batch_occupancy", r.batch_occupancy)
+          .EndObject();
     }
-    std::fprintf(f, "[\n");
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(f,
-                   "  {\"threads\": %d, \"pages\": %zu, "
-                   "\"wall_seconds\": %.3f, "
-                   "\"pages_per_wall_second\": %.1f, "
-                   "\"virtual_seconds\": %.3f, "
-                   "\"pages_per_virtual_second\": %.1f, "
-                   "\"batch_occupancy\": %.2f}%s\n",
-                   r.threads, r.pages, r.wall_s, r.PerWallSecond(),
-                   r.virtual_s, r.PerVirtualSecond(), r.batch_occupancy,
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
+    w.EndArray().EndObject();
+    if (!WriteTextFile(flags.json_path, w.TakeString())) return 1;
+  }
+  if (!flags.metrics_json_path.empty() &&
+      !WriteTextFile(flags.metrics_json_path, registry.ToJson())) {
+    return 1;
+  }
+  if (!flags.metrics_text_path.empty() &&
+      !WriteTextFile(flags.metrics_text_path, registry.ToPrometheusText())) {
+    return 1;
+  }
+  if (!flags.trace_path.empty() &&
+      !WriteTextFile(flags.trace_path,
+                     obs::TraceBuffer::Global().ToChromeTraceJson())) {
+    return 1;
   }
   return 0;
 }

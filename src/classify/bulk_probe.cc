@@ -50,85 +50,117 @@ Status BulkProbeClassifier::BulkProbeNode(
 
   // PARTIAL(did, kcid, lpr1): DOCUMENT ⋈_tid STAT_c0 ⋈_kcid TAXONOMY,
   // group by (did, kcid), sum(freq * (logtheta + logdenom)).
-  OperatorPtr doc_by_tid =
-      std::make_unique<sql::BorrowedSource>(doc_schema, &doc_sorted);
+  OperatorPtr doc_by_tid = sql::Analyze(
+      plan_, "BorrowedSource DOCUMENT(sorted)",
+      std::make_unique<sql::BorrowedSource>(doc_schema, &doc_sorted));
   // STAT_c0's heap is already in (tid, kcid) order.
-  OperatorPtr stat_scan = std::make_unique<SeqScan>(stat);
-  OperatorPtr joined = std::make_unique<MergeJoin>(
-      std::move(doc_by_tid), std::move(stat_scan), std::vector<int>{1},
-      std::vector<int>{1});
+  OperatorPtr stat_scan = sql::Analyze(plan_, "SeqScan STAT",
+                                       std::make_unique<SeqScan>(stat));
+  OperatorPtr joined = sql::Analyze(
+      plan_, "MergeJoin DOCUMENT~STAT",
+      std::make_unique<MergeJoin>(std::move(doc_by_tid),
+                                  std::move(stat_scan), std::vector<int>{1},
+                                  std::vector<int>{1}));
   // joined: 0 did, 1 tid, 2 freq, 3 kcid, 4 tid, 5 logtheta
-  OperatorPtr tax_children = std::make_unique<sql::IndexScanEq>(
-      tables_->taxonomy, tables_->taxonomy->IndexId("by_pcid"),
-      std::vector<Value>{Value::Int32(c0)});
-  OperatorPtr with_denom = std::make_unique<HashJoin>(
-      std::move(tax_children), std::move(joined), std::vector<int>{1},
-      std::vector<int>{3});
+  OperatorPtr tax_children = sql::Analyze(
+      plan_, "IndexScanEq TAXONOMY by_pcid",
+      std::make_unique<sql::IndexScanEq>(
+          tables_->taxonomy, tables_->taxonomy->IndexId("by_pcid"),
+          std::vector<Value>{Value::Int32(c0)}));
+  OperatorPtr with_denom = sql::Analyze(
+      plan_, "HashJoin TAXONOMY~joined",
+      std::make_unique<HashJoin>(std::move(tax_children), std::move(joined),
+                                 std::vector<int>{1}, std::vector<int>{3}));
   // with_denom: 0 pcid, 1 kcid, 2 logprior, 3 logdenom, 4 type, 5 name,
   //             6 did, 7 tid, 8 freq, 9 kcid, 10 tid, 11 logtheta
-  OperatorPtr contrib = std::make_unique<Project>(
-      std::move(with_denom),
-      std::vector<ProjExpr>{
-          ProjExpr{"did", TypeId::kInt64,
-                   [](const Tuple& t) { return t.Get(6); }},
-          ProjExpr{"kcid", TypeId::kInt32,
-                   [](const Tuple& t) { return t.Get(1); }},
-          ProjExpr{"contrib", TypeId::kDouble,
-                   [](const Tuple& t) {
-                     return Value::Double(
-                         t.Get(8).AsInt32() *
-                         (t.Get(11).AsDouble() + t.Get(3).AsDouble()));
-                   }}});
-  OperatorPtr partial_op = std::make_unique<HashAggregate>(
-      std::move(contrib), std::vector<int>{0, 1},
-      std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "lpr1"}});
+  OperatorPtr contrib = sql::Analyze(
+      plan_, "Project did,kcid,contrib",
+      std::make_unique<Project>(
+          std::move(with_denom),
+          std::vector<ProjExpr>{
+              ProjExpr{"did", TypeId::kInt64,
+                       [](const Tuple& t) { return t.Get(6); }},
+              ProjExpr{"kcid", TypeId::kInt32,
+                       [](const Tuple& t) { return t.Get(1); }},
+              ProjExpr{"contrib", TypeId::kDouble,
+                       [](const Tuple& t) {
+                         return Value::Double(
+                             t.Get(8).AsInt32() *
+                             (t.Get(11).AsDouble() + t.Get(3).AsDouble()));
+                       }}}));
+  OperatorPtr partial_op = sql::Analyze(
+      plan_, "HashAggregate PARTIAL(did,kcid)",
+      std::make_unique<HashAggregate>(
+          std::move(contrib), std::vector<int>{0, 1},
+          std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "lpr1"}}));
   // Ascending (did, kcid) by construction (ordered aggregation output).
 
   // DOCLEN(did, len): DOCUMENT restricted to F(c0), grouped by did.
-  OperatorPtr features = std::make_unique<HashAggregate>(
-      std::make_unique<SeqScan>(stat), std::vector<int>{1},
-      std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}});
-  OperatorPtr doc_by_tid2 =
-      std::make_unique<sql::BorrowedSource>(doc_schema, &doc_sorted);
-  OperatorPtr doc_features = std::make_unique<MergeJoin>(
-      std::move(doc_by_tid2), std::move(features), std::vector<int>{1},
-      std::vector<int>{0});
+  OperatorPtr features = sql::Analyze(
+      plan_, "HashAggregate features(tid)",
+      std::make_unique<HashAggregate>(
+          sql::Analyze(plan_, "SeqScan STAT",
+                       std::make_unique<SeqScan>(stat)),
+          std::vector<int>{1},
+          std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}}));
+  OperatorPtr doc_by_tid2 = sql::Analyze(
+      plan_, "BorrowedSource DOCUMENT(sorted)",
+      std::make_unique<sql::BorrowedSource>(doc_schema, &doc_sorted));
+  OperatorPtr doc_features = sql::Analyze(
+      plan_, "MergeJoin DOCUMENT~features",
+      std::make_unique<MergeJoin>(std::move(doc_by_tid2),
+                                  std::move(features), std::vector<int>{1},
+                                  std::vector<int>{0}));
   // doc_features: 0 did, 1 tid, 2 freq, 3 tid, 4 cnt
-  OperatorPtr doclen_op = std::make_unique<HashAggregate>(
-      std::move(doc_features), std::vector<int>{0},
-      std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "len"}});
+  OperatorPtr doclen_op = sql::Analyze(
+      plan_, "HashAggregate DOCLEN(did)",
+      std::make_unique<HashAggregate>(
+          std::move(doc_features), std::vector<int>{0},
+          std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "len"}}));
 
   // COMPLETE(did, kcid, lpr2): DOCLEN × children(c0), -len * logdenom.
-  OperatorPtr tax_children2 = std::make_unique<sql::IndexScanEq>(
-      tables_->taxonomy, tables_->taxonomy->IndexId("by_pcid"),
-      std::vector<Value>{Value::Int32(c0)});
-  OperatorPtr cross = std::make_unique<NestedLoopJoin>(
-      std::move(doclen_op), std::move(tax_children2),
-      [](const Tuple&, const Tuple&) { return true; });
+  OperatorPtr tax_children2 = sql::Analyze(
+      plan_, "IndexScanEq TAXONOMY by_pcid",
+      std::make_unique<sql::IndexScanEq>(
+          tables_->taxonomy, tables_->taxonomy->IndexId("by_pcid"),
+          std::vector<Value>{Value::Int32(c0)}));
+  OperatorPtr cross = sql::Analyze(
+      plan_, "NestedLoopJoin DOCLEN×children",
+      std::make_unique<NestedLoopJoin>(
+          std::move(doclen_op), std::move(tax_children2),
+          [](const Tuple&, const Tuple&) { return true; }));
   // cross: 0 did, 1 len, 2 pcid, 3 kcid, 4 logprior, 5 logdenom, ...
-  OperatorPtr complete_op = std::make_unique<Project>(
-      std::move(cross),
-      std::vector<ProjExpr>{
-          ProjExpr{"did", TypeId::kInt64,
-                   [](const Tuple& t) { return t.Get(0); }},
-          ProjExpr{"kcid", TypeId::kInt32,
-                   [](const Tuple& t) { return t.Get(3); }},
-          ProjExpr{"lpr2", TypeId::kDouble,
-                   [](const Tuple& t) {
-                     return Value::Double(-t.Get(1).AsInt64() *
-                                          t.Get(5).AsDouble());
-                   }}});
+  OperatorPtr complete_op = sql::Analyze(
+      plan_, "Project COMPLETE",
+      std::make_unique<Project>(
+          std::move(cross),
+          std::vector<ProjExpr>{
+              ProjExpr{"did", TypeId::kInt64,
+                       [](const Tuple& t) { return t.Get(0); }},
+              ProjExpr{"kcid", TypeId::kInt32,
+                       [](const Tuple& t) { return t.Get(3); }},
+              ProjExpr{"lpr2", TypeId::kDouble,
+                       [](const Tuple& t) {
+                         return Value::Double(-t.Get(1).AsInt64() *
+                                              t.Get(5).AsDouble());
+                       }}}));
   // Children arrive in ascending kcid order from the index scan only if
   // TAXONOMY rows were inserted in cid order (they were), but sort
   // explicitly to keep the merge-join precondition independent of that.
-  OperatorPtr complete_sorted = std::make_unique<Sort>(
-      std::move(complete_op),
-      std::vector<SortKey>{{0, false}, {1, false}});
+  OperatorPtr complete_sorted = sql::Analyze(
+      plan_, "Sort COMPLETE (did,kcid)",
+      std::make_unique<Sort>(std::move(complete_op),
+                             std::vector<SortKey>{{0, false}, {1, false}}));
 
   // final: COMPLETE left outer join PARTIAL on (did, kcid).
-  MergeJoin final_join(std::move(complete_sorted), std::move(partial_op),
-                       {0, 1}, {0, 1}, /*left_outer=*/true);
-  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(&final_join));
+  OperatorPtr final_join = sql::Analyze(
+      plan_, StrCat("BulkProbeNode c0=", c0, ": MergeJoin COMPLETE~PARTIAL"),
+      std::make_unique<MergeJoin>(std::move(complete_sorted),
+                                  std::move(partial_op),
+                                  std::vector<int>{0, 1},
+                                  std::vector<int>{0, 1},
+                                  /*left_outer=*/true));
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(final_join.get()));
   stats_.join_seconds += join_timer.ElapsedSeconds();
 
   Stopwatch finalize_timer;
@@ -153,10 +185,14 @@ BulkProbeClassifier::ClassifyAll(const sql::Table* document) const {
   // One sequential pass sorts DOCUMENT by tid into a temp reused by every
   // node's merge joins (as a clustered sort temp would be in DB2).
   Stopwatch sort_timer;
-  Sort doc_sort(std::make_unique<SeqScan>(document),
-                std::vector<SortKey>{{1, false}});
+  OperatorPtr doc_sort = sql::Analyze(
+      plan_, "Sort DOCUMENT by tid",
+      std::make_unique<Sort>(
+          sql::Analyze(plan_, "SeqScan DOCUMENT",
+                       std::make_unique<SeqScan>(document)),
+          std::vector<SortKey>{{1, false}}));
   FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> doc_sorted,
-                         sql::Collect(&doc_sort));
+                         sql::Collect(doc_sort.get()));
   stats_.join_seconds += sort_timer.ElapsedSeconds();
 
   // Distinct document ids (docs with no feature terms anywhere still get
@@ -195,6 +231,15 @@ BulkProbeClassifier::ClassifyAll(const sql::Table* document) const {
   }
   stats_.finalize_seconds += finalize_timer.ElapsedSeconds();
   return out;
+}
+
+Result<std::unordered_map<uint64_t, ClassScores>>
+BulkProbeClassifier::ClassifyWithPlan(const sql::Table* document,
+                                      sql::PlanStats* plan) const {
+  plan_ = plan;
+  auto result = ClassifyAll(document);
+  plan_ = nullptr;
+  return result;
 }
 
 }  // namespace focus::classify

@@ -19,6 +19,7 @@
 
 #include "classify/db_tables.h"
 #include "classify/hierarchical_classifier.h"
+#include "sql/exec/analyze.h"
 #include "util/status.h"
 
 namespace focus::classify {
@@ -45,6 +46,12 @@ class BulkProbeClassifier {
   Result<std::unordered_map<uint64_t, ClassScores>> ClassifyAll(
       const sql::Table* document) const;
 
+  // Like ClassifyAll, but records every operator of every per-node Figure 3
+  // plan into `plan` (EXPLAIN ANALYZE). `plan` may be null, in which case
+  // this is exactly ClassifyAll.
+  Result<std::unordered_map<uint64_t, ClassScores>> ClassifyWithPlan(
+      const sql::Table* document, sql::PlanStats* plan) const;
+
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
@@ -60,6 +67,8 @@ class BulkProbeClassifier {
   const HierarchicalClassifier* ref_;
   const ClassifierTables* tables_;
   mutable Stats stats_;
+  // Non-null only inside ClassifyWithPlan.
+  mutable sql::PlanStats* plan_ = nullptr;
 };
 
 }  // namespace focus::classify

@@ -1,5 +1,7 @@
 #include "core/focus.h"
 
+#include <atomic>
+
 #include "distill/join_distiller.h"
 #include "util/string_util.h"
 
@@ -96,6 +98,11 @@ Result<std::unique_ptr<CrawlSession>> FocusSystem::NewCrawl(
   session->disk_ = std::make_unique<storage::MemDiskManager>();
   session->pool_ = std::make_unique<storage::BufferPool>(
       session->disk_.get(), options_.session_buffer_frames);
+  // Sessions share one registry; the pool label tells them apart.
+  static std::atomic<uint64_t> next_session_id{1};
+  session->pool_->BindMetrics(
+      crawler_options.metrics_registry,
+      StrCat("session-", next_session_id.fetch_add(1)));
   session->catalog_ = std::make_unique<sql::Catalog>(session->pool_.get());
   FOCUS_ASSIGN_OR_RETURN(crawl::CrawlDb db,
                          crawl::CrawlDb::Create(session->catalog_.get()));

@@ -22,6 +22,16 @@ Result<PageJudgment> BatchRelevanceEvaluator::Judge(
 
 Result<std::vector<PageJudgment>> BatchRelevanceEvaluator::JudgeBatch(
     const std::vector<text::TermVector>& docs) {
+  return JudgeBatchImpl(docs, nullptr);
+}
+
+Result<std::vector<PageJudgment>> BatchRelevanceEvaluator::JudgeBatchWithPlan(
+    const std::vector<text::TermVector>& docs, sql::PlanStats* plan) {
+  return JudgeBatchImpl(docs, plan);
+}
+
+Result<std::vector<PageJudgment>> BatchRelevanceEvaluator::JudgeBatchImpl(
+    const std::vector<text::TermVector>& docs, sql::PlanStats* plan) {
   if (docs.empty()) return std::vector<PageJudgment>{};
   if (docs.size() == 1) {
     // A relational plan over one document is all fixed cost; use the
@@ -41,7 +51,8 @@ Result<std::vector<PageJudgment>> BatchRelevanceEvaluator::JudgeBatch(
   }
   std::vector<PageJudgment> out;
   if (status.ok()) {
-    auto scored = bulk_->ClassifyAll(document);
+    auto scored = plan == nullptr ? bulk_->ClassifyAll(document)
+                                  : bulk_->ClassifyWithPlan(document, plan);
     if (scored.ok()) {
       out.reserve(docs.size());
       for (size_t i = 0; i < docs.size(); ++i) {

@@ -39,8 +39,16 @@ class BatchRelevanceEvaluator final : public RelevanceEvaluator {
   Result<std::vector<PageJudgment>> JudgeBatch(
       const std::vector<text::TermVector>& docs) override;
 
+  // Like JudgeBatch, but records the batch's Figure 3 plans into `plan`
+  // (EXPLAIN ANALYZE; see sql::PlanStats). Batches of size < 2 take the
+  // in-memory fallback and record nothing.
+  Result<std::vector<PageJudgment>> JudgeBatchWithPlan(
+      const std::vector<text::TermVector>& docs, sql::PlanStats* plan);
+
  private:
   PageJudgment FromScores(const classify::ClassScores& scores) const;
+  Result<std::vector<PageJudgment>> JudgeBatchImpl(
+      const std::vector<text::TermVector>& docs, sql::PlanStats* plan);
 
   const classify::BulkProbeClassifier* bulk_;
   const classify::HierarchicalClassifier* ref_;

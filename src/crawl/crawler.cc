@@ -6,6 +6,7 @@
 #include "crawl/metrics.h"
 #include "distill/join_distiller.h"
 #include "distill/pagerank.h"
+#include "obs/trace.h"
 
 #include "util/clock.h"
 #include "util/hash.h"
@@ -34,7 +35,7 @@ Crawler::Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
       options_(options),
       frontier_(options.policy, ResolveShardCount(options)),
       catalog_(catalog),
-      stage_metrics_(std::make_unique<StageMetrics>()) {
+      stage_metrics_(std::make_unique<StageMetrics>(options.metrics_registry)) {
   if (options_.classify_batch_size < 1) options_.classify_batch_size = 1;
   next_distill_at_ = options_.distill_every;
   next_pagerank_at_ = options_.pagerank_every;
@@ -262,6 +263,7 @@ Status Crawler::ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
 }
 
 Status Crawler::RunDistillationBoost() {
+  FOCUS_SPAN("crawl.distill_boost");
   if (!distill_tables_ready_) {
     distill_tables_.link = db_->link_table();
     distill_tables_.crawl = db_->crawl_table();
@@ -271,10 +273,12 @@ Status Crawler::RunDistillationBoost() {
   }
   FOCUS_RETURN_IF_ERROR(db_->RefreshEdgeWeights());
   distill::JoinDistiller distiller(distill_tables_);
+  distiller.EnableResidualTracking(true);
   distill::HitsOptions hits_options;
   hits_options.iterations = options_.distill_iterations;
   hits_options.rho = options_.distill_rho;
   FOCUS_RETURN_IF_ERROR(distiller.Run(hits_options));
+  stage_metrics_->RecordDistillResiduals(distiller.residuals());
   ++stats_.distill_rounds;
 
   FOCUS_ASSIGN_OR_RETURN(auto hub_scores,
@@ -428,6 +432,7 @@ std::vector<FrontierEntry> Crawler::GatherBatch(int worker) {
 
 Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
                             const std::vector<PageJudgment>& judgments) {
+  FOCUS_SPAN("crawl.record_batch");
   Stopwatch lock_wait;
   std::unique_lock<std::mutex> lock(state_mutex_);
   stage_metrics_->AddLockWaitMicros(
@@ -484,6 +489,7 @@ Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
   Status boosts = RunPeriodicBoosts();
   stage_metrics_->AddExpandMicros(
       static_cast<uint64_t>(expand_timer.ElapsedMicros()));
+  stage_metrics_->SetFrontierDepth(static_cast<double>(frontier_.size()));
   lock.unlock();
   work_cv_.notify_all();
   return boosts;
@@ -526,27 +532,30 @@ Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
     std::vector<FrontierEntry> retries;
     int dropped = 0;
     Stopwatch fetch_timer;
-    for (FrontierEntry& entry : batch) {
-      Result<webgraph::SimulatedWeb::FetchResult> result = [&] {
-        std::lock_guard<std::mutex> web_lock(web_mutex_);
-        return web_->Fetch(entry.url, worker_clock);
-      }();
-      if (!result.ok()) {
-        if (result.status().code() != StatusCode::kNotFound &&
-            entry.numtries + 1 < options_.max_retries) {
-          FrontierEntry retry = std::move(entry);
-          ++retry.numtries;
-          retries.push_back(std::move(retry));
-        } else {
-          ++dropped;
+    {
+      FOCUS_SPAN_VT("crawl.fetch_batch", worker_clock);
+      for (FrontierEntry& entry : batch) {
+        Result<webgraph::SimulatedWeb::FetchResult> result = [&] {
+          std::lock_guard<std::mutex> web_lock(web_mutex_);
+          return web_->Fetch(entry.url, worker_clock);
+        }();
+        if (!result.ok()) {
+          if (result.status().code() != StatusCode::kNotFound &&
+              entry.numtries + 1 < options_.max_retries) {
+            FrontierEntry retry = std::move(entry);
+            ++retry.numtries;
+            retries.push_back(std::move(retry));
+          } else {
+            ++dropped;
+          }
+          continue;
         }
-        continue;
+        FetchedPage page;
+        page.entry = std::move(entry);
+        page.fetch = result.TakeValue();
+        page.fetched_at_us = worker_clock->NowMicros();
+        fetched.push_back(std::move(page));
       }
-      FetchedPage page;
-      page.entry = std::move(entry);
-      page.fetch = result.TakeValue();
-      page.fetched_at_us = worker_clock->NowMicros();
-      fetched.push_back(std::move(page));
     }
     stage_metrics_->AddFetchMicros(
         static_cast<uint64_t>(fetch_timer.ElapsedMicros()));
@@ -577,10 +586,15 @@ Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
       docs.push_back(page.terms);
     }
     Stopwatch classify_timer;
-    auto judged = evaluator_->JudgeBatch(docs);
-    stage_metrics_->AddClassifyMicros(
-        static_cast<uint64_t>(classify_timer.ElapsedMicros()));
+    auto judged = [&] {
+      FOCUS_SPAN_VT("crawl.classify_batch", worker_clock);
+      return evaluator_->JudgeBatch(docs);
+    }();
+    uint64_t classify_micros =
+        static_cast<uint64_t>(classify_timer.ElapsedMicros());
+    stage_metrics_->AddClassifyMicros(classify_micros);
     stage_metrics_->RecordBatch(fetched.size());
+    stage_metrics_->ObserveClassifyBatchMicros(classify_micros);
     if (!judged.ok()) {
       in_flight_.fetch_sub(static_cast<int>(fetched.size()));
       work_cv_.notify_all();

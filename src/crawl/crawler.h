@@ -21,6 +21,10 @@
 #include "util/clock.h"
 #include "webgraph/simulated_web.h"
 
+namespace focus::obs {
+class MetricsRegistry;
+}  // namespace focus::obs
+
 namespace focus::crawl {
 
 // How relevance judgments gate link expansion (§2.1.2).
@@ -76,6 +80,10 @@ struct CrawlerOptions {
   // Frontier shards, keyed by ServerIdOf(url). 0 = auto: one shard
   // single-threaded (exactly the classic frontier), else two per thread.
   int frontier_shards = 0;
+
+  // Registry for the crawler's stage metrics; nullptr = process-global.
+  // Benchmarks pass a private registry so repeated runs start from zero.
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 struct Visit {

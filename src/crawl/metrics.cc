@@ -8,6 +8,56 @@
 
 namespace focus::crawl {
 
+StageMetrics::StageMetrics(obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry* r = obs::MetricsRegistry::OrGlobal(registry);
+  auto stage = [&](const char* name) {
+    return r->GetCounter("focus_crawl_stage_micros_total",
+                         {{"stage", name}});
+  };
+  fetch_micros_ = stage("fetch");
+  classify_micros_ = stage("classify");
+  expand_micros_ = stage("expand");
+  lock_wait_micros_ = stage("lock_wait");
+  batches_ = r->GetCounter("focus_crawl_classify_batches_total");
+  batched_pages_ = r->GetCounter("focus_crawl_classify_pages_total");
+  frontier_pops_ = r->GetCounter("focus_crawl_frontier_pops_total");
+  frontier_steals_ = r->GetCounter("focus_crawl_frontier_steals_total");
+  frontier_depth_ = r->GetGauge("focus_crawl_frontier_depth");
+  distill_iterations_ = r->GetCounter("focus_distill_iterations_total");
+  distill_residual_ = r->GetGauge("focus_distill_last_residual");
+  batch_pages_hist_ = r->GetHistogram("focus_crawl_classify_batch_pages");
+  batch_micros_hist_ = r->GetHistogram("focus_crawl_classify_batch_micros");
+  Reset();
+}
+
+StageMetricsSnapshot StageMetrics::Raw() const {
+  StageMetricsSnapshot s;
+  s.fetch_micros = fetch_micros_->Value();
+  s.classify_micros = classify_micros_->Value();
+  s.expand_micros = expand_micros_->Value();
+  s.lock_wait_micros = lock_wait_micros_->Value();
+  s.batches = batches_->Value();
+  s.batched_pages = batched_pages_->Value();
+  s.frontier_pops = frontier_pops_->Value();
+  s.frontier_steals = frontier_steals_->Value();
+  return s;
+}
+
+StageMetricsSnapshot StageMetrics::Snapshot() const {
+  StageMetricsSnapshot s = Raw();
+  s.fetch_micros -= baseline_.fetch_micros;
+  s.classify_micros -= baseline_.classify_micros;
+  s.expand_micros -= baseline_.expand_micros;
+  s.lock_wait_micros -= baseline_.lock_wait_micros;
+  s.batches -= baseline_.batches;
+  s.batched_pages -= baseline_.batched_pages;
+  s.frontier_pops -= baseline_.frontier_pops;
+  s.frontier_steals -= baseline_.frontier_steals;
+  return s;
+}
+
+void StageMetrics::Reset() { baseline_ = Raw(); }
+
 std::vector<double> MovingAverageRelevance(const std::vector<Visit>& visits,
                                            int window) {
   std::vector<double> out;

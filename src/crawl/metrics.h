@@ -9,6 +9,7 @@
 
 #include "crawl/crawl_db.h"
 #include "crawl/crawler.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace focus::crawl {
@@ -34,45 +35,69 @@ struct StageMetricsSnapshot {
 };
 
 // Per-stage counters for the concurrent crawl pipeline (fetch → classify →
-// expand). All counters are atomic so fetch workers update them without
-// taking the crawl-state lock.
+// expand), backed by registry counters (focus_crawl_stage_micros_total
+// {stage=...} and friends) so the same numbers appear in Prometheus/JSON
+// snapshots. Updates are single relaxed fetch_adds — fetch workers never
+// serialize on the crawl-state lock (or on each other) to record time.
+//
+// Registry counters are process-cumulative across crawlers sharing a
+// registry; each StageMetrics captures a baseline at construction (and on
+// Reset()) and Snapshot() reports deltas since then, preserving the
+// per-crawler view the monitor/bench code expects.
 class StageMetrics {
  public:
-  void AddFetchMicros(uint64_t us) { fetch_micros_ += us; }
-  void AddClassifyMicros(uint64_t us) { classify_micros_ += us; }
-  void AddExpandMicros(uint64_t us) { expand_micros_ += us; }
-  void AddLockWaitMicros(uint64_t us) { lock_wait_micros_ += us; }
+  // nullptr registry means the process-global registry.
+  explicit StageMetrics(obs::MetricsRegistry* registry = nullptr);
+
+  void AddFetchMicros(uint64_t us) { fetch_micros_->Add(us); }
+  void AddClassifyMicros(uint64_t us) { classify_micros_->Add(us); }
+  void AddExpandMicros(uint64_t us) { expand_micros_->Add(us); }
+  void AddLockWaitMicros(uint64_t us) { lock_wait_micros_->Add(us); }
   void RecordBatch(uint64_t pages) {
-    ++batches_;
-    batched_pages_ += pages;
+    batches_->Inc();
+    batched_pages_->Add(pages);
+    batch_pages_hist_->Observe(pages);
+  }
+  // Latency of one classifier batch (also kept as a histogram so snapshots
+  // report tail behaviour, not just the mean).
+  void ObserveClassifyBatchMicros(uint64_t us) {
+    batch_micros_hist_->Observe(us);
   }
   void RecordPop(bool stolen) {
-    ++frontier_pops_;
-    if (stolen) ++frontier_steals_;
+    frontier_pops_->Inc();
+    if (stolen) frontier_steals_->Inc();
+  }
+  // Instantaneous frontier size (sampled by the record stage).
+  void SetFrontierDepth(double depth) { frontier_depth_->Set(depth); }
+  // One distillation round's per-iteration L1 residuals: counts the
+  // iterations and keeps the final residual as a convergence gauge.
+  void RecordDistillResiduals(const std::vector<double>& residuals) {
+    distill_iterations_->Add(residuals.size());
+    if (!residuals.empty()) distill_residual_->Set(residuals.back());
   }
 
-  StageMetricsSnapshot Snapshot() const {
-    StageMetricsSnapshot s;
-    s.fetch_micros = fetch_micros_.load();
-    s.classify_micros = classify_micros_.load();
-    s.expand_micros = expand_micros_.load();
-    s.lock_wait_micros = lock_wait_micros_.load();
-    s.batches = batches_.load();
-    s.batched_pages = batched_pages_.load();
-    s.frontier_pops = frontier_pops_.load();
-    s.frontier_steals = frontier_steals_.load();
-    return s;
-  }
+  // Deltas since construction (or the last Reset).
+  StageMetricsSnapshot Snapshot() const;
+  // Re-baselines so the next Snapshot() starts from zero.
+  void Reset();
 
  private:
-  std::atomic<uint64_t> fetch_micros_{0};
-  std::atomic<uint64_t> classify_micros_{0};
-  std::atomic<uint64_t> expand_micros_{0};
-  std::atomic<uint64_t> lock_wait_micros_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batched_pages_{0};
-  std::atomic<uint64_t> frontier_pops_{0};
-  std::atomic<uint64_t> frontier_steals_{0};
+  StageMetricsSnapshot Raw() const;
+
+  obs::Counter* fetch_micros_;
+  obs::Counter* classify_micros_;
+  obs::Counter* expand_micros_;
+  obs::Counter* lock_wait_micros_;
+  obs::Counter* batches_;
+  obs::Counter* batched_pages_;
+  obs::Counter* frontier_pops_;
+  obs::Counter* frontier_steals_;
+  obs::Gauge* frontier_depth_;
+  obs::Counter* distill_iterations_;
+  obs::Gauge* distill_residual_;
+  obs::Histogram* batch_pages_hist_;
+  obs::Histogram* batch_micros_hist_;
+  StageMetricsSnapshot baseline_;
 };
 
 // Harvest rate (§3.4): moving average of R(p) over a window of fetches.

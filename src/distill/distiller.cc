@@ -1,5 +1,7 @@
 #include "distill/distiller.h"
 
+#include <cmath>
+
 namespace focus::distill {
 
 using sql::IndexSpec;
@@ -17,6 +19,42 @@ Status CreateHubsAuthTables(sql::Catalog* catalog, DistillTables* tables) {
       tables->auth,
       catalog->CreateTable("AUTH", score_schema,
                            {IndexSpec{"by_oid", {0}, {}}}));
+  return Status::OK();
+}
+
+namespace {
+
+// L1 distance over the union of keys (missing key = score 0).
+double L1Residual(const std::unordered_map<uint64_t, double>& a,
+                  const std::unordered_map<uint64_t, double>& b) {
+  double d = 0;
+  for (const auto& [oid, score] : a) {
+    auto it = b.find(oid);
+    d += std::abs(score - (it == b.end() ? 0.0 : it->second));
+  }
+  for (const auto& [oid, score] : b) {
+    if (!a.contains(oid)) d += std::abs(score);
+  }
+  return d;
+}
+
+}  // namespace
+
+Status Distiller::Run(const HitsOptions& options) {
+  FOCUS_RETURN_IF_ERROR(Initialize());
+  std::unordered_map<uint64_t, double> prev;
+  if (track_residuals_) {
+    residuals_.clear();
+    FOCUS_ASSIGN_OR_RETURN(prev, CollectScores(tables_.hubs));
+  }
+  for (int i = 0; i < options.iterations; ++i) {
+    FOCUS_RETURN_IF_ERROR(RunIteration(options.rho));
+    if (track_residuals_) {
+      FOCUS_ASSIGN_OR_RETURN(auto cur, CollectScores(tables_.hubs));
+      residuals_.push_back(L1Residual(prev, cur));
+      prev = std::move(cur);
+    }
+  }
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #define FOCUS_DISTILL_DISTILLER_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "distill/hits.h"
 #include "sql/catalog.h"
@@ -51,22 +52,25 @@ class Distiller {
   // One UpdateAuth + UpdateHubs round (Figure 4), L1-normalizing each.
   virtual Status RunIteration(double rho) = 0;
 
-  Status Run(const HitsOptions& options) {
-    FOCUS_RETURN_IF_ERROR(Initialize());
-    for (int i = 0; i < options.iterations; ++i) {
-      FOCUS_RETURN_IF_ERROR(RunIteration(options.rho));
-    }
-    return Status::OK();
-  }
+  Status Run(const HitsOptions& options);
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  // Opt-in convergence tracking: when enabled, Run() records the L1
+  // distance between successive hub-score vectors after each iteration.
+  // Off by default — each residual costs an extra HUBS scan, which would
+  // distort the Figure 8(d) I/O measurements.
+  void EnableResidualTracking(bool on) { track_residuals_ = on; }
+  const std::vector<double>& residuals() const { return residuals_; }
 
  protected:
   explicit Distiller(DistillTables tables) : tables_(tables) {}
 
   DistillTables tables_;
   Stats stats_;
+  bool track_residuals_ = false;
+  std::vector<double> residuals_;
 };
 
 // Reads a score table (HUBS or AUTH) into an oid -> score map.

@@ -28,12 +28,16 @@ using sql::TypeId;
 using sql::Value;
 
 namespace {
-// LINK rows with sid_src <> sid_dst (the nepotism filter).
-OperatorPtr OffServerLinks(const sql::Table* link) {
-  return std::make_unique<Filter>(
-      std::make_unique<SeqScan>(link), [](const Tuple& t) {
-        return t.Get(1).AsInt32() != t.Get(3).AsInt32();
-      });
+// LINK rows with sid_src <> sid_dst (the nepotism filter). `plan` may be
+// null (no instrumentation).
+OperatorPtr OffServerLinks(const sql::Table* link, sql::PlanStats* plan) {
+  return sql::Analyze(
+      plan, "Filter sid_src<>sid_dst",
+      std::make_unique<Filter>(
+          sql::Analyze(plan, "SeqScan LINK", std::make_unique<SeqScan>(link)),
+          [](const Tuple& t) {
+            return t.Get(1).AsInt32() != t.Get(3).AsInt32();
+          }));
 }
 }  // namespace
 
@@ -85,72 +89,102 @@ Status JoinDistiller::UpdateAuth(double rho) {
   // Relevant pages: select oid from CRAWL where relevance > rho.
   int rel_col = crawl_rel_col_;
   int oid_col = crawl_oid_col_;
-  OperatorPtr relevant = std::make_unique<Project>(
-      std::make_unique<Filter>(std::make_unique<SeqScan>(tables_.crawl),
-                               [rel_col, rho](const Tuple& t) {
-                                 return t.Get(rel_col).AsDouble() > rho;
-                               }),
-      std::vector<ProjExpr>{ProjExpr{"oid", TypeId::kInt64,
-                                     [oid_col](const Tuple& t) {
-                                       return t.Get(oid_col);
-                                     }}});
+  OperatorPtr relevant = sql::Analyze(
+      plan_, "Project oid",
+      std::make_unique<Project>(
+          sql::Analyze(
+              plan_, "Filter relevance>rho",
+              std::make_unique<Filter>(
+                  sql::Analyze(plan_, "SeqScan CRAWL",
+                               std::make_unique<SeqScan>(tables_.crawl)),
+                  [rel_col, rho](const Tuple& t) {
+                    return t.Get(rel_col).AsDouble() > rho;
+                  })),
+          std::vector<ProjExpr>{ProjExpr{"oid", TypeId::kInt64,
+                                         [oid_col](const Tuple& t) {
+                                           return t.Get(oid_col);
+                                         }}}));
   // Eligible links: off-server links whose destination is relevant.
-  OperatorPtr eligible = std::make_unique<HashJoin>(
-      std::move(relevant), OffServerLinks(tables_.link), std::vector<int>{0},
-      std::vector<int>{2});
+  OperatorPtr eligible = sql::Analyze(
+      plan_, "HashJoin relevant~LINK",
+      std::make_unique<HashJoin>(std::move(relevant),
+                                 OffServerLinks(tables_.link, plan_),
+                                 std::vector<int>{0}, std::vector<int>{2}));
   // eligible: 0 oid, 1 oid_src, 2 sid_src, 3 oid_dst, 4 sid_dst,
   //           5 wgt_fwd, 6 wgt_rev
   // External sort: spills through the same buffer pool when the eligible
   // link set outgrows the memory budget, as DB2's sort would.
-  OperatorPtr by_src = std::make_unique<ExternalSort>(
-      std::move(eligible), std::vector<SortKey>{{1, false}},
-      tables_.link->buffer_pool());
+  OperatorPtr by_src = sql::Analyze(
+      plan_, "ExternalSort by oid_src",
+      std::make_unique<ExternalSort>(std::move(eligible),
+                                     std::vector<SortKey>{{1, false}},
+                                     tables_.link->buffer_pool()));
   // HUBS is maintained in ascending-oid heap order: merge join directly.
-  OperatorPtr with_hub = std::make_unique<MergeJoin>(
-      std::move(by_src), std::make_unique<SeqScan>(tables_.hubs),
-      std::vector<int>{1}, std::vector<int>{0});
+  OperatorPtr with_hub = sql::Analyze(
+      plan_, "MergeJoin links~HUBS",
+      std::make_unique<MergeJoin>(
+          std::move(by_src),
+          sql::Analyze(plan_, "SeqScan HUBS",
+                       std::make_unique<SeqScan>(tables_.hubs)),
+          std::vector<int>{1}, std::vector<int>{0}));
   // with_hub: ..., 7 oid(hub), 8 score
-  OperatorPtr contrib = std::make_unique<Project>(
-      std::move(with_hub),
-      std::vector<ProjExpr>{
-          ProjExpr{"oid_dst", TypeId::kInt64,
-                   [](const Tuple& t) { return t.Get(3); }},
-          ProjExpr{"w", TypeId::kDouble,
-                   [](const Tuple& t) {
-                     return Value::Double(t.Get(8).AsDouble() *
-                                          t.Get(5).AsDouble());
-                   }}});
-  HashAggregate agg(std::move(contrib), {0},
-                    {AggSpec{AggKind::kSum, 1, "score"}});
-  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(&agg));
+  OperatorPtr contrib = sql::Analyze(
+      plan_, "Project oid_dst,score*wgt_fwd",
+      std::make_unique<Project>(
+          std::move(with_hub),
+          std::vector<ProjExpr>{
+              ProjExpr{"oid_dst", TypeId::kInt64,
+                       [](const Tuple& t) { return t.Get(3); }},
+              ProjExpr{"w", TypeId::kDouble,
+                       [](const Tuple& t) {
+                         return Value::Double(t.Get(8).AsDouble() *
+                                              t.Get(5).AsDouble());
+                       }}}));
+  OperatorPtr agg = sql::Analyze(
+      plan_, "UpdateAuth: HashAggregate(oid_dst, sum)",
+      std::make_unique<HashAggregate>(
+          std::move(contrib), std::vector<int>{0},
+          std::vector<AggSpec>{AggSpec{AggKind::kSum, 1, "score"}}));
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(agg.get()));
   stats_.join_seconds += join_timer.ElapsedSeconds();
   return ReplaceNormalized(tables_.auth, rows);
 }
 
 Status JoinDistiller::UpdateHubs() {
   Stopwatch join_timer;
-  OperatorPtr by_dst = std::make_unique<ExternalSort>(
-      OffServerLinks(tables_.link), std::vector<SortKey>{{2, false}},
-      tables_.link->buffer_pool());
+  OperatorPtr by_dst = sql::Analyze(
+      plan_, "ExternalSort by oid_dst",
+      std::make_unique<ExternalSort>(OffServerLinks(tables_.link, plan_),
+                                     std::vector<SortKey>{{2, false}},
+                                     tables_.link->buffer_pool()));
   // AUTH is in ascending-oid heap order (ReplaceNormalized preserved the
   // aggregate's order).
-  OperatorPtr with_auth = std::make_unique<MergeJoin>(
-      std::move(by_dst), std::make_unique<SeqScan>(tables_.auth),
-      std::vector<int>{2}, std::vector<int>{0});
+  OperatorPtr with_auth = sql::Analyze(
+      plan_, "MergeJoin links~AUTH",
+      std::make_unique<MergeJoin>(
+          std::move(by_dst),
+          sql::Analyze(plan_, "SeqScan AUTH",
+                       std::make_unique<SeqScan>(tables_.auth)),
+          std::vector<int>{2}, std::vector<int>{0}));
   // with_auth: 0 oid_src .. 5 wgt_rev, 6 oid(auth), 7 score
-  OperatorPtr contrib = std::make_unique<Project>(
-      std::move(with_auth),
-      std::vector<ProjExpr>{
-          ProjExpr{"oid_src", TypeId::kInt64,
-                   [](const Tuple& t) { return t.Get(0); }},
-          ProjExpr{"w", TypeId::kDouble,
-                   [](const Tuple& t) {
-                     return Value::Double(t.Get(7).AsDouble() *
-                                          t.Get(5).AsDouble());
-                   }}});
-  HashAggregate agg(std::move(contrib), {0},
-                    {AggSpec{AggKind::kSum, 1, "score"}});
-  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(&agg));
+  OperatorPtr contrib = sql::Analyze(
+      plan_, "Project oid_src,score*wgt_rev",
+      std::make_unique<Project>(
+          std::move(with_auth),
+          std::vector<ProjExpr>{
+              ProjExpr{"oid_src", TypeId::kInt64,
+                       [](const Tuple& t) { return t.Get(0); }},
+              ProjExpr{"w", TypeId::kDouble,
+                       [](const Tuple& t) {
+                         return Value::Double(t.Get(7).AsDouble() *
+                                              t.Get(5).AsDouble());
+                       }}}));
+  OperatorPtr agg = sql::Analyze(
+      plan_, "UpdateHubs: HashAggregate(oid_src, sum)",
+      std::make_unique<HashAggregate>(
+          std::move(contrib), std::vector<int>{0},
+          std::vector<AggSpec>{AggSpec{AggKind::kSum, 1, "score"}}));
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(agg.get()));
   stats_.join_seconds += join_timer.ElapsedSeconds();
   return ReplaceNormalized(tables_.hubs, rows);
 }
@@ -158,6 +192,14 @@ Status JoinDistiller::UpdateHubs() {
 Status JoinDistiller::RunIteration(double rho) {
   FOCUS_RETURN_IF_ERROR(UpdateAuth(rho));
   return UpdateHubs();
+}
+
+Status JoinDistiller::RunIterationWithPlan(double rho,
+                                           sql::PlanStats* plan) {
+  plan_ = plan;
+  Status s = RunIteration(rho);
+  plan_ = nullptr;
+  return s;
 }
 
 }  // namespace focus::distill

@@ -12,6 +12,7 @@
 #define FOCUS_DISTILL_JOIN_DISTILLER_H_
 
 #include "distill/distiller.h"
+#include "sql/exec/analyze.h"
 
 namespace focus::distill {
 
@@ -21,6 +22,11 @@ class JoinDistiller final : public Distiller {
 
   Status Initialize() override;
   Status RunIteration(double rho) override;
+
+  // Like RunIteration, but records every operator of the UpdateAuth and
+  // UpdateHubs plans into `plan` (EXPLAIN ANALYZE for Figure 4). `plan`
+  // may be null, in which case this is exactly RunIteration.
+  Status RunIterationWithPlan(double rho, sql::PlanStats* plan);
 
  private:
   // Replaces `table`'s rows with `rows` scaled to sum 1, in input order
@@ -33,6 +39,8 @@ class JoinDistiller final : public Distiller {
 
   int crawl_oid_col_ = -1;
   int crawl_rel_col_ = -1;
+  // Non-null only inside RunIterationWithPlan.
+  sql::PlanStats* plan_ = nullptr;
 };
 
 }  // namespace focus::distill

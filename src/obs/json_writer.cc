@@ -1,0 +1,153 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace focus::obs {
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) out_ += ',';
+    stack_.back().has_items = true;
+  }
+}
+
+void JsonWriter::BeforeKey() {
+  if (stack_.back().has_items) out_ += ',';
+  stack_.back().has_items = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame{Scope::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame{Scope::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  BeforeKey();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    double parsed = 0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) {
+      out_ += shorter;
+      return *this;
+    }
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace focus::obs

@@ -1,0 +1,88 @@
+// Minimal streaming JSON writer.
+//
+// One shared implementation backs every JSON emitter in the tree (metrics
+// snapshots, Chrome trace export, bench result files) so escaping and
+// number formatting cannot drift between them. The writer is append-only:
+// callers open/close containers in order and the writer inserts commas.
+#ifndef FOCUS_OBS_JSON_WRITER_H_
+#define FOCUS_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focus::obs {
+
+// Escapes `raw` for use inside a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view raw);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits a key inside an object; must be followed by exactly one value
+  // (scalar or container).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  // Doubles are emitted with enough digits to round-trip; NaN/Inf (not
+  // representable in JSON) are emitted as null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Convenience: Key(key) + value.
+  JsonWriter& Field(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  // Without this overload a string literal would convert to bool (a
+  // pointer-to-bool standard conversion outranks the user-defined one to
+  // string_view) and emit true/false.
+  JsonWriter& Field(std::string_view key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Field(std::string_view key, int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Field(std::string_view key, uint64_t value) {
+    return Key(key).UInt(value);
+  }
+  JsonWriter& Field(std::string_view key, int value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Field(std::string_view key, double value) {
+    return Key(key).Double(value);
+  }
+  JsonWriter& Field(std::string_view key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  // The document built so far. Valid JSON once every container is closed.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  // Written before a value or key: inserts "," when a sibling precedes.
+  void BeforeValue();
+  void BeforeKey();
+
+  enum class Scope : uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool has_items = false;
+  };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;  // a Key() awaits its value
+};
+
+}  // namespace focus::obs
+
+#endif  // FOCUS_OBS_JSON_WRITER_H_

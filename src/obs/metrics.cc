@@ -1,0 +1,293 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace focus::obs {
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, rounded up).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < static_cast<int>(counts.size()); ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= rank) {
+      // Interpolate within [lower, upper] by the rank's position in the
+      // bucket. Bucket 0 is the exact value 0.
+      if (i == 0) return 0.0;
+      double lower = static_cast<double>(Histogram::BucketUpperBound(i - 1));
+      double upper = static_cast<double>(Histogram::BucketUpperBound(i));
+      double frac = static_cast<double>(rank - cumulative) /
+                    static_cast<double>(counts[i]);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative += counts[i];
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(static_cast<int>(counts.size()) - 1));
+}
+
+int Histogram::BucketOf(uint64_t value) {
+  // bit_width(value) is 64 for values >= 2^63; clamp those into the last
+  // bucket so Observe never indexes past buckets_[kNumBuckets - 1].
+  return value == 0
+             ? 0
+             : std::min(static_cast<int>(std::bit_width(value)),
+                        kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  // The last bucket absorbs the clamped top of the range.
+  if (i >= kNumBuckets - 1) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.counts.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      Labels* labels,
+                                                      Kind kind) {
+  std::sort(labels->begin(), labels->end());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.name == name && e.labels == *labels) {
+      FOCUS_CHECK(e.kind == kind, "metric '", e.name,
+                  "' re-registered under a different type");
+      return &e;
+    }
+  }
+  Entry e;
+  e.name = std::string(name);
+  e.labels = std::move(*labels);
+  e.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      e.counter = &counters_.emplace_back();
+      break;
+    case Kind::kGauge:
+      e.gauge = &gauges_.emplace_back();
+      break;
+    case Kind::kHistogram:
+      e.histogram = &histograms_.emplace_back();
+      break;
+  }
+  return &entries_.emplace_back(std::move(e));
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, Labels labels) {
+  return FindOrCreate(name, &labels, Kind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, Labels labels) {
+  return FindOrCreate(name, &labels, Kind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         Labels labels) {
+  return FindOrCreate(name, &labels, Kind::kHistogram)->histogram;
+}
+
+uint64_t MetricsRegistry::AddCollector(
+    std::function<void(std::vector<GaugeSample>*)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(collectors_, [id](const auto& c) { return c.first == id; });
+}
+
+std::string FormatLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    out += StrCat(k, "=\"", JsonEscape(v), "\"");
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<const MetricsRegistry::Entry*> MetricsRegistry::SortedEntries()
+    const {
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) {
+              if (a->name != b->name) return a->name < b->name;
+              return a->labels < b->labels;
+            });
+  return sorted;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  const std::string* last_typed = nullptr;
+  for (const Entry* e : SortedEntries()) {
+    if (last_typed == nullptr || *last_typed != e->name) {
+      const char* type = e->kind == Kind::kCounter   ? "counter"
+                         : e->kind == Kind::kGauge   ? "gauge"
+                                                     : "histogram";
+      out += StrCat("# TYPE ", e->name, " ", type, "\n");
+      last_typed = &e->name;
+    }
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += StrCat(e->name, FormatLabels(e->labels), " ",
+                      e->counter->Value(), "\n");
+        break;
+      case Kind::kGauge:
+        out += StrCat(e->name, FormatLabels(e->labels), " ",
+                      e->gauge->Value(), "\n");
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot s = e->histogram->Snapshot();
+        uint64_t cumulative = 0;
+        for (int i = 0; i < static_cast<int>(s.counts.size()); ++i) {
+          if (s.counts[i] == 0) continue;
+          cumulative += s.counts[i];
+          Labels le = e->labels;
+          le.emplace_back("le",
+                          StrCat(Histogram::BucketUpperBound(i)));
+          out += StrCat(e->name, "_bucket", FormatLabels(le), " ",
+                        cumulative, "\n");
+        }
+        Labels inf = e->labels;
+        inf.emplace_back("le", "+Inf");
+        out += StrCat(e->name, "_bucket", FormatLabels(inf), " ", s.count,
+                      "\n");
+        out += StrCat(e->name, "_sum", FormatLabels(e->labels), " ", s.sum,
+                      "\n");
+        out += StrCat(e->name, "_count", FormatLabels(e->labels), " ",
+                      s.count, "\n");
+        break;
+      }
+    }
+  }
+  // Collector samples render as gauges.
+  std::vector<GaugeSample> samples;
+  for (const auto& [id, fn] : collectors_) fn(&samples);
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const GaugeSample& a, const GaugeSample& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  const std::string* last_sample_name = nullptr;
+  for (const GaugeSample& s : samples) {
+    if (last_sample_name == nullptr || *last_sample_name != s.name) {
+      out += StrCat("# TYPE ", s.name, " gauge\n");
+      last_sample_name = &s.name;
+    }
+    out += StrCat(s.name, FormatLabels(s.labels), " ", s.value, "\n");
+  }
+  return out;
+}
+
+namespace {
+
+void WriteLabelsJson(JsonWriter* w, const Labels& labels) {
+  w->Key("labels").BeginObject();
+  for (const auto& [k, v] : labels) w->Field(k, v);
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", 2);
+
+  w.Key("counters").BeginArray();
+  for (const Entry* e : SortedEntries()) {
+    if (e->kind != Kind::kCounter) continue;
+    w.BeginObject().Field("name", e->name);
+    WriteLabelsJson(&w, e->labels);
+    w.Field("value", e->counter->Value()).EndObject();
+  }
+  w.EndArray();
+
+  w.Key("gauges").BeginArray();
+  for (const Entry* e : SortedEntries()) {
+    if (e->kind != Kind::kGauge) continue;
+    w.BeginObject().Field("name", e->name);
+    WriteLabelsJson(&w, e->labels);
+    w.Field("value", e->gauge->Value()).EndObject();
+  }
+  std::vector<GaugeSample> samples;
+  for (const auto& [id, fn] : collectors_) fn(&samples);
+  for (const GaugeSample& s : samples) {
+    w.BeginObject().Field("name", s.name);
+    WriteLabelsJson(&w, s.labels);
+    w.Field("value", s.value).EndObject();
+  }
+  w.EndArray();
+
+  w.Key("histograms").BeginArray();
+  for (const Entry* e : SortedEntries()) {
+    if (e->kind != Kind::kHistogram) continue;
+    HistogramSnapshot s = e->histogram->Snapshot();
+    w.BeginObject().Field("name", e->name);
+    WriteLabelsJson(&w, e->labels);
+    w.Field("count", s.count)
+        .Field("sum", s.sum)
+        .Field("mean", s.Mean())
+        .Field("p50", s.Quantile(0.50))
+        .Field("p90", s.Quantile(0.90))
+        .Field("p99", s.Quantile(0.99));
+    w.Key("buckets").BeginArray();
+    for (int i = 0; i < static_cast<int>(s.counts.size()); ++i) {
+      if (s.counts[i] == 0) continue;
+      w.BeginObject()
+          .Field("le", Histogram::BucketUpperBound(i))
+          .Field("count", s.counts[i])
+          .EndObject();
+    }
+    w.EndArray().EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const Entry& e : entries_) {
+    if (e.kind != Kind::kCounter) continue;
+    out[StrCat(e.name, FormatLabels(e.labels))] = e.counter->Value();
+  }
+  return out;
+}
+
+}  // namespace focus::obs

@@ -1,0 +1,68 @@
+#include "obs/reporter.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace focus::obs {
+
+PeriodicReporter::PeriodicReporter(MetricsRegistry* registry,
+                                   std::chrono::milliseconds interval)
+    : registry_(MetricsRegistry::OrGlobal(registry)), interval_(interval) {
+  last_ = registry_->CounterValues();
+}
+
+PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+void PeriodicReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PeriodicReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  std::string report = ReportOnce();
+  if (!report.empty()) FOCUS_LOG(Info, "metrics delta (final):\n", report);
+}
+
+std::string PeriodicReporter::ReportOnce() {
+  std::lock_guard<std::mutex> lock(last_mu_);
+  std::map<std::string, uint64_t> now = registry_->CounterValues();
+  std::string out;
+  for (const auto& [key, value] : now) {
+    auto it = last_.find(key);
+    uint64_t prev = it == last_.end() ? 0 : it->second;
+    if (value > prev) {
+      out += StrCat("  ", key, " +", value - prev, "\n");
+    }
+  }
+  last_ = std::move(now);
+  return out;
+}
+
+void PeriodicReporter::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+        return;
+      }
+    }
+    std::string report = ReportOnce();
+    if (!report.empty()) FOCUS_LOG(Info, "metrics delta:\n", report);
+  }
+}
+
+}  // namespace focus::obs

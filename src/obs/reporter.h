@@ -1,0 +1,61 @@
+// Periodic registry-delta logging for long crawls.
+//
+// The paper's admin watches the crawl from a console; PeriodicReporter is
+// the headless version — every `interval` it logs which counters moved and
+// by how much, so a multi-hour crawl leaves a progress trail without any
+// external scrape infrastructure.
+#ifndef FOCUS_OBS_REPORTER_H_
+#define FOCUS_OBS_REPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace focus::obs {
+
+class PeriodicReporter {
+ public:
+  // `registry` may be null (uses the global registry); it must outlive the
+  // reporter. The reporter is stopped (and joined) on destruction.
+  explicit PeriodicReporter(
+      MetricsRegistry* registry = nullptr,
+      std::chrono::milliseconds interval = std::chrono::seconds(10));
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  // Starts the background thread; logs one delta report per interval (at
+  // Info level). Idempotent.
+  void Start();
+  // Stops and joins the thread, logging one final report. Idempotent.
+  void Stop();
+
+  // Formats counter movement since the previous call (or since
+  // construction) as "name{labels} +delta" lines; empty string when
+  // nothing moved. Usable without Start() for manual cadences.
+  std::string ReportOnce();
+
+ private:
+  void Loop();
+
+  MetricsRegistry* registry_;
+  std::chrono::milliseconds interval_;
+  std::map<std::string, uint64_t> last_;
+  std::mutex last_mu_;  // ReportOnce may race the background thread
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace focus::obs
+
+#endif  // FOCUS_OBS_REPORTER_H_

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json_writer.h"
+
+namespace focus::obs {
+
+namespace {
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Cached per-thread ring for the global buffer (the only instance the
+// FOCUS_SPAN macro uses, so one slot suffices).
+thread_local TraceBuffer::Ring* tls_ring = nullptr;
+
+}  // namespace
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::Enable(size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  if (!epoch_set_.load(std::memory_order_relaxed)) {
+    epoch_steady_us_.store(SteadyMicros(), std::memory_order_relaxed);
+    epoch_set_.store(true, std::memory_order_relaxed);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceBuffer::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+int64_t TraceBuffer::NowTraceMicros() const {
+  return SteadyMicros() - epoch_steady_us_.load(std::memory_order_relaxed);
+}
+
+TraceBuffer::Ring* TraceBuffer::RingForThisThread() {
+  if (tls_ring != nullptr) return tls_ring;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<uint32_t>(rings_.size() + 1);
+  ring->capacity = ring_capacity_;
+  ring->events.reserve(ring->capacity);
+  tls_ring = ring.get();
+  rings_.push_back(std::move(ring));
+  return tls_ring;
+}
+
+void TraceBuffer::Record(const char* name, int64_t wall_start_us,
+                         int64_t dur_us, int64_t virtual_us) {
+  if (!enabled()) return;
+  Ring* ring = RingForThisThread();
+  SpanEvent event;
+  event.name = name;
+  event.tid = ring->tid;
+  event.wall_start_us = wall_start_us;
+  event.dur_us = dur_us;
+  event.virtual_us = virtual_us;
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->events.size() < ring->capacity) {
+    ring->events.push_back(event);
+  } else {
+    ring->events[ring->next] = event;
+    ring->wrapped = true;
+  }
+  ring->next = (ring->next + 1) % ring->capacity;
+}
+
+std::vector<SpanEvent> TraceBuffer::Snapshot() const {
+  std::vector<SpanEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    out.insert(out.end(), ring->events.begin(), ring->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.wall_start_us != b.wall_start_us) {
+                return a.wall_start_us < b.wall_start_us;
+              }
+              // Parents start with (or before) their children but end
+              // after: longer spans first so viewers nest correctly.
+              return a.dur_us > b.dur_us;
+            });
+  return out;
+}
+
+std::string TraceBuffer::ToChromeTraceJson() const {
+  std::vector<SpanEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("displayTimeUnit", "ms");
+  w.Key("traceEvents").BeginArray();
+  for (const SpanEvent& e : events) {
+    w.BeginObject()
+        .Field("name", e.name)
+        .Field("cat", "focus")
+        .Field("ph", "X")
+        .Field("pid", 1)
+        .Field("tid", static_cast<int64_t>(e.tid))
+        .Field("ts", e.wall_start_us)
+        .Field("dur", e.dur_us);
+    if (e.virtual_us >= 0) {
+      w.Key("args").BeginObject().Field("virtual_us", e.virtual_us)
+          .EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+  }
+}
+
+}  // namespace focus::obs

@@ -1,0 +1,129 @@
+// Trace spans: RAII scopes recorded into per-thread ring buffers.
+//
+// FOCUS_SPAN("crawl.fetch") times the enclosing scope; when tracing is
+// enabled the closed span is appended to the calling thread's ring buffer.
+// Spans are dual-stamped: wall time (steady clock, microseconds since the
+// first Enable) drives the Chrome trace_event layout, and an optional
+// VirtualClock stamp records where in *simulated crawl time* the work
+// happened, so a span can be correlated with the harvest-rate timeline.
+//
+// ToChromeTraceJson() renders complete ("ph":"X") events; the file loads
+// directly in chrome://tracing and Perfetto. Nesting falls out of scoping:
+// a span opened inside another on the same thread is contained in its
+// parent's [ts, ts+dur] window, which is how the viewers infer the stack.
+//
+// Cost when disabled: one relaxed atomic load per FOCUS_SPAN. Span names
+// must be string literals (or otherwise outlive the buffer) — they are
+// stored as pointers.
+#ifndef FOCUS_OBS_TRACE_H_
+#define FOCUS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace focus::obs {
+
+struct SpanEvent {
+  const char* name = nullptr;
+  uint32_t tid = 0;           // small sequential id per recording thread
+  int64_t wall_start_us = 0;  // trace epoch = first Enable()
+  int64_t dur_us = 0;
+  int64_t virtual_us = -1;  // VirtualClock stamp at span start; -1 = none
+};
+
+class TraceBuffer {
+ public:
+  // The process-wide buffer FOCUS_SPAN records into.
+  static TraceBuffer& Global();
+
+  // Starts recording. Each thread that records gets its own ring of
+  // `ring_capacity` spans; when a ring fills, the oldest spans are
+  // overwritten (tracing a long crawl keeps the most recent window).
+  void Enable(size_t ring_capacity = 8192);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(const char* name, int64_t wall_start_us, int64_t dur_us,
+              int64_t virtual_us);
+
+  // All recorded spans, across threads, in wall-start order.
+  std::vector<SpanEvent> Snapshot() const;
+  // Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string ToChromeTraceJson() const;
+  // Drops all recorded spans (rings stay registered).
+  void Clear();
+
+  // Microseconds since the trace epoch (steady clock).
+  int64_t NowTraceMicros() const;
+
+  // Implementation detail, public only so the per-thread cache (an
+  // anonymous-namespace thread_local in trace.cc) can name it.
+  struct Ring {
+    mutable std::mutex mu;
+    uint32_t tid = 0;
+    std::vector<SpanEvent> events;  // ring storage
+    size_t next = 0;
+    bool wrapped = false;
+    size_t capacity = 0;
+  };
+
+ private:
+  Ring* RingForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards rings_ registration and capacity
+  std::vector<std::unique_ptr<Ring>> rings_;
+  size_t ring_capacity_ = 8192;
+  std::atomic<int64_t> epoch_steady_us_{0};
+  std::atomic<bool> epoch_set_{false};
+};
+
+// RAII span scope; records on destruction when tracing is enabled. The
+// optional VirtualClock is read at construction (simulated time of the
+// span's start).
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name,
+                     const VirtualClock* virtual_clock = nullptr) {
+    TraceBuffer& buffer = TraceBuffer::Global();
+    if (!buffer.enabled()) return;
+    name_ = name;
+    virtual_us_ = virtual_clock == nullptr ? -1 : virtual_clock->NowMicros();
+    wall_start_us_ = buffer.NowTraceMicros();
+  }
+  ~SpanScope() {
+    if (name_ == nullptr) return;
+    TraceBuffer& buffer = TraceBuffer::Global();
+    buffer.Record(name_, wall_start_us_,
+                  buffer.NowTraceMicros() - wall_start_us_, virtual_us_);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t wall_start_us_ = 0;
+  int64_t virtual_us_ = -1;
+};
+
+}  // namespace focus::obs
+
+#define FOCUS_SPAN_CONCAT_(a, b) a##b
+#define FOCUS_SPAN_NAME_(counter) FOCUS_SPAN_CONCAT_(focus_span_, counter)
+
+// Times the enclosing scope under `name` (a string literal).
+#define FOCUS_SPAN(name) \
+  ::focus::obs::SpanScope FOCUS_SPAN_NAME_(__COUNTER__)(name)
+
+// Same, with a VirtualClock* stamped at span start.
+#define FOCUS_SPAN_VT(name, vclock) \
+  ::focus::obs::SpanScope FOCUS_SPAN_NAME_(__COUNTER__)(name, vclock)
+
+#endif  // FOCUS_OBS_TRACE_H_

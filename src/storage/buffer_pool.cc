@@ -14,6 +14,40 @@ BufferPool::BufferPool(DiskManager* disk, size_t num_frames) : disk_(disk) {
   }
 }
 
+BufferPool::~BufferPool() {
+  if (collector_id_ != 0) metrics_registry_->RemoveCollector(collector_id_);
+}
+
+void BufferPool::BindMetrics(obs::MetricsRegistry* registry,
+                             std::string pool_name) {
+  if (collector_id_ != 0) metrics_registry_->RemoveCollector(collector_id_);
+  metrics_registry_ = obs::MetricsRegistry::OrGlobal(registry);
+  obs::Labels labels = {{"pool", std::move(pool_name)}};
+  collector_id_ = metrics_registry_->AddCollector(
+      [this, labels](std::vector<obs::GaugeSample>* out) {
+        Stats pool;
+        DiskManager::Stats disk;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          pool = stats_;
+          disk = disk_->stats();
+        }
+        auto emit = [&](const char* name, uint64_t v) {
+          out->push_back({name, labels, static_cast<double>(v)});
+        };
+        emit("focus_bufferpool_fetches_total", pool.fetches);
+        emit("focus_bufferpool_hits_total", pool.hits);
+        emit("focus_bufferpool_misses_total", pool.misses);
+        emit("focus_bufferpool_evictions_total", pool.evictions);
+        emit("focus_bufferpool_dirty_writebacks_total",
+             pool.dirty_writebacks);
+        emit("focus_bufferpool_frames", frames_.size());
+        emit("focus_disk_reads_total", disk.reads);
+        emit("focus_disk_writes_total", disk.writes);
+        emit("focus_disk_allocations_total", disk.allocations);
+      });
+}
+
 void BufferPool::Touch(size_t frame_idx) {
   Frame& f = *frames_[frame_idx];
   if (f.in_lru) lru_.erase(f.lru_pos);

@@ -11,9 +11,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "util/status.h"
@@ -43,9 +45,16 @@ class BufferPool {
   // The pool holds at most `num_frames` pages of `disk`. `disk` must outlive
   // the pool.
   BufferPool(DiskManager* disk, size_t num_frames);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
+
+  // Registers a snapshot-time collector exporting this pool's hit/miss/
+  // eviction counters (and the backing DiskManager's read/write counters)
+  // as focus_bufferpool_* / focus_disk_* samples labeled {pool=pool_name}.
+  // Rebinding replaces the previous binding; the destructor unregisters.
+  void BindMetrics(obs::MetricsRegistry* registry, std::string pool_name);
 
   // Pins page `id` in memory and returns it. The caller must balance with
   // UnpinPage. Fails if every frame is pinned.
@@ -91,6 +100,9 @@ class BufferPool {
   std::unordered_map<PageId, size_t> page_table_;
   Stats stats_;
   mutable std::mutex mutex_;
+
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  uint64_t collector_id_ = 0;  // 0 = not bound
 };
 
 // RAII pin guard. Fetches on construction (check ok()), unpins on
