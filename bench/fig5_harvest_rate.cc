@@ -6,7 +6,20 @@
 // focused crawler sustains a healthy rate ("on an average, every second
 // page is relevant"). We print the same moving averages (over 100 and
 // 1000 fetches) against #URLs fetched, plus a hard-focus ablation series.
+//
+// Flags:
+//   --budget N           focused-crawl fetch budget (default 6000; the
+//                        unfocused baseline gets 2x)
+//   --tiny               shrink the simulated web for fast smoke runs
+//
+// Fault injection (see EXPERIMENTS.md's degradation curve):
+//   --fail-prob P        transient failure probability per fetch, plus
+//                        P/5 permanent losses, P/5 timeouts, P/2 truncation
+//   --timeout-ms N       virtual time a timed-out fetch burns (default 2000)
+//   --outage-servers N   schedule staggered outages on the first N servers
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "core/focus.h"
@@ -17,17 +30,59 @@
 namespace focus::bench {
 namespace {
 
-constexpr int kBudget = 6000;            // focused crawl (Figure 5(b))
-constexpr int kUnfocusedBudget = 12000;  // standard crawl (Figure 5(a))
+struct Flags {
+  int budget = 6000;  // focused crawl (Figure 5(b))
+  bool tiny = false;
+  double fail_prob = 0;
+  int timeout_ms = 2000;
+  int outage_servers = 0;
+};
 
-std::unique_ptr<core::FocusSystem> MakeSystem() {
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      flags.tiny = true;
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      flags.budget = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fail-prob") == 0 && i + 1 < argc) {
+      flags.fail_prob = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      flags.timeout_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--outage-servers") == 0 &&
+               i + 1 < argc) {
+      flags.outage_servers = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig5_harvest_rate [--budget N] [--tiny] "
+                   "[--fail-prob P] [--timeout-ms N] "
+                   "[--outage-servers N]\n");
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+std::unique_ptr<core::FocusSystem> MakeSystem(const Flags& flags) {
   taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
   core::FocusOptions options;
   options.seed = 19;
-  options.web.pages_per_topic = 4000;  // inexhaustible within the budget
-  options.web.background_pages = 120000;  // the "web at large" dominates
-  options.web.background_servers = 3000;
+  // Full size: inexhaustible within the budget, with the "web at large"
+  // dominating.
+  options.web.pages_per_topic = flags.tiny ? 400 : 4000;
+  options.web.background_pages = flags.tiny ? 12000 : 120000;
+  options.web.background_servers = flags.tiny ? 300 : 3000;
   options.web.p_same_topic = 0.35;
+  options.web.fetch_failure_prob = flags.fail_prob;
+  options.web.faults.permanent_prob = flags.fail_prob / 5;
+  options.web.faults.timeout_prob = flags.fail_prob / 5;
+  options.web.faults.truncate_prob = flags.fail_prob / 2;
+  options.web.faults.timeout_ms = flags.timeout_ms;
+  for (int s = 0; s < flags.outage_servers; ++s) {
+    double start = 5.0 + 10.0 * s;
+    options.web.faults.outages.push_back(
+        webgraph::ServerOutage{s, start, start + 60.0});
+  }
   auto system = core::FocusSystem::Create(std::move(tax), options);
   FOCUS_CHECK(system.ok(), system.status().ToString());
   return system.TakeValue();
@@ -46,6 +101,12 @@ std::vector<crawl::Visit> RunCrawl(core::FocusSystem* system,
   auto session = system->NewCrawl(seeds, options);
   FOCUS_CHECK(session.ok(), session.status().ToString());
   FOCUS_CHECK(session.value()->crawler().Crawl().ok());
+  const crawl::CrawlStats& stats = session.value()->crawler().stats();
+  if (stats.transient_failures + stats.dropped_urls > 0) {
+    Note("  faults: ", stats.attempts, " attempts, ",
+         stats.transient_failures, " retried failures, ", stats.dropped_urls,
+         " urls dropped");
+  }
   return session.value()->crawler().visits();
 }
 
@@ -57,38 +118,41 @@ void PrintSeries(const char* name, const std::vector<crawl::Visit>& visits) {
   }
 }
 
-int Run() {
-  auto system = MakeSystem();
+int Run(const Flags& flags) {
+  auto system = MakeSystem(flags);
   FOCUS_CHECK(system->MarkGood("cycling").ok());
   FOCUS_CHECK(system->Train().ok());
   auto cycling = system->tax().FindByName("cycling").value();
   // "starting from the result of topic distillation with keyword search
   // cycl* bicycl* bike"
   auto seeds = system->web().KeywordSeeds(cycling, 12);
+  const int budget = flags.budget;
+  const int unfocused_budget = 2 * flags.budget;  // standard crawl, 5(a)
 
   Note("figure 5: harvest rate (moving avg of relevance vs #URLs fetched)");
-  Note("budget: ", kBudget, " fetches; seeds: ", seeds.size());
+  Note("budget: ", budget, " fetches; seeds: ", seeds.size(),
+       flags.fail_prob > 0 ? "; fault injection on" : "");
   std::printf("crawler,urls_fetched,avg_over_100,avg_over_1000\n");
 
   auto unfocused =
       RunCrawl(system.get(), seeds, crawl::ExpansionRule::kUnfocused,
                crawl::PriorityPolicy::kBreadthFirst, false,
-               kUnfocusedBudget);
+               unfocused_budget);
   PrintSeries("unfocused", unfocused);
 
   auto soft =
       RunCrawl(system.get(), seeds, crawl::ExpansionRule::kSoftFocus,
-               crawl::PriorityPolicy::kAggressiveDiscovery, true, kBudget);
+               crawl::PriorityPolicy::kAggressiveDiscovery, true, budget);
   PrintSeries("soft_focus", soft);
 
   // Ablation: the hard focus rule (§2.1.2) — prone to stagnation.
   auto hard =
       RunCrawl(system.get(), seeds, crawl::ExpansionRule::kHardFocus,
-               crawl::PriorityPolicy::kAggressiveDiscovery, false, kBudget);
+               crawl::PriorityPolicy::kAggressiveDiscovery, false, budget);
   PrintSeries("hard_focus", hard);
-  Note("hard focus visited ", hard.size(), " of ", kBudget,
+  Note("hard focus visited ", hard.size(), " of ", budget,
        " budgeted fetches",
-       hard.size() < kBudget ? " (stagnated)" : "");
+       static_cast<int>(hard.size()) < budget ? " (stagnated)" : "");
 
   // Ground truth (available only because the web is simulated): fraction
   // of fetched pages truly in the cycling community, second half of each
@@ -124,7 +188,7 @@ int Run() {
 }  // namespace
 }  // namespace focus::bench
 
-int main() {
+int main(int argc, char** argv) {
   focus::SetLogLevel(focus::LogLevel::kWarning);
-  return focus::bench::Run();
+  return focus::bench::Run(focus::bench::ParseFlags(argc, argv));
 }

@@ -16,6 +16,14 @@
 //   --metrics-json PATH  dump the full metrics-registry snapshot as JSON
 //   --metrics-text PATH  same snapshot in Prometheus text format
 //   --trace PATH         record trace spans, write Chrome trace_event JSON
+//
+// Fault injection (the hostile-web model; defaults are a fault-free web):
+//   --fail-prob P        transient failure probability per fetch, plus
+//                        P/5 permanent losses, P/5 timeouts, P/2 truncation
+//   --timeout-ms N       virtual time a timed-out fetch burns (default 2000)
+//   --outage-servers N   schedule staggered outages on the first N servers
+//   --dead-servers F     fraction of servers that never respond
+//   --no-breaker         disable the per-server circuit breaker
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,11 +46,34 @@ namespace {
 struct Flags {
   int budget = 2000;
   bool tiny = false;
+  double fail_prob = 0;
+  int timeout_ms = 2000;
+  int outage_servers = 0;
+  double dead_servers = 0;
+  bool breaker = true;
   std::string json_path;
   std::string metrics_json_path;
   std::string metrics_text_path;
   std::string trace_path;
 };
+
+// Applies the fault flags to a web config: --fail-prob P injects the full
+// taxonomy (transient baseline P plus proportional permanent / timeout /
+// truncation shares), and --outage-servers staggers one outage window per
+// affected server across the first minutes of virtual time.
+void ApplyFaultFlags(const Flags& flags, webgraph::WebConfig* web) {
+  web->fetch_failure_prob = flags.fail_prob;
+  web->faults.permanent_prob = flags.fail_prob / 5;
+  web->faults.timeout_prob = flags.fail_prob / 5;
+  web->faults.truncate_prob = flags.fail_prob / 2;
+  web->faults.timeout_ms = flags.timeout_ms;
+  web->faults.dead_server_fraction = flags.dead_servers;
+  for (int s = 0; s < flags.outage_servers; ++s) {
+    double start = 5.0 + 10.0 * s;
+    web->faults.outages.push_back(
+        webgraph::ServerOutage{s, start, start + 60.0});
+  }
+}
 
 Flags ParseFlags(int argc, char** argv) {
   Flags flags;
@@ -59,11 +90,24 @@ Flags ParseFlags(int argc, char** argv) {
       flags.metrics_text_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       flags.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fail-prob") == 0 && i + 1 < argc) {
+      flags.fail_prob = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      flags.timeout_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--outage-servers") == 0 &&
+               i + 1 < argc) {
+      flags.outage_servers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dead-servers") == 0 && i + 1 < argc) {
+      flags.dead_servers = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-breaker") == 0) {
+      flags.breaker = false;
     } else {
       std::fprintf(stderr,
                    "usage: tab_throughput [--budget N] [--tiny] "
                    "[--json PATH] [--metrics-json PATH] "
-                   "[--metrics-text PATH] [--trace PATH]\n");
+                   "[--metrics-text PATH] [--trace PATH] "
+                   "[--fail-prob P] [--timeout-ms N] [--outage-servers N] "
+                   "[--dead-servers F] [--no-breaker]\n");
       std::exit(2);
     }
   }
@@ -95,6 +139,7 @@ int Run(const Flags& flags) {
   options.web.background_pages = flags.tiny ? 3000 : 30000;
   options.web.background_servers = flags.tiny ? 120 : 800;
   options.web.fetch_latency_mean_ms = 120;  // the paper's network regime
+  ApplyFaultFlags(flags, &options.web);
   auto system = core::FocusSystem::Create(std::move(tax), options)
                     .TakeValue();
   FOCUS_CHECK(system->MarkGood("cycling").ok());
@@ -115,6 +160,7 @@ int Run(const Flags& flags) {
     crawl::CrawlerOptions copts;
     copts.max_fetches = flags.budget;
     copts.num_threads = threads;
+    copts.breaker.enabled = flags.breaker;
     copts.metrics_registry = &registry;
     auto session = system->NewCrawl(seeds, copts).TakeValue();
     Stopwatch wall;
@@ -130,7 +176,9 @@ int Run(const Flags& flags) {
     std::printf("%d,%zu,%.2f,%.0f,%.1f,%.1f,%.1f\n", row.threads,
                 row.pages, row.wall_s, row.PerWallSecond(), row.virtual_s,
                 row.PerVirtualSecond(), row.batch_occupancy);
-    if (threads > 1) {
+    bool faulty = flags.fail_prob > 0 || flags.dead_servers > 0 ||
+                  flags.outage_servers > 0;
+    if (threads > 1 || faulty) {
       std::printf("%s", crawl::FormatStageMetrics(metrics).c_str());
     }
     rows.push_back(row);

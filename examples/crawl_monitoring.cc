@@ -54,6 +54,14 @@ int Run() {
   options.web.pages_per_topic = 500;
   options.web.background_pages = 30000;
   options.web.background_servers = 800;
+  // A mildly hostile web, so the stage report's fault line has content:
+  // a few percent of fetches fail transiently, some pages are gone for
+  // good, some transfers are cut short, and a sliver of servers is flaky.
+  options.web.fetch_failure_prob = 0.04;
+  options.web.faults.permanent_prob = 0.01;
+  options.web.faults.timeout_prob = 0.01;
+  options.web.faults.truncate_prob = 0.02;
+  options.web.faults.flaky_server_fraction = 0.03;
 
   // Mutual-fund pages cite general investing and banking pages heavily —
   // the neighbourhood structure the paper diagnosed.
@@ -88,6 +96,13 @@ int Run() {
               crawl::FormatStageMetrics(
                   session->crawler().stage_metrics().Snapshot())
                   .c_str());
+  const crawl::CrawlStats& cstats = session->crawler().stats();
+  std::printf("hostile-web accounting: %llu attempts = %zu visits + %llu "
+              "retried failures + %llu dropped urls\n\n",
+              static_cast<unsigned long long>(cstats.attempts),
+              session->crawler().visits().size(),
+              static_cast<unsigned long long>(cstats.transient_failures),
+              static_cast<unsigned long long>(cstats.dropped_urls));
   std::printf("registry counters moved since crawl start:\n%s\n",
               reporter.ReportOnce().c_str());
 
@@ -129,10 +144,17 @@ int Run() {
   std::vector<text::TermVector> docs;
   VirtualClock fetch_clock;
   for (const std::string& url : system->web().KeywordSeeds(funds, 6)) {
-    auto fetched = system->web().Fetch(url, &fetch_clock);
-    FOCUS_CHECK(fetched.ok());
-    docs.push_back(text::BuildTermVector(fetched.value().tokens));
+    // The web is hostile here too: retry transients a few times, skip
+    // pages that stay down (the crawler proper does this via RetryPolicy).
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      auto fetched = system->web().Fetch(url, &fetch_clock);
+      if (fetched.ok()) {
+        docs.push_back(text::BuildTermVector(fetched.value().tokens));
+        break;
+      }
+    }
   }
+  FOCUS_CHECK(!docs.empty());
   storage::MemDiskManager disk;
   storage::BufferPool pool(&disk, 4096);
   sql::Catalog catalog(&pool);

@@ -1,0 +1,140 @@
+#include "crawl/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace focus::crawl {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+BreakerRecord CircuitBreakerRegistry::RecordOf(int32_t sid,
+                                               const State& s) const {
+  BreakerRecord rec;
+  rec.sid = sid;
+  rec.state = s.state;
+  rec.consecutive_failures = s.fails;
+  rec.open_until_us = s.open_until_us;
+  rec.cooldown_s = s.cooldown_s;
+  return rec;
+}
+
+BreakerOutcome CircuitBreakerRegistry::Admit(int32_t sid, int64_t now_us) {
+  BreakerOutcome out;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(sid);
+  if (it == states_.end()) return out;  // no history: closed, allow
+  State& s = it->second;
+  switch (s.state) {
+    case BreakerState::kClosed:
+      return out;
+    case BreakerState::kOpen:
+      if (now_us < s.open_until_us) {
+        out.allow = false;
+        out.retry_at_us = s.open_until_us;
+        return out;
+      }
+      // Cooldown over: allow one probe and watch it.
+      s.state = BreakerState::kHalfOpen;
+      s.next_probe_at_us =
+          now_us + static_cast<int64_t>(options_.probe_interval_s * 1e6);
+      out.transitioned = true;
+      out.record = RecordOf(sid, s);
+      return out;
+    case BreakerState::kHalfOpen:
+      if (now_us < s.next_probe_at_us) {
+        out.allow = false;
+        out.retry_at_us = s.next_probe_at_us;
+        return out;
+      }
+      s.next_probe_at_us =
+          now_us + static_cast<int64_t>(options_.probe_interval_s * 1e6);
+      return out;
+  }
+  return out;
+}
+
+BreakerOutcome CircuitBreakerRegistry::OnSuccess(int32_t sid) {
+  BreakerOutcome out;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(sid);
+  if (it == states_.end()) return out;
+  State& s = it->second;
+  bool was_tripped = s.state != BreakerState::kClosed;
+  if (was_tripped) --open_count_;
+  s.state = BreakerState::kClosed;
+  s.fails = 0;
+  s.cooldown_s = options_.cooldown_s;
+  s.open_until_us = 0;
+  if (was_tripped) {
+    out.transitioned = true;
+    out.record = RecordOf(sid, s);
+  }
+  return out;
+}
+
+BreakerOutcome CircuitBreakerRegistry::OnFailure(int32_t sid,
+                                                 int64_t now_us) {
+  BreakerOutcome out;
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = states_[sid];
+  if (s.cooldown_s == 0) s.cooldown_s = options_.cooldown_s;
+  switch (s.state) {
+    case BreakerState::kClosed:
+      if (++s.fails < options_.failure_threshold) return out;
+      break;  // trip below
+    case BreakerState::kHalfOpen:
+      --open_count_;  // re-counted when it re-opens below
+      ++s.fails;
+      break;  // probe failed: re-open with escalated cooldown
+    case BreakerState::kOpen:
+      // A straggler attempt admitted before the trip; the breaker is
+      // already open.
+      ++s.fails;
+      return out;
+  }
+  s.state = BreakerState::kOpen;
+  s.open_until_us = now_us + static_cast<int64_t>(s.cooldown_s * 1e6);
+  s.cooldown_s =
+      std::min(s.cooldown_s * options_.cooldown_multiplier,
+               options_.max_cooldown_s);
+  ++open_count_;
+  out.transitioned = true;
+  out.record = RecordOf(sid, s);
+  return out;
+}
+
+void CircuitBreakerRegistry::Restore(const BreakerRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = states_[rec.sid];
+  if (s.state != BreakerState::kClosed) --open_count_;
+  s.state = rec.state;
+  s.fails = rec.consecutive_failures;
+  s.open_until_us = rec.open_until_us;
+  s.cooldown_s = rec.cooldown_s;
+  s.next_probe_at_us = 0;
+  if (s.state != BreakerState::kClosed) ++open_count_;
+}
+
+std::vector<BreakerRecord> CircuitBreakerRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BreakerRecord> out;
+  out.reserve(states_.size());
+  for (const auto& [sid, s] : states_) out.push_back(RecordOf(sid, s));
+  return out;
+}
+
+int64_t CircuitBreakerRegistry::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_count_;
+}
+
+}  // namespace focus::crawl

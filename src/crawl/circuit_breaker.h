@@ -1,0 +1,89 @@
+// Per-server circuit breakers: closed → open → half-open probe.
+//
+// A server that fails repeatedly is quarantined (its frontier entries are
+// parked until the breaker's next probe time) so workers stop burning
+// fetch budget on dead hosts. Breakers only *delay* attempts — they never
+// consume retry budget or drop entries — so enabling them cannot change
+// which pages a crawl-to-exhaustion eventually visits, only how much
+// virtual time it wastes on unresponsive servers.
+#ifndef FOCUS_CRAWL_CIRCUIT_BREAKER_H_
+#define FOCUS_CRAWL_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace focus::crawl {
+
+struct CircuitBreakerOptions {
+  bool enabled = true;
+  int failure_threshold = 4;      // consecutive failures that open it
+  double cooldown_s = 20.0;       // first open duration
+  double cooldown_multiplier = 2.0;  // escalation on re-open
+  double max_cooldown_s = 240.0;
+  double probe_interval_s = 5.0;  // min spacing of half-open probes
+};
+
+enum class BreakerState : int32_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* BreakerStateName(BreakerState state);
+
+// Snapshot of one server's breaker; also the persistence format backing
+// the BREAKER table, so ResumeFromDb can restore quarantines.
+struct BreakerRecord {
+  int32_t sid = 0;  // ServerIdOf(url), not the webgraph's internal id
+  BreakerState state = BreakerState::kClosed;
+  int32_t consecutive_failures = 0;
+  int64_t open_until_us = 0;
+  double cooldown_s = 0;  // duration of the *next* open period
+};
+
+// What one call observed. `transitioned` is set when the call moved the
+// breaker between states; `record` then holds the post-call state for
+// metrics and persistence.
+struct BreakerOutcome {
+  bool allow = true;        // Admit only
+  int64_t retry_at_us = 0;  // Admit only: park until here when !allow
+  bool transitioned = false;
+  BreakerRecord record;
+};
+
+// Internally locked; safe to call from concurrent fetch workers.
+class CircuitBreakerRegistry {
+ public:
+  explicit CircuitBreakerRegistry(const CircuitBreakerOptions& options)
+      : options_(options) {}
+
+  // May the crawler attempt a fetch on `sid` at `now_us`? An open breaker
+  // denies until its cooldown elapses (then allows one half-open probe per
+  // probe interval).
+  BreakerOutcome Admit(int32_t sid, int64_t now_us);
+  BreakerOutcome OnSuccess(int32_t sid);
+  BreakerOutcome OnFailure(int32_t sid, int64_t now_us);
+
+  void Restore(const BreakerRecord& rec);
+  std::vector<BreakerRecord> Snapshot() const;
+  // Breakers currently open or half-open.
+  int64_t open_count() const;
+
+ private:
+  struct State {
+    BreakerState state = BreakerState::kClosed;
+    int32_t fails = 0;
+    int64_t open_until_us = 0;
+    double cooldown_s = 0;
+    int64_t next_probe_at_us = 0;
+  };
+
+  BreakerRecord RecordOf(int32_t sid, const State& s) const;
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<int32_t, State> states_;
+  int64_t open_count_ = 0;
+};
+
+}  // namespace focus::crawl
+
+#endif  // FOCUS_CRAWL_CIRCUIT_BREAKER_H_

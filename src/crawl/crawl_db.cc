@@ -47,7 +47,8 @@ Result<CrawlDb> CrawlDb::Create(sql::Catalog* catalog) {
                                    {"serverload", TypeId::kInt32},
                                    {"lastvisited", TypeId::kInt64},
                                    {"kcid", TypeId::kInt32},
-                                   {"visited", TypeId::kInt32}}),
+                                   {"visited", TypeId::kInt32},
+                                   {"nextretry", TypeId::kInt64}}),
                            {IndexSpec{"by_oid", {0}, {}}}));
   FOCUS_ASSIGN_OR_RETURN(
       db.link_,
@@ -60,6 +61,15 @@ Result<CrawlDb> CrawlDb::Create(sql::Catalog* catalog) {
                                    {"wgt_rev", TypeId::kDouble}}),
                            {IndexSpec{"by_src", {0}, {}},
                             IndexSpec{"by_dst", {2}, {}}}));
+  FOCUS_ASSIGN_OR_RETURN(
+      db.breaker_,
+      catalog->CreateTable("BREAKER",
+                           Schema({{"sid", TypeId::kInt32},
+                                   {"state", TypeId::kInt32},
+                                   {"failures", TypeId::kInt32},
+                                   {"open_until", TypeId::kInt64},
+                                   {"cooldown", TypeId::kDouble}}),
+                           {IndexSpec{"by_sid", {0}, {}}}));
   return db;
 }
 
@@ -88,7 +98,7 @@ Status CrawlDb::AddUrl(std::string_view url, double relevance_estimate,
                       Value::Int32(ServerIdOf(url)), Value::Int32(0),
                       Value::Double(relevance_estimate),
                       Value::Int32(serverload), Value::Int64(0),
-                      Value::Int32(-1), Value::Int32(0)}))
+                      Value::Int32(-1), Value::Int32(0), Value::Int64(0)}))
       .status();
 }
 
@@ -97,6 +107,16 @@ Status CrawlDb::RecordAttempt(uint64_t oid) {
   Tuple row;
   FOCUS_RETURN_IF_ERROR(crawl_->Get(rid, &row));
   row.Mutable(3) = Value::Int32(row.Get(3).AsInt32() + 1);
+  return crawl_->Update(rid, row);
+}
+
+Status CrawlDb::RecordFailure(uint64_t oid, int32_t cost,
+                              int64_t next_retry_us) {
+  FOCUS_ASSIGN_OR_RETURN(storage::Rid rid, RidOf(oid));
+  Tuple row;
+  FOCUS_RETURN_IF_ERROR(crawl_->Get(rid, &row));
+  row.Mutable(3) = Value::Int32(row.Get(3).AsInt32() + cost);
+  row.Mutable(9) = Value::Int64(next_retry_us);
   return crawl_->Update(rid, row);
 }
 
@@ -109,6 +129,7 @@ Status CrawlDb::RecordVisit(uint64_t oid, double relevance, int32_t kcid,
   row.Mutable(6) = Value::Int64(lastvisited);
   row.Mutable(7) = Value::Int32(kcid);
   row.Mutable(8) = Value::Int32(1);
+  row.Mutable(9) = Value::Int64(0);  // visit clears any pending retry
   return crawl_->Update(rid, row);
 }
 
@@ -165,6 +186,7 @@ CrawlRecord CrawlDb::RecordFromTuple(const Tuple& t) {
   r.lastvisited = t.Get(6).AsInt64();
   r.kcid = t.Get(7).AsInt32();
   r.visited = t.Get(8).AsInt32() != 0;
+  r.next_retry_us = t.Get(9).AsInt64();
   return r;
 }
 
@@ -185,6 +207,36 @@ Result<CrawlRecord> CrawlDb::LookupByUrl(std::string_view url) const {
     return Status::NotFound(StrCat("url ", url, " not in CRAWL"));
   }
   return *rec;
+}
+
+Status CrawlDb::UpsertBreaker(const BreakerRecord& rec) {
+  std::vector<storage::Rid> rids;
+  FOCUS_RETURN_IF_ERROR(
+      breaker_->IndexLookup(0, {Value::Int32(rec.sid)}, &rids));
+  Tuple row({Value::Int32(rec.sid),
+             Value::Int32(static_cast<int32_t>(rec.state)),
+             Value::Int32(rec.consecutive_failures),
+             Value::Int64(rec.open_until_us), Value::Double(rec.cooldown_s)});
+  if (rids.empty()) return breaker_->Insert(row).status();
+  return breaker_->Update(rids[0], row);
+}
+
+Result<std::vector<BreakerRecord>> CrawlDb::LoadBreakers() const {
+  std::vector<BreakerRecord> out;
+  auto it = breaker_->Scan();
+  storage::Rid rid;
+  Tuple row;
+  while (it.Next(&rid, &row)) {
+    BreakerRecord rec;
+    rec.sid = row.Get(0).AsInt32();
+    rec.state = static_cast<BreakerState>(row.Get(1).AsInt32());
+    rec.consecutive_failures = row.Get(2).AsInt32();
+    rec.open_until_us = row.Get(3).AsInt64();
+    rec.cooldown_s = row.Get(4).AsDouble();
+    out.push_back(rec);
+  }
+  FOCUS_RETURN_IF_ERROR(it.status());
+  return out;
 }
 
 }  // namespace focus::crawl

@@ -2,9 +2,16 @@
 //
 //   CRAWL(oid:int64, url:string, sid:int32, numtries:int32,
 //         relevance:double, serverload:int32, lastvisited:int64,
-//         kcid:int32, visited:int32)        index by_oid
+//         kcid:int32, visited:int32,
+//         nextretry:int64)                  index by_oid
 //   LINK(oid_src:int64, sid_src:int32, oid_dst:int64, sid_dst:int32,
 //        wgt_fwd:double, wgt_rev:double)    indexes by_src, by_dst
+//   BREAKER(sid:int32, state:int32, failures:int32, open_until:int64,
+//           cooldown:double)                index by_sid
+//
+// nextretry is the not-before virtual time (us) of a failed entry's next
+// attempt; BREAKER persists per-server circuit-breaker state so a resumed
+// crawl keeps its quarantines and retry schedule.
 //
 // oid is the 64-bit URL hash; sid identifies the server (hash of the URL's
 // host — standing in for the paper's resolved IP). For unvisited pages,
@@ -18,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "crawl/circuit_breaker.h"
 #include "sql/catalog.h"
 #include "sql/table.h"
 #include "util/status.h"
@@ -41,6 +49,7 @@ struct CrawlRecord {
   int64_t lastvisited = 0;
   int32_t kcid = -1;
   bool visited = false;
+  int64_t next_retry_us = 0;  // not-before time of the next fetch attempt
 };
 
 class CrawlDb {
@@ -54,6 +63,11 @@ class CrawlDb {
 
   // Fetch-attempt bookkeeping: numtries += 1.
   Status RecordAttempt(uint64_t oid);
+
+  // Failed-fetch bookkeeping: numtries += cost, nextretry = next_retry_us
+  // (0 when the entry is dropped — numtries then carries the exhausted
+  // budget).
+  Status RecordFailure(uint64_t oid, int32_t cost, int64_t next_retry_us);
 
   // Marks `oid` visited with its judged relevance, class and visit time.
   Status RecordVisit(uint64_t oid, double relevance, int32_t kcid,
@@ -75,8 +89,13 @@ class CrawlDb {
   Result<std::optional<CrawlRecord>> Lookup(uint64_t oid) const;
   Result<CrawlRecord> LookupByUrl(std::string_view url) const;
 
+  // Persists one server's circuit-breaker state (insert or overwrite).
+  Status UpsertBreaker(const BreakerRecord& rec);
+  Result<std::vector<BreakerRecord>> LoadBreakers() const;
+
   sql::Table* crawl_table() const { return crawl_; }
   sql::Table* link_table() const { return link_; }
+  sql::Table* breaker_table() const { return breaker_; }
 
   uint64_t num_urls() const { return crawl_->num_rows(); }
   uint64_t num_links() const { return link_->num_rows(); }
@@ -90,6 +109,7 @@ class CrawlDb {
 
   sql::Table* crawl_ = nullptr;
   sql::Table* link_ = nullptr;
+  sql::Table* breaker_ = nullptr;
 };
 
 }  // namespace focus::crawl

@@ -35,7 +35,9 @@ Crawler::Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
       options_(options),
       frontier_(options.policy, ResolveShardCount(options)),
       catalog_(catalog),
-      stage_metrics_(std::make_unique<StageMetrics>(options.metrics_registry)) {
+      stage_metrics_(std::make_unique<StageMetrics>(options.metrics_registry)),
+      retry_policy_(options.retry, options.max_retries),
+      breaker_(options.breaker) {
   if (options_.classify_batch_size < 1) options_.classify_batch_size = 1;
   next_distill_at_ = options_.distill_every;
   next_pagerank_at_ = options_.pagerank_every;
@@ -63,27 +65,57 @@ Result<bool> Crawler::Step() {
         options_.max_fetches) {
       return false;
     }
-    std::optional<FrontierEntry> entry = frontier_.PopBest();
-    if (!entry.has_value()) {
-      stats_.stagnated = true;
-      return false;
+    std::optional<FrontierEntry> entry;
+    for (;;) {
+      int64_t now = clock_.NowMicros();
+      entry = frontier_.PopBest(now);
+      if (entry.has_value()) {
+        if (options_.breaker.enabled) {
+          BreakerOutcome adm = breaker_.Admit(ServerIdOf(entry->url), now);
+          NoteBreakerOutcome(adm);
+          if (!adm.allow) {
+            // Quarantined server: re-park until the breaker's next
+            // probe/cooldown deadline (never earlier than now + 1 so the
+            // pop loop can't spin).
+            FrontierEntry parked = std::move(*entry);
+            parked.ready_at_us = std::max(adm.retry_at_us, now + 1);
+            frontier_.AddOrUpdate(parked);
+            ++stats_.breaker_skips;
+            stage_metrics_->RecordBreakerSkips(1);
+            continue;
+          }
+        }
+        break;
+      }
+      if (frontier_.empty()) {
+        stats_.stagnated = true;
+        return false;
+      }
+      // Entries exist but none is ready yet: fast-forward the virtual
+      // clock to the earliest retry/probe deadline.
+      std::optional<int64_t> at = frontier_.NextReadyMicros();
+      if (!at.has_value()) {
+        stats_.stagnated = true;
+        return false;
+      }
+      if (*at > now) clock_.AdvanceMicros(*at - now);
     }
     stage_metrics_->RecordPop(/*stolen=*/false);
     ++stats_.attempts;
-    FOCUS_RETURN_IF_ERROR(db_->RecordAttempt(entry->oid));
     auto fetched = web_->Fetch(entry->url, &clock_);
     if (!fetched.ok()) {
-      ++stats_.failures;
-      // 404s are permanent (truncated guesses often miss); transient
-      // failures are retried up to the limit.
-      if (fetched.status().code() != StatusCode::kNotFound &&
-          entry->numtries + 1 < options_.max_retries) {
-        FrontierEntry retry = *entry;
-        ++retry.numtries;
-        retry.serverload = server_fetches_[ServerIdOf(retry.url)];
-        frontier_.AddOrUpdate(retry);
+      if (options_.breaker.enabled) {
+        NoteBreakerOutcome(
+            breaker_.OnFailure(ServerIdOf(entry->url), clock_.NowMicros()));
       }
+      FOCUS_RETURN_IF_ERROR(
+          HandleFetchFailure(*entry, fetched.status(), clock_.NowMicros()));
+      FOCUS_RETURN_IF_ERROR(FlushBreakerState());
       return true;
+    }
+    if (options_.breaker.enabled) {
+      NoteBreakerOutcome(breaker_.OnSuccess(ServerIdOf(entry->url)));
+      FOCUS_RETURN_IF_ERROR(FlushBreakerState());
     }
     fetch = fetched.TakeValue();
     in_flight_.fetch_add(1);
@@ -145,6 +177,49 @@ Result<bool> Crawler::Step() {
 
   FOCUS_RETURN_IF_ERROR(RunPeriodicBoosts());
   return true;
+}
+
+Status Crawler::HandleFetchFailure(const FrontierEntry& entry,
+                                   const Status& error, int64_t at_us) {
+  FailureClass cls = ClassifyFetchFailure(error);
+  stage_metrics_->RecordFetchFailure(cls);
+  RetryPolicy::Decision d = retry_policy_.Decide(entry, cls, at_us);
+  FOCUS_RETURN_IF_ERROR(
+      db_->RecordFailure(entry.oid, d.cost, d.drop ? 0 : d.ready_at_us));
+  if (d.drop) {
+    ++stats_.dropped_urls;
+    stage_metrics_->RecordDrop(cls == FailureClass::kPermanent);
+    return Status::OK();
+  }
+  ++stats_.transient_failures;
+  stage_metrics_->RecordRetry(cls, d.backoff_s);
+  FrontierEntry retry = entry;
+  retry.numtries += d.cost;
+  retry.serverload = server_fetches_[ServerIdOf(retry.url)];
+  retry.ready_at_us = d.ready_at_us;
+  frontier_.AddOrUpdate(retry);
+  return Status::OK();
+}
+
+void Crawler::NoteBreakerOutcome(const BreakerOutcome& outcome) {
+  if (!outcome.transitioned) return;
+  stage_metrics_->RecordBreakerTransition(outcome.record.state);
+  stage_metrics_->SetOpenBreakers(static_cast<double>(breaker_.open_count()));
+  std::lock_guard<std::mutex> lock(breaker_dirty_mu_);
+  breaker_dirty_.push_back(outcome.record);
+}
+
+Status Crawler::FlushBreakerState() {
+  std::vector<BreakerRecord> dirty;
+  {
+    std::lock_guard<std::mutex> lock(breaker_dirty_mu_);
+    dirty.swap(breaker_dirty_);
+  }
+  // Duplicate sids upsert in queue order, so the latest transition wins.
+  for (const BreakerRecord& rec : dirty) {
+    FOCUS_RETURN_IF_ERROR(db_->UpsertBreaker(rec));
+  }
+  return Status::OK();
 }
 
 Status Crawler::RunPeriodicBoosts() {
@@ -324,11 +399,13 @@ Status Crawler::ResumeFromDb() {
   storage::Rid rid;
   sql::Tuple row;
   uint64_t restored = 0;
+  int64_t max_visit_us = 0;
   while (it.Next(&rid, &row)) {
     CrawlRecord rec = CrawlDb::RecordFromTuple(row);
     if (rec.visited) {
       ++server_fetches_[rec.sid];
       links_recorded_.insert(rec.oid);
+      max_visit_us = std::max(max_visit_us, rec.lastvisited);
       continue;
     }
     if (rec.numtries >= options_.max_retries) continue;  // dead link
@@ -339,12 +416,26 @@ Status Crawler::ResumeFromDb() {
     entry.relevance = rec.relevance;
     entry.serverload = rec.serverload;
     entry.lastvisited = rec.lastvisited;
+    entry.ready_at_us = rec.next_retry_us;  // keep the backoff schedule
     frontier_.AddOrUpdate(entry);
     ++restored;
   }
   FOCUS_RETURN_IF_ERROR(it.status());
+  // Rejoin the dead crawl's virtual timeline so restored not-before times
+  // (absolute virtual us) stay meaningful.
+  if (max_visit_us > clock_.NowMicros()) {
+    clock_.AdvanceMicros(max_visit_us - clock_.NowMicros());
+  }
+  FOCUS_ASSIGN_OR_RETURN(std::vector<BreakerRecord> breakers,
+                         db_->LoadBreakers());
+  for (const BreakerRecord& rec : breakers) breaker_.Restore(rec);
+  if (!breakers.empty()) {
+    stage_metrics_->SetOpenBreakers(
+        static_cast<double>(breaker_.open_count()));
+  }
   FOCUS_LOG(Info, "resumed crawl: ", restored, " frontier entries, ",
-            links_recorded_.size(), " pages already visited");
+            links_recorded_.size(), " pages already visited, ",
+            breakers.size(), " breaker records");
   return Status::OK();
 }
 
@@ -403,10 +494,12 @@ Status Crawler::ScheduleRevisits(const sql::Table* hubs, int count) {
   return Status::OK();
 }
 
-std::vector<FrontierEntry> Crawler::GatherBatch(int worker) {
+std::vector<FrontierEntry> Crawler::GatherBatch(int worker,
+                                                VirtualClock* worker_clock) {
   std::vector<FrontierEntry> batch;
   batch.reserve(options_.classify_batch_size);
   int shard = worker % frontier_.num_shards();
+  uint64_t breaker_skips = 0;
   while (static_cast<int>(batch.size()) < options_.classify_batch_size) {
     {
       // Reserve one budget slot; release it below if the frontier is dry.
@@ -418,14 +511,32 @@ std::vector<FrontierEntry> Crawler::GatherBatch(int worker) {
       in_flight_.fetch_add(1);
     }
     bool stolen = false;
+    int64_t now = worker_clock->NowMicros();
     std::optional<FrontierEntry> entry =
-        frontier_.PopPreferShard(shard, &stolen);
+        frontier_.PopPreferShard(shard, now, &stolen);
     if (!entry.has_value()) {
       in_flight_.fetch_sub(1);
       break;
     }
+    if (options_.breaker.enabled) {
+      BreakerOutcome adm = breaker_.Admit(ServerIdOf(entry->url), now);
+      NoteBreakerOutcome(adm);
+      if (!adm.allow) {
+        FrontierEntry parked = std::move(*entry);
+        parked.ready_at_us = std::max(adm.retry_at_us, now + 1);
+        frontier_.AddOrUpdate(parked);
+        in_flight_.fetch_sub(1);
+        ++breaker_skips;
+        continue;
+      }
+    }
     stage_metrics_->RecordPop(stolen);
     batch.push_back(std::move(*entry));
+  }
+  if (breaker_skips > 0) {
+    stage_metrics_->RecordBreakerSkips(breaker_skips);
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stats_.breaker_skips += breaker_skips;
   }
   return batch;
 }
@@ -487,18 +598,20 @@ Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
     in_flight_.fetch_sub(1);
   }
   Status boosts = RunPeriodicBoosts();
+  Status flush = FlushBreakerState();
   stage_metrics_->AddExpandMicros(
       static_cast<uint64_t>(expand_timer.ElapsedMicros()));
   stage_metrics_->SetFrontierDepth(static_cast<double>(frontier_.size()));
   lock.unlock();
   work_cv_.notify_all();
-  return boosts;
+  if (!boosts.ok()) return boosts;
+  return flush;
 }
 
 Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
   for (;;) {
     if (abort_.load()) return Status::OK();
-    std::vector<FrontierEntry> batch = GatherBatch(worker);
+    std::vector<FrontierEntry> batch = GatherBatch(worker, worker_clock);
     if (batch.empty()) {
       std::unique_lock<std::mutex> lock(state_mutex_);
       if (static_cast<int>(visits_.size()) >= options_.max_fetches) {
@@ -511,7 +624,15 @@ Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
           stats_.stagnated = true;
           return Status::OK();
         }
-        continue;  // entries present and capacity free: retry the pop
+        // Entries exist but none is ready at this worker's virtual time
+        // (backoff or breaker quarantine): fast-forward to the earliest
+        // deadline instead of spinning.
+        std::optional<int64_t> at = frontier_.NextReadyMicros();
+        int64_t now = worker_clock->NowMicros();
+        if (at.has_value() && *at > now) {
+          worker_clock->AdvanceMicros(*at - now);
+        }
+        continue;
       }
       // Other workers hold in-flight pages that may expand the frontier
       // or release budget; wait for them.
@@ -524,31 +645,32 @@ Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
     // like the paper's ~30 fetch threads) ---
     std::vector<FetchedPage> fetched;
     fetched.reserve(batch.size());
-    std::vector<uint64_t> attempt_oids;
-    attempt_oids.reserve(batch.size());
-    for (const FrontierEntry& entry : batch) {
-      attempt_oids.push_back(entry.oid);
-    }
-    std::vector<FrontierEntry> retries;
-    int dropped = 0;
+    struct FailedFetch {
+      FrontierEntry entry;
+      Status error;
+      int64_t at_us;
+    };
+    std::vector<FailedFetch> failures;
     Stopwatch fetch_timer;
     {
       FOCUS_SPAN_VT("crawl.fetch_batch", worker_clock);
       for (FrontierEntry& entry : batch) {
+        int32_t sid = ServerIdOf(entry.url);
         Result<webgraph::SimulatedWeb::FetchResult> result = [&] {
           std::lock_guard<std::mutex> web_lock(web_mutex_);
           return web_->Fetch(entry.url, worker_clock);
         }();
         if (!result.ok()) {
-          if (result.status().code() != StatusCode::kNotFound &&
-              entry.numtries + 1 < options_.max_retries) {
-            FrontierEntry retry = std::move(entry);
-            ++retry.numtries;
-            retries.push_back(std::move(retry));
-          } else {
-            ++dropped;
+          if (options_.breaker.enabled) {
+            NoteBreakerOutcome(
+                breaker_.OnFailure(sid, worker_clock->NowMicros()));
           }
+          failures.push_back(FailedFetch{std::move(entry), result.status(),
+                                         worker_clock->NowMicros()});
           continue;
+        }
+        if (options_.breaker.enabled) {
+          NoteBreakerOutcome(breaker_.OnSuccess(sid));
         }
         FetchedPage page;
         page.entry = std::move(entry);
@@ -560,22 +682,18 @@ Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
     stage_metrics_->AddFetchMicros(
         static_cast<uint64_t>(fetch_timer.ElapsedMicros()));
 
-    size_t failures = retries.size() + dropped;
     {
       // Attempt/failure bookkeeping in one short critical section.
       std::lock_guard<std::mutex> lock(state_mutex_);
       stats_.attempts += batch.size();
-      stats_.failures += failures;
-      for (uint64_t oid : attempt_oids) {
-        FOCUS_RETURN_IF_ERROR(db_->RecordAttempt(oid));
+      for (const FailedFetch& failure : failures) {
+        FOCUS_RETURN_IF_ERROR(
+            HandleFetchFailure(failure.entry, failure.error, failure.at_us));
       }
-      for (FrontierEntry& retry : retries) {
-        retry.serverload = server_fetches_[ServerIdOf(retry.url)];
-        frontier_.AddOrUpdate(retry);
-      }
-      in_flight_.fetch_sub(static_cast<int>(failures));
+      FOCUS_RETURN_IF_ERROR(FlushBreakerState());
+      in_flight_.fetch_sub(static_cast<int>(failures.size()));
     }
-    if (failures > 0) work_cv_.notify_all();
+    if (!failures.empty()) work_cv_.notify_all();
     if (fetched.empty()) continue;
 
     // --- classify stage (no locks; one batched evaluator call) ---
@@ -610,7 +728,11 @@ Status Crawler::RunPipeline() {
   ThreadPool pool(options_.num_threads);
   std::mutex status_mutex;
   Status first_error;
+  // Workers continue the crawl's virtual timeline (nonzero after a resume
+  // or an earlier Crawl() call) so absolute not-before times line up.
+  const int64_t base_us = clock_.NowMicros();
   std::vector<VirtualClock> worker_clocks(options_.num_threads);
+  for (VirtualClock& c : worker_clocks) c.AdvanceMicros(base_us);
   for (int i = 0; i < options_.num_threads; ++i) {
     pool.Submit([this, i, &status_mutex, &first_error, &worker_clocks] {
       Status s = PipelineWorker(i, &worker_clocks[i]);
@@ -629,24 +751,33 @@ Status Crawler::RunPipeline() {
   pool.Wait();
   // The crawl's virtual makespan is the slowest worker's timeline (workers
   // fetch concurrently, so their waits overlap).
-  int64_t makespan = 0;
+  int64_t makespan = base_us;
   for (const VirtualClock& c : worker_clocks) {
     makespan = std::max(makespan, c.NowMicros());
   }
-  clock_.AdvanceMicros(makespan);
+  clock_.AdvanceMicros(makespan - base_us);
   return first_error;
 }
 
 Status Crawler::Crawl() {
+  Status result;
   if (options_.num_threads <= 1) {
     for (;;) {
       auto more = Step();
-      FOCUS_RETURN_IF_ERROR(more.status());
-      if (!more.value()) break;
+      result = more.status();
+      if (!result.ok() || !more.value()) break;
     }
-    return Status::OK();
+  } else {
+    result = RunPipeline();
   }
-  return RunPipeline();
+  // Persist any breaker transitions still queued (e.g. from the last
+  // successful fetches) so a resume sees the final quarantine state.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    Status flush = FlushBreakerState();
+    if (result.ok()) result = flush;
+  }
+  return result;
 }
 
 }  // namespace focus::crawl

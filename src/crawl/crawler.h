@@ -12,9 +12,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "crawl/circuit_breaker.h"
 #include "crawl/crawl_db.h"
 #include "crawl/frontier.h"
 #include "crawl/relevance_evaluator.h"
+#include "crawl/retry_policy.h"
 #include "distill/distiller.h"
 #include "sql/catalog.h"
 #include "text/tokenizer.h"
@@ -81,6 +83,13 @@ struct CrawlerOptions {
   // single-threaded (exactly the classic frontier), else two per thread.
   int frontier_shards = 0;
 
+  // Hostile-web handling: failure classification + backoff (budgeted by
+  // max_retries) and per-server circuit breakers. Both make purely
+  // time-shifting decisions, so the set of pages a crawl-to-exhaustion
+  // visits is identical at any thread count.
+  RetryPolicyOptions retry;
+  CircuitBreakerOptions breaker;
+
   // Registry for the crawler's stage metrics; nullptr = process-global.
   // Benchmarks pass a private registry so repeated runs start from zero.
   obs::MetricsRegistry* metrics_registry = nullptr;
@@ -97,7 +106,16 @@ struct Visit {
 
 struct CrawlStats {
   uint64_t attempts = 0;
-  uint64_t failures = 0;
+  // Failed attempts that were rescheduled with backoff (transient /
+  // timeout / outage classes). attempts == visits + transient_failures +
+  // dropped_urls.
+  uint64_t transient_failures = 0;
+  // Entries abandoned: permanent (404) failures plus retry-budget
+  // exhaustion. Deterministic per seed, unlike the timing-dependent
+  // attempt counts.
+  uint64_t dropped_urls = 0;
+  // Frontier pops re-parked because the server's breaker was open.
+  uint64_t breaker_skips = 0;
   uint64_t distill_rounds = 0;
   bool stagnated = false;  // frontier ran dry before the budget
 };
@@ -171,9 +189,21 @@ class Crawler {
   // One worker's loop. `worker` indexes its preferred frontier shard;
   // `worker_clock` accumulates the worker's virtual fetch timeline.
   Status PipelineWorker(int worker, VirtualClock* worker_clock);
-  // Pops up to classify_batch_size entries within budget, reserving each
-  // against the fetch budget via in_flight_.
-  std::vector<FrontierEntry> GatherBatch(int worker);
+  // Pops up to classify_batch_size entries ready at the worker's virtual
+  // time and admitted by their server's breaker, reserving each against
+  // the fetch budget via in_flight_.
+  std::vector<FrontierEntry> GatherBatch(int worker,
+                                         VirtualClock* worker_clock);
+  // Classifies a failed fetch, charges its retry budget (persisting via
+  // CrawlDb::RecordFailure) and either drops the entry or re-parks it with
+  // backoff. Caller holds state_mutex_.
+  Status HandleFetchFailure(const FrontierEntry& entry, const Status& error,
+                            int64_t at_us);
+  // Records a breaker transition (metrics + persistence dirty queue).
+  void NoteBreakerOutcome(const BreakerOutcome& outcome);
+  // Writes queued breaker transitions to the BREAKER table. Caller holds
+  // state_mutex_.
+  Status FlushBreakerState();
   // Records a classified batch under one state critical section.
   Status RecordBatch(std::vector<FetchedPage>* pages,
                      const std::vector<PageJudgment>& judgments);
@@ -199,6 +229,13 @@ class Crawler {
   bool distill_tables_ready_ = false;
   sql::Catalog* catalog_;
   std::unique_ptr<StageMetrics> stage_metrics_;
+  RetryPolicy retry_policy_;
+  CircuitBreakerRegistry breaker_;
+  // Breaker transitions awaiting persistence. Appended lock-free of the
+  // crawl state (own small mutex, safe from fetch workers); drained into
+  // the BREAKER table by FlushBreakerState under state_mutex_.
+  std::mutex breaker_dirty_mu_;
+  std::vector<BreakerRecord> breaker_dirty_;
 
   std::unordered_map<int32_t, int32_t> server_fetches_;
   // Pages whose outlinks are already in LINK (revisits must not duplicate

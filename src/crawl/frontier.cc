@@ -88,11 +88,17 @@ void Frontier::AddOrUpdate(const FrontierEntry& entry) {
   }
   uint64_t version = next_version_++;
   live_[e.oid] = {version, e};
-  heap_.push_back(HeapItem{e.oid, version, e});
-  std::push_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+  if (e.ready_at_us > 0) {
+    parked_.push_back(ParkedItem{e.oid, version, e.ready_at_us});
+    std::push_heap(parked_.begin(), parked_.end(), ParkedLater{});
+  } else {
+    heap_.push_back(HeapItem{e.oid, version, e});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+  }
 }
 
-std::optional<FrontierEntry> Frontier::PopBest() {
+std::optional<FrontierEntry> Frontier::PopBest(int64_t now_us) {
+  Promote(now_us);
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
     HeapItem item = std::move(heap_.back());
@@ -118,9 +124,43 @@ void Frontier::CleanTop() {
   }
 }
 
-const FrontierEntry* Frontier::PeekBest() {
+const FrontierEntry* Frontier::PeekBest(int64_t now_us) {
+  Promote(now_us);
   CleanTop();
   return heap_.empty() ? nullptr : &heap_.front().entry;
+}
+
+void Frontier::CleanParkedTop() {
+  while (!parked_.empty()) {
+    const ParkedItem& top = parked_.front();
+    auto it = live_.find(top.oid);
+    if (it != live_.end() && it->second.first == top.version) return;
+    std::pop_heap(parked_.begin(), parked_.end(), ParkedLater{});
+    parked_.pop_back();
+  }
+}
+
+void Frontier::Promote(int64_t now_us) {
+  while (true) {
+    CleanParkedTop();
+    if (parked_.empty() || parked_.front().ready_at_us > now_us) return;
+    std::pop_heap(parked_.begin(), parked_.end(), ParkedLater{});
+    ParkedItem item = parked_.back();
+    parked_.pop_back();
+    auto it = live_.find(item.oid);
+    if (it == live_.end() || it->second.first != item.version) continue;
+    // The entry is ready now; clear the gate so later re-ranks (which copy
+    // the live entry) don't re-park it.
+    it->second.second.ready_at_us = 0;
+    heap_.push_back(HeapItem{item.oid, item.version, it->second.second});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+  }
+}
+
+std::optional<int64_t> Frontier::NextReadyMicros() {
+  CleanParkedTop();
+  if (parked_.empty()) return std::nullopt;
+  return parked_.front().ready_at_us;
 }
 
 bool Frontier::HigherPriority(const FrontierEntry& a, const FrontierEntry& b,
@@ -155,10 +195,17 @@ void Frontier::SetPolicy(PriorityPolicy policy) {
 void Frontier::RebuildHeap() {
   heap_.clear();
   heap_.reserve(live_.size());
+  parked_.clear();
   for (const auto& [oid, versioned] : live_) {
-    heap_.push_back(HeapItem{oid, versioned.first, versioned.second});
+    if (versioned.second.ready_at_us > 0) {
+      parked_.push_back(
+          ParkedItem{oid, versioned.first, versioned.second.ready_at_us});
+    } else {
+      heap_.push_back(HeapItem{oid, versioned.first, versioned.second});
+    }
   }
   std::make_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+  std::make_heap(parked_.begin(), parked_.end(), ParkedLater{});
 }
 
 ShardedFrontier::ShardedFrontier(PriorityPolicy policy, int num_shards) {
@@ -182,7 +229,7 @@ void ShardedFrontier::AddOrUpdate(const FrontierEntry& entry) {
   shard.frontier.AddOrUpdate(e);
 }
 
-std::optional<FrontierEntry> ShardedFrontier::PopBest() {
+std::optional<FrontierEntry> ShardedFrontier::PopBest(int64_t now_us) {
   // Lock every shard (index order) and take the best of the shard bests —
   // with one shard this is exactly Frontier::PopBest.
   for (auto& shard : shards_) shard->mu.lock();
@@ -190,7 +237,7 @@ std::optional<FrontierEntry> ShardedFrontier::PopBest() {
   const FrontierEntry* best_entry = nullptr;
   PriorityPolicy policy = shards_[0]->frontier.policy();
   for (auto& shard : shards_) {
-    const FrontierEntry* top = shard->frontier.PeekBest();
+    const FrontierEntry* top = shard->frontier.PeekBest(now_us);
     if (top == nullptr) continue;
     if (best_entry == nullptr ||
         Frontier::HigherPriority(*top, *best_entry, policy)) {
@@ -199,7 +246,7 @@ std::optional<FrontierEntry> ShardedFrontier::PopBest() {
     }
   }
   std::optional<FrontierEntry> out;
-  if (best != nullptr) out = best->frontier.PopBest();
+  if (best != nullptr) out = best->frontier.PopBest(now_us);
   for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
     (*it)->mu.unlock();
   }
@@ -207,13 +254,14 @@ std::optional<FrontierEntry> ShardedFrontier::PopBest() {
 }
 
 std::optional<FrontierEntry> ShardedFrontier::PopPreferShard(int shard,
+                                                             int64_t now_us,
                                                              bool* stolen) {
   int k = num_shards();
   if (shard < 0) shard = 0;
   for (int i = 0; i < k; ++i) {
     Shard& s = *shards_[(shard + i) % k];
     std::lock_guard<std::mutex> lock(s.mu);
-    std::optional<FrontierEntry> popped = s.frontier.PopBest();
+    std::optional<FrontierEntry> popped = s.frontier.PopBest(now_us);
     if (popped.has_value()) {
       if (stolen != nullptr) *stolen = i != 0;
       return popped;
@@ -221,6 +269,18 @@ std::optional<FrontierEntry> ShardedFrontier::PopPreferShard(int shard,
   }
   if (stolen != nullptr) *stolen = false;
   return std::nullopt;
+}
+
+std::optional<int64_t> ShardedFrontier::NextReadyMicros() {
+  std::optional<int64_t> earliest;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    std::optional<int64_t> at = shard->frontier.NextReadyMicros();
+    if (at.has_value() && (!earliest.has_value() || *at < *earliest)) {
+      earliest = at;
+    }
+  }
+  return earliest;
 }
 
 void ShardedFrontier::Erase(uint64_t oid) {

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -33,6 +34,10 @@ struct FrontierEntry {
   double hub_score = 0;     // distiller boost / PageRank ordering signal
   int32_t backlinks = 0;    // known citations (Cho et al. ordering)
   uint64_t seq = 0;         // insertion sequence (BFS/FIFO orderings)
+  // Not-before time (virtual us): 0 = ready now. Entries with a future
+  // ready_at_us are parked — invisible to time-gated pops until a pop's
+  // `now_us` reaches it (retry backoff and breaker quarantine land here).
+  int64_t ready_at_us = 0;
 };
 
 enum class PriorityPolicy {
@@ -57,21 +62,33 @@ enum class PriorityPolicy {
 
 const char* PolicyName(PriorityPolicy policy);
 
+// Pops with this deadline see every entry, parked or not (the default, so
+// fault-free crawls behave exactly as before the not-before queue).
+inline constexpr int64_t kNoTimeGate =
+    std::numeric_limits<int64_t>::max();
+
 class Frontier {
  public:
   explicit Frontier(PriorityPolicy policy = PriorityPolicy::
                         kAggressiveDiscovery)
       : policy_(policy) {}
 
-  // Inserts or re-ranks `entry` (keyed by oid).
+  // Inserts or re-ranks `entry` (keyed by oid). Entries with a future
+  // ready_at_us go to the parked queue.
   void AddOrUpdate(const FrontierEntry& entry);
 
-  // Removes and returns the best entry, or nullopt when empty.
-  std::optional<FrontierEntry> PopBest();
+  // Removes and returns the best entry whose ready_at_us <= now_us, or
+  // nullopt when none qualifies.
+  std::optional<FrontierEntry> PopBest(int64_t now_us = kNoTimeGate);
 
-  // The best live entry without removing it (nullptr when empty). The
-  // pointer is invalidated by any mutating call.
-  const FrontierEntry* PeekBest();
+  // The best live entry with ready_at_us <= now_us without removing it
+  // (nullptr when none). The pointer is invalidated by any mutating call.
+  const FrontierEntry* PeekBest(int64_t now_us = kNoTimeGate);
+
+  // Earliest ready_at_us among parked (not yet promoted) entries; nullopt
+  // when nothing is parked. Lets an idle crawler fast-forward its virtual
+  // clock instead of spinning.
+  std::optional<int64_t> NextReadyMicros();
 
   // True when `a` outranks `b` under `policy` (same total order the heap
   // uses, including the deterministic seq/oid tie-break).
@@ -105,16 +122,36 @@ class Frontier {
     bool operator()(const HeapItem& a, const HeapItem& b) const;
   };
 
+  struct ParkedItem {
+    uint64_t oid;
+    uint64_t version;
+    int64_t ready_at_us;
+  };
+  struct ParkedLater {  // min-heap on ready_at_us (oid tie-break)
+    bool operator()(const ParkedItem& a, const ParkedItem& b) const {
+      if (a.ready_at_us != b.ready_at_us) {
+        return a.ready_at_us > b.ready_at_us;
+      }
+      return a.oid > b.oid;
+    }
+  };
+
   void RebuildHeap();
   // Discards stale items from the heap top so heap_.front() (if any) is
   // the live best entry.
   void CleanTop();
+  // Moves parked entries whose ready time has arrived into the main heap.
+  void Promote(int64_t now_us);
+  // Discards stale items from the parked-heap top.
+  void CleanParkedTop();
 
   PriorityPolicy policy_;
   // oid -> (current version, entry). Heap items with stale versions are
   // discarded on pop.
   std::unordered_map<uint64_t, std::pair<uint64_t, FrontierEntry>> live_;
   std::vector<HeapItem> heap_;
+  // Min-heap of not-yet-ready entries, by ready_at_us.
+  std::vector<ParkedItem> parked_;
   uint64_t next_version_ = 1;
   uint64_t next_seq_ = 1;
 };
@@ -140,15 +177,23 @@ class ShardedFrontier {
   // server).
   void AddOrUpdate(const FrontierEntry& entry);
 
-  // Removes and returns the globally best entry (best among the shard
-  // bests), or nullopt when empty.
-  std::optional<FrontierEntry> PopBest();
+  // Removes and returns the globally best ready entry (best among the
+  // shard bests with ready_at_us <= now_us), or nullopt when none.
+  std::optional<FrontierEntry> PopBest(int64_t now_us = kNoTimeGate);
 
-  // Work-stealing pop: takes the best entry of `shard`, or — when that
-  // shard is empty — of the nearest non-empty shard. `stolen` (optional)
-  // reports whether the entry came from another shard.
+  // Work-stealing pop: takes the best ready entry of `shard`, or — when
+  // that shard has none — of the nearest shard with one. `stolen`
+  // (optional) reports whether the entry came from another shard.
   std::optional<FrontierEntry> PopPreferShard(int shard,
-                                              bool* stolen = nullptr);
+                                              bool* stolen = nullptr) {
+    return PopPreferShard(shard, kNoTimeGate, stolen);
+  }
+  std::optional<FrontierEntry> PopPreferShard(int shard, int64_t now_us,
+                                              bool* stolen);
+
+  // Earliest parked ready_at_us across shards; nullopt when nothing is
+  // parked anywhere.
+  std::optional<int64_t> NextReadyMicros();
 
   void Erase(uint64_t oid);
   bool Contains(uint64_t oid) const;

@@ -27,6 +27,24 @@ StageMetrics::StageMetrics(obs::MetricsRegistry* registry) {
   distill_residual_ = r->GetGauge("focus_distill_last_residual");
   batch_pages_hist_ = r->GetHistogram("focus_crawl_classify_batch_pages");
   batch_micros_hist_ = r->GetHistogram("focus_crawl_classify_batch_micros");
+  for (int c = 0; c < 4; ++c) {
+    const char* cls = FailureClassName(static_cast<FailureClass>(c));
+    fetch_failures_[c] = r->GetCounter("focus_crawl_fetch_failures_total",
+                                       {{"class", cls}});
+    retries_[c] = r->GetCounter("focus_crawl_retries_total", {{"class", cls}});
+  }
+  dropped_permanent_ = r->GetCounter("focus_crawl_dropped_urls_total",
+                                     {{"reason", "permanent"}});
+  dropped_exhausted_ = r->GetCounter("focus_crawl_dropped_urls_total",
+                                     {{"reason", "budget_exhausted"}});
+  for (int s = 0; s < 3; ++s) {
+    breaker_transitions_[s] =
+        r->GetCounter("focus_crawl_breaker_transitions_total",
+                      {{"to", BreakerStateName(static_cast<BreakerState>(s))}});
+  }
+  breaker_skips_ = r->GetCounter("focus_crawl_breaker_skips_total");
+  open_breakers_ = r->GetGauge("focus_crawl_open_breakers");
+  backoff_ms_hist_ = r->GetHistogram("focus_crawl_backoff_delay_ms");
   Reset();
 }
 
@@ -40,6 +58,14 @@ StageMetricsSnapshot StageMetrics::Raw() const {
   s.batched_pages = batched_pages_->Value();
   s.frontier_pops = frontier_pops_->Value();
   s.frontier_steals = frontier_steals_->Value();
+  for (int c = 0; c < 4; ++c) {
+    s.fetch_failures += fetch_failures_[c]->Value();
+    s.retries += retries_[c]->Value();
+  }
+  s.dropped_urls = dropped_permanent_->Value() + dropped_exhausted_->Value();
+  s.breaker_skips = breaker_skips_->Value();
+  s.breaker_opens =
+      breaker_transitions_[static_cast<int>(BreakerState::kOpen)]->Value();
   return s;
 }
 
@@ -53,6 +79,11 @@ StageMetricsSnapshot StageMetrics::Snapshot() const {
   s.batched_pages -= baseline_.batched_pages;
   s.frontier_pops -= baseline_.frontier_pops;
   s.frontier_steals -= baseline_.frontier_steals;
+  s.fetch_failures -= baseline_.fetch_failures;
+  s.retries -= baseline_.retries;
+  s.dropped_urls -= baseline_.dropped_urls;
+  s.breaker_skips -= baseline_.breaker_skips;
+  s.breaker_opens -= baseline_.breaker_opens;
   return s;
 }
 

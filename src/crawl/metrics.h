@@ -7,8 +7,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "crawl/circuit_breaker.h"
 #include "crawl/crawl_db.h"
 #include "crawl/crawler.h"
+#include "crawl/retry_policy.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -25,6 +27,11 @@ struct StageMetricsSnapshot {
   uint64_t batched_pages = 0;     // pages across those batches
   uint64_t frontier_pops = 0;     // successful frontier pops
   uint64_t frontier_steals = 0;   // pops served by a non-preferred shard
+  uint64_t fetch_failures = 0;    // failed fetch attempts (all classes)
+  uint64_t retries = 0;           // failures rescheduled with backoff
+  uint64_t dropped_urls = 0;      // entries abandoned (404 / budget)
+  uint64_t breaker_skips = 0;     // pops re-parked by an open breaker
+  uint64_t breaker_opens = 0;     // transitions into the open state
 
   // Mean pages per classify batch (the batch-occupancy signal: low values
   // mean the fetch stage starves the classifier).
@@ -67,6 +74,25 @@ class StageMetrics {
     frontier_pops_->Inc();
     if (stolen) frontier_steals_->Inc();
   }
+  void RecordFetchFailure(FailureClass cls) {
+    fetch_failures_[static_cast<int>(cls)]->Inc();
+  }
+  // A failure rescheduled with `backoff_s` seconds of (virtual) delay.
+  void RecordRetry(FailureClass cls, double backoff_s) {
+    retries_[static_cast<int>(cls)]->Inc();
+    backoff_ms_hist_->Observe(backoff_s * 1e3);
+  }
+  void RecordDrop(bool permanent) {
+    (permanent ? dropped_permanent_ : dropped_exhausted_)->Inc();
+  }
+  void RecordBreakerTransition(BreakerState to) {
+    breaker_transitions_[static_cast<int>(to)]->Inc();
+  }
+  void RecordBreakerSkips(uint64_t n) {
+    if (n > 0) breaker_skips_->Add(n);
+  }
+  // Servers currently quarantined (open or half-open breakers).
+  void SetOpenBreakers(double n) { open_breakers_->Set(n); }
   // Instantaneous frontier size (sampled by the record stage).
   void SetFrontierDepth(double depth) { frontier_depth_->Set(depth); }
   // One distillation round's per-iteration L1 residuals: counts the
@@ -97,6 +123,15 @@ class StageMetrics {
   obs::Gauge* distill_residual_;
   obs::Histogram* batch_pages_hist_;
   obs::Histogram* batch_micros_hist_;
+  // Fault-model counters, indexed by FailureClass / BreakerState.
+  obs::Counter* fetch_failures_[4];
+  obs::Counter* retries_[4];
+  obs::Counter* dropped_permanent_;
+  obs::Counter* dropped_exhausted_;
+  obs::Counter* breaker_transitions_[3];
+  obs::Counter* breaker_skips_;
+  obs::Gauge* open_breakers_;
+  obs::Histogram* backoff_ms_hist_;
   StageMetricsSnapshot baseline_;
 };
 

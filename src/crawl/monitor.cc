@@ -58,6 +58,10 @@ std::string FormatStageMetrics(const StageMetricsSnapshot& s) {
   out += StrCat("frontier     pops=", s.frontier_pops,
                 " steals=", s.frontier_steals,
                 " steal_rate=", Fixed(steal_rate, 3), "\n");
+  out += StrCat("faults       failures=", s.fetch_failures,
+                " retries=", s.retries, " dropped=", s.dropped_urls,
+                " breaker_skips=", s.breaker_skips,
+                " breaker_opens=", s.breaker_opens, "\n");
   return out;
 }
 
@@ -165,7 +169,8 @@ Result<std::vector<CrawlRecord>> MissedHubNeighbors(const CrawlDb& db,
     storage::Rid rid;
     Tuple row;
     while (it.Next(&rid, &row)) {
-      if (row.Get(3).AsInt32() != 0) continue;  // numtries = 0 only
+      if (row.Get(8).AsInt32() != 0) continue;  // unvisited only
+      if (row.Get(3).AsInt32() != 0) continue;  // never attempted
       if (!candidates.contains(row.Get(0).AsInt64())) continue;
       out.push_back(CrawlDb::RecordFromTuple(row));
     }

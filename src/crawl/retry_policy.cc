@@ -1,0 +1,82 @@
+#include "crawl/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace focus::crawl {
+
+const char* FailureClassName(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::kTransient:
+      return "transient";
+    case FailureClass::kTimeout:
+      return "timeout";
+    case FailureClass::kPermanent:
+      return "permanent";
+    case FailureClass::kServerBusy:
+      return "server_busy";
+  }
+  return "?";
+}
+
+FailureClass ClassifyFetchFailure(const Status& error) {
+  switch (error.code()) {
+    case StatusCode::kNotFound:
+      return FailureClass::kPermanent;
+    case StatusCode::kDeadlineExceeded:
+      return FailureClass::kTimeout;
+    case StatusCode::kResourceExhausted:
+      return FailureClass::kServerBusy;
+    default:
+      return FailureClass::kTransient;
+  }
+}
+
+RetryPolicy::Decision RetryPolicy::Decide(const FrontierEntry& entry,
+                                          FailureClass cls,
+                                          int64_t now_us) const {
+  Decision d;
+  switch (cls) {
+    case FailureClass::kPermanent:
+      d.drop = true;
+      break;
+    case FailureClass::kTimeout:
+      d.cost = options_.timeout_cost;
+      break;
+    case FailureClass::kTransient:
+      d.cost = options_.transient_cost;
+      break;
+    case FailureClass::kServerBusy:
+      d.cost = 0;  // outages are the server's fault, not the page's
+      break;
+  }
+  int after = entry.numtries + d.cost;
+  if (cls != FailureClass::kServerBusy && after >= retry_budget_) {
+    d.drop = true;
+  }
+  if (d.drop) {
+    // Charge the drop up to the full budget: "numtries >= budget" is the
+    // durable dropped marker ResumeFromDb skips.
+    d.cost = std::max(d.cost, retry_budget_ - entry.numtries);
+    return d;
+  }
+  d.backoff_s = BackoffSeconds(entry.oid, after);
+  d.ready_at_us = now_us + static_cast<int64_t>(d.backoff_s * 1e6);
+  return d;
+}
+
+double RetryPolicy::BackoffSeconds(uint64_t oid, int32_t numtries) const {
+  double base = options_.base_backoff_s *
+                std::pow(options_.backoff_multiplier,
+                         std::max(0, numtries - 1));
+  base = std::min(base, options_.max_backoff_s);
+  uint64_t h = Mix64(oid ^ Mix64(0x42414b4f4646ULL +
+                                 static_cast<uint64_t>(
+                                     static_cast<uint32_t>(numtries))));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return base * (1.0 + options_.jitter * (2.0 * u - 1.0));
+}
+
+}  // namespace focus::crawl

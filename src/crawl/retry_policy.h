@@ -1,0 +1,74 @@
+// Retry classification and backoff for fetch failures (§3.1's "all
+// crawlers crash" robustness requirement, applied to the hostile web).
+//
+// Every failed fetch is classified, charged against a per-class retry
+// budget, and — when retried — scheduled with exponential backoff plus
+// deterministic jitter. All decisions are pure functions of the entry and
+// the failure, so identical crawls make identical drop decisions at any
+// thread count; only *when* a retry lands varies with scheduling.
+#ifndef FOCUS_CRAWL_RETRY_POLICY_H_
+#define FOCUS_CRAWL_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "crawl/frontier.h"
+#include "util/status.h"
+
+namespace focus::crawl {
+
+// Failure classes the fetch path can produce, mapped from Status codes.
+enum class FailureClass {
+  kTransient,   // 5xx-style (kUnavailable): retry with backoff, costs 1
+  kTimeout,     // deadline expiry (kDeadlineExceeded): retry, counts double
+  kPermanent,   // 404-style (kNotFound): drop immediately
+  kServerBusy,  // scheduled outage (kResourceExhausted): retry, costs 0
+};
+
+// Stable lowercase name ("transient", "timeout", ...), used as the metric
+// label.
+const char* FailureClassName(FailureClass cls);
+
+FailureClass ClassifyFetchFailure(const Status& error);
+
+struct RetryPolicyOptions {
+  double base_backoff_s = 2.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 120.0;
+  // Fractional +/- jitter, deterministic per (oid, numtries).
+  double jitter = 0.25;
+  int transient_cost = 1;
+  int timeout_cost = 2;  // timeouts burn budget twice as fast
+};
+
+class RetryPolicy {
+ public:
+  struct Decision {
+    bool drop = false;
+    // Added to the entry's numtries (and persisted). Drops are charged up
+    // to the full budget so a resumed crawl recognizes them as exhausted.
+    int cost = 0;
+    int64_t ready_at_us = 0;  // not-before time when retried
+    double backoff_s = 0;
+  };
+
+  // `retry_budget` is CrawlerOptions::max_retries: an entry whose numtries
+  // reaches it is dropped, matching ResumeFromDb's dead-link filter.
+  RetryPolicy(const RetryPolicyOptions& options, int retry_budget)
+      : options_(options), retry_budget_(retry_budget) {}
+
+  Decision Decide(const FrontierEntry& entry, FailureClass cls,
+                  int64_t now_us) const;
+
+  // Exponential backoff for an entry that has consumed `numtries` budget,
+  // with +/- jitter derived from (oid, numtries) so concurrent crawlers
+  // compute identical schedules.
+  double BackoffSeconds(uint64_t oid, int32_t numtries) const;
+
+ private:
+  RetryPolicyOptions options_;
+  int retry_budget_;
+};
+
+}  // namespace focus::crawl
+
+#endif  // FOCUS_CRAWL_RETRY_POLICY_H_

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "io_error";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Returns a stable lowercase name for `code` (e.g. "invalid_argument").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,6 +10,20 @@ namespace focus::webgraph {
 
 namespace {
 constexpr int kMinDocLen = 30;
+
+// Deterministic per-(seed, server) uniform in [0,1): selects flaky / slow /
+// dead servers without consuming any per-attempt RNG draw.
+double ServerHash01(uint64_t seed, int32_t server_id, uint64_t salt) {
+  uint64_t h = Mix64(
+      seed ^ Mix64(salt ^ (static_cast<uint64_t>(
+                               static_cast<uint32_t>(server_id)) +
+                           1)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kFlakySalt = 0x464c414b59ULL;
+constexpr uint64_t kSlowSalt = 0x534c4f57ULL;
+constexpr uint64_t kDeadSalt = 0x44454144ULL;
 }  // namespace
 
 Result<SimulatedWeb> SimulatedWeb::Generate(
@@ -238,6 +252,30 @@ std::vector<std::string> SimulatedWeb::GenerateText(uint32_t index) const {
   return GenerateTopicText(page.topic, &rng);
 }
 
+bool SimulatedWeb::ServerIsFlaky(int32_t server_id) const {
+  return ServerHash01(config_.seed, server_id, kFlakySalt) <
+         config_.faults.flaky_server_fraction;
+}
+
+bool SimulatedWeb::ServerIsSlow(int32_t server_id) const {
+  return ServerHash01(config_.seed, server_id, kSlowSalt) <
+         config_.faults.slow_server_fraction;
+}
+
+bool SimulatedWeb::ServerIsDead(int32_t server_id) const {
+  return ServerHash01(config_.seed, server_id, kDeadSalt) <
+         config_.faults.dead_server_fraction;
+}
+
+bool SimulatedWeb::InOutage(int32_t server_id, double now_s) const {
+  for (const ServerOutage& o : config_.faults.outages) {
+    if (o.server_id == server_id && now_s >= o.start_s && now_s < o.end_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<SimulatedWeb::FetchResult> SimulatedWeb::Fetch(std::string_view url,
                                                       VirtualClock* clock) {
   auto it = url_index_.find(std::string(url));
@@ -245,18 +283,55 @@ Result<SimulatedWeb::FetchResult> SimulatedWeb::Fetch(std::string_view url,
     return Status::NotFound(StrCat("no such url: ", url));
   }
   uint32_t index = it->second;
-  int attempt = ++attempt_counts_[index];
-  Rng rng(Mix64(config_.seed ^ (index * 31ULL + attempt)));
-  if (clock != nullptr) {
-    double latency_ms = config_.fetch_latency_mean_ms *
-                        (0.5 + rng.NextDouble());
-    clock->AdvanceSeconds(latency_ms * 1e-3);
+  const FetchSimulation& faults = config_.faults;
+  const PageInfo& page = pages_[index];
+  // A server in a scheduled outage window refuses before the request
+  // counts: no attempt ordinal is consumed and no RNG draw happens, so the
+  // outcome of each *real* attempt is independent of when outages delay it.
+  if (clock != nullptr && InOutage(page.server_id, clock->NowSeconds())) {
+    clock->AdvanceSeconds(faults.timeout_ms * 1e-3);
+    return Status::ResourceExhausted(StrCat("server outage: ", url));
   }
-  if (rng.Bernoulli(config_.fetch_failure_prob)) {
+  int attempt = ++attempt_counts_[index];
+  if (ServerIsDead(page.server_id)) {
+    if (clock != nullptr) clock->AdvanceSeconds(faults.timeout_ms * 1e-3);
+    return Status::DeadlineExceeded(
+        StrCat("fetch timed out (dead server): ", url));
+  }
+  Rng rng(Mix64(config_.seed ^ (index * 31ULL + attempt)));
+  double latency_ms = 0;
+  if (clock != nullptr) {
+    latency_ms = config_.fetch_latency_mean_ms * (0.5 + rng.NextDouble());
+    if (ServerIsSlow(page.server_id)) {
+      latency_ms *= faults.slow_latency_multiplier;
+    }
+  }
+  // One uniform draw classifies the attempt. The legacy transient band
+  // [0, fetch_failure_prob) comes first so configs that never touch
+  // `faults` reproduce the exact historical RNG stream and outcomes.
+  double u = rng.NextDouble();
+  double transient = config_.fetch_failure_prob;
+  if (ServerIsFlaky(page.server_id)) {
+    transient = std::max(transient, faults.flaky_failure_prob);
+  }
+  if (u < transient) {
+    if (clock != nullptr) clock->AdvanceSeconds(latency_ms * 1e-3);
     return Status::Unavailable(StrCat("fetch failed: ", url));
   }
+  u -= transient;
+  if (u < faults.permanent_prob) {
+    if (clock != nullptr) clock->AdvanceSeconds(latency_ms * 1e-3);
+    return Status::NotFound(StrCat("gone: ", url));
+  }
+  u -= faults.permanent_prob;
+  if (u < faults.timeout_prob) {
+    if (clock != nullptr) clock->AdvanceSeconds(faults.timeout_ms * 1e-3);
+    return Status::DeadlineExceeded(StrCat("fetch timed out: ", url));
+  }
+  u -= faults.timeout_prob;
+  bool truncated = u < faults.truncate_prob;
+  if (clock != nullptr) clock->AdvanceSeconds(latency_ms * 1e-3);
   ++fetch_count_;
-  const PageInfo& page = pages_[index];
   FetchResult result;
   result.url = page.url;
   result.server_id = page.server_id;
@@ -264,6 +339,19 @@ Result<SimulatedWeb::FetchResult> SimulatedWeb::Fetch(std::string_view url,
   result.outlink_urls.reserve(page.outlinks.size());
   for (uint32_t t : page.outlinks) {
     result.outlink_urls.push_back(pages_[t].url);
+  }
+  if (truncated) {
+    // The transfer dies partway: keep a deterministic prefix of the body
+    // and the links scanned so far, and leave malformed tail fragments the
+    // tokenizer/classifier must shrug off.
+    result.truncated = true;
+    double keep = 0.15 + 0.55 * rng.NextDouble();
+    result.tokens.resize(std::max<size_t>(
+        1, static_cast<size_t>(result.tokens.size() * keep)));
+    result.outlink_urls.resize(
+        static_cast<size_t>(result.outlink_urls.size() * keep));
+    result.tokens.push_back("<!trunc");
+    result.tokens.push_back("&#x");
   }
   return result;
 }

@@ -36,6 +36,9 @@ class SimulatedWeb {
     int32_t server_id = 0;
     std::vector<std::string> tokens;        // page text
     std::vector<std::string> outlink_urls;  // scanned hyperlinks
+    // The transfer was cut short: tokens/outlinks are a prefix of the real
+    // page plus a malformed tail fragment.
+    bool truncated = false;
   };
 
   // Generates a web for the leaf topics of `tax`.
@@ -45,11 +48,27 @@ class SimulatedWeb {
 
   // --- the crawler-facing API ---
 
-  // Fetches a page. Charges latency to `clock` when provided; fails with
-  // kUnavailable with probability fetch_failure_prob (deterministic per
-  // (page, attempt)).
+  // Fetches a page, charging latency to `clock` when provided. Failures
+  // follow the config's fault model, deterministic per (page, attempt):
+  //   kUnavailable       transient 5xx (fetch_failure_prob; elevated on
+  //                      flaky servers)
+  //   kNotFound          unknown URL, or a permanent 404-style loss
+  //   kDeadlineExceeded  timeout after faults.timeout_ms (always, on dead
+  //                      servers)
+  //   kResourceExhausted scheduled server outage on the virtual clock;
+  //                      consumes no attempt ordinal and no RNG draw, so
+  //                      when a retry lands never changes its outcome
+  // Truncated transfers succeed with FetchResult::truncated set.
   Result<FetchResult> Fetch(std::string_view url,
                             VirtualClock* clock = nullptr);
+
+  // Server behaviours, deterministic in (seed, server_id).
+  bool ServerIsFlaky(int32_t server_id) const;
+  bool ServerIsSlow(int32_t server_id) const;
+  bool ServerIsDead(int32_t server_id) const;
+  // True when `server_id` has a scheduled outage covering virtual time
+  // `now_s`.
+  bool InOutage(int32_t server_id, double now_s) const;
 
   // Pages that link to `url` (up to `max_results`, deterministic order) —
   // the backlink metadata service of §3.2's backward-crawling device

@@ -17,6 +17,7 @@
 #define FOCUS_WEBGRAPH_WEB_CONFIG_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "taxonomy/taxonomy.h"
 
@@ -24,6 +25,42 @@ namespace focus::webgraph {
 
 // Topic id used for background pages (not in any taxonomy community).
 inline constexpr taxonomy::Cid kBackgroundTopic = 0xFFFF;
+
+// One scheduled downtime window for a server, on the virtual clock:
+// fetches landing in [start_s, end_s) are refused with kResourceExhausted.
+// A refusal consumes neither the page's attempt ordinal nor its retry
+// budget, so outage timing cannot change which attempts eventually
+// succeed — only when.
+struct ServerOutage {
+  int32_t server_id = 0;
+  double start_s = 0;
+  double end_s = 0;
+};
+
+// The hostile-web fault model layered on top of the legacy
+// fetch_latency_mean_ms / fetch_failure_prob knobs. Per-attempt outcomes
+// are deterministic in (seed, url, attempt); per-server behaviours are
+// deterministic in (seed, server) and drawn without touching the
+// per-attempt RNG stream, so enabling a server behaviour never perturbs
+// unrelated outcomes.
+struct FetchSimulation {
+  // Per-attempt error probabilities (stacked after the legacy transient
+  // band, so configs that only set fetch_failure_prob reproduce the exact
+  // historical outcomes).
+  double permanent_prob = 0.0;  // 404-style: gone for good, never retried
+  double timeout_prob = 0.0;    // deadline expiry; retries count double
+  double truncate_prob = 0.0;   // body cut short mid-transfer
+  double timeout_ms = 2000;     // deadline charged on timeouts and outages
+
+  // Server behaviours. Fractions select servers by a seed-keyed hash.
+  double flaky_server_fraction = 0.0;  // servers with elevated 5xx rates
+  double flaky_failure_prob = 0.30;    // transient prob on flaky servers
+  double slow_server_fraction = 0.0;
+  double slow_latency_multiplier = 4.0;
+  double dead_server_fraction = 0.0;  // every fetch times out
+
+  std::vector<ServerOutage> outages;
+};
 
 struct WebConfig {
   uint64_t seed = 1;
@@ -79,7 +116,8 @@ struct WebConfig {
 
   // --- fetch simulation ---
   double fetch_latency_mean_ms = 120;
-  double fetch_failure_prob = 0.01;
+  double fetch_failure_prob = 0.01;  // transient (5xx-style) baseline
+  FetchSimulation faults;
 };
 
 // A topical affinity: pages of `from` link to pages of `to` with

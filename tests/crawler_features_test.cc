@@ -46,10 +46,11 @@ TEST(CrawlerFeaturesTest, FetchFailuresAreRetriedUpToLimit) {
   const auto& stats = session->crawler().stats();
   // With a 25% failure rate there must be failures and the crawl must
   // still complete its budget.
-  EXPECT_GT(stats.failures, 20u);
+  EXPECT_GT(stats.transient_failures + stats.dropped_urls, 20u);
   EXPECT_EQ(session->crawler().visits().size(), 300u);
-  EXPECT_EQ(stats.attempts,
-            session->crawler().visits().size() + stats.failures);
+  EXPECT_EQ(stats.attempts, session->crawler().visits().size() +
+                                stats.transient_failures +
+                                stats.dropped_urls);
   // No page should record more tries than the retry limit.
   auto it = session->db().crawl_table()->Scan();
   storage::Rid rid;
@@ -252,15 +253,23 @@ TEST(CrawlerFeaturesTest, TruncationMissesAreNotRetried) {
                      .TakeValue();
   ASSERT_TRUE(session->crawler().Crawl().ok());
   EXPECT_EQ(session->crawler().visits().size(), 100u);
-  EXPECT_GT(session->crawler().stats().failures, 0u);  // the 404 guesses
-  // No root URL has numtries > 1.
+  const auto& stats = session->crawler().stats();
+  EXPECT_GT(stats.dropped_urls, 0u);  // the 404 guesses
+  // 404s are permanent: dropped on the first attempt, never rescheduled
+  // (no transient failures exist with failure_prob = 0).
+  EXPECT_EQ(stats.transient_failures, 0u);
+  EXPECT_EQ(stats.attempts,
+            session->crawler().visits().size() + stats.dropped_urls);
+  // Dropped roots carry the exhausted-budget marker so a resumed crawl
+  // skips them instead of re-guessing.
   auto it = session->db().crawl_table()->Scan();
   storage::Rid rid;
   sql::Tuple row;
   while (it.Next(&rid, &row)) {
     auto rec = crawl::CrawlDb::RecordFromTuple(row);
-    if (rec.url == crawl::TruncateToHostRoot(rec.url)) {
-      EXPECT_LE(rec.numtries, 1) << rec.url;
+    if (!rec.visited && rec.numtries > 0 &&
+        rec.url == crawl::TruncateToHostRoot(rec.url)) {
+      EXPECT_GE(rec.numtries, copts.max_retries) << rec.url;
     }
   }
 }

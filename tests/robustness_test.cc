@@ -2,13 +2,16 @@
 // with failure injection, and hostile tokenizer input.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/focus.h"
 #include "core/sample_taxonomy.h"
 #include "text/tokenizer.h"
 #include "util/random.h"
+#include "webgraph/web_config.h"
 
 namespace focus::core {
 namespace {
@@ -108,7 +111,9 @@ TEST(RobustnessTest, MultiThreadedCrawlWithFailuresAndDistillation) {
   for (const auto& v : visits) {
     EXPECT_TRUE(oids.insert(v.oid).second);
   }
-  EXPECT_GT(session->crawler().stats().failures, 0u);
+  EXPECT_GT(session->crawler().stats().transient_failures +
+                session->crawler().stats().dropped_urls,
+            0u);
   // The relational state is consistent: every visited row is classified.
   auto it = session->db().crawl_table()->Scan();
   storage::Rid rid;
@@ -161,7 +166,175 @@ TEST(RobustnessTest, CrawlerHandlesAllSeedsFailing) {
   ASSERT_TRUE(session->crawler().Crawl().ok());
   EXPECT_TRUE(session->crawler().visits().empty());
   EXPECT_TRUE(session->crawler().stats().stagnated);
-  EXPECT_GT(session->crawler().stats().failures, 0u);
+  EXPECT_GT(session->crawler().stats().dropped_urls, 0u);
+}
+
+// A hostile-web config: ~10% transient failures plus permanent losses,
+// timeouts, truncation, flaky servers and two scheduled outages.
+FocusOptions FaultyOptions(uint64_t seed) {
+  FocusOptions options = Options(seed);
+  options.web.fetch_failure_prob = 0.10;
+  options.web.faults.permanent_prob = 0.02;
+  options.web.faults.timeout_prob = 0.03;
+  options.web.faults.truncate_prob = 0.05;
+  options.web.faults.flaky_server_fraction = 0.05;
+  options.web.faults.slow_server_fraction = 0.10;
+  options.web.faults.outages.push_back(
+      webgraph::ServerOutage{/*server_id=*/0, /*start_s=*/2.0,
+                             /*end_s=*/30.0});
+  options.web.faults.outages.push_back(
+      webgraph::ServerOutage{/*server_id=*/1, /*start_s=*/10.0,
+                             /*end_s=*/60.0});
+  return options;
+}
+
+std::unique_ptr<FocusSystem> TrainedSystem(FocusOptions options) {
+  auto system =
+      FocusSystem::Create(BuildSampleTaxonomy(), std::move(options))
+          .TakeValue();
+  EXPECT_TRUE(system->MarkGood("cycling").ok());
+  EXPECT_TRUE(system->Train().ok());
+  return system;
+}
+
+// A crawl-to-exhaustion over the hostile web, with its owning system.
+struct FaultyExhaustion {
+  std::unique_ptr<FocusSystem> system;
+  std::unique_ptr<CrawlSession> session;
+  std::unordered_map<uint64_t, double> relevance_by_oid;
+};
+
+FaultyExhaustion ExhaustWithFaults(uint64_t seed, int num_threads) {
+  FaultyExhaustion run;
+  run.system = TrainedSystem(FaultyOptions(seed));
+  Cid cycling = run.system->tax().FindByName("cycling").value();
+  CrawlerOptions copts;
+  copts.max_fetches = 20000;  // > total page count: runs to stagnation
+  copts.num_threads = num_threads;
+  copts.distill_every = 0;
+  run.session =
+      run.system->NewCrawl(run.system->web().KeywordSeeds(cycling, 8),
+                           copts)
+          .TakeValue();
+  EXPECT_TRUE(run.session->crawler().Crawl().ok());
+  EXPECT_TRUE(run.session->crawler().stats().stagnated);
+  for (const auto& v : run.session->crawler().visits()) {
+    EXPECT_FALSE(run.relevance_by_oid.contains(v.oid))
+        << "double visit: " << v.url;
+    run.relevance_by_oid[v.oid] = v.relevance;
+  }
+  return run;
+}
+
+TEST(RobustnessTest, DeterministicUnderFaultsAcrossThreadCounts) {
+  // Fault outcomes are a pure function of (seed, page, attempt ordinal);
+  // backoff, outages and breakers only *delay* entries. So even with ~10%
+  // fault injection, the set of pages a crawl-to-exhaustion visits — and
+  // which URLs it drops — is identical at any thread count. (Attempt and
+  // transient-failure counts ARE timing-dependent: outage hits vary with
+  // when workers land on a server. The visit set must not.)
+  FaultyExhaustion solo = ExhaustWithFaults(33, /*num_threads=*/1);
+  FaultyExhaustion pooled = ExhaustWithFaults(33, /*num_threads=*/8);
+
+  ASSERT_GT(solo.relevance_by_oid.size(), 100u);
+  ASSERT_EQ(solo.relevance_by_oid.size(), pooled.relevance_by_oid.size());
+  for (const auto& [oid, relevance] : solo.relevance_by_oid) {
+    auto it = pooled.relevance_by_oid.find(oid);
+    ASSERT_NE(it, pooled.relevance_by_oid.end())
+        << "oid " << oid << " missing from the 8-thread crawl";
+    EXPECT_DOUBLE_EQ(relevance, it->second) << "oid " << oid;
+  }
+  // The fault model actually fired, and drop decisions are deterministic.
+  const auto& solo_stats = solo.session->crawler().stats();
+  const auto& pooled_stats = pooled.session->crawler().stats();
+  EXPECT_GT(solo_stats.transient_failures, 0u);
+  EXPECT_GT(solo_stats.dropped_urls, 0u);
+  EXPECT_EQ(solo_stats.dropped_urls, pooled_stats.dropped_urls);
+}
+
+TEST(RobustnessTest, KillAndResumeConvergesToUninterruptedCrawl) {
+  // Uninterrupted reference run.
+  FaultyExhaustion full = ExhaustWithFaults(35, /*num_threads=*/1);
+
+  // Same-seed run "killed" by budget exhaustion mid-crawl...
+  auto system = TrainedSystem(FaultyOptions(35));
+  Cid cycling = system->tax().FindByName("cycling").value();
+  auto seeds = system->web().KeywordSeeds(cycling, 8);
+  CrawlerOptions partial;
+  partial.max_fetches = 120;
+  partial.distill_every = 0;
+  auto session = system->NewCrawl(seeds, partial).TakeValue();
+  ASSERT_TRUE(session->crawler().Crawl().ok());
+  std::unordered_map<uint64_t, double> merged;
+  for (const auto& v : session->crawler().visits()) {
+    merged[v.oid] = v.relevance;
+  }
+  ASSERT_LT(merged.size(), full.relevance_by_oid.size());
+
+  // ...then resumed by a brand-new crawler over the same CrawlDb: numtries,
+  // nextretry and BREAKER rows restore the retry schedule.
+  crawl::ClassifierEvaluator evaluator(&system->classifier());
+  CrawlerOptions rest;
+  rest.max_fetches = 20000;
+  rest.distill_every = 0;
+  crawl::Crawler resumed(&system->web(), &evaluator, &session->db(),
+                         &session->catalog(), rest);
+  ASSERT_TRUE(resumed.ResumeFromDb().ok());
+  ASSERT_TRUE(resumed.Crawl().ok());
+  EXPECT_TRUE(resumed.stats().stagnated);
+  for (const auto& v : resumed.visits()) {
+    EXPECT_FALSE(merged.contains(v.oid)) << "revisited " << v.url;
+    merged[v.oid] = v.relevance;
+  }
+
+  // The interrupted crawl converges to the uninterrupted one: same visit
+  // set, same judged relevances, same discovered URL and LINK rows.
+  ASSERT_EQ(merged.size(), full.relevance_by_oid.size());
+  for (const auto& [oid, relevance] : full.relevance_by_oid) {
+    auto it = merged.find(oid);
+    ASSERT_NE(it, merged.end()) << "oid " << oid << " never revisited";
+    EXPECT_DOUBLE_EQ(relevance, it->second) << "oid " << oid;
+  }
+  EXPECT_EQ(session->db().num_urls(), full.session->db().num_urls());
+  EXPECT_EQ(session->db().num_links(), full.session->db().num_links());
+}
+
+TEST(RobustnessTest, CircuitBreakerReducesWastedWorkOnDeadServers) {
+  // With ~12% of servers dead, every pop of a dead-server page burns a
+  // full timeout without the breaker. With it, the server is quarantined
+  // after a few failures and its pages sit parked, so a fixed visit budget
+  // completes with fewer wasted attempts and less virtual time.
+  auto run = [](bool breaker_enabled) {
+    FocusOptions options = Options(55);
+    options.web.fetch_failure_prob = 0.02;
+    options.web.faults.dead_server_fraction = 0.12;
+    auto system = TrainedSystem(std::move(options));
+    Cid cycling = system->tax().FindByName("cycling").value();
+    CrawlerOptions copts;
+    copts.max_fetches = 300;
+    copts.distill_every = 0;
+    copts.breaker.enabled = breaker_enabled;
+    auto session =
+        system->NewCrawl(system->web().KeywordSeeds(cycling, 8), copts)
+            .TakeValue();
+    EXPECT_TRUE(session->crawler().Crawl().ok());
+    EXPECT_EQ(session->crawler().visits().size(), 300u);
+    struct Outcome {
+      uint64_t attempts;
+      uint64_t breaker_skips;
+      int64_t makespan_us;
+    };
+    return Outcome{session->crawler().stats().attempts,
+                   session->crawler().stats().breaker_skips,
+                   session->crawler().clock().NowMicros()};
+  };
+  auto with_breaker = run(true);
+  auto without = run(false);
+
+  EXPECT_GT(with_breaker.breaker_skips, 0u);
+  EXPECT_EQ(without.breaker_skips, 0u);
+  EXPECT_LT(with_breaker.attempts, without.attempts);
+  EXPECT_LT(with_breaker.makespan_us, without.makespan_us);
 }
 
 }  // namespace
