@@ -24,6 +24,15 @@
 //   --outage-servers N   schedule staggered outages on the first N servers
 //   --dead-servers F     fraction of servers that never respond
 //   --no-breaker         disable the per-server circuit breaker
+//
+// Durability:
+//   --wal                back each session with FileDiskManager + the
+//                        write-ahead log (crawler batches become durable
+//                        commits); reports appends/syncs per committed
+//                        batch so the WAL overhead vs the in-memory
+//                        baseline is visible on both time axes
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +46,7 @@
 #include "crawl/monitor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/wal.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -51,6 +61,7 @@ struct Flags {
   int outage_servers = 0;
   double dead_servers = 0;
   bool breaker = true;
+  bool wal = false;
   std::string json_path;
   std::string metrics_json_path;
   std::string metrics_text_path;
@@ -101,13 +112,15 @@ Flags ParseFlags(int argc, char** argv) {
       flags.dead_servers = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-breaker") == 0) {
       flags.breaker = false;
+    } else if (std::strcmp(argv[i], "--wal") == 0) {
+      flags.wal = true;
     } else {
       std::fprintf(stderr,
                    "usage: tab_throughput [--budget N] [--tiny] "
                    "[--json PATH] [--metrics-json PATH] "
                    "[--metrics-text PATH] [--trace PATH] "
                    "[--fail-prob P] [--timeout-ms N] [--outage-servers N] "
-                   "[--dead-servers F] [--no-breaker]\n");
+                   "[--dead-servers F] [--no-breaker] [--wal]\n");
       std::exit(2);
     }
   }
@@ -120,10 +133,14 @@ struct Row {
   double wall_s = 0;
   double virtual_s = 0;
   double batch_occupancy = 0;
+  storage::WalStats wal;  // zero when running without --wal
 
   double PerWallSecond() const { return wall_s == 0 ? 0 : pages / wall_s; }
   double PerVirtualSecond() const {
     return virtual_s == 0 ? 0 : pages / virtual_s;
+  }
+  double PerCommit(uint64_t n) const {
+    return wal.commits == 0 ? 0 : static_cast<double>(n) / wal.commits;
   }
 };
 
@@ -140,6 +157,12 @@ int Run(const Flags& flags) {
   options.web.background_servers = flags.tiny ? 120 : 800;
   options.web.fetch_latency_mean_ms = 120;  // the paper's network regime
   ApplyFaultFlags(flags, &options.web);
+  if (flags.wal) {
+    // File-backed sessions behind the write-ahead log; a scratch directory
+    // per process so parallel bench runs never share a store.
+    options.session_db_dir =
+        "/tmp/focus-tab-throughput-" + std::to_string(::getpid());
+  }
   auto system = core::FocusSystem::Create(std::move(tax), options)
                     .TakeValue();
   FOCUS_CHECK(system->MarkGood("cycling").ok());
@@ -181,6 +204,16 @@ int Run(const Flags& flags) {
     if (threads > 1 || faulty) {
       std::printf("%s", crawl::FormatStageMetrics(metrics).c_str());
     }
+    if (session->wal() != nullptr) {
+      row.wal = session->wal()->wal_stats();
+      std::printf("  wal: %llu commits, %.1f appends/commit, "
+                  "%.1f syncs/commit, %llu checkpoints, %.1f KiB logged\n",
+                  static_cast<unsigned long long>(row.wal.commits),
+                  row.PerCommit(row.wal.appends),
+                  row.PerCommit(row.wal.syncs),
+                  static_cast<unsigned long long>(row.wal.checkpoints),
+                  row.wal.log_bytes / 1024.0);
+    }
     rows.push_back(row);
     sessions.push_back(std::move(session));
   }
@@ -198,6 +231,9 @@ int Run(const Flags& flags) {
           .Field("virtual_seconds", r.virtual_s)
           .Field("pages_per_virtual_second", r.PerVirtualSecond())
           .Field("batch_occupancy", r.batch_occupancy)
+          .Field("wal_commits", r.wal.commits)
+          .Field("wal_appends_per_commit", r.PerCommit(r.wal.appends))
+          .Field("wal_syncs_per_commit", r.PerCommit(r.wal.syncs))
           .EndObject();
     }
     w.EndArray().EndObject();

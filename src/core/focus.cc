@@ -1,6 +1,10 @@
 #include "core/focus.h"
 
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 
 #include "distill/join_distiller.h"
 #include "util/string_util.h"
@@ -25,6 +29,7 @@ Result<DistillResult> CrawlSession::Distill(
   FOCUS_RETURN_IF_ERROR(db_->RefreshEdgeWeights());
   distill::JoinDistiller distiller(distill_tables_);
   FOCUS_RETURN_IF_ERROR(distiller.Run(options));
+  distiller.ExportMetrics(metrics_, name_);
 
   auto ranked_from = [&](const sql::Table* table)
       -> Result<std::vector<RankedPage>> {
@@ -95,18 +100,47 @@ Result<std::unique_ptr<CrawlSession>> FocusSystem::NewCrawl(
     return Status::FailedPrecondition("call Train() before NewCrawl()");
   }
   auto session = std::unique_ptr<CrawlSession>(new CrawlSession());
-  session->disk_ = std::make_unique<storage::MemDiskManager>();
-  session->pool_ = std::make_unique<storage::BufferPool>(
-      session->disk_.get(), options_.session_buffer_frames);
   // Sessions share one registry; the pool label tells them apart.
   static std::atomic<uint64_t> next_session_id{1};
-  session->pool_->BindMetrics(
-      crawler_options.metrics_registry,
-      StrCat("session-", next_session_id.fetch_add(1)));
+  std::string session_name =
+      StrCat("session-", next_session_id.fetch_add(1));
+  session->name_ = session_name;
+  session->metrics_ = crawler_options.metrics_registry;
+  storage::DiskManager* session_disk = nullptr;
+  if (options_.session_db_dir.empty()) {
+    session->disk_ = std::make_unique<storage::MemDiskManager>();
+    session_disk = session->disk_.get();
+  } else {
+    // Durable session: data + log files behind the write-ahead log. A new
+    // session always starts fresh (truncate); crash recovery reopens the
+    // same files with FileDiskManager::Options{.truncate = false} and
+    // WalDiskManager::Open (see tests/wal_recovery_test.cc).
+    if (::mkdir(options_.session_db_dir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      return Status::IOError(StrCat("mkdir(", options_.session_db_dir,
+                                    ") failed: ", std::strerror(errno)));
+    }
+    std::string base = StrCat(options_.session_db_dir, "/", session_name);
+    FOCUS_ASSIGN_OR_RETURN(session->data_disk_,
+                           storage::FileDiskManager::Open(base + ".db"));
+    FOCUS_ASSIGN_OR_RETURN(session->log_disk_,
+                           storage::FileDiskManager::Open(base + ".wal"));
+    FOCUS_ASSIGN_OR_RETURN(
+        session->wal_, storage::WalDiskManager::Open(
+                           session->data_disk_.get(), session->log_disk_.get()));
+    session->wal_->BindMetrics(crawler_options.metrics_registry,
+                               session_name);
+    session_disk = session->wal_.get();
+  }
+  session->pool_ = std::make_unique<storage::BufferPool>(
+      session_disk, options_.session_buffer_frames);
+  session->pool_->BindMetrics(crawler_options.metrics_registry,
+                              session_name);
   session->catalog_ = std::make_unique<sql::Catalog>(session->pool_.get());
   FOCUS_ASSIGN_OR_RETURN(crawl::CrawlDb db,
                          crawl::CrawlDb::Create(session->catalog_.get()));
   session->db_ = std::make_unique<crawl::CrawlDb>(std::move(db));
+  if (session->wal_ != nullptr) session->db_->BindWal(session->wal_.get());
   session->evaluator_ =
       std::make_unique<crawl::ClassifierEvaluator>(classifier_.get());
   session->crawler_ = std::make_unique<crawl::Crawler>(

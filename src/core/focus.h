@@ -28,6 +28,7 @@
 #include "sql/catalog.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/wal.h"
 #include "taxonomy/taxonomy.h"
 #include "util/status.h"
 #include "webgraph/simulated_web.h"
@@ -42,6 +43,12 @@ struct FocusOptions {
   int examples_per_topic = 25;
   // Buffer-pool frames for each crawl session's database.
   size_t session_buffer_frames = 4096;
+  // When non-empty, each crawl session's database lives on disk under this
+  // directory (created if missing) as session-<id>.db / session-<id>.wal,
+  // behind the write-ahead log: crawler batches become durable atomic
+  // commits and the session survives storage-level crashes. Empty (the
+  // default) keeps sessions in memory with no WAL — the fast test path.
+  std::string session_db_dir;
 };
 
 struct RankedPage {
@@ -74,11 +81,24 @@ class CrawlSession {
     return distill_tables_;
   }
 
+  // The session's write-ahead log, or nullptr for in-memory sessions.
+  storage::WalDiskManager* wal() const { return wal_.get(); }
+
+  // The label ("session-<id>") under which this session's storage and
+  // distillation metrics are registered.
+  const std::string& name() const { return name_; }
+
  private:
   friend class FocusSystem;
   CrawlSession() = default;
 
+  std::string name_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+
   std::unique_ptr<storage::MemDiskManager> disk_;
+  std::unique_ptr<storage::FileDiskManager> data_disk_;
+  std::unique_ptr<storage::FileDiskManager> log_disk_;
+  std::unique_ptr<storage::WalDiskManager> wal_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<sql::Catalog> catalog_;
   std::unique_ptr<crawl::CrawlDb> db_;

@@ -34,43 +34,109 @@ std::string TruncateToHostRoot(std::string_view url) {
   return std::string(url.substr(0, slash + 1));
 }
 
+namespace {
+// Schema declarations shared by Create (fresh tables) and Open (reattach
+// after recovery): the layout blob persists storage positions only, the
+// application re-declares shapes.
+Schema CrawlSchema() {
+  return Schema({{"oid", TypeId::kInt64},
+                 {"url", TypeId::kString},
+                 {"sid", TypeId::kInt32},
+                 {"numtries", TypeId::kInt32},
+                 {"relevance", TypeId::kDouble},
+                 {"serverload", TypeId::kInt32},
+                 {"lastvisited", TypeId::kInt64},
+                 {"kcid", TypeId::kInt32},
+                 {"visited", TypeId::kInt32},
+                 {"nextretry", TypeId::kInt64}});
+}
+std::vector<IndexSpec> CrawlIndexes() {
+  return {IndexSpec{"by_oid", {0}, {}}};
+}
+Schema LinkSchema() {
+  return Schema({{"oid_src", TypeId::kInt64},
+                 {"sid_src", TypeId::kInt32},
+                 {"oid_dst", TypeId::kInt64},
+                 {"sid_dst", TypeId::kInt32},
+                 {"wgt_fwd", TypeId::kDouble},
+                 {"wgt_rev", TypeId::kDouble}});
+}
+std::vector<IndexSpec> LinkIndexes() {
+  return {IndexSpec{"by_src", {0}, {}}, IndexSpec{"by_dst", {2}, {}}};
+}
+Schema BreakerSchema() {
+  return Schema({{"sid", TypeId::kInt32},
+                 {"state", TypeId::kInt32},
+                 {"failures", TypeId::kInt32},
+                 {"open_until", TypeId::kInt64},
+                 {"cooldown", TypeId::kDouble}});
+}
+std::vector<IndexSpec> BreakerIndexes() {
+  return {IndexSpec{"by_sid", {0}, {}}};
+}
+}  // namespace
+
 Result<CrawlDb> CrawlDb::Create(sql::Catalog* catalog) {
   CrawlDb db;
+  db.catalog_ = catalog;
   FOCUS_ASSIGN_OR_RETURN(
       db.crawl_,
-      catalog->CreateTable("CRAWL",
-                           Schema({{"oid", TypeId::kInt64},
-                                   {"url", TypeId::kString},
-                                   {"sid", TypeId::kInt32},
-                                   {"numtries", TypeId::kInt32},
-                                   {"relevance", TypeId::kDouble},
-                                   {"serverload", TypeId::kInt32},
-                                   {"lastvisited", TypeId::kInt64},
-                                   {"kcid", TypeId::kInt32},
-                                   {"visited", TypeId::kInt32},
-                                   {"nextretry", TypeId::kInt64}}),
-                           {IndexSpec{"by_oid", {0}, {}}}));
+      catalog->CreateTable("CRAWL", CrawlSchema(), CrawlIndexes()));
   FOCUS_ASSIGN_OR_RETURN(
-      db.link_,
-      catalog->CreateTable("LINK",
-                           Schema({{"oid_src", TypeId::kInt64},
-                                   {"sid_src", TypeId::kInt32},
-                                   {"oid_dst", TypeId::kInt64},
-                                   {"sid_dst", TypeId::kInt32},
-                                   {"wgt_fwd", TypeId::kDouble},
-                                   {"wgt_rev", TypeId::kDouble}}),
-                           {IndexSpec{"by_src", {0}, {}},
-                            IndexSpec{"by_dst", {2}, {}}}));
+      db.link_, catalog->CreateTable("LINK", LinkSchema(), LinkIndexes()));
   FOCUS_ASSIGN_OR_RETURN(
       db.breaker_,
-      catalog->CreateTable("BREAKER",
-                           Schema({{"sid", TypeId::kInt32},
-                                   {"state", TypeId::kInt32},
-                                   {"failures", TypeId::kInt32},
-                                   {"open_until", TypeId::kInt64},
-                                   {"cooldown", TypeId::kDouble}}),
-                           {IndexSpec{"by_sid", {0}, {}}}));
+      catalog->CreateTable("BREAKER", BreakerSchema(), BreakerIndexes()));
   return db;
+}
+
+Result<CrawlDb> CrawlDb::Open(sql::Catalog* catalog,
+                              storage::WalDiskManager* wal) {
+  const std::string& meta = wal->recovered_metadata();
+  std::map<std::string, sql::TableLayout> layouts;
+  if (!meta.empty()) {
+    FOCUS_ASSIGN_OR_RETURN(layouts, sql::Catalog::ParseLayouts(meta));
+  }
+  bool have_tables = layouts.contains("CRAWL") && layouts.contains("LINK") &&
+                     layouts.contains("BREAKER");
+  if (!have_tables) {
+    if (!layouts.empty()) {
+      return Status::IOError(
+          "recovered metadata is missing crawl tables (partial catalog)");
+    }
+    // Fresh store: nothing was ever committed.
+    FOCUS_ASSIGN_OR_RETURN(CrawlDb db, Create(catalog));
+    db.wal_ = wal;
+    return db;
+  }
+  CrawlDb db;
+  db.catalog_ = catalog;
+  db.wal_ = wal;
+  FOCUS_ASSIGN_OR_RETURN(
+      db.crawl_, catalog->AttachTable("CRAWL", CrawlSchema(), CrawlIndexes(),
+                                      layouts.at("CRAWL")));
+  FOCUS_ASSIGN_OR_RETURN(
+      db.link_, catalog->AttachTable("LINK", LinkSchema(), LinkIndexes(),
+                                     layouts.at("LINK")));
+  FOCUS_ASSIGN_OR_RETURN(
+      db.breaker_,
+      catalog->AttachTable("BREAKER", BreakerSchema(), BreakerIndexes(),
+                           layouts.at("BREAKER")));
+  return db;
+}
+
+Status CrawlDb::Commit() {
+  if (wal_ == nullptr) return Status::OK();
+  // Flush-order discipline: dirty pages land in the WAL overlay first,
+  // then the group commit logs + syncs them with the catalog layouts.
+  FOCUS_RETURN_IF_ERROR(catalog_->buffer_pool()->FlushAll());
+  return wal_->Commit(catalog_->SerializeLayouts());
+}
+
+Status CrawlDb::Checkpoint() {
+  if (wal_ == nullptr) return Status::OK();
+  FOCUS_RETURN_IF_ERROR(catalog_->buffer_pool()->FlushAll());
+  return wal_->Checkpoint(catalog_->SerializeLayouts());
 }
 
 Result<storage::Rid> CrawlDb::RidOf(uint64_t oid) const {

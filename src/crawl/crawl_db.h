@@ -28,6 +28,7 @@
 #include "crawl/circuit_breaker.h"
 #include "sql/catalog.h"
 #include "sql/table.h"
+#include "storage/wal.h"
 #include "util/status.h"
 
 namespace focus::crawl {
@@ -56,6 +57,29 @@ class CrawlDb {
  public:
   // Creates CRAWL and LINK in `catalog`.
   static Result<CrawlDb> Create(sql::Catalog* catalog);
+
+  // Opens a WAL-backed database: reattaches CRAWL/LINK/BREAKER from the
+  // layout metadata `wal` recovered (falling back to Create on a fresh
+  // store) and binds `wal` so Commit/Checkpoint are durable. `catalog`'s
+  // buffer pool must sit on top of `wal`.
+  static Result<CrawlDb> Open(sql::Catalog* catalog,
+                              storage::WalDiskManager* wal);
+
+  // Binds a WAL to a freshly Created database (Open does this itself).
+  // Without a bound WAL, Commit and Checkpoint are no-ops, preserving the
+  // in-memory (MemDiskManager) fast path.
+  void BindWal(storage::WalDiskManager* wal) { wal_ = wal; }
+  bool has_wal() const { return wal_ != nullptr; }
+
+  // Batch commit: flushes dirty pages (into the WAL overlay) and group-
+  // commits them with the serialized catalog layouts. On OK the batch is
+  // durable and atomic — after a crash, recovery lands exactly on a
+  // commit boundary, never between.
+  Status Commit();
+
+  // Commit, then fold the log into the data device and truncate it
+  // (BufferPool::FlushAll + manifest advance + log reset).
+  Status Checkpoint();
 
   // Inserts a new URL row (visited = 0). AlreadyExists if the oid is known.
   Status AddUrl(std::string_view url, double relevance_estimate,
@@ -107,6 +131,8 @@ class CrawlDb {
 
   Result<storage::Rid> RidOf(uint64_t oid) const;
 
+  sql::Catalog* catalog_ = nullptr;
+  storage::WalDiskManager* wal_ = nullptr;
   sql::Table* crawl_ = nullptr;
   sql::Table* link_ = nullptr;
   sql::Table* breaker_ = nullptr;

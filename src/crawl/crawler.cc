@@ -102,7 +102,11 @@ Result<bool> Crawler::Step() {
     }
     stage_metrics_->RecordPop(/*stolen=*/false);
     ++stats_.attempts;
-    auto fetched = web_->Fetch(entry->url, &clock_);
+    // Attempts are numbered from durable state (numtries) so a crashed
+    // crawler's refetch of an attempt whose bookkeeping was lost replays
+    // the same outcome — the visited set becomes a deterministic fixpoint
+    // ResumeFromDb can converge to (tests/robustness_test.cc).
+    auto fetched = web_->Fetch(entry->url, &clock_, entry->numtries + 1);
     if (!fetched.ok()) {
       if (options_.breaker.enabled) {
         NoteBreakerOutcome(
@@ -111,6 +115,9 @@ Result<bool> Crawler::Step() {
       FOCUS_RETURN_IF_ERROR(
           HandleFetchFailure(*entry, fetched.status(), clock_.NowMicros()));
       FOCUS_RETURN_IF_ERROR(FlushBreakerState());
+      // Failure bookkeeping (numtries, nextretry, breaker rows) is a
+      // batch of its own; a crash after this point must not replay it.
+      FOCUS_RETURN_IF_ERROR(db_->Commit());
       return true;
     }
     if (options_.breaker.enabled) {
@@ -176,6 +183,9 @@ Result<bool> Crawler::Step() {
   }
 
   FOCUS_RETURN_IF_ERROR(RunPeriodicBoosts());
+  // Single-threaded batch boundary: the visit, its link expansion and any
+  // boosts commit atomically (no-op without a WAL-backed CrawlDb).
+  FOCUS_RETURN_IF_ERROR(db_->Commit());
   return true;
 }
 
@@ -599,13 +609,17 @@ Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
   }
   Status boosts = RunPeriodicBoosts();
   Status flush = FlushBreakerState();
+  // Pipeline batch boundary: everything this record/expand critical
+  // section wrote becomes one durable WAL commit (no-op without a WAL).
+  Status commit = db_->Commit();
   stage_metrics_->AddExpandMicros(
       static_cast<uint64_t>(expand_timer.ElapsedMicros()));
   stage_metrics_->SetFrontierDepth(static_cast<double>(frontier_.size()));
   lock.unlock();
   work_cv_.notify_all();
   if (!boosts.ok()) return boosts;
-  return flush;
+  if (!flush.ok()) return flush;
+  return commit;
 }
 
 Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
@@ -658,7 +672,8 @@ Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
         int32_t sid = ServerIdOf(entry.url);
         Result<webgraph::SimulatedWeb::FetchResult> result = [&] {
           std::lock_guard<std::mutex> web_lock(web_mutex_);
-          return web_->Fetch(entry.url, worker_clock);
+          // Same durable attempt numbering as the single-threaded path.
+          return web_->Fetch(entry.url, worker_clock, entry.numtries + 1);
         }();
         if (!result.ok()) {
           if (options_.breaker.enabled) {
@@ -776,6 +791,8 @@ Status Crawler::Crawl() {
     std::lock_guard<std::mutex> lock(state_mutex_);
     Status flush = FlushBreakerState();
     if (result.ok()) result = flush;
+    Status commit = db_->Commit();
+    if (result.ok()) result = commit;
   }
   return result;
 }

@@ -40,6 +40,22 @@ double L1Residual(const std::unordered_map<uint64_t, double>& a,
 
 }  // namespace
 
+void Distiller::ExportMetrics(obs::MetricsRegistry* registry,
+                              const std::string& name) const {
+  registry = obs::MetricsRegistry::OrGlobal(registry);
+  registry
+      ->GetGauge("focus_distill_dangling_edges",
+                 {{"distiller", name}, {"endpoint", "src"}})
+      ->Set(static_cast<double>(stats_.dangling_src_edges));
+  registry
+      ->GetGauge("focus_distill_dangling_edges",
+                 {{"distiller", name}, {"endpoint", "dst"}})
+      ->Set(static_cast<double>(stats_.dangling_dst_edges));
+  registry
+      ->GetGauge("focus_distill_nonfinite_scores", {{"distiller", name}})
+      ->Set(static_cast<double>(stats_.nonfinite_scores));
+}
+
 Status Distiller::Run(const HitsOptions& options) {
   FOCUS_RETURN_IF_ERROR(Initialize());
   std::unordered_map<uint64_t, double> prev;

@@ -10,10 +10,12 @@
 #ifndef FOCUS_DISTILL_DISTILLER_H_
 #define FOCUS_DISTILL_DISTILLER_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "distill/hits.h"
+#include "obs/metrics.h"
 #include "sql/catalog.h"
 #include "sql/table.h"
 #include "util/status.h"
@@ -43,6 +45,18 @@ class Distiller {
     double lookup_seconds = 0;  // per-edge index lookups (naive only)
     double update_seconds = 0;  // score writes / bulk replacement
     double join_seconds = 0;    // join+aggregate execution (join only)
+    // Dangling-edge audit (join distiller's Initialize): LINK rows whose
+    // endpoint has no CRAWL row. Real crawls produce these — a URL row
+    // purged after its retry budget is exhausted leaves its citations
+    // behind. The distiller tolerates them (the Figure 4 joins simply
+    // drop such edges) and counts them here so the §3.7 admin can see
+    // how much of the graph a hostile web has torn off.
+    uint64_t dangling_src_edges = 0;
+    uint64_t dangling_dst_edges = 0;
+    // Scores clamped to 0 by ReplaceNormalized because they were not
+    // finite (defensive: a pathological weight blob must not poison the
+    // whole score vector through normalization).
+    uint64_t nonfinite_scores = 0;
   };
 
   virtual ~Distiller() = default;
@@ -56,6 +70,13 @@ class Distiller {
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  // Publishes the latest stats into `registry` (nullptr = process global)
+  // as gauges labeled {distiller=name}. Gauge semantics (last write wins)
+  // fit the stack-allocated distillers CrawlSession::Distill builds per
+  // call: nothing to unregister when the distiller dies.
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name) const;
 
   // Opt-in convergence tracking: when enabled, Run() records the L1
   // distance between successive hub-score vectors after each iteration.

@@ -1,5 +1,7 @@
 #include "distill/join_distiller.h"
 
+#include <cmath>
+
 #include "sql/exec/aggregate.h"
 #include "sql/exec/basic.h"
 #include "sql/exec/join.h"
@@ -65,6 +67,39 @@ Status JoinDistiller::Initialize() {
             .status());
   }
   stats_.update_seconds += update_timer.ElapsedSeconds();
+  return AuditDanglingEdges();
+}
+
+Status JoinDistiller::AuditDanglingEdges() {
+  // A crawl that purges exhausted URL rows (or recovers from a crash that
+  // lost the tail of a batch) leaves LINK edges whose endpoint has no
+  // CRAWL row. The Figure 4 joins drop those edges silently; this pass
+  // makes the loss visible. One LINK scan with memoized by_oid probes.
+  stats_.dangling_src_edges = 0;
+  stats_.dangling_dst_edges = 0;
+  int by_oid = tables_.crawl->IndexId("by_oid");
+  if (by_oid < 0) return Status::OK();  // contract violation; stay silent
+  Stopwatch scan_timer;
+  std::unordered_map<int64_t, bool> known;
+  auto in_crawl = [&](int64_t oid) -> Result<bool> {
+    auto it = known.find(oid);
+    if (it != known.end()) return it->second;
+    std::vector<storage::Rid> rids;
+    FOCUS_RETURN_IF_ERROR(
+        tables_.crawl->IndexLookup(by_oid, {Value::Int64(oid)}, &rids));
+    return known.emplace(oid, !rids.empty()).first->second;
+  };
+  auto it = tables_.link->Scan();
+  storage::Rid rid;
+  Tuple row;
+  while (it.Next(&rid, &row)) {
+    FOCUS_ASSIGN_OR_RETURN(bool src_known, in_crawl(row.Get(0).AsInt64()));
+    FOCUS_ASSIGN_OR_RETURN(bool dst_known, in_crawl(row.Get(2).AsInt64()));
+    if (!src_known) ++stats_.dangling_src_edges;
+    if (!dst_known) ++stats_.dangling_dst_edges;
+  }
+  FOCUS_RETURN_IF_ERROR(it.status());
+  stats_.scan_seconds += scan_timer.ElapsedSeconds();
   return Status::OK();
 }
 
@@ -72,11 +107,22 @@ Status JoinDistiller::ReplaceNormalized(sql::Table* table,
                                         const std::vector<Tuple>& rows) {
   Stopwatch timer;
   double total = 0;
-  for (const Tuple& row : rows) total += row.Get(1).AsNumeric();
+  for (const Tuple& row : rows) {
+    double score = row.Get(1).AsNumeric();
+    if (std::isfinite(score)) total += score;
+  }
   FOCUS_RETURN_IF_ERROR(table->Clear());
   for (const Tuple& row : rows) {
     double score = row.Get(1).AsNumeric();
-    if (total > 0) score /= total;
+    // A non-finite contribution (corrupt weight, overflow) is clamped to
+    // 0 and counted rather than allowed to turn the entire normalized
+    // vector into NaN.
+    if (!std::isfinite(score)) {
+      ++stats_.nonfinite_scores;
+      score = 0;
+    } else if (total > 0) {
+      score /= total;
+    }
     FOCUS_RETURN_IF_ERROR(
         table->Insert(Tuple({row.Get(0), Value::Double(score)})).status());
   }

@@ -34,6 +34,10 @@ class JoinDistiller final : public Distiller {
   Status ReplaceNormalized(sql::Table* table,
                            const std::vector<sql::Tuple>& rows);
 
+  // Counts LINK rows whose src/dst oid has no CRAWL row (purged or lost
+  // URLs) into stats_; such edges are tolerated — the joins drop them.
+  Status AuditDanglingEdges();
+
   Status UpdateAuth(double rho);
   Status UpdateHubs();
 

@@ -1,7 +1,13 @@
 // Catalog: owns all tables of one database instance.
+//
+// Table metadata (heap chain heads, index roots) lives in memory; for
+// crash recovery the catalog serializes each table's TableLayout into an
+// opaque blob that WAL commits carry (wal.h). On reopen the application
+// re-declares its schemas and calls AttachTable with the recovered layout.
 #ifndef FOCUS_SQL_CATALOG_H_
 #define FOCUS_SQL_CATALOG_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -21,6 +27,19 @@ class Catalog {
 
   Result<Table*> CreateTable(std::string name, Schema schema,
                              std::vector<IndexSpec> indexes = {});
+
+  // Reattaches a table to existing pages from a recovered layout.
+  Result<Table*> AttachTable(std::string name, Schema schema,
+                             std::vector<IndexSpec> indexes,
+                             const TableLayout& layout);
+
+  // Serializes every table's layout (sorted by name, so the blob — and
+  // anything layered on it, like WAL commit bytes — is deterministic).
+  std::string SerializeLayouts() const;
+
+  // Parses a SerializeLayouts blob back into name -> layout.
+  static Result<std::map<std::string, TableLayout>> ParseLayouts(
+      std::string_view blob);
 
   // Returns the table or nullptr.
   Table* GetTable(std::string_view name) const;

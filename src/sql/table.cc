@@ -20,7 +20,7 @@ int DefaultBits(TypeId type) {
 }
 
 Result<uint64_t> KeyChunk(const Value& v, int bits) {
-  uint64_t chunk;
+  uint64_t chunk = 0;
   switch (v.type()) {
     case TypeId::kInt32: {
       int32_t x = v.AsInt32();
@@ -47,6 +47,38 @@ Result<uint64_t> KeyChunk(const Value& v, int bits) {
 }
 }  // namespace
 
+namespace {
+// Fills defaulted key_bits and validates the spec against the schema.
+Status ResolveIndexSpec(const Schema& schema, IndexSpec* spec) {
+  if (spec->key_bits.empty()) {
+    for (int col : spec->key_cols) {
+      if (col < 0 || col >= schema.num_columns()) {
+        return Status::InvalidArgument(
+            StrCat("index ", spec->name, ": bad column ", col));
+      }
+      int bits = DefaultBits(schema.column(col).type);
+      if (bits < 0) {
+        return Status::InvalidArgument(
+            StrCat("index ", spec->name, ": unsupported key type"));
+      }
+      spec->key_bits.push_back(bits);
+    }
+  }
+  if (spec->key_bits.size() != spec->key_cols.size()) {
+    return Status::InvalidArgument(
+        StrCat("index ", spec->name, ": key_bits/key_cols size mismatch"));
+  }
+  int total = 0;
+  for (int b : spec->key_bits) total += b;
+  if (total > 64) {
+    return Status::InvalidArgument(
+        StrCat("index ", spec->name, ": packed key needs ", total,
+               " bits (max 64)"));
+  }
+  return Status::OK();
+}
+}  // namespace
+
 Result<std::unique_ptr<Table>> Table::Create(storage::BufferPool* pool,
                                              std::string name, Schema schema,
                                              std::vector<IndexSpec> indexes) {
@@ -56,36 +88,50 @@ Result<std::unique_ptr<Table>> Table::Create(storage::BufferPool* pool,
                          storage::HeapFile::Create(pool));
   table->heap_ = std::move(heap);
   for (auto& spec : indexes) {
-    if (spec.key_bits.empty()) {
-      for (int col : spec.key_cols) {
-        if (col < 0 || col >= table->schema_.num_columns()) {
-          return Status::InvalidArgument(
-              StrCat("index ", spec.name, ": bad column ", col));
-        }
-        int bits = DefaultBits(table->schema_.column(col).type);
-        if (bits < 0) {
-          return Status::InvalidArgument(
-              StrCat("index ", spec.name, ": unsupported key type"));
-        }
-        spec.key_bits.push_back(bits);
-      }
-    }
-    if (spec.key_bits.size() != spec.key_cols.size()) {
-      return Status::InvalidArgument(
-          StrCat("index ", spec.name, ": key_bits/key_cols size mismatch"));
-    }
-    int total = 0;
-    for (int b : spec.key_bits) total += b;
-    if (total > 64) {
-      return Status::InvalidArgument(
-          StrCat("index ", spec.name, ": packed key needs ", total,
-                 " bits (max 64)"));
-    }
+    FOCUS_RETURN_IF_ERROR(ResolveIndexSpec(table->schema_, &spec));
     FOCUS_ASSIGN_OR_RETURN(storage::BPlusTree tree,
                            storage::BPlusTree::Create(pool));
     table->indexes_.push_back(Index{std::move(spec), std::move(tree)});
   }
   return table;
+}
+
+Result<std::unique_ptr<Table>> Table::Attach(storage::BufferPool* pool,
+                                             std::string name, Schema schema,
+                                             std::vector<IndexSpec> indexes,
+                                             const TableLayout& layout) {
+  if (layout.indexes.size() != indexes.size()) {
+    return Status::InvalidArgument(
+        StrCat("table ", name, ": layout has ", layout.indexes.size(),
+               " indexes, declaration has ", indexes.size()));
+  }
+  auto table = std::unique_ptr<Table>(
+      new Table(pool, std::move(name), std::move(schema)));
+  table->heap_ = storage::HeapFile::Attach(
+      pool, layout.heap_first, layout.heap_last, layout.num_records);
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    auto& spec = indexes[i];
+    FOCUS_RETURN_IF_ERROR(ResolveIndexSpec(table->schema_, &spec));
+    const IndexLayout& il = layout.indexes[i];
+    table->indexes_.push_back(Index{
+        std::move(spec),
+        storage::BPlusTree::Attach(pool, il.root, il.height, il.num_entries)});
+  }
+  return table;
+}
+
+TableLayout Table::Layout() const {
+  TableLayout layout;
+  layout.heap_first = heap_->first_page_id();
+  layout.heap_last = heap_->last_page_id();
+  layout.num_records = heap_->num_records();
+  layout.indexes.reserve(indexes_.size());
+  for (const auto& index : indexes_) {
+    layout.indexes.push_back(IndexLayout{index.tree.root_page_id(),
+                                         index.tree.height(),
+                                         index.tree.num_entries()});
+  }
+  return layout;
 }
 
 Result<uint64_t> Table::PackKey(int index_idx,

@@ -28,12 +28,41 @@ struct IndexSpec {
   std::vector<int> key_bits;
 };
 
+// Persisted storage position of one B+-tree index.
+struct IndexLayout {
+  storage::PageId root = storage::kInvalidPageId;
+  int height = 1;
+  uint64_t num_entries = 0;
+};
+
+// Everything a table needs — beyond its schema and index specs, which the
+// owning application re-declares — to reattach to its pages after a crash.
+// Serialized into WAL commit metadata by Catalog::SerializeLayouts.
+struct TableLayout {
+  storage::PageId heap_first = storage::kInvalidPageId;
+  storage::PageId heap_last = storage::kInvalidPageId;
+  uint64_t num_records = 0;
+  std::vector<IndexLayout> indexes;
+};
+
 class Table {
  public:
   static Result<std::unique_ptr<Table>> Create(storage::BufferPool* pool,
                                                std::string name,
                                                Schema schema,
                                                std::vector<IndexSpec> indexes);
+
+  // Reattaches to existing storage: same declaration as Create, plus the
+  // persisted layout recovered from WAL metadata. `layout.indexes` must
+  // match `indexes` in length.
+  static Result<std::unique_ptr<Table>> Attach(storage::BufferPool* pool,
+                                               std::string name,
+                                               Schema schema,
+                                               std::vector<IndexSpec> indexes,
+                                               const TableLayout& layout);
+
+  // Snapshot of the current storage position (for persistence).
+  TableLayout Layout() const;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }

@@ -122,6 +122,15 @@ Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
   return tree;
 }
 
+BPlusTree BPlusTree::Attach(BufferPool* pool, PageId root, int height,
+                            uint64_t num_entries) {
+  BPlusTree tree(pool);
+  tree.root_ = root;
+  tree.height_ = height;
+  tree.num_entries_ = num_entries;
+  return tree;
+}
+
 Result<PageId> BPlusTree::FindLeaf(uint64_t key, uint64_t value,
                                    std::vector<Descent>* path) const {
   PageId current = root_;

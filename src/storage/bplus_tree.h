@@ -26,6 +26,12 @@ class BPlusTree {
   // Creates an empty tree whose nodes are allocated from `pool`.
   static Result<BPlusTree> Create(BufferPool* pool);
 
+  // Reattaches to an existing tree from its persisted layout (root page,
+  // height, entry count). Node pages are self-describing; only this
+  // in-memory header state needs the catalog metadata (see wal.h).
+  static BPlusTree Attach(BufferPool* pool, PageId root, int height,
+                          uint64_t num_entries);
+
   // Inserts (key, value). Duplicate (key, value) pairs are allowed and
   // stored multiple times.
   Status Insert(uint64_t key, uint64_t value);
@@ -64,6 +70,7 @@ class BPlusTree {
 
   uint64_t num_entries() const { return num_entries_; }
   int height() const { return height_; }
+  PageId root_page_id() const { return root_; }
 
   // Verifies ordering and structural invariants; used by tests.
   Status CheckInvariants() const;

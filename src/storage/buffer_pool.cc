@@ -45,6 +45,7 @@ void BufferPool::BindMetrics(obs::MetricsRegistry* registry,
         emit("focus_disk_reads_total", disk.reads);
         emit("focus_disk_writes_total", disk.writes);
         emit("focus_disk_allocations_total", disk.allocations);
+        emit("focus_disk_syncs_total", disk.syncs);
       });
 }
 

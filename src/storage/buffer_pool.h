@@ -4,6 +4,14 @@
 // hit/miss counters directly measure the access-path behaviour that the
 // paper's Figure 8 experiments are about (random index probes vs sequential
 // sort-merge scans under a bounded number of 4 KiB frames).
+//
+// Crash safety: the pool itself is free to write back dirty pages at any
+// time (eviction, FlushAll). When the DiskManager underneath is a
+// WalDiskManager (wal.h), those write-backs land in the WAL's in-memory
+// overlay, not on the data device, so the redo-log flush-order discipline
+// — log record synced before a dirty page may reach the platter — holds
+// structurally: uncommitted pages simply never reach the data device, and
+// the data device is only written at checkpoints, after the log sync.
 #ifndef FOCUS_STORAGE_BUFFER_POOL_H_
 #define FOCUS_STORAGE_BUFFER_POOL_H_
 

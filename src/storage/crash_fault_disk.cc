@@ -1,0 +1,60 @@
+#include "storage/crash_fault_disk.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace focus::storage {
+
+bool CrashFaultDiskManager::NextOpCrashes() {
+  uint64_t op = plan_->op_count.fetch_add(1, std::memory_order_relaxed);
+  if (op == plan_->crash_at_op) {
+    plan_->crashed.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+Status CrashFaultDiskManager::Poisoned() const {
+  return Status::IOError(kCrashMessage);
+}
+
+Status CrashFaultDiskManager::ReadPage(PageId id, char* out) {
+  // Reads are not counted as crash points (they cannot tear state), but a
+  // dead machine cannot read either.
+  if (plan_->crashed.load(std::memory_order_acquire)) return Poisoned();
+  return inner_->ReadPage(id, out);
+}
+
+Status CrashFaultDiskManager::WritePage(PageId id, const char* in) {
+  if (plan_->crashed.load(std::memory_order_acquire)) return Poisoned();
+  if (NextOpCrashes()) {
+    uint32_t keep = std::min(plan_->torn_bytes, kPageSize);
+    if (keep > 0) {
+      // Torn page: splice the prefix of the in-flight image onto the old
+      // content and let that hybrid hit the platter before power dies.
+      Page torn;
+      if (inner_->ReadPage(id, torn.data).ok()) {
+        std::memcpy(torn.data, in, keep);
+        (void)inner_->WritePage(id, torn.data);
+      }
+    }
+    return Poisoned();
+  }
+  return inner_->WritePage(id, in);
+}
+
+Result<PageId> CrashFaultDiskManager::AllocatePage() {
+  if (plan_->crashed.load(std::memory_order_acquire)) return Poisoned();
+  if (NextOpCrashes()) return Poisoned();
+  return inner_->AllocatePage();
+}
+
+Status CrashFaultDiskManager::Sync() {
+  if (plan_->crashed.load(std::memory_order_acquire)) return Poisoned();
+  if (NextOpCrashes()) return Poisoned();
+  return inner_->Sync();
+}
+
+}  // namespace focus::storage

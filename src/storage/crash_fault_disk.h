@@ -1,0 +1,80 @@
+// Test-only crash ("power loss") injection for disk managers.
+//
+// CrashFaultDiskManager decorates any DiskManager, counts mutating
+// operations (WritePage / AllocatePage / Sync) against a shared CrashPlan,
+// and at a configurable operation index simulates losing power: the
+// in-flight write is dropped — or, to model a torn page, only a prefix of
+// its bytes reaches the inner device — and every subsequent operation
+// (reads included) fails with an IOError carrying kCrashMessage.
+//
+// Several decorators may share one CrashPlan so a single global operation
+// counter sweeps every crash point of a workload that spans multiple
+// devices (e.g. a data file and its write-ahead log). The inner managers
+// survive the "crash" untouched past the injected point, exactly like disk
+// platters survive a power cut, so a test can reopen them and exercise
+// recovery deterministically.
+#ifndef FOCUS_STORAGE_CRASH_FAULT_DISK_H_
+#define FOCUS_STORAGE_CRASH_FAULT_DISK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "storage/disk_manager.h"
+
+namespace focus::storage {
+
+// The error message every operation returns after the simulated power loss.
+// Tests match on this to tell an injected crash from a genuine I/O failure.
+inline constexpr char kCrashMessage[] = "simulated power loss";
+
+// Shared crash schedule and operation counter. One plan may back any number
+// of CrashFaultDiskManager instances; `op_count` then numbers the mutating
+// operations of all of them in program order.
+struct CrashPlan {
+  // Mutating-op index at which power is lost. The op with this index does
+  // NOT take effect (except for an optional torn prefix of a WritePage).
+  // Defaults to "never": with no crash scheduled the plan only counts ops,
+  // which is how tests size their sweep range.
+  uint64_t crash_at_op = std::numeric_limits<uint64_t>::max();
+  // If the crashing op is a WritePage, persist this many leading bytes of
+  // the in-flight image to the inner device first (a torn page). 0 drops
+  // the write entirely; values >= kPageSize persist it fully.
+  uint32_t torn_bytes = 0;
+
+  std::atomic<uint64_t> op_count{0};
+  std::atomic<bool> crashed{false};
+
+  void Reset(uint64_t crash_at, uint32_t torn = 0) {
+    crash_at_op = crash_at;
+    torn_bytes = torn;
+    op_count.store(0);
+    crashed.store(false);
+  }
+};
+
+class CrashFaultDiskManager final : public DiskManager {
+ public:
+  // Neither pointer is owned; both must outlive the decorator.
+  CrashFaultDiskManager(DiskManager* inner, CrashPlan* plan)
+      : inner_(inner), plan_(plan) {}
+
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* in) override;
+  Result<PageId> AllocatePage() override;
+  uint32_t NumPages() const override { return inner_->NumPages(); }
+  Status Sync() override;
+
+ private:
+  // Claims the next op index; returns true if that op is the crash point.
+  bool NextOpCrashes();
+  Status Poisoned() const;
+
+  DiskManager* inner_;
+  CrashPlan* plan_;
+};
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_STORAGE_CRASH_FAULT_DISK_H_

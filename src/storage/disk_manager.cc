@@ -50,13 +50,26 @@ Result<PageId> MemDiskManager::AllocatePage() {
 }
 
 Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
-    const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    const std::string& path, Options options) {
+  int flags = O_RDWR | O_CREAT;
+  if (options.truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
     return Status::IOError(
         StrCat("open(", path, ") failed: ", std::strerror(errno)));
   }
-  return std::unique_ptr<FileDiskManager>(new FileDiskManager(fd, path));
+  auto dm = std::unique_ptr<FileDiskManager>(new FileDiskManager(fd, path));
+  if (!options.truncate) {
+    off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0) {
+      return Status::IOError(
+          StrCat("lseek(", path, ") failed: ", std::strerror(errno)));
+    }
+    // A torn trailing fragment (crash mid-extend) is not a full page; it is
+    // invisible to NumPages and overwritten by the next AllocatePage.
+    dm->num_pages_ = static_cast<uint32_t>(size / kPageSize);
+  }
+  return dm;
 }
 
 FileDiskManager::~FileDiskManager() {
@@ -86,6 +99,15 @@ Status FileDiskManager::WritePage(PageId id, const char* in) {
     return Status::IOError(StrCat("pwrite page ", id, " returned ", n));
   }
   ++stats_.writes;
+  return Status::OK();
+}
+
+Status FileDiskManager::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(
+        StrCat("fdatasync(", path_, ") failed: ", std::strerror(errno)));
+  }
+  ++stats_.syncs;
   return Status::OK();
 }
 

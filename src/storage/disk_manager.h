@@ -22,6 +22,7 @@ class DiskManager {
     uint64_t reads = 0;
     uint64_t writes = 0;
     uint64_t allocations = 0;
+    uint64_t syncs = 0;
   };
 
   virtual ~DiskManager() = default;
@@ -34,6 +35,14 @@ class DiskManager {
   virtual Result<PageId> AllocatePage() = 0;
   // Number of pages allocated so far.
   virtual uint32_t NumPages() const = 0;
+  // Durability barrier: all WritePage/AllocatePage calls that returned
+  // before Sync() are guaranteed to survive a crash once Sync() returns.
+  // Writes that have not been synced may be lost — or torn — by a crash.
+  // The WAL layer relies on this ordering contract; see wal.h.
+  virtual Status Sync() {
+    ++stats_.syncs;
+    return Status::OK();
+  }
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
@@ -71,13 +80,30 @@ class MemDiskManager final : public DiskManager {
   std::vector<std::unique_ptr<Page>> pages_;
 };
 
-// Pages live in a single file at `path`. The file is created if missing and
-// truncated (this layer provides storage, not crash recovery).
+// Pages live in a single file at `path`.
+//
+// This layer provides page storage plus a durability barrier (`Sync`, backed
+// by fdatasync); it does NOT provide crash recovery by itself. A crash
+// between WritePage and Sync may leave the page old, new, or torn (a prefix
+// of the new bytes). Crash consistency is layered on top by WalDiskManager
+// (wal.h), which routes writes through a redo log and replays committed
+// records on reopen. Open with `Options{.truncate = false}` to attach to an
+// existing file for recovery; the default truncating mode starts fresh.
 class FileDiskManager final : public DiskManager {
  public:
+  struct Options {
+    // When false, an existing file is attached as-is and NumPages() is
+    // derived from its size (a torn trailing fragment is ignored).
+    bool truncate = true;
+  };
+
   // Factory; fails if the file cannot be opened for read/write.
   static Result<std::unique_ptr<FileDiskManager>> Open(
-      const std::string& path);
+      const std::string& path, Options options);
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path) {
+    return Open(path, Options{});
+  }
   ~FileDiskManager() override;
 
   FileDiskManager(const FileDiskManager&) = delete;
@@ -87,6 +113,7 @@ class FileDiskManager final : public DiskManager {
   Status WritePage(PageId id, const char* in) override;
   Result<PageId> AllocatePage() override;
   uint32_t NumPages() const override { return num_pages_; }
+  Status Sync() override;
 
  private:
   FileDiskManager(int fd, std::string path)

@@ -47,6 +47,15 @@ Result<HeapFile> HeapFile::Create(BufferPool* pool) {
   return file;
 }
 
+HeapFile HeapFile::Attach(BufferPool* pool, PageId first_page_id,
+                          PageId last_page_id, uint64_t num_records) {
+  HeapFile file(pool);
+  file.first_page_id_ = first_page_id;
+  file.last_page_id_ = last_page_id;
+  file.num_records_ = num_records;
+  return file;
+}
+
 Result<Rid> HeapFile::Insert(std::string_view record) {
   if (record.size() + 4 > kPageSize - kSlotDirStart) {
     return Status::InvalidArgument(

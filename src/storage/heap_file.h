@@ -39,6 +39,14 @@ class HeapFile {
   // Creates an empty heap file, allocating its first page.
   static Result<HeapFile> Create(BufferPool* pool);
 
+  // Reattaches to an existing heap file from its persisted layout (first /
+  // last page of the chain plus the live-record count). Used by crash
+  // recovery: the page chain itself lives in the pages, but the chain head
+  // and tail are in-memory state that must be restored from the catalog
+  // metadata a WAL commit carried (see wal.h).
+  static HeapFile Attach(BufferPool* pool, PageId first_page_id,
+                         PageId last_page_id, uint64_t num_records);
+
   // Inserts a record; fails if the record cannot fit in a fresh page.
   Result<Rid> Insert(std::string_view record);
 
@@ -54,6 +62,7 @@ class HeapFile {
 
   uint64_t num_records() const { return num_records_; }
   PageId first_page_id() const { return first_page_id_; }
+  PageId last_page_id() const { return last_page_id_; }
 
   // Forward scan over live records in page order.
   class Iterator {

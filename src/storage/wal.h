@@ -1,0 +1,219 @@
+// Redo-only write-ahead logging for the storage layer.
+//
+// The paper treats Focus as "a database application": crawler, classifier
+// and distiller are concurrent clients of a relational store whose substrate
+// (DB2 in 1999) provided recovery for free. This file is our substrate's
+// recovery: a minimal ARIES-flavoured redo log of full page images, plus a
+// DiskManager decorator that gives CrawlDb atomic, durable batch commits on
+// top of any raw device.
+//
+// Design
+//   * `Wal` owns the log format: it appends `{page_id, page_image, lsn}`
+//     records to a log device, group-commits them with an explicit Sync()
+//     barrier, and on open parses the log back into the set of *committed*
+//     page images. Records carry a checksum; a torn log tail (crash mid
+//     append) fails the checksum and the uncommitted batch is discarded.
+//   * `WalDiskManager` wraps a data device + a log device. Writes never
+//     touch the data device directly: they land in an in-memory overlay
+//     (no-steal) and are logged on Commit(). Reads are served overlay-first.
+//     Checkpoint() = flush the overlay to the data device, advance the
+//     manifest, truncate the log. On Open() it replays committed records
+//     past the last checkpoint before serving reads.
+//   * The log is itself stored through a DiskManager, so a test can wrap
+//     both devices in CrashFaultDiskManager with one shared CrashPlan and
+//     sweep every crash point — data writes, log writes, sync barriers —
+//     of a workload deterministically (see tests/wal_recovery_test.cc).
+//
+// Commit metadata. Table catalogs (heap head/tail pages, B+-tree roots) live
+// in memory, so a raw page store cannot be reattached after a crash. Each
+// commit record therefore carries an opaque metadata blob — in practice
+// `sql::Catalog::SerializeLayouts()` — restored by recovery and readable via
+// `recovered_metadata()`. Checkpoints persist the same blob in the manifest
+// (ping-pong slots in physical pages 0 and 1 of the data device; client
+// page v maps to physical page v + 2).
+//
+// Crash-ordering contract (who syncs when):
+//   commit     = append images + commit record, then log Sync. A commit that
+//                returned OK is durable.
+//   checkpoint = commit, then data pages + data Sync, then manifest + data
+//                Sync, then log reset + log Sync. Every prefix of that
+//                sequence recovers to a committed state.
+// The buffer pool's dirty write-backs go to the overlay only, so eviction
+// order never violates the log-before-data discipline.
+#ifndef FOCUS_STORAGE_WAL_H_
+#define FOCUS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace focus::storage {
+
+// Counters for the logging layer, exported through obs as
+// focus_wal_appends_total / focus_wal_syncs_total /
+// focus_wal_recovery_replayed_total (and friends).
+struct WalStats {
+  uint64_t appends = 0;            // page-image records appended
+  uint64_t syncs = 0;              // log-device sync barriers issued
+  uint64_t commits = 0;            // commit records made durable
+  uint64_t checkpoints = 0;        // completed checkpoints
+  uint64_t log_bytes = 0;          // record bytes appended (before padding)
+  uint64_t recovery_replayed = 0;  // committed page images replayed on Open
+  uint64_t recovered_commits = 0;  // committed batches found in the log
+};
+
+// The append/parse engine for one log device. Not thread safe; callers
+// (WalDiskManager) serialize access.
+class Wal {
+ public:
+  // Committed state parsed out of a log device.
+  struct Recovered {
+    uint64_t epoch = 0;    // epoch of the log's records (0 if empty)
+    bool empty = true;     // no valid records at all
+    uint64_t commits = 0;  // committed batches (commit records seen)
+    uint64_t replayed_records = 0;
+    bool have_horizon = false;  // a commit/checkpoint record was found
+    uint32_t num_pages = 0;     // committed page-allocation horizon
+    std::string metadata;       // metadata blob of the last committed batch
+    std::map<PageId, std::unique_ptr<Page>> pages;  // committed images
+  };
+
+  explicit Wal(DiskManager* log) : log_(log) {}
+
+  // Parses the log from its first page: records are applied in order, a
+  // batch becomes visible only when its commit record checks out, and the
+  // first bad magic/checksum/epoch ends the scan (torn tail => the
+  // in-flight batch never happened). Leaves the append tail positioned
+  // after the last committed record.
+  Result<Recovered> Recover();
+
+  // Buffers a redo record for `image` (volatile until Commit).
+  void Append(PageId id, const char* image);
+
+  // Appends a commit record carrying the allocation horizon and metadata,
+  // writes the buffered byte stream to the log device, and issues the
+  // Sync() barrier. On OK the batch is durable.
+  Status Commit(uint32_t num_pages, std::string_view metadata);
+
+  // Starts epoch `new_epoch`: rewrites the log from page 0 with a single
+  // checkpoint record and syncs. Pages beyond the new tail keep stale bytes;
+  // their old epoch makes Recover() ignore them. The caller must have made
+  // the data device consistent first.
+  Status Reset(uint64_t new_epoch, uint32_t num_pages,
+               std::string_view metadata);
+
+  uint64_t epoch() const { return epoch_; }
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  Status Flush();  // write pending_ out as log pages + sync
+
+  DiskManager* log_;
+  uint64_t epoch_ = 0;
+  uint64_t next_lsn_ = 0;
+  // Byte offset where the next record lands; page-aligned after every
+  // flush so a new batch never rewrites synced bytes (a torn rewrite of a
+  // shared tail page could otherwise destroy a *committed* record).
+  uint64_t tail_ = 0;
+  std::string pending_;
+  WalStats stats_;
+};
+
+// DiskManager decorator: WAL + no-steal overlay + manifest, providing
+// atomic durable commits over a (data, log) device pair.
+class WalDiskManager final : public DiskManager {
+ public:
+  struct Options {
+    // When Open() replayed anything (or found a stale log), immediately
+    // checkpoint the recovered state — the ARIES end-of-recovery
+    // checkpoint. Gives recovery itself crash points (double-crash tests)
+    // and bounds log growth across repeated crashes.
+    bool checkpoint_after_recovery = false;
+  };
+
+  // Attaches to `data` + `log` (borrowed; must outlive the manager) and
+  // runs recovery: reads the manifest, replays committed log records past
+  // the last checkpoint, and reconstructs the committed overlay. Fresh
+  // (empty) devices come up as an empty store at epoch 0.
+  static Result<std::unique_ptr<WalDiskManager>> Open(
+      DiskManager* data, DiskManager* log, Options options);
+  static Result<std::unique_ptr<WalDiskManager>> Open(DiskManager* data,
+                                                      DiskManager* log) {
+    return Open(data, log, Options{});
+  }
+  ~WalDiskManager() override;
+
+  WalDiskManager(const WalDiskManager&) = delete;
+  WalDiskManager& operator=(const WalDiskManager&) = delete;
+
+  // DiskManager interface, in *client* page ids (0-based; physical data
+  // page = client page + 2, past the manifest slots).
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* in) override;
+  Result<PageId> AllocatePage() override;
+  uint32_t NumPages() const override;
+  // Durability barrier == Commit with the previous metadata blob.
+  Status Sync() override;
+
+  // Group commit: logs every page written since the last commit plus a
+  // commit record carrying `metadata`, then syncs the log. Atomic: after a
+  // crash the store recovers to exactly a commit boundary.
+  Status Commit(std::string_view metadata);
+
+  // Applies the committed overlay to the data device and truncates the
+  // log. `metadata` must fit in a manifest page (~4 KiB); keep it a
+  // compact catalog blob.
+  Status Checkpoint(std::string_view metadata);
+
+  // Metadata blob restored by recovery ("" for a fresh store).
+  const std::string& recovered_metadata() const { return recovered_metadata_; }
+  uint64_t epoch() const { return epoch_; }
+  WalStats wal_stats() const;
+
+  // Exports WAL counters through the metrics registry, labeled
+  // {wal=<name>}. Follows the BufferPool::BindMetrics collector pattern.
+  void BindMetrics(obs::MetricsRegistry* registry, std::string name);
+
+ private:
+  WalDiskManager(DiskManager* data, DiskManager* log, Options options)
+      : options_(options), data_(data), log_(log), wal_(log) {}
+
+  Status RecoverLocked();
+  Status CommitLocked(std::string_view metadata);
+  Status CheckpointLocked(std::string_view metadata);
+  Status WriteManifestLocked(uint64_t epoch, std::string_view metadata);
+
+  const Options options_;
+  DiskManager* data_;
+  DiskManager* log_;
+
+  mutable std::mutex mutex_;
+  Wal wal_;
+  uint64_t epoch_ = 0;
+  uint32_t num_pages_ = 0;  // client-page allocation horizon
+  std::string metadata_;    // blob as of the last commit
+  std::string recovered_metadata_;
+  // No-steal overlay: every page written since the last checkpoint.
+  // Ordered so commit/checkpoint scans are deterministic (stable log
+  // content and crash-op numbering across runs).
+  std::map<PageId, std::unique_ptr<Page>> overlay_;
+  std::set<PageId> dirty_;  // written since the last commit
+  uint64_t replayed_ = 0;
+  uint64_t recovered_commits_ = 0;
+
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  uint64_t collector_id_ = 0;
+};
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_STORAGE_WAL_H_

@@ -277,7 +277,8 @@ bool SimulatedWeb::InOutage(int32_t server_id, double now_s) const {
 }
 
 Result<SimulatedWeb::FetchResult> SimulatedWeb::Fetch(std::string_view url,
-                                                      VirtualClock* clock) {
+                                                      VirtualClock* clock,
+                                                      int32_t attempt) {
   auto it = url_index_.find(std::string(url));
   if (it == url_index_.end()) {
     return Status::NotFound(StrCat("no such url: ", url));
@@ -292,7 +293,7 @@ Result<SimulatedWeb::FetchResult> SimulatedWeb::Fetch(std::string_view url,
     clock->AdvanceSeconds(faults.timeout_ms * 1e-3);
     return Status::ResourceExhausted(StrCat("server outage: ", url));
   }
-  int attempt = ++attempt_counts_[index];
+  if (attempt <= 0) attempt = ++attempt_counts_[index];
   if (ServerIsDead(page.server_id)) {
     if (clock != nullptr) clock->AdvanceSeconds(faults.timeout_ms * 1e-3);
     return Status::DeadlineExceeded(

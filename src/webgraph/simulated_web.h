@@ -59,8 +59,16 @@ class SimulatedWeb {
   //                      consumes no attempt ordinal and no RNG draw, so
   //                      when a retry lands never changes its outcome
   // Truncated transfers succeed with FetchResult::truncated set.
+  //
+  // `attempt` <= 0 numbers attempts with an internal per-page counter.
+  // A positive `attempt` supplies the ordinal explicitly and leaves the
+  // internal counter untouched: a crawler that persists its retry count
+  // (CRAWL.numtries) can key outcomes off durable state, so refetching a
+  // page whose attempt bookkeeping a crash destroyed replays the exact
+  // outcome of the lost attempt instead of drawing a fresh one.
   Result<FetchResult> Fetch(std::string_view url,
-                            VirtualClock* clock = nullptr);
+                            VirtualClock* clock = nullptr,
+                            int32_t attempt = 0);
 
   // Server behaviours, deterministic in (seed, server_id).
   bool ServerIsFlaky(int32_t server_id) const;

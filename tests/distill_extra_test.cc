@@ -1,9 +1,21 @@
 // Distillation extras: edge-weight assignment, ablation flags, ranking
-// determinism, and degenerate graphs.
+// determinism, degenerate graphs, and dangling-edge tolerance.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "core/focus.h"
+#include "core/sample_taxonomy.h"
+#include "distill/distiller.h"
 #include "distill/hits.h"
+#include "distill/join_distiller.h"
 #include "distill/pagerank.h"
+#include "obs/metrics.h"
+#include "sql/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
 #include "util/random.h"
 
 namespace focus::distill {
@@ -82,6 +94,215 @@ TEST(HitsConvergenceTest, ScoresStabilizeAcrossIterations) {
     EXPECT_NEAR(s.hub, s40[oid].hub, 1e-6) << oid;
     EXPECT_NEAR(s.auth, s40[oid].auth, 1e-6) << oid;
   }
+}
+
+// A miniature crawl database for dangling-edge tests: CRAWL stand-in
+// (oid, relevance, by_oid) plus the full 6-column LINK schema.
+struct MiniGraph {
+  storage::MemDiskManager disk;
+  storage::BufferPool pool{&disk, 256};
+  sql::Catalog catalog{&pool};
+  DistillTables tables;
+
+  MiniGraph() {
+    using sql::IndexSpec;
+    using sql::TypeId;
+    tables.crawl =
+        catalog
+            .CreateTable("CRAWL",
+                         sql::Schema({{"oid", TypeId::kInt64},
+                                      {"relevance", TypeId::kDouble}}),
+                         {IndexSpec{"by_oid", {0}, {}}})
+            .TakeValue();
+    tables.link =
+        catalog
+            .CreateTable("LINK",
+                         sql::Schema({{"oid_src", TypeId::kInt64},
+                                      {"sid_src", TypeId::kInt32},
+                                      {"oid_dst", TypeId::kInt64},
+                                      {"sid_dst", TypeId::kInt32},
+                                      {"wgt_fwd", TypeId::kDouble},
+                                      {"wgt_rev", TypeId::kDouble}}),
+                         {})
+            .TakeValue();
+    EXPECT_TRUE(CreateHubsAuthTables(&catalog, &tables).ok());
+  }
+
+  void AddPage(int64_t oid, double relevance) {
+    EXPECT_TRUE(tables.crawl
+                    ->Insert(sql::Tuple({sql::Value::Int64(oid),
+                                         sql::Value::Double(relevance)}))
+                    .ok());
+  }
+  void AddEdge(int64_t src, int64_t dst, double weight = 1.0) {
+    // Distinct sids (src*10 vs dst*10) keep the nepotism filter out of
+    // the way.
+    EXPECT_TRUE(
+        tables.link
+            ->Insert(sql::Tuple(
+                {sql::Value::Int64(src),
+                 sql::Value::Int32(static_cast<int32_t>(src * 10)),
+                 sql::Value::Int64(dst),
+                 sql::Value::Int32(static_cast<int32_t>(dst * 10)),
+                 sql::Value::Double(weight), sql::Value::Double(weight)}))
+            .ok());
+  }
+};
+
+TEST(JoinDanglingTest, ToleratesAndCountsDanglingEndpoints) {
+  MiniGraph g;
+  g.AddPage(1, 1.0);
+  g.AddPage(2, 1.0);
+  g.AddPage(3, 1.0);
+  g.AddEdge(1, 2);  // both endpoints known
+  g.AddEdge(3, 2);  // both endpoints known
+  g.AddEdge(1, 9);  // dangling dst (9 purged from CRAWL)
+  g.AddEdge(9, 2);  // dangling src
+  g.AddEdge(8, 9);  // both endpoints dangling
+
+  JoinDistiller distiller(g.tables);
+  ASSERT_TRUE(distiller.Run({.iterations = 3, .rho = 0.0}).ok());
+
+  EXPECT_EQ(distiller.stats().dangling_src_edges, 2u);  // 9->2, 8->9
+  EXPECT_EQ(distiller.stats().dangling_dst_edges, 2u);  // 1->9, 8->9
+  EXPECT_EQ(distiller.stats().nonfinite_scores, 0u);
+
+  // The surviving subgraph still scores: hubs 1 and 3 cite authority 2.
+  auto hubs = CollectScores(g.tables.hubs).TakeValue();
+  auto auth = CollectScores(g.tables.auth).TakeValue();
+  for (const auto& [oid, score] : hubs) EXPECT_TRUE(std::isfinite(score));
+  for (const auto& [oid, score] : auth) EXPECT_TRUE(std::isfinite(score));
+  EXPECT_GT(hubs[1], 0.0);
+  EXPECT_GT(auth[2], 0.0);
+
+  // The counts export as labeled gauges.
+  obs::MetricsRegistry registry;
+  distiller.ExportMetrics(&registry, "test");
+  EXPECT_DOUBLE_EQ(
+      registry
+          .GetGauge("focus_distill_dangling_edges",
+                    {{"distiller", "test"}, {"endpoint", "src"}})
+          ->Value(),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      registry
+          .GetGauge("focus_distill_dangling_edges",
+                    {{"distiller", "test"}, {"endpoint", "dst"}})
+          ->Value(),
+      2.0);
+}
+
+TEST(JoinDanglingTest, NonFiniteWeightsAreClampedNotPropagated) {
+  MiniGraph g;
+  g.AddPage(1, 1.0);
+  g.AddPage(2, 1.0);
+  g.AddPage(3, 1.0);
+  g.AddEdge(1, 2);
+  // A corrupt edge weight would otherwise ride through sum() and turn the
+  // whole normalized vector into NaN.
+  g.AddEdge(3, 2, std::numeric_limits<double>::infinity());
+
+  JoinDistiller distiller(g.tables);
+  ASSERT_TRUE(distiller.Run({.iterations = 2, .rho = 0.0}).ok());
+
+  EXPECT_GT(distiller.stats().nonfinite_scores, 0u);
+  auto hubs = CollectScores(g.tables.hubs).TakeValue();
+  auto auth = CollectScores(g.tables.auth).TakeValue();
+  for (const auto& [oid, score] : hubs) {
+    EXPECT_TRUE(std::isfinite(score)) << "hub " << oid;
+  }
+  for (const auto& [oid, score] : auth) {
+    EXPECT_TRUE(std::isfinite(score)) << "auth " << oid;
+  }
+}
+
+TEST(JoinDanglingTest, FaultInjectedCrawlGraphDistillsFinite) {
+  // A crawl over a hostile web drops URLs whose retry budget exhausts;
+  // purging those rows (crash-recovery debris collection) leaves LINK
+  // edges with no CRAWL endpoint. Distillation must survive that graph
+  // and surface the damage through the session's metrics registry.
+  core::FocusOptions options;
+  options.seed = 21;
+  options.web.pages_per_topic = 250;
+  options.web.background_pages = 4000;
+  options.web.background_servers = 120;
+  options.web.fetch_failure_prob = 0.15;
+  options.web.faults.permanent_prob = 0.05;
+  options.web.faults.timeout_prob = 0.03;
+  options.web.faults.flaky_server_fraction = 0.05;
+  auto system =
+      core::FocusSystem::Create(core::BuildSampleTaxonomy(), options)
+          .TakeValue();
+  ASSERT_TRUE(system->MarkGood("cycling").ok());
+  ASSERT_TRUE(system->Train().ok());
+  auto cycling = system->tax().FindByName("cycling").value();
+
+  obs::MetricsRegistry registry;
+  crawl::CrawlerOptions copts;
+  copts.max_fetches = 300;
+  copts.distill_every = 0;
+  copts.metrics_registry = &registry;
+  auto session =
+      system->NewCrawl(system->web().KeywordSeeds(cycling, 8), copts)
+          .TakeValue();
+  ASSERT_TRUE(session->crawler().Crawl().ok());
+  ASSERT_GT(session->crawler().stats().dropped_urls, 0u);
+
+  // Purge abandoned rows: unvisited, attempted, no retry scheduled.
+  sql::Table* crawl = session->db().crawl_table();
+  std::vector<storage::Rid> doomed;
+  std::unordered_set<int64_t> purged;
+  {
+    auto it = crawl->Scan();
+    storage::Rid rid;
+    sql::Tuple row;
+    while (it.Next(&rid, &row)) {
+      if (row.Get(8).AsInt32() == 0 && row.Get(3).AsInt32() > 0 &&
+          row.Get(9).AsInt64() == 0) {
+        doomed.push_back(rid);
+        purged.insert(row.Get(0).AsInt64());
+      }
+    }
+    ASSERT_TRUE(it.status().ok());
+  }
+  ASSERT_FALSE(doomed.empty());
+  for (const storage::Rid& rid : doomed) {
+    ASSERT_TRUE(crawl->Delete(rid).ok());
+  }
+
+  // Hand-count the edges the purge left dangling. Only unvisited pages
+  // were purged and only visited pages source links, so src stays clean.
+  uint64_t expect_dst = 0;
+  {
+    auto it = session->db().link_table()->Scan();
+    storage::Rid rid;
+    sql::Tuple row;
+    while (it.Next(&rid, &row)) {
+      if (purged.contains(row.Get(2).AsInt64())) ++expect_dst;
+    }
+    ASSERT_TRUE(it.status().ok());
+  }
+  ASSERT_GT(expect_dst, 0u);
+
+  auto result = session->Distill({.iterations = 5, .rho = 0.0}, 10);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const auto& page : result.value().hubs) {
+    EXPECT_TRUE(std::isfinite(page.score)) << page.url;
+  }
+  for (const auto& page : result.value().authorities) {
+    EXPECT_TRUE(std::isfinite(page.score)) << page.url;
+  }
+
+  obs::Labels dst_labels = {{"distiller", session->name()},
+                            {"endpoint", "dst"}};
+  obs::Labels src_labels = {{"distiller", session->name()},
+                            {"endpoint", "src"}};
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("focus_distill_dangling_edges", dst_labels)->Value(),
+      static_cast<double>(expect_dst));
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("focus_distill_dangling_edges", src_labels)->Value(),
+      0.0);
 }
 
 TEST(PageRankConvergenceTest, MoreIterationsAgree) {

@@ -1,0 +1,487 @@
+// WAL recovery under deterministic crash injection.
+//
+// The heart of this file is a crash *matrix*: one golden pass of a
+// CrawlDb commit/checkpoint workload counts every mutating device
+// operation, then the workload is re-run once per operation index with
+// CrashFaultDiskManager pulling the plug exactly there. Every recovered
+// store must equal a batch boundary of the golden run — pre- or
+// post-state of the batch in flight, never a torn hybrid. Variants
+// repeat the sweep with torn pages (partial byte prefixes) and with a
+// second crash during recovery itself. A pre-WAL baseline shows the raw
+// FileDiskManager-style path really does leave torn state without the
+// log, which is the point of having one.
+//
+// FOCUS_WAL_CRASH_STRIDE=<n> sweeps every n-th crash point (CI smoke);
+// FOCUS_WAL_METRICS_JSON=<path> additionally dumps one recovery's WAL
+// counters as a metrics JSON artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crawl/crawl_db.h"
+#include "obs/metrics.h"
+#include "sql/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/crash_fault_disk.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+#include "util/string_util.h"
+
+namespace focus {
+namespace {
+
+using storage::CrashFaultDiskManager;
+using storage::CrashPlan;
+using storage::kPageSize;
+using storage::MemDiskManager;
+using storage::Page;
+using storage::PageId;
+using storage::WalDiskManager;
+
+// ---------------------------------------------------------------------
+// The workload: a deterministic CrawlDb batch sequence.
+
+constexpr int kBatches = 6;
+constexpr int kCheckpointEvery = 3;  // batches 2 and 5 checkpoint
+
+// Sorted row-string image of all three crawl tables.
+using DbImage = std::vector<std::string>;
+
+DbImage SnapshotDb(crawl::CrawlDb* db) {
+  DbImage out;
+  for (sql::Table* table : {db->crawl_table(), db->link_table(),
+                            db->breaker_table()}) {
+    auto it = table->Scan();
+    storage::Rid rid;
+    sql::Tuple row;
+    while (it.Next(&rid, &row)) {
+      out.push_back(StrCat(table->name(), "|", row.ToString()));
+    }
+    EXPECT_TRUE(it.status().ok()) << it.status().ToString();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Batch b: six new URLs, three of them visited and linked, one breaker
+// row. Pure function of b, so re-runs replay byte-identical batches.
+Status ApplyBatch(crawl::CrawlDb* db, int b) {
+  std::vector<std::string> urls;
+  for (int i = 0; i < 6; ++i) {
+    urls.push_back(StrCat("http://s", b, ".example/p", i));
+    FOCUS_RETURN_IF_ERROR(db->AddUrl(urls.back(), 0.25 + 0.1 * i, 1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    FOCUS_ASSIGN_OR_RETURN(crawl::CrawlRecord rec,
+                           db->LookupByUrl(urls[i]));
+    FOCUS_RETURN_IF_ERROR(
+        db->RecordVisit(rec.oid, 0.5 + 0.05 * i, 3, 1000 * (b + 1) + i));
+    FOCUS_RETURN_IF_ERROR(db->AddLink(urls[i], urls[3 + i]));
+  }
+  crawl::BreakerRecord brk;
+  brk.sid = 100 + b;
+  brk.state = crawl::BreakerState::kOpen;
+  brk.consecutive_failures = b + 1;
+  brk.open_until_us = 5000 * (b + 1);
+  brk.cooldown_s = 1.5;
+  return db->UpsertBreaker(brk);
+}
+
+// One full pass over (data, log): open the WAL store, apply kBatches
+// batches, committing each (checkpointing every kCheckpointEvery-th).
+// *ok_batches counts the batch commits that returned OK — after a crash,
+// recovery must land at or one past that boundary. When `goldens` is
+// given, appends the snapshot after open and after every durable batch.
+Status RunWorkload(storage::DiskManager* data, storage::DiskManager* log,
+                   int* ok_batches, std::vector<DbImage>* goldens) {
+  *ok_batches = 0;
+  FOCUS_ASSIGN_OR_RETURN(std::unique_ptr<WalDiskManager> wal,
+                         WalDiskManager::Open(data, log));
+  storage::BufferPool pool(wal.get(), 256);
+  sql::Catalog catalog(&pool);
+  FOCUS_ASSIGN_OR_RETURN(crawl::CrawlDb db,
+                         crawl::CrawlDb::Open(&catalog, wal.get()));
+  if (goldens != nullptr) goldens->push_back(SnapshotDb(&db));
+  for (int b = 0; b < kBatches; ++b) {
+    FOCUS_RETURN_IF_ERROR(ApplyBatch(&db, b));
+    if ((b + 1) % kCheckpointEvery == 0) {
+      FOCUS_RETURN_IF_ERROR(db.Checkpoint());
+    } else {
+      FOCUS_RETURN_IF_ERROR(db.Commit());
+    }
+    ++*ok_batches;
+    if (goldens != nullptr) goldens->push_back(SnapshotDb(&db));
+  }
+  return Status::OK();
+}
+
+// Reopens the surviving devices (no fault decorators = the platters after
+// the power cut) and snapshots the recovered store.
+Status RecoverAndSnapshot(storage::DiskManager* data,
+                          storage::DiskManager* log,
+                          WalDiskManager::Options options, DbImage* out,
+                          storage::WalStats* stats = nullptr) {
+  FOCUS_ASSIGN_OR_RETURN(std::unique_ptr<WalDiskManager> wal,
+                         WalDiskManager::Open(data, log, options));
+  storage::BufferPool pool(wal.get(), 256);
+  sql::Catalog catalog(&pool);
+  FOCUS_ASSIGN_OR_RETURN(crawl::CrawlDb db,
+                         crawl::CrawlDb::Open(&catalog, wal.get()));
+  *out = SnapshotDb(&db);
+  if (stats != nullptr) *stats = wal->wal_stats();
+  return Status::OK();
+}
+
+uint64_t CrashStride() {
+  if (const char* env = std::getenv("FOCUS_WAL_CRASH_STRIDE")) {
+    long v = std::atol(env);
+    if (v > 1) return static_cast<uint64_t>(v);
+  }
+  return 1;
+}
+
+// Copies a device's content page-by-page (used to re-seed double-crash
+// runs without replaying the whole workload).
+void CopyDevice(storage::DiskManager* from, MemDiskManager* to) {
+  Page buf;
+  for (PageId p = 0; p < from->NumPages(); ++p) {
+    ASSERT_TRUE(from->ReadPage(p, buf.data).ok());
+    if (to->NumPages() <= p) ASSERT_TRUE(to->AllocatePage().ok());
+    ASSERT_TRUE(to->WritePage(p, buf.data).ok());
+  }
+}
+
+// ---------------------------------------------------------------------
+// WAL basics.
+
+TEST(WalBasicsTest, CommitIsDurableAcrossReopen) {
+  MemDiskManager data, log;
+  Page img;
+  for (uint32_t i = 0; i < kPageSize; ++i) img.data[i] = char(i * 7);
+  {
+    auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+    PageId p = wal->AllocatePage().TakeValue();
+    ASSERT_TRUE(wal->WritePage(p, img.data).ok());
+    ASSERT_TRUE(wal->Commit("layout-blob-1").ok());
+    EXPECT_EQ(wal->wal_stats().commits, 1u);
+    EXPECT_GE(wal->wal_stats().appends, 1u);
+    EXPECT_GE(wal->wal_stats().syncs, 1u);
+  }
+  auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+  EXPECT_EQ(wal->recovered_metadata(), "layout-blob-1");
+  EXPECT_EQ(wal->NumPages(), 1u);
+  EXPECT_GE(wal->wal_stats().recovery_replayed, 1u);
+  Page got;
+  ASSERT_TRUE(wal->ReadPage(0, got.data).ok());
+  EXPECT_EQ(std::memcmp(got.data, img.data, kPageSize), 0);
+}
+
+TEST(WalBasicsTest, UncommittedWritesVanishOnReopen) {
+  MemDiskManager data, log;
+  Page committed, uncommitted;
+  committed.Zero();
+  std::memcpy(committed.data, "durable", 7);
+  uncommitted.Zero();
+  std::memcpy(uncommitted.data, "volatile", 8);
+  {
+    auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+    PageId p = wal->AllocatePage().TakeValue();
+    ASSERT_TRUE(wal->WritePage(p, committed.data).ok());
+    ASSERT_TRUE(wal->Commit("m1").ok());
+    ASSERT_TRUE(wal->WritePage(p, uncommitted.data).ok());
+    // No commit: the second image must not survive.
+  }
+  auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+  Page got;
+  ASSERT_TRUE(wal->ReadPage(0, got.data).ok());
+  EXPECT_EQ(std::memcmp(got.data, committed.data, kPageSize), 0);
+}
+
+TEST(WalBasicsTest, CheckpointFoldsLogIntoDataDevice) {
+  MemDiskManager data, log;
+  Page img;
+  img.Zero();
+  std::memcpy(img.data, "checkpointed", 12);
+  {
+    auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+    PageId p = wal->AllocatePage().TakeValue();
+    ASSERT_TRUE(wal->WritePage(p, img.data).ok());
+    ASSERT_TRUE(wal->Checkpoint("m-ckpt").ok());
+    EXPECT_EQ(wal->wal_stats().checkpoints, 1u);
+    EXPECT_EQ(wal->epoch(), 1u);
+  }
+  auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+  // Everything now lives on the data device: nothing to replay.
+  EXPECT_EQ(wal->wal_stats().recovery_replayed, 0u);
+  EXPECT_EQ(wal->recovered_metadata(), "m-ckpt");
+  EXPECT_EQ(wal->epoch(), 1u);
+  Page got;
+  ASSERT_TRUE(wal->ReadPage(0, got.data).ok());
+  EXPECT_EQ(std::memcmp(got.data, img.data, kPageSize), 0);
+}
+
+// ---------------------------------------------------------------------
+// The crash matrix.
+
+void SweepCrashMatrix(uint32_t torn_bytes) {
+  CrashPlan plan;  // no crash scheduled: the golden pass only counts ops
+  std::vector<DbImage> goldens;
+  uint64_t total_ops = 0;
+  {
+    MemDiskManager data, log;
+    CrashFaultDiskManager cdata(&data, &plan), clog(&log, &plan);
+    int ok = 0;
+    Status s = RunWorkload(&cdata, &clog, &ok, &goldens);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_EQ(ok, kBatches);
+    total_ops = plan.op_count.load();
+  }
+  ASSERT_GT(total_ops, 30u);
+  ASSERT_EQ(goldens.size(), size_t{kBatches} + 1);
+  // Batches really change the store (distinct boundaries => the matrix
+  // assertion below is not vacuous).
+  for (int b = 0; b < kBatches; ++b) ASSERT_NE(goldens[b], goldens[b + 1]);
+
+  for (uint64_t k = 0; k < total_ops; k += CrashStride()) {
+    SCOPED_TRACE(StrCat("crash at op ", k, " of ", total_ops,
+                        " torn_bytes=", torn_bytes));
+    MemDiskManager data, log;
+    plan.Reset(k, torn_bytes);
+    CrashFaultDiskManager cdata(&data, &plan), clog(&log, &plan);
+    int ok = 0;
+    Status s = RunWorkload(&cdata, &clog, &ok, nullptr);
+    ASSERT_FALSE(s.ok());
+    ASSERT_NE(s.message().find(storage::kCrashMessage), std::string::npos)
+        << s.ToString();
+
+    DbImage recovered;
+    Status r = RecoverAndSnapshot(&data, &log, {}, &recovered);
+    ASSERT_TRUE(r.ok()) << r.ToString();
+    // Atomic and durable: exactly the pre- or post-state of the batch in
+    // flight — never earlier than the last acknowledged commit, never a
+    // torn in-between.
+    bool pre = recovered == goldens[ok];
+    bool post = ok + 1 <= kBatches && recovered == goldens[ok + 1];
+    EXPECT_TRUE(pre || post)
+        << "recovered " << recovered.size() << " rows; expected boundary "
+        << ok << " (" << goldens[ok].size() << " rows) or " << ok + 1;
+  }
+}
+
+TEST(WalCrashMatrixTest, EveryCrashPointRecoversToABatchBoundary) {
+  SweepCrashMatrix(/*torn_bytes=*/0);
+}
+
+TEST(WalCrashMatrixTest, TornPagesNeverSurfaceAfterRecovery) {
+  // The crashing write persists a 1037-byte prefix — a torn sector run.
+  // Checksums must reject the fragment wherever it lands.
+  SweepCrashMatrix(/*torn_bytes=*/1037);
+}
+
+TEST(WalCrashMatrixTest, CrashDuringRecoveryStillRecovers) {
+  CrashPlan plan;
+  std::vector<DbImage> goldens;
+  uint64_t total_ops = 0;
+  {
+    MemDiskManager data, log;
+    CrashFaultDiskManager cdata(&data, &plan), clog(&log, &plan);
+    int ok = 0;
+    ASSERT_TRUE(RunWorkload(&cdata, &clog, &ok, &goldens).ok());
+    total_ops = plan.op_count.load();
+  }
+
+  WalDiskManager::Options ckpt;
+  ckpt.checkpoint_after_recovery = true;  // gives recovery its own writes
+  uint64_t stride = std::max<uint64_t>(7, CrashStride());
+  for (uint64_t k = 3; k < total_ops; k += stride) {
+    // First crash: stop the workload at op k; keep the surviving bytes.
+    MemDiskManager data0, log0;
+    int first_ok = 0;
+    plan.Reset(k);
+    {
+      CrashFaultDiskManager cdata(&data0, &plan), clog(&log0, &plan);
+      Status s = RunWorkload(&cdata, &clog, &first_ok, nullptr);
+      ASSERT_FALSE(s.ok());
+    }
+    // Second crash: sweep every op j of the checkpointing recovery until
+    // one run completes without hitting the crash point.
+    for (uint64_t j = 0;; ++j) {
+      ASSERT_LT(j, 2000u) << "recovery never completed";
+      SCOPED_TRACE(StrCat("first crash at ", k, ", second at ", j));
+      MemDiskManager data, log;
+      CopyDevice(&data0, &data);
+      CopyDevice(&log0, &log);
+      plan.Reset(j);
+      DbImage mid;
+      Status second;
+      {
+        CrashFaultDiskManager cdata(&data, &plan), clog(&log, &plan);
+        second = RecoverAndSnapshot(&cdata, &clog, ckpt, &mid);
+      }
+      // Third, clean open — after zero, one, or two interrupted attempts
+      // the store must still land on the same boundary.
+      DbImage final_image;
+      ASSERT_TRUE(
+          RecoverAndSnapshot(&data, &log, ckpt, &final_image).ok());
+      bool pre = final_image == goldens[first_ok];
+      bool post = first_ok + 1 <= kBatches &&
+                  final_image == goldens[first_ok + 1];
+      EXPECT_TRUE(pre || post);
+      if (second.ok()) {
+        EXPECT_EQ(mid, final_image);
+        break;  // j ran past the end of recovery: sweep done for this k
+      }
+      ASSERT_NE(second.message().find(storage::kCrashMessage),
+                std::string::npos)
+          << second.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The pre-WAL baseline this subsystem replaces.
+
+TEST(PreWalBaselineTest, RawDeviceCrashLeavesTornState) {
+  // Same batch workload against a bare device — "commit" is FlushAll +
+  // Sync, the strongest discipline available without a log. The golden
+  // pass records the device image at every boundary; the sweep then shows
+  // crash points whose surviving bytes match *no* boundary. (Worse still,
+  // a raw store cannot even be reattached: table roots live only in
+  // memory. The byte-level comparison is the generous reading.)
+  auto run = [](storage::DiskManager* dev, MemDiskManager* inner,
+                std::vector<std::string>* images) -> Status {
+    auto dump = [inner] {
+      std::string out;
+      Page buf;
+      for (PageId p = 0; p < inner->NumPages(); ++p) {
+        EXPECT_TRUE(inner->ReadPage(p, buf.data).ok());
+        out.append(buf.data, kPageSize);
+      }
+      return out;
+    };
+    storage::BufferPool pool(dev, 256);
+    sql::Catalog catalog(&pool);
+    FOCUS_ASSIGN_OR_RETURN(crawl::CrawlDb db,
+                           crawl::CrawlDb::Create(&catalog));
+    if (images != nullptr) images->push_back(dump());
+    for (int b = 0; b < kBatches; ++b) {
+      FOCUS_RETURN_IF_ERROR(ApplyBatch(&db, b));
+      FOCUS_RETURN_IF_ERROR(pool.FlushAll());
+      FOCUS_RETURN_IF_ERROR(dev->Sync());
+      if (images != nullptr) images->push_back(dump());
+    }
+    return Status::OK();
+  };
+
+  CrashPlan plan;
+  std::vector<std::string> goldens;
+  uint64_t total_ops = 0;
+  {
+    MemDiskManager disk;
+    CrashFaultDiskManager cdisk(&disk, &plan);
+    ASSERT_TRUE(run(&cdisk, &disk, &goldens).ok());
+    total_ops = plan.op_count.load();
+  }
+  ASSERT_GT(total_ops, 30u);
+  goldens.push_back("");  // the pristine (empty) device is also a boundary
+
+  uint64_t torn_points = 0;
+  for (uint64_t k = 0; k < total_ops; k += CrashStride()) {
+    MemDiskManager disk;
+    plan.Reset(k);
+    CrashFaultDiskManager cdisk(&disk, &plan);
+    ASSERT_FALSE(run(&cdisk, &disk, nullptr).ok());
+    std::string image;
+    Page buf;
+    for (PageId p = 0; p < disk.NumPages(); ++p) {
+      ASSERT_TRUE(disk.ReadPage(p, buf.data).ok());
+      image.append(buf.data, kPageSize);
+    }
+    if (std::find(goldens.begin(), goldens.end(), image) ==
+        goldens.end()) {
+      ++torn_points;
+    }
+  }
+  // Without the WAL, many crash points strand the device between
+  // boundaries. This is the failure mode the crash matrix proves the
+  // logged path cannot exhibit.
+  EXPECT_GT(torn_points, 0u);
+}
+
+// ---------------------------------------------------------------------
+// File-backed reopen (real fdatasync path) + metrics artifact.
+
+TEST(WalFileBackedTest, SurvivesProcessStyleReopenFromFiles) {
+  std::string base = ::testing::TempDir() + "wal_reopen";
+  DbImage expected;
+  {
+    auto data = storage::FileDiskManager::Open(base + ".db").TakeValue();
+    auto log = storage::FileDiskManager::Open(base + ".wal").TakeValue();
+    auto wal = WalDiskManager::Open(data.get(), log.get()).TakeValue();
+    storage::BufferPool pool(wal.get(), 64);
+    sql::Catalog catalog(&pool);
+    auto db = crawl::CrawlDb::Open(&catalog, wal.get()).TakeValue();
+    ASSERT_TRUE(ApplyBatch(&db, 0).ok());
+    ASSERT_TRUE(db.Commit().ok());
+    ASSERT_TRUE(ApplyBatch(&db, 1).ok());
+    ASSERT_TRUE(db.Checkpoint().ok());
+    ASSERT_TRUE(ApplyBatch(&db, 2).ok());
+    ASSERT_TRUE(db.Commit().ok());
+    expected = SnapshotDb(&db);
+  }  // destructors close the files: the "process" is gone
+  storage::FileDiskManager::Options attach;
+  attach.truncate = false;
+  auto data =
+      storage::FileDiskManager::Open(base + ".db", attach).TakeValue();
+  auto log =
+      storage::FileDiskManager::Open(base + ".wal", attach).TakeValue();
+  auto wal = WalDiskManager::Open(data.get(), log.get()).TakeValue();
+  storage::BufferPool pool(wal.get(), 64);
+  sql::Catalog catalog(&pool);
+  auto db = crawl::CrawlDb::Open(&catalog, wal.get()).TakeValue();
+  EXPECT_EQ(SnapshotDb(&db), expected);
+  EXPECT_GT(wal->wal_stats().recovery_replayed, 0u);  // batch 2 replays
+}
+
+TEST(WalMetricsTest, RecoveryCountersExport) {
+  // One mid-workload crash + recovery with metrics bound; when
+  // FOCUS_WAL_METRICS_JSON is set (the CI artifact hook), the registry
+  // snapshot is also written there.
+  CrashPlan plan;
+  uint64_t total_ops = 0;
+  {
+    MemDiskManager data, log;
+    CrashFaultDiskManager cdata(&data, &plan), clog(&log, &plan);
+    int ok = 0;
+    ASSERT_TRUE(RunWorkload(&cdata, &clog, &ok, nullptr).ok());
+    total_ops = plan.op_count.load();
+  }
+  MemDiskManager data, log;
+  plan.Reset(total_ops / 2);
+  {
+    CrashFaultDiskManager cdata(&data, &plan), clog(&log, &plan);
+    int ok = 0;
+    ASSERT_FALSE(RunWorkload(&cdata, &clog, &ok, nullptr).ok());
+  }
+  obs::MetricsRegistry registry;
+  auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+  wal->BindMetrics(&registry, "recovery");
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("focus_wal_recovery_replayed_total"),
+            std::string::npos);
+  EXPECT_NE(json.find("focus_wal_recovered_commits_total"),
+            std::string::npos);
+  if (const char* path = std::getenv("FOCUS_WAL_METRICS_JSON")) {
+    std::ofstream out(path);
+    out << json;
+    ASSERT_TRUE(out.good());
+  }
+}
+
+}  // namespace
+}  // namespace focus
