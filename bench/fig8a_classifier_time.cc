@@ -1,15 +1,23 @@
 // Figure 8(a): classification running time of the three formulations.
 //
-//   SQL  — SingleProbe over per-row STAT tables (index probe per term,
-//          one heap fetch per (child, term) statistic)
-//   BLOB — SingleProbe over the packed BLOB table (one fetch per term)
-//   CLI  — BulkProbe, the batch sort-merge plan of Figure 3
+//   SQL     — SingleProbe over per-row STAT tables (index probe per term,
+//             one heap fetch per (child, term) statistic)
+//   BLOB    — SingleProbe over the packed BLOB table (one fetch per term)
+//   CLI     — BulkProbe, the Figure 3 sort-merge plan, scalar engine
+//   CLI-VEC — the same plan on the vectorized batch engine
+//
+// `--json` switches the report from CSV to a JSON array (one object per
+// variant) for the CI bench-smoke gate, which asserts the vectorized join
+// pass beats the scalar one. `--explain` additionally prints the CLI and
+// CLI-VEC plans with EXPLAIN ANALYZE operator timings.
 //
 // The paper reports over an order of magnitude between SQL/BLOB and CLI,
 // with per-document time broken into document scan / statistics probe /
 // CPU. We report seconds per document, the same breakdown, and buffer-pool
 // misses per document (the hardware-independent signal).
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "classify/bulk_probe.h"
@@ -33,7 +41,7 @@ constexpr int kTestDocs = 200;
 constexpr int kBufferFrames = 256;        // 1 MiB — far below the model size
 constexpr double kReadLatencyUs = 120;    // a (conservative) 1999-era seek
 
-int Run() {
+int Run(bool json, bool explain) {
   taxonomy::Taxonomy tax = MakeWideTaxonomy(kCategories, kLeavesPerCategory);
   SyntheticTextOptions text_options;
   text_options.tokens_per_doc = 250;
@@ -44,9 +52,11 @@ int Run() {
   SyntheticText text(&tax, text_options);
   Rng rng(17);
 
-  Note("figure 8(a): classifier running time, SQL vs BLOB vs CLI(bulk)");
-  Note("taxonomy: ", tax.num_topics(), " topics; train docs/leaf: ",
-       kTrainDocsPerLeaf, "; test docs: ", kTestDocs);
+  if (!json) {
+    Note("figure 8(a): classifier running time, SQL vs BLOB vs CLI(bulk)");
+    Note("taxonomy: ", tax.num_topics(), " topics; train docs/leaf: ",
+         kTrainDocsPerLeaf, "; test docs: ", kTestDocs);
+  }
 
   classify::Trainer trainer(
       classify::TrainerOptions{.max_features_per_node = 4000,
@@ -64,9 +74,11 @@ int Run() {
   auto tables = classify::BuildClassifierTables(&catalog, tax,
                                                 model.value());
   FOCUS_CHECK(tables.ok(), tables.status().ToString());
-  Note("model pages on disk: ", disk.NumPages(), " (",
-       disk.NumPages() * 4, " KiB); buffer pool: ", kBufferFrames,
-       " frames (", kBufferFrames * 4, " KiB)");
+  if (!json) {
+    Note("model pages on disk: ", disk.NumPages(), " (",
+         disk.NumPages() * 4, " KiB); buffer pool: ", kBufferFrames,
+         " frames (", kBufferFrames * 4, " KiB)");
+  }
 
   // Materialize test documents in a DOCUMENT table (populated at crawl
   // time in the real system).
@@ -80,8 +92,11 @@ int Run() {
         classify::InsertDocument(document.value(), i + 1, docs.back()).ok());
   }
 
-  std::printf("variant,seconds_per_doc,scan_doc_s,probe_s,cpu_s,"
-              "misses_per_doc,relative\n");
+  struct Row {
+    const char* variant;
+    double per_doc, scan_doc_s, probe_s, cpu_s, misses_per_doc, relative;
+  };
+  std::vector<Row> report;
   double baseline = 0;
 
   auto run_single = [&](classify::SingleProbeClassifier::Variant variant,
@@ -101,30 +116,63 @@ int Run() {
     double seconds = total.ElapsedSeconds();
     double per_doc = seconds / kTestDocs;
     if (baseline == 0) baseline = per_doc;
-    std::printf("%s,%.6f,%.6f,%.6f,%.6f,%.1f,%.2f\n", name, per_doc,
-                scan_doc / kTestDocs, clf.stats().probe_seconds / kTestDocs,
-                clf.stats().compute_seconds / kTestDocs,
-                static_cast<double>(pool.stats().misses) / kTestDocs,
-                per_doc / baseline);
+    report.push_back(Row{name, per_doc, scan_doc / kTestDocs,
+                         clf.stats().probe_seconds / kTestDocs,
+                         clf.stats().compute_seconds / kTestDocs,
+                         static_cast<double>(pool.stats().misses) /
+                             kTestDocs,
+                         per_doc / baseline});
   };
   run_single(classify::SingleProbeClassifier::Variant::kSqlRows, "SQL");
   run_single(classify::SingleProbeClassifier::Variant::kBlob, "BLOB");
 
-  {
+  auto run_bulk = [&](sql::ExecEngine engine, const char* name) {
     classify::BulkProbeClassifier bulk(&ref, &tables.value());
+    bulk.SetEngine(engine);
     FOCUS_CHECK(pool.EvictAll().ok());
     pool.ResetStats();
+    sql::PlanStats plan;
     Stopwatch total;
-    auto scores = bulk.ClassifyAll(document.value());
+    auto scores = explain ? bulk.ClassifyWithPlan(document.value(), &plan)
+                          : bulk.ClassifyAll(document.value());
     FOCUS_CHECK(scores.ok(), scores.status().ToString());
     FOCUS_CHECK(scores.value().size() == kTestDocs);
+    if (explain) {
+      std::fprintf(stderr, "# --- %s plan ---\n%s", name,
+                   plan.Format().c_str());
+    }
     double per_doc = total.ElapsedSeconds() / kTestDocs;
-    std::printf("CLI,%.6f,%.6f,%.6f,%.6f,%.1f,%.2f\n", per_doc,
-                0.0,  // the bulk plan scans DOCUMENT inside its joins
-                bulk.stats().join_seconds / kTestDocs,
-                bulk.stats().finalize_seconds / kTestDocs,
-                static_cast<double>(pool.stats().misses) / kTestDocs,
-                per_doc / baseline);
+    report.push_back(
+        Row{name, per_doc,
+            0.0,  // the bulk plan scans DOCUMENT inside its joins
+            bulk.stats().join_seconds / kTestDocs,
+            bulk.stats().finalize_seconds / kTestDocs,
+            static_cast<double>(pool.stats().misses) / kTestDocs,
+            per_doc / baseline});
+  };
+  run_bulk(sql::ExecEngine::kScalar, "CLI");
+  run_bulk(sql::ExecEngine::kVectorized, "CLI-VEC");
+
+  if (json) {
+    std::printf("[\n");
+    for (size_t i = 0; i < report.size(); ++i) {
+      const Row& r = report[i];
+      std::printf("  {\"variant\":\"%s\",\"seconds_per_doc\":%.6f,"
+                  "\"scan_doc_s\":%.6f,\"probe_s\":%.6f,\"cpu_s\":%.6f,"
+                  "\"misses_per_doc\":%.1f,\"relative\":%.2f}%s\n",
+                  r.variant, r.per_doc, r.scan_doc_s, r.probe_s, r.cpu_s,
+                  r.misses_per_doc, r.relative,
+                  i + 1 < report.size() ? "," : "");
+    }
+    std::printf("]\n");
+  } else {
+    std::printf("variant,seconds_per_doc,scan_doc_s,probe_s,cpu_s,"
+                "misses_per_doc,relative\n");
+    for (const Row& r : report) {
+      std::printf("%s,%.6f,%.6f,%.6f,%.6f,%.1f,%.2f\n", r.variant,
+                  r.per_doc, r.scan_doc_s, r.probe_s, r.cpu_s,
+                  r.misses_per_doc, r.relative);
+    }
   }
   return 0;
 }
@@ -132,7 +180,13 @@ int Run() {
 }  // namespace
 }  // namespace focus::bench
 
-int main() {
+int main(int argc, char** argv) {
   focus::SetLogLevel(focus::LogLevel::kWarning);
-  return focus::bench::Run();
+  bool json = false;
+  bool explain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--explain") == 0) explain = true;
+  }
+  return focus::bench::Run(json, explain);
 }

@@ -15,7 +15,11 @@
 // pipeline stage report, the registry-delta reporter, and EXPLAIN-ANALYZE
 // plan reports for the Figure 3 classifier plan and a Figure 4 distillation
 // iteration.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "classify/bulk_probe.h"
 #include "classify/db_tables.h"
@@ -25,6 +29,7 @@
 #include "crawl/metrics.h"
 #include "crawl/monitor.h"
 #include "distill/join_distiller.h"
+#include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "sql/catalog.h"
 #include "sql/exec/analyze.h"
@@ -182,6 +187,39 @@ int Run() {
   std::printf("\nEXPLAIN ANALYZE, one HITS iteration as joins "
               "(Figure 4):\n%s",
               distill_plan.Format().c_str());
+
+  // --- where the batch engine spent its time, process-wide ---
+  // Every instrumented BatchOperator::NextBatch feeds the global registry
+  // (see sql/exec/batch_ops.h): batches produced, a rows-per-batch
+  // histogram, and per-operator self time. Summed over both crawls plus
+  // the two plans above, this is the engine's own profile of where
+  // classification and distillation time went.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  auto batch_counters = registry.CounterValues();
+  obs::HistogramSnapshot rows_per_batch =
+      registry.GetHistogram("focus_sql_rows_per_batch")->Snapshot();
+  std::printf("\nbatch engine counters (process-wide):\n");
+  std::printf("  batches produced: %llu; rows/batch mean %.0f, "
+              "p50 ~%.0f, p99 ~%.0f\n",
+              static_cast<unsigned long long>(
+                  batch_counters["focus_sql_batches_total"]),
+              rows_per_batch.Mean(), rows_per_batch.Quantile(0.5),
+              rows_per_batch.Quantile(0.99));
+  const std::string kOpPrefix = "focus_sql_batch_op_micros_total{op=\"";
+  std::vector<std::pair<uint64_t, std::string>> op_micros;
+  for (const auto& [key, value] : batch_counters) {
+    if (key.rfind(kOpPrefix, 0) != 0) continue;
+    std::string op = key.substr(kOpPrefix.size());
+    if (size_t quote = op.find('"'); quote != std::string::npos) {
+      op.resize(quote);
+    }
+    op_micros.emplace_back(value, op);
+  }
+  std::sort(op_micros.rbegin(), op_micros.rend());
+  std::printf("  self time by operator:\n");
+  for (const auto& [micros, op] : op_micros) {
+    std::printf("    %-18s %9.2f ms\n", op.c_str(), micros / 1000.0);
+  }
   return 0;
 }
 

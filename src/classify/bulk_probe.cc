@@ -1,9 +1,11 @@
 #include "classify/bulk_probe.h"
 
 #include <map>
+#include <unordered_set>
 
 #include "sql/exec/aggregate.h"
 #include "sql/exec/basic.h"
+#include "sql/exec/batch_ops.h"
 #include "sql/exec/join.h"
 #include "sql/exec/scan.h"
 #include "sql/exec/sort.h"
@@ -180,44 +182,212 @@ Status BulkProbeClassifier::BulkProbeNode(
   return Status::OK();
 }
 
+Status BulkProbeClassifier::BulkProbeNodeVec(
+    taxonomy::Cid c0, const sql::ColumnSet& doc_sorted,
+    std::unordered_map<uint64_t, std::vector<double>>* acc) const {
+  auto it = tables_->stat.find(c0);
+  if (it == tables_->stat.end()) {
+    return Status::Internal(StrCat("no STAT table for node ", c0));
+  }
+  const sql::Table* stat = it->second;
+  const auto& children = ref_->tax().Children(c0);
+  std::unordered_map<taxonomy::Cid, int> child_index;
+  for (size_t i = 0; i < children.size(); ++i) {
+    child_index[children[i]] = static_cast<int>(i);
+  }
+
+  Stopwatch join_timer;
+
+  // children(c0) from TAXONOMY, collected once per node: the kcid ->
+  // logdenom lookup folds the scalar plan's HashJoin TAXONOMY~joined into
+  // the contrib expression.
+  sql::IndexScanEq tax_scan(tables_->taxonomy,
+                            tables_->taxonomy->IndexId("by_pcid"),
+                            std::vector<Value>{Value::Int32(c0)});
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> tax_rows, Collect(&tax_scan));
+  auto logdenom = std::make_shared<std::unordered_map<int32_t, double>>();
+  for (const Tuple& row : tax_rows) {
+    logdenom->emplace(row.Get(1).AsInt32(), row.Get(3).AsDouble());
+  }
+
+  // PARTIAL(did, kcid, lpr1): DOCUMENT ⋈_tid STAT_c0, contrib expression,
+  // sort, aggregate over sorted runs. The stable sort keeps the merge
+  // join's arrival order within each (did, kcid) group, so the floating
+  // accumulation order matches the scalar HashAggregate's exactly.
+  // STAT_c0 feeds both the PARTIAL join and the feature-count aggregate;
+  // one scan materializes it into columns so the heap pages are decoded
+  // once per node (columnar materialization is cheap for this engine).
+  sql::ColumnSet stat_cols;
+  {
+    sql::BatchOperatorPtr scan_once = sql::AnalyzeBatch(
+        plan_, "BatchTableScan STAT",
+        std::make_unique<sql::BatchTableScan>(stat));
+    FOCUS_RETURN_IF_ERROR(sql::CollectInto(scan_once.get(), &stat_cols));
+  }
+
+  sql::BatchOperatorPtr doc_src = sql::AnalyzeBatch(
+      plan_, "BatchSource DOCUMENT(sorted)",
+      std::make_unique<sql::BatchSource>(&doc_sorted));
+  sql::BatchOperatorPtr stat_scan = sql::AnalyzeBatch(
+      plan_, "BatchSource STAT",
+      std::make_unique<sql::BatchSource>(&stat_cols));
+  // STAT_c0's heap is already in (tid, kcid) order.
+  sql::BatchOperatorPtr joined = sql::AnalyzeBatch(
+      plan_, "BatchMergeJoin DOCUMENT~STAT",
+      std::make_unique<sql::BatchMergeJoin>(
+          std::move(doc_src), std::move(stat_scan), std::vector<int>{1},
+          std::vector<int>{1}));
+  // joined: 0 did, 1 tid, 2 freq, 3 kcid, 4 tid, 5 logtheta
+  sql::BatchOperatorPtr contrib = sql::AnalyzeBatch(
+      plan_, "BatchProject did,kcid,contrib",
+      std::make_unique<sql::BatchProject>(
+          std::move(joined),
+          std::vector<sql::BatchExpr>{
+              sql::BatchExpr::Passthrough("did", TypeId::kInt64, 0),
+              sql::BatchExpr::Passthrough("kcid", TypeId::kInt32, 3),
+              sql::BatchExpr{
+                  "contrib", TypeId::kDouble,
+                  [logdenom](const sql::Batch& in) {
+                    const auto& freq = in.col(2).i32;
+                    const auto& kcid = in.col(3).i32;
+                    const auto& theta = in.col(5).f64;
+                    sql::ColumnPtr out = sql::NewColumn(TypeId::kDouble);
+                    out->f64.reserve(freq.size());
+                    for (size_t i = 0; i < freq.size(); ++i) {
+                      out->f64.push_back(freq[i] * (theta[i] +
+                                                    logdenom->at(kcid[i])));
+                    }
+                    return out;
+                  }}}));
+  sql::BatchOperatorPtr partial_op = sql::AnalyzeBatch(
+      plan_, "BatchSortAggregate PARTIAL(did,kcid)",
+      std::make_unique<sql::BatchSortAggregate>(
+          std::move(contrib), std::vector<SortKey>{{0, false}, {1, false}},
+          std::vector<int>{0, 1},
+          std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "lpr1"}}));
+
+  // DOCLEN(did, len): DOCUMENT restricted to F(c0), grouped by did.
+  sql::BatchOperatorPtr features = sql::AnalyzeBatch(
+      plan_, "BatchSortedAggregate features(tid)",
+      std::make_unique<sql::BatchSortedAggregate>(
+          sql::AnalyzeBatch(plan_, "BatchSource STAT",
+                            std::make_unique<sql::BatchSource>(&stat_cols)),
+          std::vector<int>{1},
+          std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}}));
+  sql::BatchOperatorPtr doc_src2 = sql::AnalyzeBatch(
+      plan_, "BatchSource DOCUMENT(sorted)",
+      std::make_unique<sql::BatchSource>(&doc_sorted));
+  sql::BatchOperatorPtr doc_features = sql::AnalyzeBatch(
+      plan_, "BatchMergeJoin DOCUMENT~features",
+      std::make_unique<sql::BatchMergeJoin>(
+          std::move(doc_src2), std::move(features), std::vector<int>{1},
+          std::vector<int>{0}));
+  // doc_features: 0 did, 1 tid, 2 freq, 3 tid, 4 cnt
+  sql::BatchOperatorPtr doclen_op = sql::AnalyzeBatch(
+      plan_, "BatchSortAggregate DOCLEN(did)",
+      std::make_unique<sql::BatchSortAggregate>(
+          std::move(doc_features), std::vector<SortKey>{{0, false}},
+          std::vector<int>{0},
+          std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "len"}}));
+
+  // COMPLETE(did, kcid, lpr2): DOCLEN × children(c0), -len * logdenom.
+  // The children side runs the scalar index scan through the Vectorize
+  // adapter — scalar and batch operators composing in one plan.
+  sql::BatchOperatorPtr tax_children = sql::AnalyzeBatch(
+      plan_, "BatchProject kcid,logdenom",
+      std::make_unique<sql::BatchProject>(
+          sql::AnalyzeBatch(
+              plan_, "Vectorize IndexScanEq TAXONOMY by_pcid",
+              std::make_unique<sql::Vectorize>(
+                  std::make_unique<sql::IndexScanEq>(
+                      tables_->taxonomy,
+                      tables_->taxonomy->IndexId("by_pcid"),
+                      std::vector<Value>{Value::Int32(c0)}))),
+          std::vector<sql::BatchExpr>{
+              sql::BatchExpr::Passthrough("kcid", TypeId::kInt32, 1),
+              sql::BatchExpr::Passthrough("logdenom", TypeId::kDouble, 3)}));
+  sql::BatchOperatorPtr cross = sql::AnalyzeBatch(
+      plan_, "BatchCrossJoin DOCLEN×children",
+      std::make_unique<sql::BatchCrossJoin>(std::move(doclen_op),
+                                            std::move(tax_children)));
+  // cross: 0 did, 1 len, 2 kcid, 3 logdenom
+  sql::BatchOperatorPtr complete_op = sql::AnalyzeBatch(
+      plan_, "BatchProject COMPLETE",
+      std::make_unique<sql::BatchProject>(
+          std::move(cross),
+          std::vector<sql::BatchExpr>{
+              sql::BatchExpr::Passthrough("did", TypeId::kInt64, 0),
+              sql::BatchExpr::Passthrough("kcid", TypeId::kInt32, 2),
+              sql::BatchExpr{"lpr2", TypeId::kDouble,
+                             [](const sql::Batch& in) {
+                               const auto& len = in.col(1).i64;
+                               const auto& denom = in.col(3).f64;
+                               sql::ColumnPtr out =
+                                   sql::NewColumn(TypeId::kDouble);
+                               out->f64.reserve(len.size());
+                               for (size_t i = 0; i < len.size(); ++i) {
+                                 out->f64.push_back(-len[i] * denom[i]);
+                               }
+                               return out;
+                             }}}));
+  sql::BatchOperatorPtr complete_sorted = sql::AnalyzeBatch(
+      plan_, "BatchSort COMPLETE (did,kcid)",
+      std::make_unique<sql::BatchSort>(
+          std::move(complete_op),
+          std::vector<SortKey>{{0, false}, {1, false}}));
+
+  // final: COMPLETE left outer join PARTIAL on (did, kcid).
+  sql::BatchOperatorPtr final_join = sql::AnalyzeBatch(
+      plan_,
+      StrCat("BulkProbeNode c0=", c0, ": BatchMergeJoin COMPLETE~PARTIAL"),
+      std::make_unique<sql::BatchMergeJoin>(
+          std::move(complete_sorted), std::move(partial_op),
+          std::vector<int>{0, 1}, std::vector<int>{0, 1},
+          /*left_outer=*/true));
+
+  // Drain straight from the columns: 0 did, 1 kcid, 2 lpr2, 3 did,
+  // 4 kcid, 5 lpr1 (NULL when no PARTIAL row).
+  FOCUS_RETURN_IF_ERROR(final_join->Open());
+  sql::Batch batch;
+  for (;;) {
+    FOCUS_ASSIGN_OR_RETURN(bool more, final_join->NextBatch(&batch));
+    if (!more) break;
+    size_t n = batch.num_rows();
+    const auto& did_col = batch.col(0).i64;
+    const auto& kcid_col = batch.col(1).i32;
+    const auto& lpr2_col = batch.col(2).f64;
+    const sql::ColumnData& lpr1 = batch.col(5);
+    stats_.output_rows += n;
+    for (size_t i = 0; i < n; ++i) {
+      double lpr = lpr2_col[i];
+      if (!lpr1.IsNull(i)) {
+        lpr += lpr1.f64[i];
+        ++stats_.partial_rows;
+      }
+      auto [entry, inserted] =
+          acc->try_emplace(static_cast<uint64_t>(did_col[i]));
+      if (inserted) entry->second.assign(children.size(), 0.0);
+      entry->second[child_index.at(kcid_col[i])] = lpr;
+    }
+  }
+  final_join->Close();
+  stats_.join_seconds += join_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
 Result<std::unordered_map<uint64_t, ClassScores>>
-BulkProbeClassifier::ClassifyAll(const sql::Table* document) const {
-  // One sequential pass sorts DOCUMENT by tid into a temp reused by every
-  // node's merge joins (as a clustered sort temp would be in DB2).
-  Stopwatch sort_timer;
-  OperatorPtr doc_sort = sql::Analyze(
-      plan_, "Sort DOCUMENT by tid",
-      std::make_unique<Sort>(
-          sql::Analyze(plan_, "SeqScan DOCUMENT",
-                       std::make_unique<SeqScan>(document)),
-          std::vector<SortKey>{{1, false}}));
-  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> doc_sorted,
-                         sql::Collect(doc_sort.get()));
-  stats_.join_seconds += sort_timer.ElapsedSeconds();
-
-  // Distinct document ids (docs with no feature terms anywhere still get
-  // scores — priors only).
-  std::unordered_map<uint64_t, bool> dids;
-  for (const Tuple& row : doc_sorted) {
-    dids.emplace(static_cast<uint64_t>(row.Get(0).AsInt64()), true);
-  }
-
-  // Per internal node, per did: child log-likelihood vector.
-  std::unordered_map<taxonomy::Cid,
-                     std::unordered_map<uint64_t, std::vector<double>>>
-      node_acc;
-  for (taxonomy::Cid c0 : ref_->tax().InternalPreorder()) {
-    FOCUS_RETURN_IF_ERROR(BulkProbeNode(c0, document->schema(), doc_sorted,
-                                        &node_acc[c0]));
-  }
-
+BulkProbeClassifier::Finalize(
+    const std::vector<uint64_t>& dids,
+    std::unordered_map<taxonomy::Cid,
+                       std::unordered_map<uint64_t, std::vector<double>>>*
+        node_acc) const {
   Stopwatch finalize_timer;
   std::unordered_map<uint64_t, ClassScores> out;
   out.reserve(dids.size());
-  for (const auto& [did, _] : dids) {
+  for (uint64_t did : dids) {
     std::unordered_map<taxonomy::Cid, std::vector<double>> child_ll;
     for (taxonomy::Cid c0 : ref_->tax().InternalPreorder()) {
-      auto& acc = node_acc[c0];
+      auto& acc = (*node_acc)[c0];
       auto it = acc.find(did);
       if (it != acc.end()) {
         child_ll.emplace(c0, it->second);
@@ -231,6 +401,82 @@ BulkProbeClassifier::ClassifyAll(const sql::Table* document) const {
   }
   stats_.finalize_seconds += finalize_timer.ElapsedSeconds();
   return out;
+}
+
+Result<std::unordered_map<uint64_t, ClassScores>>
+BulkProbeClassifier::ClassifyAllScalar(const sql::Table* document) const {
+  // One sequential pass sorts DOCUMENT by tid into a temp reused by every
+  // node's merge joins (as a clustered sort temp would be in DB2).
+  Stopwatch sort_timer;
+  OperatorPtr doc_sort = sql::Analyze(
+      plan_, "Sort DOCUMENT by tid",
+      std::make_unique<Sort>(
+          sql::Analyze(plan_, "SeqScan DOCUMENT",
+                       std::make_unique<SeqScan>(document)),
+          std::vector<SortKey>{{1, false}}));
+  FOCUS_ASSIGN_OR_RETURN(
+      std::vector<Tuple> doc_sorted,
+      sql::Collect(doc_sort.get(), document->num_rows()));
+  stats_.join_seconds += sort_timer.ElapsedSeconds();
+
+  // Distinct document ids (docs with no feature terms anywhere still get
+  // scores — priors only).
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> dids;
+  for (const Tuple& row : doc_sorted) {
+    uint64_t did = static_cast<uint64_t>(row.Get(0).AsInt64());
+    if (seen.insert(did).second) dids.push_back(did);
+  }
+
+  // Per internal node, per did: child log-likelihood vector.
+  std::unordered_map<taxonomy::Cid,
+                     std::unordered_map<uint64_t, std::vector<double>>>
+      node_acc;
+  for (taxonomy::Cid c0 : ref_->tax().InternalPreorder()) {
+    FOCUS_RETURN_IF_ERROR(BulkProbeNode(c0, document->schema(), doc_sorted,
+                                        &node_acc[c0]));
+  }
+  return Finalize(dids, &node_acc);
+}
+
+Result<std::unordered_map<uint64_t, ClassScores>>
+BulkProbeClassifier::ClassifyAllVectorized(
+    const sql::Table* document) const {
+  // One batch pass sorts DOCUMENT by tid into a columnar temp shared
+  // (zero-copy for small batches) by every node's merge joins.
+  Stopwatch sort_timer;
+  sql::BatchOperatorPtr doc_sort = sql::AnalyzeBatch(
+      plan_, "BatchSort DOCUMENT by tid",
+      std::make_unique<sql::BatchSort>(
+          sql::AnalyzeBatch(
+              plan_, "BatchTableScan DOCUMENT",
+              std::make_unique<sql::BatchTableScan>(document)),
+          std::vector<SortKey>{{1, false}}));
+  sql::ColumnSet doc_sorted;
+  FOCUS_RETURN_IF_ERROR(sql::CollectInto(doc_sort.get(), &doc_sorted));
+  stats_.join_seconds += sort_timer.ElapsedSeconds();
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> dids;
+  for (int64_t did : doc_sorted.col(0).i64) {
+    if (seen.insert(static_cast<uint64_t>(did)).second) {
+      dids.push_back(static_cast<uint64_t>(did));
+    }
+  }
+
+  std::unordered_map<taxonomy::Cid,
+                     std::unordered_map<uint64_t, std::vector<double>>>
+      node_acc;
+  for (taxonomy::Cid c0 : ref_->tax().InternalPreorder()) {
+    FOCUS_RETURN_IF_ERROR(BulkProbeNodeVec(c0, doc_sorted, &node_acc[c0]));
+  }
+  return Finalize(dids, &node_acc);
+}
+
+Result<std::unordered_map<uint64_t, ClassScores>>
+BulkProbeClassifier::ClassifyAll(const sql::Table* document) const {
+  return engine_ == sql::ExecEngine::kScalar ? ClassifyAllScalar(document)
+                                             : ClassifyAllVectorized(document);
 }
 
 Result<std::unordered_map<uint64_t, ClassScores>>

@@ -37,6 +37,12 @@ class BulkProbeClassifier {
                       const ClassifierTables* tables)
       : ref_(ref), tables_(tables) {}
 
+  // Selects the executor for the Figure 3 plans. Defaults to the
+  // vectorized batch engine; the scalar Volcano path stays available for
+  // comparison benchmarks and equivalence tests.
+  void SetEngine(sql::ExecEngine engine) { engine_ = engine; }
+  sql::ExecEngine engine() const { return engine_; }
+
   // Classifies every document materialized in `document` (did, tid, freq).
   // Returns scores keyed by did.
   //
@@ -64,8 +70,27 @@ class BulkProbeClassifier {
       const std::vector<sql::Tuple>& doc_sorted,
       std::unordered_map<uint64_t, std::vector<double>>* acc) const;
 
+  // The same plan on the vectorized engine, over the columnar
+  // sorted-DOCUMENT temp.
+  Status BulkProbeNodeVec(
+      taxonomy::Cid c0, const sql::ColumnSet& doc_sorted,
+      std::unordered_map<uint64_t, std::vector<double>>* acc) const;
+
+  Result<std::unordered_map<uint64_t, ClassScores>> ClassifyAllScalar(
+      const sql::Table* document) const;
+  Result<std::unordered_map<uint64_t, ClassScores>> ClassifyAllVectorized(
+      const sql::Table* document) const;
+
+  // Shared finalize: priors + score propagation per distinct did.
+  Result<std::unordered_map<uint64_t, ClassScores>> Finalize(
+      const std::vector<uint64_t>& dids,
+      std::unordered_map<taxonomy::Cid,
+                         std::unordered_map<uint64_t, std::vector<double>>>*
+          node_acc) const;
+
   const HierarchicalClassifier* ref_;
   const ClassifierTables* tables_;
+  sql::ExecEngine engine_ = sql::ExecEngine::kVectorized;
   mutable Stats stats_;
   // Non-null only inside ClassifyWithPlan.
   mutable sql::PlanStats* plan_ = nullptr;

@@ -49,6 +49,12 @@ struct FocusOptions {
   // commits and the session survives storage-level crashes. Empty (the
   // default) keeps sessions in memory with no WAL — the fast test path.
   std::string session_db_dir;
+  // Every Nth committed crawl batch is promoted to a full
+  // CrawlDb::Checkpoint (overlay flush + log truncation), so crash
+  // recovery replays at most one interval of commits. 0 disables periodic
+  // checkpoints. Sessions inherit this unless their CrawlerOptions set
+  // checkpoint_every_batches >= 0 explicitly.
+  int checkpoint_every_batches = 64;
 };
 
 struct RankedPage {

@@ -39,6 +39,11 @@ Crawler::Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
       retry_policy_(options.retry, options.max_retries),
       breaker_(options.breaker) {
   if (options_.classify_batch_size < 1) options_.classify_batch_size = 1;
+  // -1 = inherit: FocusSystem::NewCrawl resolves it from FocusOptions;
+  // a standalone crawler falls back to the same default interval.
+  if (options_.checkpoint_every_batches < 0) {
+    options_.checkpoint_every_batches = 64;
+  }
   next_distill_at_ = options_.distill_every;
   next_pagerank_at_ = options_.pagerank_every;
 }
@@ -55,6 +60,18 @@ Status Crawler::AddSeed(std::string_view url) {
   entry.relevance = 1.0;
   frontier_.AddOrUpdate(entry);
   return Status::OK();
+}
+
+Status Crawler::CommitBatch() {
+  if (options_.checkpoint_every_batches > 0 &&
+      ++commits_since_checkpoint_ >= options_.checkpoint_every_batches) {
+    commits_since_checkpoint_ = 0;
+    // Checkpoint subsumes Commit: the WAL protocol logs the pending batch,
+    // flushes the overlay and truncates the log, so recovery replay is
+    // bounded by one checkpoint interval of commits.
+    return db_->Checkpoint();
+  }
+  return db_->Commit();
 }
 
 Result<bool> Crawler::Step() {
@@ -117,7 +134,7 @@ Result<bool> Crawler::Step() {
       FOCUS_RETURN_IF_ERROR(FlushBreakerState());
       // Failure bookkeeping (numtries, nextretry, breaker rows) is a
       // batch of its own; a crash after this point must not replay it.
-      FOCUS_RETURN_IF_ERROR(db_->Commit());
+      FOCUS_RETURN_IF_ERROR(CommitBatch());
       return true;
     }
     if (options_.breaker.enabled) {
@@ -185,7 +202,7 @@ Result<bool> Crawler::Step() {
   FOCUS_RETURN_IF_ERROR(RunPeriodicBoosts());
   // Single-threaded batch boundary: the visit, its link expansion and any
   // boosts commit atomically (no-op without a WAL-backed CrawlDb).
-  FOCUS_RETURN_IF_ERROR(db_->Commit());
+  FOCUS_RETURN_IF_ERROR(CommitBatch());
   return true;
 }
 
@@ -611,7 +628,7 @@ Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
   Status flush = FlushBreakerState();
   // Pipeline batch boundary: everything this record/expand critical
   // section wrote becomes one durable WAL commit (no-op without a WAL).
-  Status commit = db_->Commit();
+  Status commit = CommitBatch();
   stage_metrics_->AddExpandMicros(
       static_cast<uint64_t>(expand_timer.ElapsedMicros()));
   stage_metrics_->SetFrontierDepth(static_cast<double>(frontier_.size()));
@@ -791,7 +808,7 @@ Status Crawler::Crawl() {
     std::lock_guard<std::mutex> lock(state_mutex_);
     Status flush = FlushBreakerState();
     if (result.ok()) result = flush;
-    Status commit = db_->Commit();
+    Status commit = CommitBatch();
     if (result.ok()) result = commit;
   }
   return result;

@@ -90,6 +90,13 @@ struct CrawlerOptions {
   RetryPolicyOptions retry;
   CircuitBreakerOptions breaker;
 
+  // Every Nth committed crawl batch is promoted to a CrawlDb::Checkpoint
+  // (overlay flush + log truncation), so crash recovery replays at most
+  // one interval of commits. 0 disables periodic checkpoints; -1 inherits
+  // core::FocusOptions::checkpoint_every_batches (64 when the crawler is
+  // built standalone). No-op without a WAL-backed CrawlDb.
+  int checkpoint_every_batches = -1;
+
   // Registry for the crawler's stage metrics; nullptr = process-global.
   // Benchmarks pass a private registry so repeated runs start from zero.
   obs::MetricsRegistry* metrics_registry = nullptr;
@@ -210,6 +217,10 @@ class Crawler {
   // Runs any distillation / PageRank refresh whose visit threshold has
   // been crossed. Caller holds state_mutex_.
   Status RunPeriodicBoosts();
+  // Commits the current durable batch; every checkpoint_every_batches-th
+  // commit is promoted to a full checkpoint so the WAL never holds more
+  // than one interval of commits. Caller holds state_mutex_.
+  Status CommitBatch();
 
   Status ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
                      const PageJudgment& judgment);
@@ -250,6 +261,8 @@ class Crawler {
   // trigger).
   uint64_t next_distill_at_ = 0;
   uint64_t next_pagerank_at_ = 0;
+  // Commits since the last periodic checkpoint (guarded by state_mutex_).
+  int commits_since_checkpoint_ = 0;
 
   // Fetches reserved against the budget but not yet recorded or failed.
   std::atomic<int> in_flight_{0};

@@ -4,6 +4,7 @@
 
 #include "sql/exec/aggregate.h"
 #include "sql/exec/basic.h"
+#include "sql/exec/batch_ops.h"
 #include "sql/exec/join.h"
 #include "sql/exec/scan.h"
 #include "sql/exec/external_sort.h"
@@ -39,6 +40,24 @@ OperatorPtr OffServerLinks(const sql::Table* link, sql::PlanStats* plan) {
           sql::Analyze(plan, "SeqScan LINK", std::make_unique<SeqScan>(link)),
           [](const Tuple& t) {
             return t.Get(1).AsInt32() != t.Get(3).AsInt32();
+          }));
+}
+
+// The batch-engine counterpart. LINK: 0 oid_src, 1 sid_src, 2 oid_dst,
+// 3 sid_dst, 4 wgt_fwd, 5 wgt_rev.
+sql::BatchOperatorPtr BatchOffServerLinks(const sql::Table* link,
+                                          sql::PlanStats* plan) {
+  return sql::AnalyzeBatch(
+      plan, "BatchFilter sid_src<>sid_dst",
+      std::make_unique<sql::BatchFilter>(
+          sql::AnalyzeBatch(plan, "BatchTableScan LINK",
+                            std::make_unique<sql::BatchTableScan>(link)),
+          [](const sql::Batch& in, std::vector<int64_t>* sel) {
+            const auto& src = in.col(1).i32;
+            const auto& dst = in.col(3).i32;
+            for (size_t i = 0; i < src.size(); ++i) {
+              if (src[i] != dst[i]) sel->push_back(static_cast<int64_t>(i));
+            }
           }));
 }
 }  // namespace
@@ -235,9 +254,152 @@ Status JoinDistiller::UpdateHubs() {
   return ReplaceNormalized(tables_.hubs, rows);
 }
 
+Status JoinDistiller::UpdateAuthVec(double rho) {
+  Stopwatch join_timer;
+  // Relevant pages, pruned at the scan: CRAWL carries URL strings the
+  // plan never reads, so the batch scan copies only (oid, relevance).
+  int rel_col = crawl_rel_col_;
+  int oid_col = crawl_oid_col_;
+  sql::BatchOperatorPtr relevant = sql::AnalyzeBatch(
+      plan_, "BatchSort relevant by oid",
+      std::make_unique<sql::BatchSort>(
+          sql::AnalyzeBatch(
+              plan_, "BatchProject oid",
+              std::make_unique<sql::BatchProject>(
+                  sql::AnalyzeBatch(
+                      plan_, "BatchFilter relevance>rho",
+                      std::make_unique<sql::BatchFilter>(
+                          sql::AnalyzeBatch(
+                              plan_, "BatchTableScan CRAWL(oid,relevance)",
+                              std::make_unique<sql::BatchTableScan>(
+                                  tables_.crawl,
+                                  std::vector<int>{oid_col, rel_col})),
+                          [rho](const sql::Batch& in,
+                                std::vector<int64_t>* sel) {
+                            const auto& rel = in.col(1).f64;
+                            for (size_t i = 0; i < rel.size(); ++i) {
+                              if (rel[i] > rho) {
+                                sel->push_back(static_cast<int64_t>(i));
+                              }
+                            }
+                          })),
+                  std::vector<sql::BatchExpr>{sql::BatchExpr::Passthrough(
+                      "oid", TypeId::kInt64, 0)})),
+          std::vector<SortKey>{{0, false}}));
+  // Eligible links: off-server links whose destination is relevant, via
+  // merge join on oid_dst.
+  sql::BatchOperatorPtr eligible = sql::AnalyzeBatch(
+      plan_, "BatchMergeJoin LINK~relevant",
+      std::make_unique<sql::BatchMergeJoin>(
+          sql::AnalyzeBatch(
+              plan_, "BatchSort by oid_dst",
+              std::make_unique<sql::BatchSort>(
+                  BatchOffServerLinks(tables_.link, plan_),
+                  std::vector<SortKey>{{2, false}})),
+          std::move(relevant), std::vector<int>{2}, std::vector<int>{0}));
+  // eligible: 0 oid_src, 1 sid_src, 2 oid_dst, 3 sid_dst, 4 wgt_fwd,
+  //           5 wgt_rev, 6 oid(relevant)
+  sql::BatchOperatorPtr by_src = sql::AnalyzeBatch(
+      plan_, "BatchSort by oid_src",
+      std::make_unique<sql::BatchSort>(std::move(eligible),
+                                       std::vector<SortKey>{{0, false}}));
+  // HUBS is maintained in ascending-oid heap order: merge join directly.
+  sql::BatchOperatorPtr with_hub = sql::AnalyzeBatch(
+      plan_, "BatchMergeJoin links~HUBS",
+      std::make_unique<sql::BatchMergeJoin>(
+          std::move(by_src),
+          sql::AnalyzeBatch(
+              plan_, "BatchTableScan HUBS",
+              std::make_unique<sql::BatchTableScan>(tables_.hubs)),
+          std::vector<int>{0}, std::vector<int>{0}));
+  // with_hub: ..., 7 oid(hub), 8 score
+  sql::BatchOperatorPtr contrib = sql::AnalyzeBatch(
+      plan_, "BatchProject oid_dst,score*wgt_fwd",
+      std::make_unique<sql::BatchProject>(
+          std::move(with_hub),
+          std::vector<sql::BatchExpr>{
+              sql::BatchExpr::Passthrough("oid_dst", TypeId::kInt64, 2),
+              sql::BatchExpr{"w", TypeId::kDouble,
+                             [](const sql::Batch& in) {
+                               const auto& wgt = in.col(4).f64;
+                               const auto& score = in.col(8).f64;
+                               sql::ColumnPtr out =
+                                   sql::NewColumn(TypeId::kDouble);
+                               out->f64.reserve(wgt.size());
+                               for (size_t i = 0; i < wgt.size(); ++i) {
+                                 out->f64.push_back(score[i] * wgt[i]);
+                               }
+                               return out;
+                             }}}));
+  // Sorting (stably) by oid_dst keeps the oid_src arrival order within
+  // each group, so the sum order matches the scalar plan's.
+  sql::BatchOperatorPtr agg = sql::AnalyzeBatch(
+      plan_, "UpdateAuth: BatchSortAggregate(oid_dst, sum)",
+      std::make_unique<sql::BatchSortAggregate>(
+          std::move(contrib), std::vector<SortKey>{{0, false}},
+          std::vector<int>{0},
+          std::vector<AggSpec>{AggSpec{AggKind::kSum, 1, "score"}}));
+  sql::Devectorize tail(std::move(agg));
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(&tail));
+  stats_.join_seconds += join_timer.ElapsedSeconds();
+  return ReplaceNormalized(tables_.auth, rows);
+}
+
+Status JoinDistiller::UpdateHubsVec() {
+  Stopwatch join_timer;
+  sql::BatchOperatorPtr by_dst = sql::AnalyzeBatch(
+      plan_, "BatchSort by oid_dst",
+      std::make_unique<sql::BatchSort>(
+          BatchOffServerLinks(tables_.link, plan_),
+          std::vector<SortKey>{{2, false}}));
+  // AUTH is in ascending-oid heap order (ReplaceNormalized preserved the
+  // aggregate's order).
+  sql::BatchOperatorPtr with_auth = sql::AnalyzeBatch(
+      plan_, "BatchMergeJoin links~AUTH",
+      std::make_unique<sql::BatchMergeJoin>(
+          std::move(by_dst),
+          sql::AnalyzeBatch(
+              plan_, "BatchTableScan AUTH",
+              std::make_unique<sql::BatchTableScan>(tables_.auth)),
+          std::vector<int>{2}, std::vector<int>{0}));
+  // with_auth: 0 oid_src .. 5 wgt_rev, 6 oid(auth), 7 score
+  sql::BatchOperatorPtr contrib = sql::AnalyzeBatch(
+      plan_, "BatchProject oid_src,score*wgt_rev",
+      std::make_unique<sql::BatchProject>(
+          std::move(with_auth),
+          std::vector<sql::BatchExpr>{
+              sql::BatchExpr::Passthrough("oid_src", TypeId::kInt64, 0),
+              sql::BatchExpr{"w", TypeId::kDouble,
+                             [](const sql::Batch& in) {
+                               const auto& wgt = in.col(5).f64;
+                               const auto& score = in.col(7).f64;
+                               sql::ColumnPtr out =
+                                   sql::NewColumn(TypeId::kDouble);
+                               out->f64.reserve(wgt.size());
+                               for (size_t i = 0; i < wgt.size(); ++i) {
+                                 out->f64.push_back(score[i] * wgt[i]);
+                               }
+                               return out;
+                             }}}));
+  sql::BatchOperatorPtr agg = sql::AnalyzeBatch(
+      plan_, "UpdateHubs: BatchSortAggregate(oid_src, sum)",
+      std::make_unique<sql::BatchSortAggregate>(
+          std::move(contrib), std::vector<SortKey>{{0, false}},
+          std::vector<int>{0},
+          std::vector<AggSpec>{AggSpec{AggKind::kSum, 1, "score"}}));
+  sql::Devectorize tail(std::move(agg));
+  FOCUS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Collect(&tail));
+  stats_.join_seconds += join_timer.ElapsedSeconds();
+  return ReplaceNormalized(tables_.hubs, rows);
+}
+
 Status JoinDistiller::RunIteration(double rho) {
-  FOCUS_RETURN_IF_ERROR(UpdateAuth(rho));
-  return UpdateHubs();
+  if (engine_ == sql::ExecEngine::kScalar) {
+    FOCUS_RETURN_IF_ERROR(UpdateAuth(rho));
+    return UpdateHubs();
+  }
+  FOCUS_RETURN_IF_ERROR(UpdateAuthVec(rho));
+  return UpdateHubsVec();
 }
 
 Status JoinDistiller::RunIterationWithPlan(double rho,

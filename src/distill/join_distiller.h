@@ -28,6 +28,12 @@ class JoinDistiller final : public Distiller {
   // may be null, in which case this is exactly RunIteration.
   Status RunIterationWithPlan(double rho, sql::PlanStats* plan);
 
+  // Selects the executor for the Figure 4 plans. Defaults to the
+  // vectorized batch engine; the scalar Volcano path stays available for
+  // comparison benchmarks and equivalence tests.
+  void SetEngine(sql::ExecEngine engine) { engine_ = engine; }
+  sql::ExecEngine engine() const { return engine_; }
+
  private:
   // Replaces `table`'s rows with `rows` scaled to sum 1, in input order
   // (callers supply ascending-oid rows so the heap stays merge-ready).
@@ -40,7 +46,10 @@ class JoinDistiller final : public Distiller {
 
   Status UpdateAuth(double rho);
   Status UpdateHubs();
+  Status UpdateAuthVec(double rho);
+  Status UpdateHubsVec();
 
+  sql::ExecEngine engine_ = sql::ExecEngine::kVectorized;
   int crawl_oid_col_ = -1;
   int crawl_rel_col_ = -1;
   // Non-null only inside RunIterationWithPlan.

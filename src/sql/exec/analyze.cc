@@ -63,6 +63,58 @@ class AnalyzedOperator final : public Operator {
   bool linked_ = false;
 };
 
+// Batch-engine wrapper; passes nullptr as op_name so the wrapper itself
+// records no obs metrics (the wrapped child still does).
+class AnalyzedBatchOperator final : public BatchOperator {
+ public:
+  AnalyzedBatchOperator(PlanStats* stats, std::string label,
+                        BatchOperatorPtr child)
+      : BatchOperator(nullptr),
+        stats_(stats),
+        node_(stats->NewNode(std::move(label))),
+        child_(std::move(child)) {
+    node_->is_batch = true;
+  }
+
+  Status Open() override {
+    if (!linked_) {
+      linked_ = true;
+      if (!stats_->open_stack_.empty()) {
+        node_->has_parent = true;
+        stats_->open_stack_.back()->children.push_back(node_);
+      }
+    }
+    stats_->PushOpen(node_);
+    Stopwatch timer;
+    Status s = child_->Open();
+    node_->open_micros += static_cast<uint64_t>(timer.ElapsedMicros());
+    stats_->PopOpen();
+    return s;
+  }
+
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ protected:
+  Result<bool> DoNextBatch(Batch* out) override {
+    ++node_->next_calls;
+    Stopwatch timer;
+    Result<bool> more = child_->NextBatch(out);
+    node_->next_micros += static_cast<uint64_t>(timer.ElapsedMicros());
+    if (more.ok() && more.value()) {
+      ++node_->batches;
+      node_->rows_out += out->num_rows();
+    }
+    return more;
+  }
+
+ private:
+  PlanStats* stats_;
+  PlanStats::Node* node_;
+  BatchOperatorPtr child_;
+  bool linked_ = false;
+};
+
 PlanStats::Node* PlanStats::NewNode(std::string label) {
   Node& node = nodes_.emplace_back();
   node.label = std::move(label);
@@ -97,9 +149,16 @@ void FormatNode(const PlanStats::Node& node, const std::string& prefix,
   uint64_t children = ChildMicros(node);
   uint64_t self = total > children ? total - children : 0;
   std::string line = root ? "" : StrCat(prefix, last ? "`- " : "|- ");
-  *out += StrCat(line, node.label, "  rows=", node.rows_out,
-                 " next=", node.next_calls, " total=", FormatMicros(total),
-                 " self=", FormatMicros(self), "\n");
+  if (node.is_batch) {
+    *out += StrCat(line, node.label, "  rows=", node.rows_out,
+                   " batches=", node.batches,
+                   " total=", FormatMicros(total),
+                   " self=", FormatMicros(self), "\n");
+  } else {
+    *out += StrCat(line, node.label, "  rows=", node.rows_out,
+                   " next=", node.next_calls, " total=", FormatMicros(total),
+                   " self=", FormatMicros(self), "\n");
+  }
   std::string child_prefix =
       root ? "" : StrCat(prefix, last ? "   " : "|  ");
   for (size_t i = 0; i < node.children.size(); ++i) {
@@ -117,6 +176,7 @@ void NodeToJson(const PlanStats::Node& node, obs::JsonWriter* w) {
       .Field("next_calls", node.next_calls)
       .Field("total_micros", total)
       .Field("self_micros", total > children ? total - children : 0);
+  if (node.is_batch) w->Field("batches", node.batches);
   w->Key("children").BeginArray();
   for (const PlanStats::Node* child : node.children) NodeToJson(*child, w);
   w->EndArray().EndObject();
@@ -144,6 +204,13 @@ OperatorPtr Analyze(PlanStats* stats, std::string label, OperatorPtr child) {
   if (stats == nullptr) return child;
   return std::make_unique<AnalyzedOperator>(stats, std::move(label),
                                             std::move(child));
+}
+
+BatchOperatorPtr AnalyzeBatch(PlanStats* stats, std::string label,
+                              BatchOperatorPtr child) {
+  if (stats == nullptr) return child;
+  return std::make_unique<AnalyzedBatchOperator>(stats, std::move(label),
+                                                 std::move(child));
 }
 
 }  // namespace focus::sql

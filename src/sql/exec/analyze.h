@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/json_writer.h"
+#include "sql/exec/batch_ops.h"
 #include "sql/exec/operator.h"
 
 namespace focus::sql {
@@ -40,6 +41,9 @@ class PlanStats {
     uint64_t next_calls = 0;
     uint64_t open_micros = 0;  // inclusive of children
     uint64_t next_micros = 0;  // inclusive of children
+    // Batch operators report batches instead of per-row Next calls.
+    uint64_t batches = 0;
+    bool is_batch = false;
     std::vector<Node*> children;
     bool has_parent = false;
   };
@@ -60,6 +64,7 @@ class PlanStats {
 
  private:
   friend class AnalyzedOperator;
+  friend class AnalyzedBatchOperator;
 
   Node* NewNode(std::string label);
   // Open-stack maintenance (single-threaded plan execution).
@@ -73,6 +78,12 @@ class PlanStats {
 // Wraps `child` so its execution is recorded into `stats` under `label`.
 // When `stats` is null the child is returned unchanged (no overhead).
 OperatorPtr Analyze(PlanStats* stats, std::string label, OperatorPtr child);
+
+// The batch-engine counterpart: records rows, batches, and inclusive time
+// per operator into the same tree (scalar and batch wrappers share the
+// open stack, so mixed plans still render as one tree).
+BatchOperatorPtr AnalyzeBatch(PlanStats* stats, std::string label,
+                              BatchOperatorPtr child);
 
 }  // namespace focus::sql
 

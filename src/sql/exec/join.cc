@@ -79,7 +79,7 @@ Result<bool> MergeJoin::Next(Tuple* out) {
         CompareKeys(left_row_, left_keys_, group_key_row_, right_keys_) ==
             0) {
       if (group_pos_ < group_.size()) {
-        *out = ConcatTuples(left_row_, group_[group_pos_++]);
+        out->AssignConcat(left_row_, group_[group_pos_++]);
         left_matched_ = true;
         return true;
       }
@@ -92,7 +92,7 @@ Result<bool> MergeJoin::Next(Tuple* out) {
     if (!right_valid_) {
       // No further right rows can match any left row.
       if (left_outer_ && !left_matched_) {
-        *out = ConcatWithNulls(left_row_, right_->schema());
+        out->AssignConcatNulls(left_row_, right_->schema());
         FOCUS_RETURN_IF_ERROR(PullLeft().status());
         group_pos_ = 0;
         return true;
@@ -105,7 +105,7 @@ Result<bool> MergeJoin::Next(Tuple* out) {
     int cmp = CompareKeys(left_row_, left_keys_, right_row_, right_keys_);
     if (cmp < 0) {
       if (left_outer_ && !left_matched_) {
-        *out = ConcatWithNulls(left_row_, right_->schema());
+        out->AssignConcatNulls(left_row_, right_->schema());
         FOCUS_RETURN_IF_ERROR(PullLeft().status());
         group_pos_ = 0;
         return true;
@@ -122,7 +122,7 @@ Result<bool> MergeJoin::Next(Tuple* out) {
     group_.clear();
     group_key_row_ = right_row_;
     do {
-      group_.push_back(right_row_);
+      group_.push_back(std::move(right_row_));
       FOCUS_ASSIGN_OR_RETURN(bool more, PullRight());
       if (!more) break;
     } while (CompareKeys(right_row_, right_keys_, group_key_row_,
@@ -167,7 +167,8 @@ Status HashJoin::Open() {
   for (;;) {
     FOCUS_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
     if (!more) break;
-    build_.emplace(KeyHash(t, left_keys_), t);
+    uint64_t h = KeyHash(t, left_keys_);
+    build_.emplace(h, std::move(t));
   }
   return Status::OK();
 }
@@ -175,7 +176,7 @@ Status HashJoin::Open() {
 Result<bool> HashJoin::Next(Tuple* out) {
   for (;;) {
     if (match_pos_ < matches_.size()) {
-      *out = ConcatTuples(*matches_[match_pos_++], probe_row_);
+      out->AssignConcat(*matches_[match_pos_++], probe_row_);
       return true;
     }
     FOCUS_ASSIGN_OR_RETURN(bool more, right_->Next(&probe_row_));
@@ -216,7 +217,7 @@ Result<bool> NestedLoopJoin::Next(Tuple* out) {
     while (right_pos_ < right_rows_.size()) {
       const Tuple& r = right_rows_[right_pos_++];
       if (pred_(left_row_, r)) {
-        *out = ConcatTuples(left_row_, r);
+        out->AssignConcat(left_row_, r);
         return true;
       }
     }

@@ -2,14 +2,15 @@
 
 namespace focus::sql {
 
-Result<std::vector<Tuple>> Collect(Operator* op) {
+Result<std::vector<Tuple>> Collect(Operator* op, size_t reserve_hint) {
   FOCUS_RETURN_IF_ERROR(op->Open());
   std::vector<Tuple> rows;
+  if (reserve_hint > 0) rows.reserve(reserve_hint);
   Tuple t;
   for (;;) {
     FOCUS_ASSIGN_OR_RETURN(bool more, op->Next(&t));
     if (!more) break;
-    rows.push_back(t);
+    rows.push_back(std::move(t));
   }
   op->Close();
   return rows;

@@ -15,6 +15,12 @@
 
 namespace focus::sql {
 
+// Which executor runs a hot relational plan: the scalar Volcano engine
+// (one Tuple per Next call) or the vectorized batch engine (batch_ops.h).
+// Both produce identical results (tested); vectorized is the default for
+// the Figure 3 / Figure 4 consumers.
+enum class ExecEngine { kScalar, kVectorized };
+
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -28,8 +34,10 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-// Runs `op` to completion and returns its rows (Open/Next/Close included).
-Result<std::vector<Tuple>> Collect(Operator* op);
+// Runs `op` to completion and returns its rows (Open/Next/Close included),
+// moving each tuple out of the operator's output slot. `reserve_hint`
+// pre-sizes the result when the caller knows the cardinality.
+Result<std::vector<Tuple>> Collect(Operator* op, size_t reserve_hint = 0);
 
 // A materialized rowset as an operator source; used to stage multi-pass
 // plans (the "with ... as" blocks of Figure 3).

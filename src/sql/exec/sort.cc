@@ -21,7 +21,7 @@ Status Sort::Open() {
   for (;;) {
     FOCUS_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
     if (!more) break;
-    rows_.push_back(t);
+    rows_.push_back(std::move(t));
   }
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Tuple& a, const Tuple& b) {
@@ -32,7 +32,8 @@ Status Sort::Open() {
 
 Result<bool> Sort::Next(Tuple* out) {
   if (pos_ >= rows_.size()) return false;
-  *out = rows_[pos_++];
+  // Safe to move out: Open() rebuilds rows_ before any re-execution.
+  *out = std::move(rows_[pos_++]);
   return true;
 }
 

@@ -53,6 +53,27 @@ class Tuple {
 
   void Append(Value v) { values_.push_back(std::move(v)); }
 
+  // Join-output assembly that reuses this tuple's storage: resizing and
+  // copy-assigning element-wise keeps each Value's string capacity, so a
+  // join emitting millions of rows into one output tuple stops allocating
+  // after the first row.
+  void AssignConcat(const Tuple& left, const Tuple& right) {
+    values_.resize(left.size() + right.size());
+    size_t i = 0;
+    for (const Value& v : left.values()) values_[i++] = v;
+    for (const Value& v : right.values()) values_[i++] = v;
+  }
+  // Left-outer padding variant: right side becomes NULLs of the schema's
+  // column types.
+  void AssignConcatNulls(const Tuple& left, const Schema& right_schema) {
+    values_.resize(left.size() + right_schema.num_columns());
+    size_t i = 0;
+    for (const Value& v : left.values()) values_[i++] = v;
+    for (int c = 0; c < right_schema.num_columns(); ++c) {
+      values_[i++] = Value::Null(right_schema.column(c).type);
+    }
+  }
+
   // Serializes per `schema` column order into `out`.
   void SerializeTo(const Schema& schema, std::string* out) const;
   std::string Serialize(const Schema& schema) const {

@@ -47,4 +47,15 @@ void Emit(LogLevel level, const char* file, int line,
     }                                                                       \
   } while (0)
 
+// Debug-only check for hot-path invariants; compiles to nothing (the
+// condition is not evaluated) in release builds.
+#ifdef NDEBUG
+#define FOCUS_DCHECK(cond, ...) \
+  do {                          \
+    (void)sizeof(cond);         \
+  } while (0)
+#else
+#define FOCUS_DCHECK(cond, ...) FOCUS_CHECK(cond, ##__VA_ARGS__)
+#endif
+
 #endif  // FOCUS_UTIL_LOGGING_H_

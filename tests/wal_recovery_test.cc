@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "crawl/crawl_db.h"
+#include "crawl/crawler.h"
+#include "crawl/relevance_evaluator.h"
 #include "obs/metrics.h"
 #include "sql/catalog.h"
 #include "storage/buffer_pool.h"
@@ -481,6 +483,74 @@ TEST(WalMetricsTest, RecoveryCountersExport) {
     out << json;
     ASSERT_TRUE(out.good());
   }
+}
+
+// ---------------------------------------------------------------------
+// Periodic crawler checkpoints bound recovery replay.
+
+// Judges everything maximally relevant — the crawl visits pages as fast
+// as the frontier supplies them, which is all this test needs.
+class ConstantEvaluator final : public crawl::RelevanceEvaluator {
+ public:
+  Result<crawl::PageJudgment> Judge(const text::TermVector&) override {
+    crawl::PageJudgment j;
+    j.relevance = 1.0;
+    j.best_leaf_is_good = true;
+    return j;
+  }
+};
+
+// Runs a WAL-backed crawl of `fetches` pages with the given checkpoint
+// interval, then "crashes" (drops the crawler without a final checkpoint)
+// and reopens the devices. Returns the reopened WAL's recovery stats.
+storage::WalStats CrawlThenRecover(int fetches, int checkpoint_every) {
+  taxonomy::Taxonomy tax;
+  taxonomy::Cid rec =
+      tax.AddTopic(taxonomy::kRootCid, "recreation").value();
+  EXPECT_TRUE(tax.AddTopic(rec, "cycling").ok());
+  webgraph::WebConfig config;
+  config.seed = 5;
+  config.pages_per_topic = 150;
+  config.background_pages = 400;
+  auto web = webgraph::SimulatedWeb::Generate(tax, config, {});
+  EXPECT_TRUE(web.ok()) << web.status();
+
+  MemDiskManager data, log;
+  {
+    auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+    storage::BufferPool pool(wal.get(), 512);
+    sql::Catalog catalog(&pool);
+    auto db = crawl::CrawlDb::Create(&catalog).TakeValue();
+    db.BindWal(wal.get());
+    ConstantEvaluator evaluator;
+    crawl::CrawlerOptions options;
+    options.max_fetches = fetches;
+    options.checkpoint_every_batches = checkpoint_every;
+    crawl::Crawler crawler(&web.value(), &evaluator, &db, &catalog,
+                           options);
+    EXPECT_TRUE(crawler.AddSeed(web.value().page(0).url).ok());
+    EXPECT_TRUE(crawler.Crawl().ok());
+    EXPECT_GT(crawler.visits().size(), 0u);
+  }
+  auto wal = WalDiskManager::Open(&data, &log).TakeValue();
+  return wal->wal_stats();
+}
+
+TEST(CrawlerCheckpointTest, RecoveryReplaysAtMostOneCheckpointInterval) {
+  constexpr int kFetches = 40;
+  constexpr int kInterval = 8;
+  // With periodic checkpoints the log never accumulates more than one
+  // interval of commits, no matter how long the crawl ran.
+  storage::WalStats bounded = CrawlThenRecover(kFetches, kInterval);
+  EXPECT_LE(bounded.recovered_commits, static_cast<uint64_t>(kInterval))
+      << "log held more than one checkpoint interval of commits";
+
+  // Control: checkpointing off — every commit of the whole crawl is
+  // still in the log and must be replayed.
+  storage::WalStats unbounded = CrawlThenRecover(kFetches, 0);
+  EXPECT_GT(unbounded.recovered_commits,
+            static_cast<uint64_t>(kInterval));
+  EXPECT_GE(unbounded.recovered_commits, static_cast<uint64_t>(kFetches));
 }
 
 }  // namespace
