@@ -5,6 +5,7 @@
 //   BLOB    — SingleProbe over the packed BLOB table (one fetch per term)
 //   CLI     — BulkProbe, the Figure 3 sort-merge plan, scalar engine
 //   CLI-VEC — the same plan on the vectorized batch engine
+//   CLI-PAR — the same plan morsel-parallel (`--threads=N`, default 4)
 //
 // `--json` switches the report from CSV to a JSON array (one object per
 // variant) for the CI bench-smoke gate, which asserts the vectorized join
@@ -15,7 +16,9 @@
 // with per-document time broken into document scan / statistics probe /
 // CPU. We report seconds per document, the same breakdown, and buffer-pool
 // misses per document (the hardware-independent signal).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -41,7 +44,7 @@ constexpr int kTestDocs = 200;
 constexpr int kBufferFrames = 256;        // 1 MiB — far below the model size
 constexpr double kReadLatencyUs = 120;    // a (conservative) 1999-era seek
 
-int Run(bool json, bool explain) {
+int Run(bool json, bool explain, int threads) {
   taxonomy::Taxonomy tax = MakeWideTaxonomy(kCategories, kLeavesPerCategory);
   SyntheticTextOptions text_options;
   text_options.tokens_per_doc = 250;
@@ -129,6 +132,7 @@ int Run(bool json, bool explain) {
   auto run_bulk = [&](sql::ExecEngine engine, const char* name) {
     classify::BulkProbeClassifier bulk(&ref, &tables.value());
     bulk.SetEngine(engine);
+    bulk.SetParallelThreads(threads);
     FOCUS_CHECK(pool.EvictAll().ok());
     pool.ResetStats();
     sql::PlanStats plan;
@@ -152,6 +156,7 @@ int Run(bool json, bool explain) {
   };
   run_bulk(sql::ExecEngine::kScalar, "CLI");
   run_bulk(sql::ExecEngine::kVectorized, "CLI-VEC");
+  run_bulk(sql::ExecEngine::kParallel, "CLI-PAR");
 
   if (json) {
     std::printf("[\n");
@@ -184,9 +189,13 @@ int main(int argc, char** argv) {
   focus::SetLogLevel(focus::LogLevel::kWarning);
   bool json = false;
   bool explain = false;
+  int threads = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--explain") == 0) explain = true;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::max(1, std::atoi(argv[i] + 10));
+    }
   }
-  return focus::bench::Run(json, explain);
+  return focus::bench::Run(json, explain, threads);
 }

@@ -9,8 +9,18 @@
 //
 // The crawl graph comes from a real focused crawl; its LINK/CRAWL tables
 // are then copied into a database whose buffer pool is far smaller than
-// the tables, with per-miss latency modelling the 1999 disk.
+// the tables, with per-miss latency modelling the 1999 disk. The JoinPar
+// row runs the plan morsel-parallel (`--threads=N`, default 4);
+// `--fast-disk` zeroes the modelled read latency so the CPU-bound join
+// cost dominates (the CI speedup gate compares JoinPar vs JoinVec
+// join_s under this flag), and `--json` emits the same rows as a JSON
+// array for the bench artifacts.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/focus.h"
@@ -47,7 +57,7 @@ sql::Table* CopyTable(sql::Catalog* dst_catalog, const sql::Table* src,
   return dst.value();
 }
 
-int Run() {
+int Run(bool json, int threads, bool fast_disk) {
   // --- build a crawl graph with the full pipeline (fast disk) ---
   taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
   core::FocusOptions options;
@@ -69,8 +79,8 @@ int Run() {
   FOCUS_CHECK(session->db().RefreshEdgeWeights().ok());
 
   // --- copy LINK/CRAWL onto the slow-disk database ---
-  storage::MemDiskManager disk(
-      storage::MemDiskManager::Options{.read_latency_us = kReadLatencyUs});
+  storage::MemDiskManager disk(storage::MemDiskManager::Options{
+      .read_latency_us = fast_disk ? 0 : kReadLatencyUs});
   storage::BufferPool pool(&disk, kBufferFrames);
   sql::Catalog catalog(&pool);
   distill::DistillTables tables;
@@ -81,13 +91,20 @@ int Run() {
                            {sql::IndexSpec{"by_oid", {0}, {}}});
   FOCUS_CHECK(distill::CreateHubsAuthTables(&catalog, &tables).ok());
 
-  Note("figure 8(d): distillation iteration time, naive index walk vs "
-       "Figure 4 join plan");
-  Note("crawl graph: ", tables.link->num_rows(), " links over ",
-       tables.crawl->num_rows(), " urls; buffer pool ", kBufferFrames,
-       " frames; iterations: ", kIterations);
-  std::printf("variant,seconds_per_iter,scan_s,lookup_s,update_s,join_s,"
-              "misses_per_iter,relative\n");
+  if (!json) {
+    Note("figure 8(d): distillation iteration time, naive index walk vs "
+         "Figure 4 join plan");
+    Note("crawl graph: ", tables.link->num_rows(), " links over ",
+         tables.crawl->num_rows(), " urls; buffer pool ", kBufferFrames,
+         " frames; iterations: ", kIterations,
+         fast_disk ? "; fast disk (no read latency)" : "");
+  }
+
+  struct Row {
+    const char* variant;
+    double per_iter, scan_s, lookup_s, update_s, join_s, misses, relative;
+  };
+  std::vector<Row> report;
 
   double baseline = 0;
   {
@@ -99,36 +116,73 @@ int Run() {
         naive.Run({.iterations = kIterations, .rho = kRho}).ok());
     double per_iter = timer.ElapsedSeconds() / kIterations;
     baseline = per_iter;
-    std::printf("Index,%.4f,%.4f,%.4f,%.4f,%.4f,%.0f,%.2f\n", per_iter,
-                naive.stats().scan_seconds / kIterations,
-                naive.stats().lookup_seconds / kIterations,
-                naive.stats().update_seconds / kIterations, 0.0,
-                static_cast<double>(pool.stats().misses) / kIterations,
-                1.0);
+    report.push_back(Row{"Index", per_iter,
+                         naive.stats().scan_seconds / kIterations,
+                         naive.stats().lookup_seconds / kIterations,
+                         naive.stats().update_seconds / kIterations, 0.0,
+                         static_cast<double>(pool.stats().misses) /
+                             kIterations,
+                         1.0});
   }
   auto run_join = [&](sql::ExecEngine engine, const char* name) {
     distill::JoinDistiller join(tables);
     join.SetEngine(engine);
+    join.SetParallelThreads(threads);
     FOCUS_CHECK(pool.EvictAll().ok());
     pool.ResetStats();
     Stopwatch timer;
     FOCUS_CHECK(join.Run({.iterations = kIterations, .rho = kRho}).ok());
     double per_iter = timer.ElapsedSeconds() / kIterations;
-    std::printf("%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.0f,%.2f\n", name, per_iter,
-                0.0, 0.0, join.stats().update_seconds / kIterations,
-                join.stats().join_seconds / kIterations,
-                static_cast<double>(pool.stats().misses) / kIterations,
-                per_iter / baseline);
+    report.push_back(Row{name, per_iter, 0.0, 0.0,
+                         join.stats().update_seconds / kIterations,
+                         join.stats().join_seconds / kIterations,
+                         static_cast<double>(pool.stats().misses) /
+                             kIterations,
+                         per_iter / baseline});
   };
   run_join(sql::ExecEngine::kScalar, "Join");
   run_join(sql::ExecEngine::kVectorized, "JoinVec");
+  run_join(sql::ExecEngine::kParallel, "JoinPar");
+
+  if (json) {
+    std::printf("[\n");
+    for (size_t i = 0; i < report.size(); ++i) {
+      const Row& r = report[i];
+      std::printf("  {\"variant\":\"%s\",\"seconds_per_iter\":%.4f,"
+                  "\"scan_s\":%.4f,\"lookup_s\":%.4f,\"update_s\":%.4f,"
+                  "\"join_s\":%.4f,\"misses_per_iter\":%.0f,"
+                  "\"relative\":%.2f,\"threads\":%d}%s\n",
+                  r.variant, r.per_iter, r.scan_s, r.lookup_s, r.update_s,
+                  r.join_s, r.misses, r.relative, threads,
+                  i + 1 < report.size() ? "," : "");
+    }
+    std::printf("]\n");
+  } else {
+    std::printf("variant,seconds_per_iter,scan_s,lookup_s,update_s,join_s,"
+                "misses_per_iter,relative\n");
+    for (const Row& r : report) {
+      std::printf("%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.0f,%.2f\n", r.variant,
+                  r.per_iter, r.scan_s, r.lookup_s, r.update_s, r.join_s,
+                  r.misses, r.relative);
+    }
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace focus::bench
 
-int main() {
+int main(int argc, char** argv) {
   focus::SetLogLevel(focus::LogLevel::kWarning);
-  return focus::bench::Run();
+  bool json = false;
+  bool fast_disk = false;
+  int threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--fast-disk") == 0) fast_disk = true;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::max(1, std::atoi(argv[i] + 10));
+    }
+  }
+  return focus::bench::Run(json, threads, fast_disk);
 }

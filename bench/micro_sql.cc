@@ -1,11 +1,14 @@
 // Micro-benchmarks for the executor: joins, sort, aggregation, tokenizer.
 //
-// Operators with both engines carry a _scalar / _vectorized suffix;
-// `--engine=scalar` / `--engine=vectorized` select one family (it maps to
-// --benchmark_filter), and `--json` maps to --benchmark_format=json, so
-// CI can diff the two engines from one binary.
+// Operators with multiple engines carry a _scalar / _vectorized /
+// _parallel suffix; `--engine=scalar|vectorized|parallel` selects one
+// family (it maps to --benchmark_filter), `--threads=N` sets the
+// parallel-engine worker count (reported as the `threads` counter), and
+// `--json` maps to --benchmark_format=json, so CI can diff the engines
+// and thread counts from one binary.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,10 +17,14 @@
 #include "sql/exec/batch_ops.h"
 #include "sql/exec/join.h"
 #include "sql/exec/operator.h"
+#include "sql/exec/parallel.h"
 #include "sql/exec/sort.h"
 #include "text/tokenizer.h"
 #include "util/random.h"
 #include "util/string_util.h"
+
+// Worker count for the _parallel family (set by --threads=N).
+static int g_parallel_threads = 4;
 
 namespace focus::sql {
 namespace {
@@ -85,7 +92,31 @@ void BM_MergeJoin_vectorized(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_MergeJoin_vectorized)->Arg(1000)->Arg(10000);
+// The 100k point is the CI speedup gate: large enough that morsel/
+// partition overhead is amortized and the parallel engine must win.
+BENCHMARK(BM_MergeJoin_vectorized)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Same work as _vectorized (sort both sides + merge, from unsorted
+// columnar input): the parallel join fuses the sorts into its radix
+// partitioning, producing bit-identical output.
+void BM_MergeJoin_parallel(benchmark::State& state) {
+  int n = state.range(0);
+  ColumnSet left = Columnar(RandomRows(n, n / 4, 1));
+  ColumnSet right = Columnar(RandomRows(n, n / 4, 2));
+  MorselDispatcher dispatcher(g_parallel_threads);
+  for (auto _ : state) {
+    ParallelMergeJoin join(std::make_unique<BatchSource>(&left),
+                           std::make_unique<BatchSource>(&right),
+                           std::vector<int>{0}, std::vector<int>{0},
+                           &dispatcher);
+    ColumnSet out;
+    benchmark::DoNotOptimize(CollectInto(&join, &out).ok());
+    benchmark::DoNotOptimize(out.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["threads"] = g_parallel_threads;
+}
+BENCHMARK(BM_MergeJoin_parallel)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_HashJoin(benchmark::State& state) {
   int n = state.range(0);
@@ -129,7 +160,23 @@ void BM_Sort_vectorized(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_Sort_vectorized)->Arg(10000);
+BENCHMARK(BM_Sort_vectorized)->Arg(10000)->Arg(100000);
+
+void BM_Sort_parallel(benchmark::State& state) {
+  int n = state.range(0);
+  ColumnSet rows = Columnar(RandomRows(n, 1 << 30, 3));
+  MorselDispatcher dispatcher(g_parallel_threads);
+  for (auto _ : state) {
+    ParallelSort sort(std::make_unique<BatchSource>(&rows),
+                      std::vector<SortKey>{{0, false}}, &dispatcher);
+    ColumnSet out;
+    benchmark::DoNotOptimize(CollectInto(&sort, &out).ok());
+    benchmark::DoNotOptimize(out.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["threads"] = g_parallel_threads;
+}
+BENCHMARK(BM_Sort_parallel)->Arg(10000)->Arg(100000);
 
 // --- grouped aggregation (sum over 64 groups) ---
 //
@@ -173,6 +220,24 @@ void BM_GroupedAggregate_vectorized(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupedAggregate_vectorized)->Arg(10000);
 
+void BM_GroupedAggregate_parallel(benchmark::State& state) {
+  int n = state.range(0);
+  ColumnSet rows = Columnar(SortedRows(n, 64, 4));
+  MorselDispatcher dispatcher(g_parallel_threads);
+  for (auto _ : state) {
+    ParallelSortAggregate agg(std::make_unique<BatchSource>(&rows),
+                              {{0, false}}, {0},
+                              {AggSpec{AggKind::kSum, 1, "sum"}},
+                              &dispatcher);
+    ColumnSet out;
+    benchmark::DoNotOptimize(CollectInto(&agg, &out).ok());
+    benchmark::DoNotOptimize(out.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["threads"] = g_parallel_threads;
+}
+BENCHMARK(BM_GroupedAggregate_parallel)->Arg(10000);
+
 void BM_Tokenize(benchmark::State& state) {
   std::string text;
   Rng rng(5);
@@ -201,6 +266,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--engine=", 0) == 0) {
       args.push_back("--benchmark_filter=_" + arg.substr(9));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      g_parallel_threads = std::max(1, std::atoi(arg.c_str() + 10));
     } else if (arg == "--json") {
       args.push_back("--benchmark_format=json");
     } else {

@@ -33,6 +33,72 @@ using sql::Tuple;
 using sql::TypeId;
 using sql::Value;
 
+namespace {
+
+// Engine-selected operator builders: the kParallel plan has the same shape
+// as the vectorized one with the heavy operators swapped for their
+// morsel-parallel counterparts (bit-identical output either way).
+sql::BatchOperatorPtr EngineSort(bool par, sql::MorselDispatcher* d,
+                                 sql::BatchOperatorPtr child,
+                                 std::vector<SortKey> keys) {
+  if (par) {
+    return std::make_unique<sql::ParallelSort>(std::move(child),
+                                               std::move(keys), d);
+  }
+  return std::make_unique<sql::BatchSort>(std::move(child), std::move(keys));
+}
+
+sql::BatchOperatorPtr EngineMergeJoin(bool par, sql::MorselDispatcher* d,
+                                      sql::BatchOperatorPtr left,
+                                      sql::BatchOperatorPtr right,
+                                      std::vector<int> left_keys,
+                                      std::vector<int> right_keys,
+                                      bool left_outer = false) {
+  if (par) {
+    return std::make_unique<sql::ParallelMergeJoin>(
+        std::move(left), std::move(right), std::move(left_keys),
+        std::move(right_keys), d, left_outer);
+  }
+  return std::make_unique<sql::BatchMergeJoin>(
+      std::move(left), std::move(right), std::move(left_keys),
+      std::move(right_keys), left_outer);
+}
+
+sql::BatchOperatorPtr EngineProject(bool par, sql::MorselDispatcher* d,
+                                    sql::BatchOperatorPtr child,
+                                    std::vector<sql::BatchExpr> exprs) {
+  if (par) {
+    return std::make_unique<sql::ParallelProject>(std::move(child),
+                                                  std::move(exprs), d);
+  }
+  return std::make_unique<sql::BatchProject>(std::move(child),
+                                             std::move(exprs));
+}
+
+sql::BatchOperatorPtr EngineSortAggregate(bool par, sql::MorselDispatcher* d,
+                                          sql::BatchOperatorPtr child,
+                                          std::vector<SortKey> sort_keys,
+                                          std::vector<int> group_cols,
+                                          std::vector<AggSpec> aggs) {
+  if (par) {
+    return std::make_unique<sql::ParallelSortAggregate>(
+        std::move(child), std::move(sort_keys), std::move(group_cols),
+        std::move(aggs), d);
+  }
+  return std::make_unique<sql::BatchSortAggregate>(
+      std::move(child), std::move(sort_keys), std::move(group_cols),
+      std::move(aggs));
+}
+
+}  // namespace
+
+sql::MorselDispatcher* BulkProbeClassifier::dispatcher() const {
+  if (dispatcher_ == nullptr) {
+    dispatcher_ = std::make_unique<sql::MorselDispatcher>(parallel_threads_);
+  }
+  return dispatcher_.get();
+}
+
 Status BulkProbeClassifier::BulkProbeNode(
     taxonomy::Cid c0, const sql::Schema& doc_schema,
     const std::vector<sql::Tuple>& doc_sorted,
@@ -190,6 +256,9 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
     return Status::Internal(StrCat("no STAT table for node ", c0));
   }
   const sql::Table* stat = it->second;
+  const bool par = engine_ == sql::ExecEngine::kParallel;
+  sql::MorselDispatcher* disp = par ? dispatcher() : nullptr;
+  const char* eng = par ? "Parallel" : "Batch";
   const auto& children = ref_->tax().Children(c0);
   std::unordered_map<taxonomy::Cid, int> child_index;
   for (size_t i = 0; i < children.size(); ++i) {
@@ -220,8 +289,11 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
   sql::ColumnSet stat_cols;
   {
     sql::BatchOperatorPtr scan_once = sql::AnalyzeBatch(
-        plan_, "BatchTableScan STAT",
-        std::make_unique<sql::BatchTableScan>(stat));
+        plan_, StrCat(eng, "TableScan STAT"),
+        par ? sql::BatchOperatorPtr(
+                  std::make_unique<sql::ParallelTableScan>(stat, disp))
+            : sql::BatchOperatorPtr(
+                  std::make_unique<sql::BatchTableScan>(stat)));
     FOCUS_RETURN_IF_ERROR(sql::CollectInto(scan_once.get(), &stat_cols));
   }
 
@@ -231,17 +303,18 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
   sql::BatchOperatorPtr stat_scan = sql::AnalyzeBatch(
       plan_, "BatchSource STAT",
       std::make_unique<sql::BatchSource>(&stat_cols));
-  // STAT_c0's heap is already in (tid, kcid) order.
+  // STAT_c0's heap is already in (tid, kcid) order. (The parallel merge
+  // join re-sorts internally; a stable sort of sorted input is the
+  // identity permutation, so the plan stays bit-exact.)
   sql::BatchOperatorPtr joined = sql::AnalyzeBatch(
-      plan_, "BatchMergeJoin DOCUMENT~STAT",
-      std::make_unique<sql::BatchMergeJoin>(
-          std::move(doc_src), std::move(stat_scan), std::vector<int>{1},
-          std::vector<int>{1}));
+      plan_, StrCat(eng, "MergeJoin DOCUMENT~STAT"),
+      EngineMergeJoin(par, disp, std::move(doc_src), std::move(stat_scan),
+                      std::vector<int>{1}, std::vector<int>{1}));
   // joined: 0 did, 1 tid, 2 freq, 3 kcid, 4 tid, 5 logtheta
   sql::BatchOperatorPtr contrib = sql::AnalyzeBatch(
-      plan_, "BatchProject did,kcid,contrib",
-      std::make_unique<sql::BatchProject>(
-          std::move(joined),
+      plan_, StrCat(eng, "Project did,kcid,contrib"),
+      EngineProject(
+          par, disp, std::move(joined),
           std::vector<sql::BatchExpr>{
               sql::BatchExpr::Passthrough("did", TypeId::kInt64, 0),
               sql::BatchExpr::Passthrough("kcid", TypeId::kInt32, 3),
@@ -260,35 +333,47 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
                     return out;
                   }}}));
   sql::BatchOperatorPtr partial_op = sql::AnalyzeBatch(
-      plan_, "BatchSortAggregate PARTIAL(did,kcid)",
-      std::make_unique<sql::BatchSortAggregate>(
-          std::move(contrib), std::vector<SortKey>{{0, false}, {1, false}},
+      plan_, StrCat(eng, "SortAggregate PARTIAL(did,kcid)"),
+      EngineSortAggregate(
+          par, disp, std::move(contrib),
+          std::vector<SortKey>{{0, false}, {1, false}},
           std::vector<int>{0, 1},
           std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "lpr1"}}));
 
   // DOCLEN(did, len): DOCUMENT restricted to F(c0), grouped by did.
+  // Serial streams the pre-sorted STAT through BatchSortedAggregate; the
+  // parallel plan radix-partitions by tid instead (count aggregation over
+  // the same runs, identical output order).
+  sql::BatchOperatorPtr features_src = sql::AnalyzeBatch(
+      plan_, "BatchSource STAT",
+      std::make_unique<sql::BatchSource>(&stat_cols));
   sql::BatchOperatorPtr features = sql::AnalyzeBatch(
-      plan_, "BatchSortedAggregate features(tid)",
-      std::make_unique<sql::BatchSortedAggregate>(
-          sql::AnalyzeBatch(plan_, "BatchSource STAT",
-                            std::make_unique<sql::BatchSource>(&stat_cols)),
-          std::vector<int>{1},
-          std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}}));
+      plan_,
+      par ? "ParallelSortAggregate features(tid)"
+          : "BatchSortedAggregate features(tid)",
+      par ? sql::BatchOperatorPtr(std::make_unique<sql::ParallelSortAggregate>(
+                std::move(features_src), std::vector<SortKey>{{1, false}},
+                std::vector<int>{1},
+                std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}},
+                disp))
+          : sql::BatchOperatorPtr(std::make_unique<sql::BatchSortedAggregate>(
+                std::move(features_src), std::vector<int>{1},
+                std::vector<AggSpec>{AggSpec{AggKind::kCount, -1, "cnt"}})));
   sql::BatchOperatorPtr doc_src2 = sql::AnalyzeBatch(
       plan_, "BatchSource DOCUMENT(sorted)",
       std::make_unique<sql::BatchSource>(&doc_sorted));
   sql::BatchOperatorPtr doc_features = sql::AnalyzeBatch(
-      plan_, "BatchMergeJoin DOCUMENT~features",
-      std::make_unique<sql::BatchMergeJoin>(
-          std::move(doc_src2), std::move(features), std::vector<int>{1},
-          std::vector<int>{0}));
+      plan_, StrCat(eng, "MergeJoin DOCUMENT~features"),
+      EngineMergeJoin(par, disp, std::move(doc_src2), std::move(features),
+                      std::vector<int>{1}, std::vector<int>{0}));
   // doc_features: 0 did, 1 tid, 2 freq, 3 tid, 4 cnt
   sql::BatchOperatorPtr doclen_op = sql::AnalyzeBatch(
-      plan_, "BatchSortAggregate DOCLEN(did)",
-      std::make_unique<sql::BatchSortAggregate>(
-          std::move(doc_features), std::vector<SortKey>{{0, false}},
-          std::vector<int>{0},
-          std::vector<AggSpec>{AggSpec{AggKind::kSum, 2, "len"}}));
+      plan_, StrCat(eng, "SortAggregate DOCLEN(did)"),
+      EngineSortAggregate(par, disp, std::move(doc_features),
+                          std::vector<SortKey>{{0, false}},
+                          std::vector<int>{0},
+                          std::vector<AggSpec>{AggSpec{AggKind::kSum, 2,
+                                                       "len"}}));
 
   // COMPLETE(did, kcid, lpr2): DOCLEN × children(c0), -len * logdenom.
   // The children side runs the scalar index scan through the Vectorize
@@ -330,20 +415,25 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
                                }
                                return out;
                              }}}));
-  sql::BatchOperatorPtr complete_sorted = sql::AnalyzeBatch(
-      plan_, "BatchSort COMPLETE (did,kcid)",
-      std::make_unique<sql::BatchSort>(
-          std::move(complete_op),
-          std::vector<SortKey>{{0, false}, {1, false}}));
+  // The parallel merge join fuses the COMPLETE sort into its radix
+  // partition + per-partition sort (same stable permutation), so the
+  // explicit sort node only exists in the serial plan.
+  sql::BatchOperatorPtr complete_sorted =
+      par ? std::move(complete_op)
+          : sql::AnalyzeBatch(
+                plan_, "BatchSort COMPLETE (did,kcid)",
+                std::make_unique<sql::BatchSort>(
+                    std::move(complete_op),
+                    std::vector<SortKey>{{0, false}, {1, false}}));
 
   // final: COMPLETE left outer join PARTIAL on (did, kcid).
   sql::BatchOperatorPtr final_join = sql::AnalyzeBatch(
       plan_,
-      StrCat("BulkProbeNode c0=", c0, ": BatchMergeJoin COMPLETE~PARTIAL"),
-      std::make_unique<sql::BatchMergeJoin>(
-          std::move(complete_sorted), std::move(partial_op),
-          std::vector<int>{0, 1}, std::vector<int>{0, 1},
-          /*left_outer=*/true));
+      StrCat("BulkProbeNode c0=", c0, ": ", eng,
+             "MergeJoin COMPLETE~PARTIAL"),
+      EngineMergeJoin(par, disp, std::move(complete_sorted),
+                      std::move(partial_op), std::vector<int>{0, 1},
+                      std::vector<int>{0, 1}, /*left_outer=*/true));
 
   // Drain straight from the columns: 0 did, 1 kcid, 2 lpr2, 3 did,
   // 4 kcid, 5 lpr1 (NULL when no PARTIAL row).
@@ -444,14 +534,20 @@ BulkProbeClassifier::ClassifyAllVectorized(
     const sql::Table* document) const {
   // One batch pass sorts DOCUMENT by tid into a columnar temp shared
   // (zero-copy for small batches) by every node's merge joins.
+  const bool par = engine_ == sql::ExecEngine::kParallel;
+  sql::MorselDispatcher* disp = par ? dispatcher() : nullptr;
+  const char* eng = par ? "Parallel" : "Batch";
   Stopwatch sort_timer;
+  sql::BatchOperatorPtr doc_scan = sql::AnalyzeBatch(
+      plan_, StrCat(eng, "TableScan DOCUMENT"),
+      par ? sql::BatchOperatorPtr(
+                std::make_unique<sql::ParallelTableScan>(document, disp))
+          : sql::BatchOperatorPtr(
+                std::make_unique<sql::BatchTableScan>(document)));
   sql::BatchOperatorPtr doc_sort = sql::AnalyzeBatch(
-      plan_, "BatchSort DOCUMENT by tid",
-      std::make_unique<sql::BatchSort>(
-          sql::AnalyzeBatch(
-              plan_, "BatchTableScan DOCUMENT",
-              std::make_unique<sql::BatchTableScan>(document)),
-          std::vector<SortKey>{{1, false}}));
+      plan_, StrCat(eng, "Sort DOCUMENT by tid"),
+      EngineSort(par, disp, std::move(doc_scan),
+                 std::vector<SortKey>{{1, false}}));
   sql::ColumnSet doc_sorted;
   FOCUS_RETURN_IF_ERROR(sql::CollectInto(doc_sort.get(), &doc_sorted));
   stats_.join_seconds += sort_timer.ElapsedSeconds();

@@ -14,12 +14,14 @@
 #ifndef FOCUS_CLASSIFY_BULK_PROBE_H_
 #define FOCUS_CLASSIFY_BULK_PROBE_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "classify/db_tables.h"
 #include "classify/hierarchical_classifier.h"
 #include "sql/exec/analyze.h"
+#include "sql/exec/parallel.h"
 #include "util/status.h"
 
 namespace focus::classify {
@@ -39,9 +41,20 @@ class BulkProbeClassifier {
 
   // Selects the executor for the Figure 3 plans. Defaults to the
   // vectorized batch engine; the scalar Volcano path stays available for
-  // comparison benchmarks and equivalence tests.
+  // comparison benchmarks and equivalence tests, and kParallel runs the
+  // batch plans morsel-parallel with bit-identical results.
   void SetEngine(sql::ExecEngine engine) { engine_ = engine; }
   sql::ExecEngine engine() const { return engine_; }
+
+  // Worker count for kParallel (including the calling thread; 1 = inline).
+  // Takes effect on the next ClassifyAll. Default 4.
+  void SetParallelThreads(int threads) {
+    if (threads != parallel_threads_) {
+      parallel_threads_ = threads;
+      dispatcher_.reset();
+    }
+  }
+  int parallel_threads() const { return parallel_threads_; }
 
   // Classifies every document materialized in `document` (did, tid, freq).
   // Returns scores keyed by did.
@@ -88,9 +101,15 @@ class BulkProbeClassifier {
                          std::unordered_map<uint64_t, std::vector<double>>>*
           node_acc) const;
 
+  // The dispatcher for kParallel plans, created on first use (mutable:
+  // ClassifyAll is const but lazily builds the worker pool).
+  sql::MorselDispatcher* dispatcher() const;
+
   const HierarchicalClassifier* ref_;
   const ClassifierTables* tables_;
   sql::ExecEngine engine_ = sql::ExecEngine::kVectorized;
+  int parallel_threads_ = 4;
+  mutable std::unique_ptr<sql::MorselDispatcher> dispatcher_;
   mutable Stats stats_;
   // Non-null only inside ClassifyWithPlan.
   mutable sql::PlanStats* plan_ = nullptr;

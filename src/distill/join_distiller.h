@@ -11,8 +11,11 @@
 #ifndef FOCUS_DISTILL_JOIN_DISTILLER_H_
 #define FOCUS_DISTILL_JOIN_DISTILLER_H_
 
+#include <memory>
+
 #include "distill/distiller.h"
 #include "sql/exec/analyze.h"
+#include "sql/exec/parallel.h"
 
 namespace focus::distill {
 
@@ -30,9 +33,20 @@ class JoinDistiller final : public Distiller {
 
   // Selects the executor for the Figure 4 plans. Defaults to the
   // vectorized batch engine; the scalar Volcano path stays available for
-  // comparison benchmarks and equivalence tests.
+  // comparison benchmarks and equivalence tests, and kParallel runs the
+  // batch plans morsel-parallel with bit-identical results.
   void SetEngine(sql::ExecEngine engine) { engine_ = engine; }
   sql::ExecEngine engine() const { return engine_; }
+
+  // Worker count for kParallel (including the calling thread; 1 = inline).
+  // Takes effect on the next RunIteration. Default 4.
+  void SetParallelThreads(int threads) {
+    if (threads != parallel_threads_) {
+      parallel_threads_ = threads;
+      dispatcher_.reset();
+    }
+  }
+  int parallel_threads() const { return parallel_threads_; }
 
  private:
   // Replaces `table`'s rows with `rows` scaled to sum 1, in input order
@@ -49,7 +63,12 @@ class JoinDistiller final : public Distiller {
   Status UpdateAuthVec(double rho);
   Status UpdateHubsVec();
 
+  // The dispatcher for kParallel plans, created on first use.
+  sql::MorselDispatcher* dispatcher();
+
   sql::ExecEngine engine_ = sql::ExecEngine::kVectorized;
+  int parallel_threads_ = 4;
+  std::unique_ptr<sql::MorselDispatcher> dispatcher_;
   int crawl_oid_col_ = -1;
   int crawl_rel_col_ = -1;
   // Non-null only inside RunIterationWithPlan.

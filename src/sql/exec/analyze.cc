@@ -105,6 +105,11 @@ class AnalyzedBatchOperator final : public BatchOperator {
       ++node_->batches;
       node_->rows_out += out->num_rows();
     }
+    if (const ParallelOpStats* ps = child_->parallel_stats()) {
+      node_->morsels = ps->morsels;
+      node_->partitions = ps->partitions;
+      node_->max_partition_rows = ps->max_partition_rows;
+    }
     return more;
   }
 
@@ -150,8 +155,16 @@ void FormatNode(const PlanStats::Node& node, const std::string& prefix,
   uint64_t self = total > children ? total - children : 0;
   std::string line = root ? "" : StrCat(prefix, last ? "`- " : "|- ");
   if (node.is_batch) {
+    std::string par;
+    if (node.morsels > 0) {
+      par = StrCat(" morsels=", node.morsels);
+      if (node.partitions > 0) {
+        par += StrCat(" partitions=", node.partitions,
+                      " max_part_rows=", node.max_partition_rows);
+      }
+    }
     *out += StrCat(line, node.label, "  rows=", node.rows_out,
-                   " batches=", node.batches,
+                   " batches=", node.batches, par,
                    " total=", FormatMicros(total),
                    " self=", FormatMicros(self), "\n");
   } else {
@@ -177,6 +190,11 @@ void NodeToJson(const PlanStats::Node& node, obs::JsonWriter* w) {
       .Field("total_micros", total)
       .Field("self_micros", total > children ? total - children : 0);
   if (node.is_batch) w->Field("batches", node.batches);
+  if (node.morsels > 0) {
+    w->Field("morsels", node.morsels)
+        .Field("partitions", node.partitions)
+        .Field("max_partition_rows", node.max_partition_rows);
+  }
   w->Key("children").BeginArray();
   for (const PlanStats::Node* child : node.children) NodeToJson(*child, w);
   w->EndArray().EndObject();

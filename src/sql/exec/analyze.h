@@ -44,6 +44,12 @@ class PlanStats {
     // Batch operators report batches instead of per-row Next calls.
     uint64_t batches = 0;
     bool is_batch = false;
+    // Parallel operators (parallel.h) additionally report their morsel/
+    // partition fan-out; all zero for serial operators. max_partition_rows
+    // against rows_out/partitions shows partition skew at a glance.
+    uint64_t morsels = 0;
+    uint64_t partitions = 0;
+    uint64_t max_partition_rows = 0;
     std::vector<Node*> children;
     bool has_parent = false;
   };

@@ -201,8 +201,9 @@ double NumericAt(const ColumnData& col, size_t row) {
   return 0;
 }
 
-// Output schema shared by both run-aggregation operators.
-Schema AggOutputSchema(const Schema& in, const std::vector<int>& group_cols,
+}  // namespace
+
+Schema SortedAggSchema(const Schema& in, const std::vector<int>& group_cols,
                        const std::vector<AggSpec>& aggs) {
   std::vector<Column> cols;
   for (int g : group_cols) cols.push_back(in.column(g));
@@ -212,10 +213,161 @@ Schema AggOutputSchema(const Schema& in, const std::vector<int>& group_cols,
   return Schema(std::move(cols));
 }
 
-}  // namespace
-
 void SetBatchMetricsRegistry(obs::MetricsRegistry* registry) {
   g_batch_registry.store(registry, std::memory_order_relaxed);
+}
+
+obs::MetricsRegistry* BatchMetricsRegistry() {
+  return obs::MetricsRegistry::OrGlobal(
+      g_batch_registry.load(std::memory_order_relaxed));
+}
+
+void SortPermutation(const ColumnSet& rows, const std::vector<SortKey>& keys,
+                     std::vector<int64_t>* order,
+                     std::vector<uint64_t>* packed) {
+  if (TrySortIntKeys(rows, keys, order, packed)) return;
+  order->resize(rows.num_rows());
+  std::iota(order->begin(), order->end(), 0);
+  std::vector<ColumnPtr> cols;
+  for (int i = 0; i < rows.num_columns(); ++i) {
+    cols.push_back(rows.col_ptr(i));
+  }
+  std::stable_sort(order->begin(), order->end(),
+                   [&cols, &keys](int64_t a, int64_t b) {
+                     return CompareRowsOnKeys(cols, a, b, keys) < 0;
+                   });
+}
+
+void MergeJoinIndices(const ColumnSet& lrows, const ColumnSet& rrows,
+                      const std::vector<int>& left_keys,
+                      const std::vector<int>& right_keys, bool left_outer,
+                      const int64_t* lidx, size_t nl, const int64_t* ridx,
+                      size_t nr, std::vector<int64_t>* li,
+                      std::vector<int64_t>* ri) {
+  auto lrow = [lidx](size_t p) {
+    return lidx ? static_cast<size_t>(lidx[p]) : p;
+  };
+  auto rrow = [ridx](size_t p) {
+    return ridx ? static_cast<size_t>(ridx[p]) : p;
+  };
+  auto key_cmp = [&](size_t l, size_t r) {
+    for (size_t k = 0; k < left_keys.size(); ++k) {
+      int c = CompareColumnRows(lrows.col(left_keys[k]), lrow(l),
+                                rrows.col(right_keys[k]), rrow(r));
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  auto right_eq = [&](size_t a, size_t b) {
+    for (int key : right_keys) {
+      if (CompareColumnRows(rrows.col(key), rrow(a), rrows.col(key),
+                            rrow(b)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  size_t l = 0, r = 0;
+  while (l < nl) {
+    if (r >= nr) {
+      if (left_outer) {
+        li->push_back(static_cast<int64_t>(lrow(l)));
+        ri->push_back(-1);
+      }
+      ++l;
+      continue;
+    }
+    int c = key_cmp(l, r);
+    if (c < 0) {
+      if (left_outer) {
+        li->push_back(static_cast<int64_t>(lrow(l)));
+        ri->push_back(-1);
+      }
+      ++l;
+    } else if (c > 0) {
+      ++r;
+    } else {
+      size_t rend = r + 1;
+      while (rend < nr && right_eq(r, rend)) ++rend;
+      // Left-major emission over the right group — the scalar MergeJoin's
+      // output order.
+      while (l < nl && key_cmp(l, r) == 0) {
+        for (size_t rr = r; rr < rend; ++rr) {
+          li->push_back(static_cast<int64_t>(lrow(l)));
+          ri->push_back(static_cast<int64_t>(rrow(rr)));
+        }
+        ++l;
+      }
+      r = rend;
+    }
+  }
+}
+
+bool GroupsMatchSortKeys(const std::vector<int>& group_cols,
+                         const std::vector<SortKey>& sort_keys) {
+  return group_cols.size() == sort_keys.size() &&
+         std::all_of(group_cols.begin(), group_cols.end(), [&](int g) {
+           return std::any_of(sort_keys.begin(), sort_keys.end(),
+                              [g](const SortKey& k) { return k.col == g; });
+         });
+}
+
+void AggregateSortedRuns(const ColumnSet& rows,
+                         const std::vector<int64_t>& order, size_t begin,
+                         size_t end, const uint64_t* packed,
+                         const std::vector<int>& group_cols,
+                         const std::vector<AggSpec>& aggs, ColumnSet* out) {
+  auto same_group = [&](size_t a, size_t b) {
+    if (packed != nullptr) return packed[a] == packed[b];
+    for (int g : group_cols) {
+      if (CompareColumnRows(rows.col(g), a, rows.col(g), b) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<double> sums(aggs.size());
+  std::vector<int64_t> counts(aggs.size());
+  size_t pos = begin;
+  while (pos < end) {
+    size_t rep = static_cast<size_t>(order[pos]);
+    sums.assign(aggs.size(), 0.0);
+    counts.assign(aggs.size(), 0);
+    do {
+      size_t row = static_cast<size_t>(order[pos]);
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        ++counts[i];
+        if (aggs[i].kind == AggKind::kSum) {
+          sums[i] += NumericAt(rows.col(aggs[i].col), row);
+        }
+      }
+      ++pos;
+    } while (pos < end &&
+             same_group(static_cast<size_t>(order[pos]), rep));
+    for (size_t g = 0; g < group_cols.size(); ++g) {
+      out->mutable_col(static_cast<int>(g))
+          ->AppendFrom(rows.col(group_cols[g]), rep);
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      ColumnData* col =
+          out->mutable_col(static_cast<int>(group_cols.size() + i));
+      switch (aggs[i].kind) {
+        case AggKind::kCount:
+          col->i64.push_back(counts[i]);
+          break;
+        case AggKind::kSum:
+          // Accumulate-in-double then cast, exactly like HashAggregate.
+          if (rows.col(aggs[i].col).type == TypeId::kDouble) {
+            col->f64.push_back(sums[i]);
+          } else {
+            col->i64.push_back(static_cast<int64_t>(sums[i]));
+          }
+          break;
+        default:
+          FOCUS_CHECK(false, "unsupported sorted aggregate");
+      }
+    }
+  }
 }
 
 Result<bool> BatchOperator::NextBatch(Batch* out) {
@@ -433,19 +585,7 @@ Result<bool> BatchSort::DoNextBatch(Batch* out) {
       if (!more) break;
       rows_.AppendBatch(b);
     }
-    if (!TrySortIntKeys(rows_, keys_, &order_)) {
-      order_.resize(rows_.num_rows());
-      std::iota(order_.begin(), order_.end(), 0);
-      std::vector<ColumnPtr> cols;
-      for (int i = 0; i < rows_.num_columns(); ++i) {
-        cols.push_back(rows_.col_ptr(i));
-      }
-      const std::vector<SortKey>& keys = keys_;
-      std::stable_sort(order_.begin(), order_.end(),
-                       [&cols, &keys](int64_t a, int64_t b) {
-                         return CompareRowsOnKeys(cols, a, b, keys) < 0;
-                       });
-    }
+    SortPermutation(rows_, keys_, &order_, &packed_);
   }
   if (pos_ >= order_.size()) return false;
   size_t end = std::min(order_.size(), pos_ + static_cast<size_t>(batch_rows_));
@@ -503,57 +643,9 @@ Status BatchMergeJoin::Merge() {
     if (!more) break;
     rrows_.AppendBatch(b);
   }
-  auto key_cmp = [this](size_t l, size_t r) {
-    for (size_t k = 0; k < left_keys_.size(); ++k) {
-      int c = CompareColumnRows(lrows_.col(left_keys_[k]), l,
-                                rrows_.col(right_keys_[k]), r);
-      if (c != 0) return c;
-    }
-    return 0;
-  };
-  auto right_eq = [this](size_t a, size_t b) {
-    for (int key : right_keys_) {
-      if (CompareColumnRows(rrows_.col(key), a, rrows_.col(key), b) != 0) {
-        return false;
-      }
-    }
-    return true;
-  };
-  size_t nl = lrows_.num_rows(), nr = rrows_.num_rows();
-  size_t l = 0, r = 0;
-  while (l < nl) {
-    if (r >= nr) {
-      if (left_outer_) {
-        li_.push_back(static_cast<int64_t>(l));
-        ri_.push_back(-1);
-      }
-      ++l;
-      continue;
-    }
-    int c = key_cmp(l, r);
-    if (c < 0) {
-      if (left_outer_) {
-        li_.push_back(static_cast<int64_t>(l));
-        ri_.push_back(-1);
-      }
-      ++l;
-    } else if (c > 0) {
-      ++r;
-    } else {
-      size_t rend = r + 1;
-      while (rend < nr && right_eq(r, rend)) ++rend;
-      // Left-major emission over the right group — the scalar MergeJoin's
-      // output order.
-      while (l < nl && key_cmp(l, r) == 0) {
-        for (size_t rr = r; rr < rend; ++rr) {
-          li_.push_back(static_cast<int64_t>(l));
-          ri_.push_back(static_cast<int64_t>(rr));
-        }
-        ++l;
-      }
-      r = rend;
-    }
-  }
+  MergeJoinIndices(lrows_, rrows_, left_keys_, right_keys_, left_outer_,
+                   nullptr, lrows_.num_rows(), nullptr, rrows_.num_rows(),
+                   &li_, &ri_);
   return Status::OK();
 }
 
@@ -649,7 +741,7 @@ BatchSortedAggregate::BatchSortedAggregate(BatchOperatorPtr child,
       group_cols_(std::move(group_cols)),
       aggs_(std::move(aggs)),
       batch_rows_(batch_rows) {
-  schema_ = AggOutputSchema(child_->schema(), group_cols_, aggs_);
+  schema_ = SortedAggSchema(child_->schema(), group_cols_, aggs_);
 }
 
 Status BatchSortedAggregate::Open() {
@@ -754,12 +846,11 @@ BatchSortAggregate::BatchSortAggregate(BatchOperatorPtr child,
       group_cols_(std::move(group_cols)),
       aggs_(std::move(aggs)),
       batch_rows_(batch_rows),
-      schema_(AggOutputSchema(child_->schema(), group_cols_, aggs_)) {}
+      schema_(SortedAggSchema(child_->schema(), group_cols_, aggs_)) {}
 
 Status BatchSortAggregate::Open() {
   rows_ = ColumnSet(child_->schema());
-  order_.clear();
-  packed_.clear();
+  agg_ = ColumnSet();
   pos_ = 0;
   loaded_ = false;
   return child_->Open();
@@ -767,8 +858,7 @@ Status BatchSortAggregate::Open() {
 
 void BatchSortAggregate::Close() {
   rows_ = ColumnSet();
-  order_.clear();
-  packed_.clear();
+  agg_ = ColumnSet();
   child_->Close();
 }
 
@@ -782,86 +872,31 @@ Result<bool> BatchSortAggregate::DoNextBatch(Batch* out) {
       if (!more) break;
       rows_.AppendBatch(b);
     }
-    if (!TrySortIntKeys(rows_, sort_keys_, &order_, &packed_)) {
-      order_.resize(rows_.num_rows());
-      std::iota(order_.begin(), order_.end(), 0);
-      std::vector<ColumnPtr> cols;
-      for (int i = 0; i < rows_.num_columns(); ++i) {
-        cols.push_back(rows_.col_ptr(i));
-      }
-      const std::vector<SortKey>& keys = sort_keys_;
-      std::stable_sort(order_.begin(), order_.end(),
-                       [&cols, &keys](int64_t a, int64_t b) {
-                         return CompareRowsOnKeys(cols, a, b, keys) < 0;
-                       });
-    }
+    std::vector<int64_t> order;
+    std::vector<uint64_t> packed;
+    SortPermutation(rows_, sort_keys_, &order, &packed);
+    // When the sort produced injective packed keys and the group columns
+    // are exactly the sort key columns, one word compare decides the group
+    // boundary; otherwise compare the group columns directly.
+    bool use_packed =
+        !packed.empty() && GroupsMatchSortKeys(group_cols_, sort_keys_);
+    agg_ = ColumnSet(schema_);
+    AggregateSortedRuns(rows_, order, 0, order.size(),
+                        use_packed ? packed.data() : nullptr, group_cols_,
+                        aggs_, &agg_);
+    rows_ = ColumnSet();
   }
-  size_t n = order_.size();
+  size_t n = agg_.num_rows();
   if (pos_ >= n) return false;
-  for (const Column& c : schema_.columns()) {
-    out->AddColumn(NewColumn(c.type));
+  size_t end = std::min(n, pos_ + static_cast<size_t>(batch_rows_));
+  for (int i = 0; i < agg_.num_columns(); ++i) {
+    ColumnPtr col = NewColumn(agg_.col(i).type);
+    col->Reserve(end - pos_);
+    col->AppendRange(agg_.col(i), pos_, end);
+    out->AddColumn(std::move(col));
   }
-  const Schema& in = child_->schema();
-  std::vector<double> sums(aggs_.size());
-  std::vector<int64_t> counts(aggs_.size());
-  // When the sort produced injective packed keys and the group columns
-  // are exactly the sort key columns, one word compare decides the group
-  // boundary; otherwise compare the group columns directly.
-  bool use_packed =
-      !packed_.empty() && group_cols_.size() == sort_keys_.size() &&
-      std::all_of(group_cols_.begin(), group_cols_.end(), [&](int g) {
-        return std::any_of(sort_keys_.begin(), sort_keys_.end(),
-                           [g](const SortKey& k) { return k.col == g; });
-      });
-  auto same_group = [&](size_t a, size_t b) {
-    if (use_packed) return packed_[a] == packed_[b];
-    for (int g : group_cols_) {
-      if (CompareColumnRows(rows_.col(g), a, rows_.col(g), b) != 0) {
-        return false;
-      }
-    }
-    return true;
-  };
-  while (pos_ < n && out->num_rows() < static_cast<size_t>(batch_rows_)) {
-    size_t rep = static_cast<size_t>(order_[pos_]);
-    sums.assign(aggs_.size(), 0.0);
-    counts.assign(aggs_.size(), 0);
-    do {
-      size_t row = static_cast<size_t>(order_[pos_]);
-      for (size_t i = 0; i < aggs_.size(); ++i) {
-        ++counts[i];
-        if (aggs_[i].kind == AggKind::kSum) {
-          sums[i] += NumericAt(rows_.col(aggs_[i].col), row);
-        }
-      }
-      ++pos_;
-    } while (pos_ < n &&
-             same_group(static_cast<size_t>(order_[pos_]), rep));
-    for (size_t g = 0; g < group_cols_.size(); ++g) {
-      out->mutable_col(static_cast<int>(g))
-          ->AppendFrom(rows_.col(group_cols_[g]), rep);
-    }
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      ColumnData* col =
-          out->mutable_col(static_cast<int>(group_cols_.size() + i));
-      switch (aggs_[i].kind) {
-        case AggKind::kCount:
-          col->i64.push_back(counts[i]);
-          break;
-        case AggKind::kSum:
-          // Accumulate-in-double then cast, exactly like HashAggregate.
-          if (in.column(aggs_[i].col).type == TypeId::kDouble) {
-            col->f64.push_back(sums[i]);
-          } else {
-            col->i64.push_back(static_cast<int64_t>(sums[i]));
-          }
-          break;
-        default:
-          FOCUS_CHECK(false, "unsupported sorted aggregate");
-      }
-    }
-  }
-  return out->num_rows() > 0;
+  pos_ = end;
+  return true;
 }
 
 // ------------------------------------------------------------- helpers --

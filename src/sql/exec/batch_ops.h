@@ -37,6 +37,20 @@ namespace focus::sql {
 // registry). Takes effect for operators that have not yet executed.
 void SetBatchMetricsRegistry(obs::MetricsRegistry* registry);
 
+// The registry batch-engine metrics currently resolve to (the redirected
+// one, else the process-wide registry). The parallel engine (parallel.h)
+// reports its morsel/partition counters here too.
+obs::MetricsRegistry* BatchMetricsRegistry();
+
+// Per-operator counters a parallel operator exposes so EXPLAIN ANALYZE can
+// render morsel/partition fan-out and skew (analyze.cc copies these into
+// the plan node after each NextBatch).
+struct ParallelOpStats {
+  uint64_t morsels = 0;             // morsel tasks dispatched
+  uint64_t partitions = 0;          // radix partitions formed (0 = serial)
+  uint64_t max_partition_rows = 0;  // largest partition (skew signal)
+};
+
 // Base interface: Open / NextBatch / Close, mirroring the scalar
 // Operator. NextBatch resets `out` and fills it; returns false when
 // exhausted (out left empty). The non-virtual NextBatch wraps the
@@ -49,6 +63,10 @@ class BatchOperator {
   Result<bool> NextBatch(Batch* out);
   virtual void Close() {}
   virtual const Schema& schema() const = 0;
+
+  // Non-null for parallel operators (parallel.h): morsel/partition counts
+  // of the work done so far, for EXPLAIN ANALYZE.
+  virtual const ParallelOpStats* parallel_stats() const { return nullptr; }
 
  protected:
   // `op_name` keys the per-operator obs metrics; nullptr (used by the
@@ -363,15 +381,64 @@ class BatchSortAggregate final : public BatchOperator {
   int batch_rows_;
   Schema schema_;
 
-  ColumnSet rows_;
-  std::vector<int64_t> order_;
-  std::vector<uint64_t> packed_;  // injective sort keys; empty if unused
+  ColumnSet rows_;  // staged input; released once aggregated
+  ColumnSet agg_;   // the aggregated result, emitted in batch_rows chunks
   size_t pos_ = 0;
   bool loaded_ = false;
 };
 
 // Drains `op` into `out` (Open/NextBatch/Close included).
 Status CollectInto(BatchOperator* op, ColumnSet* out);
+
+// ---- shared executor kernels -------------------------------------------
+//
+// The serial batch operators above and the morsel-driven parallel
+// operators (parallel.h) must produce bit-identical results, so the row
+// kernels they share live here rather than being duplicated.
+
+// Stable sort permutation of `rows` on `keys`. Uses the packed-int fast
+// path when the keys are 1-2 NULL-free int columns whose compressed ranges
+// fit one 64-bit word — `packed` is then filled with the row-indexed
+// injective sort words (equal words <=> equal key values) — and falls back
+// to a generic stable comparison sort (`packed` left empty).
+void SortPermutation(const ColumnSet& rows, const std::vector<SortKey>& keys,
+                     std::vector<int64_t>* order,
+                     std::vector<uint64_t>* packed);
+
+// Emits the (left, right) row-index pairs of the sorted merge join
+// lrows[lidx[0..nl)] ⋈ rrows[ridx[0..nr)]; a null lidx/ridx means the
+// identity over all rows. Inputs must arrive sorted ascending on their key
+// columns (through the index arrays). Output is left-major within each key
+// group — the scalar MergeJoin's order; right index -1 = NULL padding
+// under left_outer. Appends to li/ri.
+void MergeJoinIndices(const ColumnSet& lrows, const ColumnSet& rrows,
+                      const std::vector<int>& left_keys,
+                      const std::vector<int>& right_keys, bool left_outer,
+                      const int64_t* lidx, size_t nl, const int64_t* ridx,
+                      size_t nr, std::vector<int64_t>* li,
+                      std::vector<int64_t>* ri);
+
+// Output schema of a sorted-run aggregate: the group columns followed by
+// one column per spec (types exactly as HashAggregate).
+Schema SortedAggSchema(const Schema& in, const std::vector<int>& group_cols,
+                       const std::vector<AggSpec>& aggs);
+
+// True when `packed` sort words decide group boundaries: the group columns
+// are exactly the sort-key columns (packing is injective), the condition
+// both run-aggregation operators share.
+bool GroupsMatchSortKeys(const std::vector<int>& group_cols,
+                         const std::vector<SortKey>& sort_keys);
+
+// Aggregates the sorted runs of `rows` visited through order[begin..end)
+// and appends one row per group to `out` (schema = SortedAggSchema).
+// Group boundaries compare packed words (row-indexed; pass nullptr to
+// compare the group columns directly). Sums accumulate in double in
+// visit order — the exact arithmetic of BatchSortedAggregate.
+void AggregateSortedRuns(const ColumnSet& rows,
+                         const std::vector<int64_t>& order, size_t begin,
+                         size_t end, const uint64_t* packed,
+                         const std::vector<int>& group_cols,
+                         const std::vector<AggSpec>& aggs, ColumnSet* out);
 
 }  // namespace focus::sql
 

@@ -16,10 +16,12 @@
 namespace focus::sql {
 
 // Which executor runs a hot relational plan: the scalar Volcano engine
-// (one Tuple per Next call) or the vectorized batch engine (batch_ops.h).
-// Both produce identical results (tested); vectorized is the default for
-// the Figure 3 / Figure 4 consumers.
-enum class ExecEngine { kScalar, kVectorized };
+// (one Tuple per Next call), the vectorized batch engine (batch_ops.h),
+// or the morsel-driven parallel batch engine (parallel.h), which runs the
+// vectorized operators' work partitioned across a thread pool. All three
+// produce identical results (tested, bit-exact); vectorized is the default
+// for the Figure 3 / Figure 4 consumers.
+enum class ExecEngine { kScalar, kVectorized, kParallel };
 
 class Operator {
  public:

@@ -1,0 +1,793 @@
+// Parallel-engine correctness: every morsel-parallel operator must be
+// BIT-exact (not merely close) with its serial vectorized counterpart, at
+// every thread count and morsel size, on randomized inputs including
+// NULL-heavy keys (the serial-fallback path), heavy key skew, and empty
+// inputs — plus radix partition boundary units, exchange determinism, and
+// end-to-end kVectorized-vs-kParallel runs of the Figure 3 and Figure 4
+// plans. This file is the suite the CI parallel-exec matrix runs per
+// thread count (FOCUS_TEST_THREADS) and TSan runs for race coverage.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "classify/bulk_probe.h"
+#include "classify/db_tables.h"
+#include "classify/hierarchical_classifier.h"
+#include "classify/trainer.h"
+#include "distill/distiller.h"
+#include "distill/join_distiller.h"
+#include "obs/metrics.h"
+#include "sql/catalog.h"
+#include "sql/exec/analyze.h"
+#include "sql/exec/batch.h"
+#include "sql/exec/batch_ops.h"
+#include "sql/exec/operator.h"
+#include "sql/exec/parallel.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "taxonomy/taxonomy.h"
+#include "text/document.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace focus::sql {
+namespace {
+
+// Thread counts every equivalence case sweeps. The CI matrix additionally
+// pins one count per job via FOCUS_TEST_THREADS so each count also gets a
+// full-suite run under TSan.
+std::vector<int> ThreadCounts() {
+  if (const char* env = std::getenv("FOCUS_TEST_THREADS")) {
+    return {std::max(1, std::atoi(env))};
+  }
+  return {1, 2, 4, 8};
+}
+
+// Morsel sizes: degenerate one-row morsels (maximum scheduling freedom),
+// a boundary-straddling odd size, and a size larger than most inputs
+// (single morsel, inline path).
+const int kMorselSizes[] = {1, 7, 1024};
+
+OperatorPtr Source(const Schema& schema, std::vector<Tuple> rows) {
+  return std::make_unique<MaterializedSource>(schema, std::move(rows));
+}
+
+BatchOperatorPtr BatchOf(const Schema& schema, std::vector<Tuple> rows,
+                         int batch_rows = kDefaultBatchRows) {
+  return std::make_unique<Vectorize>(Source(schema, std::move(rows)),
+                                     batch_rows);
+}
+
+ColumnSet Drain(BatchOperatorPtr op) {
+  ColumnSet out;
+  Status s = CollectInto(op.get(), &out);
+  EXPECT_TRUE(s.ok()) << s;
+  return out;
+}
+
+// Bit-exact equality, column by column. Doubles compare with ==: the
+// parallel engine promises the identical accumulation order, so even the
+// last ulp must match.
+void ExpectBitEqual(const ColumnSet& got, const ColumnSet& want,
+                    const std::string& what) {
+  ASSERT_EQ(got.num_columns(), want.num_columns()) << what;
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << what;
+  for (int c = 0; c < want.num_columns(); ++c) {
+    const ColumnData& g = got.col(c);
+    const ColumnData& w = want.col(c);
+    ASSERT_EQ(static_cast<int>(g.type), static_cast<int>(w.type)) << what;
+    for (size_t r = 0; r < want.num_rows(); ++r) {
+      ASSERT_EQ(g.IsNull(r), w.IsNull(r))
+          << what << " col " << c << " row " << r;
+      if (w.IsNull(r)) continue;
+      switch (w.type) {
+        case TypeId::kInt32:
+          ASSERT_EQ(g.i32[r], w.i32[r]) << what << " col " << c << " row "
+                                        << r;
+          break;
+        case TypeId::kInt64:
+          ASSERT_EQ(g.i64[r], w.i64[r]) << what << " col " << c << " row "
+                                        << r;
+          break;
+        case TypeId::kDouble:
+          ASSERT_EQ(g.f64[r], w.f64[r]) << what << " col " << c << " row "
+                                        << r;
+          break;
+        case TypeId::kString:
+          ASSERT_EQ(g.StringAt(r), w.StringAt(r))
+              << what << " col " << c << " row " << r;
+          break;
+      }
+    }
+  }
+}
+
+// Key distributions the sweeps cover. kNullKeys forces the unpackable
+// serial-fallback path; kSkewed puts ~90% of rows on one key so one radix
+// partition dwarfs the rest.
+enum class KeyDist { kUniform, kSkewed, kNullKeys };
+
+Schema RowSchema() {
+  return Schema({{"k", TypeId::kInt32},
+                 {"v", TypeId::kInt64},
+                 {"x", TypeId::kDouble}});
+}
+
+std::vector<Tuple> RandomRows(Rng* rng, size_t n, KeyDist dist,
+                              int key_range = 50) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Value k;
+    switch (dist) {
+      case KeyDist::kUniform:
+        k = Value::Int32(static_cast<int32_t>(rng->Uniform(key_range)) - 7);
+        break;
+      case KeyDist::kSkewed:
+        k = rng->Bernoulli(0.9)
+                ? Value::Int32(3)
+                : Value::Int32(static_cast<int32_t>(rng->Uniform(key_range)));
+        break;
+      case KeyDist::kNullKeys:
+        k = rng->Bernoulli(0.3)
+                ? Value::Null(TypeId::kInt32)
+                : Value::Int32(static_cast<int32_t>(rng->Uniform(key_range)));
+        break;
+    }
+    rows.push_back(
+        Tuple({k, Value::Int64(static_cast<int64_t>(rng->Uniform(100000))),
+               Value::Double(rng->NextDouble() * 10 - 5)}));
+  }
+  return rows;
+}
+
+const KeyDist kAllDists[] = {KeyDist::kUniform, KeyDist::kSkewed,
+                             KeyDist::kNullKeys};
+const size_t kRowCounts[] = {0, 1, 333};
+
+// ---- Radix partition units ----
+
+TEST(RadixPartitionerTest, PartitionsAreDisjointStableKeyRanges) {
+  Rng rng(11);
+  ColumnSet rows(RowSchema());
+  for (const Tuple& t : RandomRows(&rng, 500, KeyDist::kUniform, 200)) {
+    rows.AppendTuple(t);
+  }
+  std::vector<SortKey> keys{{0, false}};
+  auto plan = RadixPartitioner::Plan(3, rows, keys);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->num_partitions(), 8);
+
+  MorselDispatcher disp(4, /*morsel_rows=*/64);
+  ParallelOpStats stats;
+  RadixPartitions parts = plan->Scatter(rows, keys, &disp, &stats);
+  ASSERT_EQ(parts.num_partitions, 8);
+  ASSERT_EQ(parts.offsets.size(), 9u);
+  EXPECT_EQ(parts.offsets.front(), 0u);
+  EXPECT_EQ(parts.offsets.back(), rows.num_rows());
+  EXPECT_EQ(parts.idx.size(), rows.num_rows());
+  EXPECT_EQ(stats.partitions, 8u);
+  EXPECT_GT(stats.morsels, 0u);
+
+  // Every row exactly once.
+  std::vector<int> seen(rows.num_rows(), 0);
+  for (int64_t i : parts.idx) seen[static_cast<size_t>(i)]++;
+  for (int s : seen) EXPECT_EQ(s, 1);
+
+  // Partition p's keys all strictly precede partition p+1's (value-range
+  // partitioning, not hash), and rows keep arrival order within a
+  // partition (stable scatter).
+  int32_t prev_max = 0;
+  bool have_prev = false;
+  for (int p = 0; p < parts.num_partitions; ++p) {
+    int32_t lo = 0, hi = 0;
+    bool any = false;
+    int64_t prev_idx_for_key = -1;
+    int32_t prev_key = 0;
+    for (size_t s = parts.offsets[p]; s < parts.offsets[p + 1]; ++s) {
+      int32_t k = rows.col(0).i32[static_cast<size_t>(parts.idx[s])];
+      if (!any) {
+        lo = hi = k;
+        any = true;
+      } else {
+        lo = std::min(lo, k);
+        hi = std::max(hi, k);
+      }
+      if (s > parts.offsets[p] && k == prev_key) {
+        EXPECT_GT(parts.idx[s], prev_idx_for_key)
+            << "unstable scatter in partition " << p;
+      }
+      prev_key = k;
+      prev_idx_for_key = parts.idx[s];
+    }
+    if (any && have_prev) {
+      EXPECT_GT(lo, prev_max) << "partition " << p << " overlaps " << p - 1;
+    }
+    if (any) {
+      prev_max = hi;
+      have_prev = true;
+    }
+  }
+}
+
+TEST(RadixPartitionerTest, UnpackableKeysReturnNullopt) {
+  Rng rng(12);
+  ColumnSet rows(RowSchema());
+  for (const Tuple& t : RandomRows(&rng, 40, KeyDist::kNullKeys)) {
+    rows.AppendTuple(t);
+  }
+  // NULLs in the key column.
+  EXPECT_FALSE(
+      RadixPartitioner::Plan(4, rows, std::vector<SortKey>{{0, false}})
+          .has_value());
+  // Double keys are not packable.
+  ColumnSet clean(RowSchema());
+  for (const Tuple& t : RandomRows(&rng, 40, KeyDist::kUniform)) {
+    clean.AppendTuple(t);
+  }
+  EXPECT_FALSE(
+      RadixPartitioner::Plan(4, clean, std::vector<SortKey>{{2, false}})
+          .has_value());
+  // Sides disagreeing on sort direction.
+  std::vector<SortKey> asc{{0, false}}, desc{{0, true}};
+  EXPECT_FALSE(
+      RadixPartitioner::Plan(4, clean, asc, &clean, &desc).has_value());
+  // Same keys, agreeing directions: packable.
+  EXPECT_TRUE(
+      RadixPartitioner::Plan(4, clean, asc, &clean, &asc).has_value());
+}
+
+TEST(RadixPartitionerTest, RadixBitsClampToKeyRange) {
+  // Two distinct key values span 1 bit; asking for 2^10 partitions must
+  // clamp to the key range instead of fabricating empty key ranges
+  // interleaved with data.
+  ColumnSet rows(Schema({{"k", TypeId::kInt32}}));
+  for (int i = 0; i < 10; ++i) {
+    rows.AppendTuple(Tuple({Value::Int32(i % 2)}));
+  }
+  auto plan = RadixPartitioner::Plan(10, rows, std::vector<SortKey>{{0, false}});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->num_partitions(), 2);
+}
+
+// ---- Operator sweeps: parallel vs serial, bit-exact ----
+
+TEST(ParallelOperatorTest, SortMatchesSerialEverywhere) {
+  Rng rng(21);
+  Schema schema = RowSchema();
+  for (KeyDist dist : kAllDists) {
+    for (size_t n : kRowCounts) {
+      std::vector<Tuple> rows = RandomRows(&rng, n, dist);
+      std::vector<SortKey> keys{{0, false}, {1, true}};
+      ColumnSet want = Drain(std::make_unique<BatchSort>(
+          BatchOf(schema, rows), keys));
+      for (int threads : ThreadCounts()) {
+        for (int morsel : kMorselSizes) {
+          MorselDispatcher disp(threads, morsel);
+          ColumnSet got = Drain(std::make_unique<ParallelSort>(
+              BatchOf(schema, rows), keys, &disp));
+          ExpectBitEqual(got, want,
+                         StrCat("sort dist=", static_cast<int>(dist), " n=", n,
+                                " threads=", threads, " morsel=", morsel));
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelOperatorTest, FilterAndProjectMatchSerialEverywhere) {
+  Rng rng(22);
+  Schema schema = RowSchema();
+  auto pred = [](const Batch& in, std::vector<int64_t>* sel) {
+    const auto& v = in.col(1).i64;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] % 3 != 0) sel->push_back(static_cast<int64_t>(i));
+    }
+  };
+  auto exprs = [] {
+    std::vector<BatchExpr> e;
+    e.push_back(BatchExpr::Passthrough("k", TypeId::kInt32, 0));
+    e.push_back(BatchExpr{"vx", TypeId::kDouble, [](const Batch& in) {
+                            const auto& v = in.col(1).i64;
+                            const auto& x = in.col(2).f64;
+                            ColumnPtr out = NewColumn(TypeId::kDouble);
+                            out->f64.reserve(v.size());
+                            for (size_t i = 0; i < v.size(); ++i) {
+                              out->f64.push_back(v[i] * x[i]);
+                            }
+                            return out;
+                          }});
+    return e;
+  };
+  for (size_t n : kRowCounts) {
+    std::vector<Tuple> rows = RandomRows(&rng, n, KeyDist::kUniform);
+    ColumnSet want = Drain(std::make_unique<BatchProject>(
+        std::make_unique<BatchFilter>(BatchOf(schema, rows, 64), pred),
+        exprs()));
+    for (int threads : ThreadCounts()) {
+      for (int morsel : kMorselSizes) {
+        MorselDispatcher disp(threads, morsel);
+        ColumnSet got = Drain(std::make_unique<ParallelProject>(
+            std::make_unique<ParallelFilter>(BatchOf(schema, rows, 64), pred,
+                                             &disp),
+            exprs(), &disp));
+        ExpectBitEqual(got, want, StrCat("filter+project n=", n, " threads=",
+                                         threads, " morsel=", morsel));
+      }
+    }
+  }
+}
+
+// Right side: (k, tag) with duplicate keys, so joins fan out.
+std::vector<Tuple> RandomRightRows(Rng* rng, size_t n, KeyDist dist) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Value k;
+    if (dist == KeyDist::kNullKeys && rng->Bernoulli(0.3)) {
+      k = Value::Null(TypeId::kInt32);
+    } else {
+      k = Value::Int32(static_cast<int32_t>(rng->Uniform(40)) - 7);
+    }
+    rows.push_back(Tuple({k, Value::Int64(static_cast<int64_t>(i))}));
+  }
+  return rows;
+}
+
+Schema RightSchema() {
+  return Schema({{"k", TypeId::kInt32}, {"tag", TypeId::kInt64}});
+}
+
+TEST(ParallelOperatorTest, MergeJoinMatchesSerialEverywhere) {
+  Rng rng(23);
+  Schema lschema = RowSchema(), rschema = RightSchema();
+  for (KeyDist dist : {KeyDist::kUniform, KeyDist::kSkewed}) {
+    for (auto [nl, nr] : {std::pair<size_t, size_t>{0, 50},
+                          std::pair<size_t, size_t>{50, 0},
+                          std::pair<size_t, size_t>{220, 140}}) {
+      std::vector<Tuple> lrows = RandomRows(&rng, nl, dist);
+      std::vector<Tuple> rrows = RandomRightRows(&rng, nr, dist);
+      for (bool outer : {false, true}) {
+        // Serial oracle: sort both sides, then merge.
+        ColumnSet want = Drain(std::make_unique<BatchMergeJoin>(
+            std::make_unique<BatchSort>(BatchOf(lschema, lrows),
+                                        std::vector<SortKey>{{0, false}}),
+            std::make_unique<BatchSort>(BatchOf(rschema, rrows),
+                                        std::vector<SortKey>{{0, false}}),
+            std::vector<int>{0}, std::vector<int>{0}, outer));
+        for (int threads : ThreadCounts()) {
+          for (int morsel : kMorselSizes) {
+            MorselDispatcher disp(threads, morsel);
+            ColumnSet got = Drain(std::make_unique<ParallelMergeJoin>(
+                BatchOf(lschema, lrows), BatchOf(rschema, rrows),
+                std::vector<int>{0}, std::vector<int>{0}, &disp, outer));
+            ExpectBitEqual(
+                got, want,
+                StrCat("mergejoin dist=", static_cast<int>(dist), " nl=", nl,
+                       " nr=", nr, " outer=", outer, " threads=", threads,
+                       " morsel=", morsel));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelOperatorTest, MergeJoinNullKeysFallBackToSerialKernels) {
+  Rng rng(24);
+  Schema lschema = RowSchema(), rschema = RightSchema();
+  std::vector<Tuple> lrows = RandomRows(&rng, 150, KeyDist::kNullKeys);
+  std::vector<Tuple> rrows = RandomRightRows(&rng, 90, KeyDist::kNullKeys);
+  ColumnSet want = Drain(std::make_unique<BatchMergeJoin>(
+      std::make_unique<BatchSort>(BatchOf(lschema, lrows),
+                                  std::vector<SortKey>{{0, false}}),
+      std::make_unique<BatchSort>(BatchOf(rschema, rrows),
+                                  std::vector<SortKey>{{0, false}}),
+      std::vector<int>{0}, std::vector<int>{0}, /*left_outer=*/true));
+  for (int threads : ThreadCounts()) {
+    MorselDispatcher disp(threads, 7);
+    ColumnSet got = Drain(std::make_unique<ParallelMergeJoin>(
+        BatchOf(lschema, lrows), BatchOf(rschema, rrows), std::vector<int>{0},
+        std::vector<int>{0}, &disp, /*left_outer=*/true));
+    ExpectBitEqual(got, want, StrCat("null-key mergejoin threads=", threads));
+  }
+}
+
+TEST(ParallelOperatorTest, SortAggregateMatchesSerialEverywhere) {
+  Rng rng(25);
+  Schema schema = RowSchema();
+  for (KeyDist dist : kAllDists) {
+    for (size_t n : kRowCounts) {
+      std::vector<Tuple> rows = RandomRows(&rng, n, dist);
+      std::vector<SortKey> keys{{0, false}};
+      std::vector<int> groups{0};
+      std::vector<AggSpec> aggs{AggSpec{AggKind::kSum, 2, "sx"},
+                                AggSpec{AggKind::kCount, -1, "c"}};
+      ColumnSet want = Drain(std::make_unique<BatchSortAggregate>(
+          BatchOf(schema, rows), keys, groups, aggs));
+      for (int threads : ThreadCounts()) {
+        for (int morsel : kMorselSizes) {
+          MorselDispatcher disp(threads, morsel);
+          ColumnSet got = Drain(std::make_unique<ParallelSortAggregate>(
+              BatchOf(schema, rows), keys, groups, aggs, &disp));
+          // Double sums compare with ==: groups never span partitions, so
+          // the accumulation order is the serial one.
+          ExpectBitEqual(got, want,
+                         StrCat("sortagg dist=", static_cast<int>(dist),
+                                " n=", n, " threads=", threads,
+                                " morsel=", morsel));
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelOperatorTest, TableScanMatchesSerial) {
+  storage::MemDiskManager disk;
+  storage::BufferPool pool(&disk, 256);
+  Catalog catalog(&pool);
+  auto table = catalog.CreateTable(
+      "T", Schema({{"a", TypeId::kInt64}, {"s", TypeId::kString}}), {});
+  ASSERT_TRUE(table.ok());
+  // Heap tuples carry no NULLs (storage serializes concrete values only),
+  // so the scan sweep exercises types and variable-length strings instead.
+  Rng rng(26);
+  for (int i = 0; i < 700; ++i) {
+    Value s = Value::Str(rng.Bernoulli(0.2) ? "" : StrCat("row", i));
+    ASSERT_TRUE(
+        table.value()->Insert(Tuple({Value::Int64(i), s})).ok());
+  }
+  ColumnSet want =
+      Drain(std::make_unique<BatchTableScan>(table.value()));
+  for (int threads : ThreadCounts()) {
+    for (int morsel : kMorselSizes) {
+      MorselDispatcher disp(threads, morsel);
+      ColumnSet got =
+          Drain(std::make_unique<ParallelTableScan>(table.value(), &disp));
+      ExpectBitEqual(got, want,
+                     StrCat("scan threads=", threads, " morsel=", morsel));
+    }
+  }
+  // Column pruning matches too.
+  ColumnSet want_pruned = Drain(
+      std::make_unique<BatchTableScan>(table.value(), std::vector<int>{1}));
+  MorselDispatcher disp(4, 64);
+  ColumnSet got_pruned = Drain(std::make_unique<ParallelTableScan>(
+      table.value(), &disp, std::vector<int>{1}));
+  ExpectBitEqual(got_pruned, want_pruned, "pruned scan");
+}
+
+// ---- Hash join and exchange determinism ----
+
+TEST(ParallelOperatorTest, HashJoinDeterministicAcrossThreadCounts) {
+  Rng rng(27);
+  Schema lschema = RowSchema(), rschema = RightSchema();
+  std::vector<Tuple> lrows = RandomRows(&rng, 260, KeyDist::kSkewed);
+  std::vector<Tuple> rrows = RandomRightRows(&rng, 120, KeyDist::kUniform);
+  // Reference at one thread, one morsel size.
+  MorselDispatcher ref_disp(1, 1024);
+  ColumnSet want = Drain(std::make_unique<ParallelHashJoin>(
+      BatchOf(lschema, lrows), BatchOf(rschema, rrows), std::vector<int>{0},
+      std::vector<int>{0}, &ref_disp));
+  size_t inner_rows =
+      Drain(std::make_unique<BatchMergeJoin>(
+                std::make_unique<BatchSort>(BatchOf(lschema, lrows),
+                                            std::vector<SortKey>{{0, false}}),
+                std::make_unique<BatchSort>(BatchOf(rschema, rrows),
+                                            std::vector<SortKey>{{0, false}}),
+                std::vector<int>{0}, std::vector<int>{0}))
+          .num_rows();
+  EXPECT_EQ(want.num_rows(), inner_rows);
+  for (int threads : ThreadCounts()) {
+    for (int morsel : kMorselSizes) {
+      MorselDispatcher disp(threads, morsel);
+      ColumnSet got = Drain(std::make_unique<ParallelHashJoin>(
+          BatchOf(lschema, lrows), BatchOf(rschema, rrows),
+          std::vector<int>{0}, std::vector<int>{0}, &disp));
+      ExpectBitEqual(got, want,
+                     StrCat("hashjoin threads=", threads, " morsel=", morsel));
+    }
+  }
+}
+
+TEST(ParallelOperatorTest, HashJoinRejectsUnpackableKeys) {
+  Rng rng(28);
+  Schema lschema = RowSchema(), rschema = RightSchema();
+  std::vector<Tuple> lrows = RandomRows(&rng, 30, KeyDist::kNullKeys);
+  std::vector<Tuple> rrows = RandomRightRows(&rng, 30, KeyDist::kUniform);
+  MorselDispatcher disp(2, 7);
+  ParallelHashJoin join(BatchOf(lschema, lrows), BatchOf(rschema, rrows),
+                        std::vector<int>{0}, std::vector<int>{0}, &disp);
+  ASSERT_TRUE(join.Open().ok());
+  Batch batch;
+  Result<bool> more = join.NextBatch(&batch);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kInvalidArgument);
+  join.Close();
+}
+
+TEST(ParallelOperatorTest, ExchangeGatherConcatenatesInChildOrder) {
+  Rng rng(29);
+  Schema schema = RowSchema();
+  std::vector<std::vector<Tuple>> parts;
+  ColumnSet want(schema);
+  for (int c = 0; c < 3; ++c) {
+    parts.push_back(RandomRows(&rng, 40 + 13 * c, KeyDist::kUniform));
+    for (const Tuple& t : parts.back()) want.AppendTuple(t);
+  }
+  for (int threads : ThreadCounts()) {
+    std::vector<BatchOperatorPtr> children;
+    for (const auto& p : parts) children.push_back(BatchOf(schema, p, 16));
+    MorselDispatcher disp(threads, 64);
+    ColumnSet got =
+        Drain(std::make_unique<ExchangeGather>(std::move(children), &disp));
+    ExpectBitEqual(got, want, StrCat("gather threads=", threads));
+  }
+}
+
+TEST(ParallelOperatorTest, ExchangeMergeEqualsGlobalStableSort) {
+  Rng rng(30);
+  Schema schema = RowSchema();
+  std::vector<SortKey> keys{{0, false}};
+  // Children are sorted runs of a child-order-concatenated input; the
+  // k-way merge (child index tiebreak) must equal the serial stable sort
+  // of the concatenation.
+  std::vector<std::vector<Tuple>> parts;
+  std::vector<Tuple> all;
+  for (int c = 0; c < 4; ++c) {
+    parts.push_back(RandomRows(&rng, 70, KeyDist::kSkewed));
+    for (const Tuple& t : parts.back()) all.push_back(t);
+  }
+  ColumnSet want =
+      Drain(std::make_unique<BatchSort>(BatchOf(schema, all), keys));
+  for (int threads : ThreadCounts()) {
+    std::vector<BatchOperatorPtr> children;
+    for (const auto& p : parts) {
+      children.push_back(
+          std::make_unique<BatchSort>(BatchOf(schema, p, 32), keys));
+    }
+    MorselDispatcher disp(threads, 64);
+    ColumnSet got = Drain(
+        std::make_unique<ExchangeMerge>(std::move(children), keys, &disp));
+    ExpectBitEqual(got, want, StrCat("merge threads=", threads));
+  }
+}
+
+// ---- Morsel/partition observability ----
+
+TEST(ParallelObservabilityTest, CountersAndExplainReportFanOut) {
+  obs::MetricsRegistry registry;
+  SetBatchMetricsRegistry(&registry);
+  {
+    Rng rng(31);
+    Schema schema = RowSchema();
+    std::vector<Tuple> rows = RandomRows(&rng, 400, KeyDist::kUniform);
+    MorselDispatcher disp(4, 32);
+    PlanStats plan;
+    BatchOperatorPtr op = AnalyzeBatch(
+        &plan, "ParallelSort test",
+        std::make_unique<ParallelSort>(BatchOf(schema, rows),
+                                       std::vector<SortKey>{{0, false}},
+                                       &disp));
+    ColumnSet out;
+    ASSERT_TRUE(CollectInto(op.get(), &out).ok());
+    ASSERT_EQ(out.num_rows(), rows.size());
+
+    uint64_t morsels = 0, partitions = 0;
+    for (const auto& [key, value] : registry.CounterValues()) {
+      if (key.find("focus_sql_parallel_morsels_total") != std::string::npos) {
+        morsels = value;
+      }
+      if (key.find("focus_sql_parallel_partitions_total") !=
+          std::string::npos) {
+        partitions = value;
+      }
+    }
+    EXPECT_GT(morsels, 0u);
+    EXPECT_GT(partitions, 0u);
+
+    std::string report = plan.Format();
+    EXPECT_NE(report.find("morsels="), std::string::npos) << report;
+    EXPECT_NE(report.find("partitions="), std::string::npos) << report;
+  }
+  SetBatchMetricsRegistry(nullptr);
+}
+
+// ---- Figure 3 end-to-end: kVectorized vs kParallel, bit-exact ----
+
+TEST(ParallelEngineEquivalenceTest, BulkProbeScoresBitExact) {
+  Rng rng(42);
+  taxonomy::Taxonomy tax;
+  using taxonomy::kRootCid;
+  taxonomy::Cid rec = tax.AddTopic(kRootCid, "recreation").value();
+  taxonomy::Cid biz = tax.AddTopic(kRootCid, "business").value();
+  std::vector<taxonomy::Cid> leaves = {
+      tax.AddTopic(rec, "cycling").value(),
+      tax.AddTopic(rec, "gardening").value(),
+      tax.AddTopic(biz, "mutual_funds").value(),
+      tax.AddTopic(biz, "stocks").value()};
+
+  auto make_doc = [&](taxonomy::Cid leaf) {
+    std::vector<std::string> tokens;
+    for (int i = 0; i < 120; ++i) {
+      if (rng.Bernoulli(0.6)) {
+        tokens.push_back(StrCat("w_", tax.Name(leaf), "_", rng.Uniform(25)));
+      } else {
+        tokens.push_back(StrCat("bg_", rng.Uniform(60)));
+      }
+    }
+    return text::BuildTermVector(tokens);
+  };
+
+  classify::Trainer trainer(
+      classify::TrainerOptions{.max_features_per_node = 150});
+  std::vector<classify::LabeledDocument> training;
+  uint64_t did = 1;
+  for (taxonomy::Cid leaf : leaves) {
+    for (int i = 0; i < 10; ++i) {
+      training.push_back(
+          classify::LabeledDocument{did++, leaf, make_doc(leaf)});
+    }
+  }
+  auto model = trainer.Train(tax, training);
+  ASSERT_TRUE(model.ok()) << model.status();
+  classify::HierarchicalClassifier ref(&tax, &model.value());
+
+  storage::MemDiskManager disk;
+  storage::BufferPool pool(&disk, 1024);
+  Catalog catalog(&pool);
+  auto tables =
+      classify::BuildClassifierTables(&catalog, tax, model.value());
+  ASSERT_TRUE(tables.ok()) << tables.status();
+
+  auto doc_table = classify::CreateDocumentTable(&catalog, "DOCUMENT");
+  ASSERT_TRUE(doc_table.ok());
+  for (int i = 0; i < 17; ++i) {
+    ASSERT_TRUE(classify::InsertDocument(doc_table.value(), i + 1,
+                                         make_doc(leaves[i % 4]))
+                    .ok());
+  }
+
+  classify::BulkProbeClassifier bulk(&ref, &tables.value());
+  bulk.SetEngine(ExecEngine::kVectorized);
+  auto vec = bulk.ClassifyAll(doc_table.value());
+  ASSERT_TRUE(vec.ok()) << vec.status();
+
+  bulk.SetEngine(ExecEngine::kParallel);
+  for (int threads : ThreadCounts()) {
+    bulk.SetParallelThreads(threads);
+    auto par = bulk.ClassifyAll(doc_table.value());
+    ASSERT_TRUE(par.ok()) << par.status();
+    ASSERT_EQ(par.value().size(), vec.value().size()) << threads;
+    for (const auto& [doc, expected] : vec.value()) {
+      auto it = par.value().find(doc);
+      ASSERT_NE(it, par.value().end()) << "doc " << doc;
+      ASSERT_EQ(it->second.logp.size(), expected.logp.size());
+      for (size_t c = 0; c < expected.logp.size(); ++c) {
+        // Bit-exact, not NEAR: same plan, same accumulation order.
+        EXPECT_EQ(it->second.logp[c], expected.logp[c])
+            << "doc " << doc << " cid " << c << " threads " << threads;
+      }
+    }
+  }
+
+  // The parallel EXPLAIN tree names the parallel operators and reports
+  // morsel counts.
+  PlanStats plan;
+  auto with_plan = bulk.ClassifyWithPlan(doc_table.value(), &plan);
+  ASSERT_TRUE(with_plan.ok());
+  std::string report = plan.Format();
+  EXPECT_NE(report.find("ParallelMergeJoin DOCUMENT~STAT"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("morsels="), std::string::npos) << report;
+}
+
+// ---- Figure 4 end-to-end: kVectorized vs kParallel, bit-exact ----
+
+struct DistillFixture {
+  storage::MemDiskManager disk;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<Catalog> catalog;
+  distill::DistillTables tables;
+
+  Status Build(uint64_t seed, int pages, int servers, int edges) {
+    pool = std::make_unique<storage::BufferPool>(&disk, 2048);
+    catalog = std::make_unique<Catalog>(pool.get());
+    FOCUS_ASSIGN_OR_RETURN(
+        tables.link,
+        catalog->CreateTable(
+            "LINK",
+            Schema({{"oid_src", TypeId::kInt64},
+                    {"sid_src", TypeId::kInt32},
+                    {"oid_dst", TypeId::kInt64},
+                    {"sid_dst", TypeId::kInt32},
+                    {"wgt_fwd", TypeId::kDouble},
+                    {"wgt_rev", TypeId::kDouble}}),
+            {IndexSpec{"by_src", {0}, {}}, IndexSpec{"by_dst", {2}, {}}}));
+    FOCUS_ASSIGN_OR_RETURN(
+        tables.crawl,
+        catalog->CreateTable("CRAWL",
+                             Schema({{"oid", TypeId::kInt64},
+                                     {"relevance", TypeId::kDouble}}),
+                             {IndexSpec{"by_oid", {0}, {}}}));
+    Rng rng(seed);
+    auto sid = [&](int64_t oid) {
+      return static_cast<int32_t>(oid % servers);
+    };
+    for (int64_t oid = 1; oid <= pages; ++oid) {
+      FOCUS_RETURN_IF_ERROR(
+          tables.crawl
+              ->Insert(
+                  Tuple({Value::Int64(oid), Value::Double(rng.NextDouble())}))
+              .status());
+    }
+    for (int e = 0; e < edges; ++e) {
+      int64_t src = 1 + static_cast<int64_t>(rng.Uniform(pages));
+      int64_t dst = 1 + static_cast<int64_t>(rng.Uniform(pages));
+      FOCUS_RETURN_IF_ERROR(
+          tables.link
+              ->Insert(Tuple({Value::Int64(src), Value::Int32(sid(src)),
+                              Value::Int64(dst), Value::Int32(sid(dst)),
+                              Value::Double(0.5 + rng.NextDouble()),
+                              Value::Double(0.5 + rng.NextDouble())}))
+              .status());
+    }
+    return distill::CreateHubsAuthTables(catalog.get(), &tables);
+  }
+};
+
+std::vector<std::pair<int64_t, double>> TableRows(Table* t) {
+  std::vector<std::pair<int64_t, double>> out;
+  auto it = t->Scan();
+  storage::Rid rid;
+  Tuple row;
+  while (it.Next(&rid, &row)) {
+    out.emplace_back(row.Get(0).AsInt64(), row.Get(1).AsDouble());
+  }
+  EXPECT_TRUE(it.status().ok());
+  return out;
+}
+
+TEST(ParallelEngineEquivalenceTest, DistillerTablesBitExact) {
+  for (int threads : ThreadCounts()) {
+    const uint64_t seed = 77;
+    DistillFixture vec_fx, par_fx;
+    ASSERT_TRUE(vec_fx.Build(seed, 60, 9, 400).ok());
+    ASSERT_TRUE(par_fx.Build(seed, 60, 9, 400).ok());
+
+    distill::JoinDistiller vec(vec_fx.tables);
+    vec.SetEngine(ExecEngine::kVectorized);
+    ASSERT_TRUE(vec.Initialize().ok());
+    distill::JoinDistiller par(par_fx.tables);
+    par.SetEngine(ExecEngine::kParallel);
+    par.SetParallelThreads(threads);
+    ASSERT_TRUE(par.Initialize().ok());
+
+    for (int iter = 0; iter < 3; ++iter) {
+      ASSERT_TRUE(vec.RunIteration(0.3).ok());
+      ASSERT_TRUE(par.RunIteration(0.3).ok());
+    }
+
+    for (auto [v_table, p_table] :
+         {std::pair{vec_fx.tables.hubs, par_fx.tables.hubs},
+          std::pair{vec_fx.tables.auth, par_fx.tables.auth}}) {
+      auto v_rows = TableRows(v_table);
+      auto p_rows = TableRows(p_table);
+      ASSERT_EQ(v_rows.size(), p_rows.size()) << "threads " << threads;
+      for (size_t i = 0; i < v_rows.size(); ++i) {
+        EXPECT_EQ(v_rows[i].first, p_rows[i].first)
+            << "threads " << threads << " slot " << i;
+        // Bit-exact scores, not merely the same ranking.
+        EXPECT_EQ(v_rows[i].second, p_rows[i].second)
+            << "threads " << threads << " slot " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace focus::sql
