@@ -19,8 +19,9 @@ namespace focus::bench {
 // snapshot exporter (obs::JsonWriter) — one JSON implementation repo-wide.
 using obs::JsonWriter;
 
-// Writes `content` (a JSON document or Prometheus text page) to `path`;
-// returns false (with a stderr note) on failure.
+// Writes `content` (a JSON document, Prometheus text page, or JSONL dump)
+// to `path`, newline-terminated exactly once; returns false (with a
+// stderr note) on failure.
 inline bool WriteTextFile(const std::string& path,
                           const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -29,7 +30,7 @@ inline bool WriteTextFile(const std::string& path,
     return false;
   }
   std::fputs(content.c_str(), f);
-  std::fputc('\n', f);
+  if (content.empty() || content.back() != '\n') std::fputc('\n', f);
   std::fclose(f);
   return true;
 }

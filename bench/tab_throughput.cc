@@ -17,6 +17,13 @@
 //   --metrics-text PATH  same snapshot in Prometheus text format
 //   --trace PATH         record trace spans, write Chrome trace_event JSON
 //
+// Provenance / live introspection:
+//   --events PATH        enable the crawl event log, dump it as JSONL
+//   --admin-port N       serve /metrics /metrics.json /trace /events
+//                        /frontier /healthz on 127.0.0.1:N while the bench
+//                        runs (0 = ephemeral port, printed at startup);
+//                        implies the event log
+//
 // Fault injection (the hostile-web model; defaults are a fault-free web):
 //   --fail-prob P        transient failure probability per fetch, plus
 //                        P/5 permanent losses, P/5 timeouts, P/2 truncation
@@ -44,6 +51,9 @@
 #include "core/sample_taxonomy.h"
 #include "crawl/metrics.h"
 #include "crawl/monitor.h"
+#include "crawl/provenance.h"
+#include "obs/admin_server.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/wal.h"
@@ -62,10 +72,14 @@ struct Flags {
   double dead_servers = 0;
   bool breaker = true;
   bool wal = false;
+  int admin_port = -1;  // -1 = no admin server
+  std::string events_path;
   std::string json_path;
   std::string metrics_json_path;
   std::string metrics_text_path;
   std::string trace_path;
+
+  bool WantEvents() const { return admin_port >= 0 || !events_path.empty(); }
 };
 
 // Applies the fault flags to a web config: --fail-prob P injects the full
@@ -114,11 +128,16 @@ Flags ParseFlags(int argc, char** argv) {
       flags.breaker = false;
     } else if (std::strcmp(argv[i], "--wal") == 0) {
       flags.wal = true;
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      flags.events_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
+      flags.admin_port = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: tab_throughput [--budget N] [--tiny] "
                    "[--json PATH] [--metrics-json PATH] "
                    "[--metrics-text PATH] [--trace PATH] "
+                   "[--events PATH] [--admin-port N] "
                    "[--fail-prob P] [--timeout-ms N] [--outage-servers N] "
                    "[--dead-servers F] [--no-breaker] [--wal]\n");
       std::exit(2);
@@ -149,6 +168,18 @@ int Run(const Flags& flags) {
   // A private registry: repeated bench runs (and other processes' global
   // metrics) never leak into this run's snapshot.
   obs::MetricsRegistry registry;
+  obs::EventLog event_log;
+  if (flags.WantEvents()) event_log.Enable();
+  obs::AdminServer::Options admin_opts;
+  admin_opts.port = flags.admin_port < 0 ? 0 : flags.admin_port;
+  admin_opts.metrics = &registry;
+  admin_opts.events = flags.WantEvents() ? &event_log : nullptr;
+  obs::AdminServer admin(admin_opts);
+  if (flags.admin_port >= 0) {
+    Status started = admin.Start();
+    FOCUS_CHECK(started.ok(), started.ToString());
+    std::printf("admin server on http://127.0.0.1:%d\n", admin.port());
+  }
   taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
   core::FocusOptions options;
   options.seed = 73;
@@ -185,7 +216,12 @@ int Run(const Flags& flags) {
     copts.num_threads = threads;
     copts.breaker.enabled = flags.breaker;
     copts.metrics_registry = &registry;
+    copts.event_log = flags.WantEvents() ? &event_log : nullptr;
     auto session = system->NewCrawl(seeds, copts).TakeValue();
+    if (flags.admin_port >= 0) {
+      // Re-point /frontier at the session that is about to run.
+      crawl::RegisterCrawlAdminEndpoints(&admin, &session->crawler());
+    }
     Stopwatch wall;
     FOCUS_CHECK(session->crawler().Crawl().ok());
     Row row;
@@ -252,6 +288,11 @@ int Run(const Flags& flags) {
                      obs::TraceBuffer::Global().ToChromeTraceJson())) {
     return 1;
   }
+  if (!flags.events_path.empty() &&
+      !WriteTextFile(flags.events_path, event_log.ToJsonl())) {
+    return 1;
+  }
+  admin.Stop();
   return 0;
 }
 

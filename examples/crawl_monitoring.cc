@@ -12,12 +12,23 @@
 // category good recovers the harvest.
 //
 // Along the way this example doubles as the observability tour: the
-// pipeline stage report, the registry-delta reporter, and EXPLAIN-ANALYZE
-// plan reports for the Figure 3 classifier plan and a Figure 4 distillation
-// iteration.
+// pipeline stage report, the registry-delta reporter, the crawl event log
+// with a provenance-path reconstruction, EXPLAIN-ANALYZE plan reports for
+// the Figure 3 classifier plan and a Figure 4 distillation iteration, and
+// (with --admin-port N) the live admin introspection server:
+//
+//   crawl_monitoring --admin-port 0 --admin-linger 30
+//
+// starts the read-only HTTP server on an ephemeral loopback port (printed
+// on stdout), then keeps the process alive for 30 s after the tour so
+// /metrics, /events, /frontier etc. can be scraped.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,7 +39,10 @@
 #include "crawl/batch_evaluator.h"
 #include "crawl/metrics.h"
 #include "crawl/monitor.h"
+#include "crawl/provenance.h"
 #include "distill/join_distiller.h"
+#include "obs/admin_server.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "sql/catalog.h"
@@ -46,8 +60,24 @@ double FinalHarvest(const std::vector<focus::crawl::Visit>& visits) {
   return series.empty() ? 0.0 : series.back();
 }
 
-int Run() {
+int Run(int admin_port, int admin_linger_s) {
   using namespace focus;
+
+  // The event log records the full URL lifecycle for both crawls; the
+  // provenance section below reconstructs a discovery path from it.
+  obs::EventLog event_log;
+  event_log.Enable();
+
+  obs::AdminServer::Options admin_opts;
+  admin_opts.port = admin_port < 0 ? 0 : admin_port;
+  admin_opts.events = &event_log;  // metrics/trace default to the globals
+  obs::AdminServer admin(admin_opts);
+  if (admin_port >= 0) {
+    FOCUS_CHECK(admin.Start().ok());
+    std::printf("admin server listening on http://127.0.0.1:%d\n",
+                admin.port());
+    std::fflush(stdout);
+  }
 
   taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
   auto funds = tax.FindByName("mutual_funds").value();
@@ -86,11 +116,13 @@ int Run() {
   crawl::CrawlerOptions copts;
   copts.max_fetches = 1500;
   copts.num_threads = 4;  // the pipeline, so the stage report has content
+  copts.event_log = &event_log;
   // Baseline the registry-delta reporter before any pages move. With
   // Start() it would log a delta every interval; here we pull one report
   // by hand after the crawl so the output stays deterministic.
   obs::PeriodicReporter reporter;
   auto session = system->NewCrawl(seeds, copts).TakeValue();
+  crawl::RegisterCrawlAdminEndpoints(&admin, &session->crawler());
   FOCUS_CHECK(session->crawler().Crawl().ok());
   std::printf("crawl with good = {mutual_funds}: %zu pages, final harvest "
               "= %.2f  <- dropped\n\n",
@@ -136,12 +168,38 @@ int Run() {
   system->mutable_tax()->ClearMarks();
   FOCUS_CHECK(system->MarkGood("business").ok());
 
+  // Provenance is a per-session story: drop the drooping crawl's events so
+  // path walks below never chain into the other session's history.
+  event_log.Clear();
   auto fixed = system->NewCrawl(seeds, copts).TakeValue();
+  crawl::RegisterCrawlAdminEndpoints(&admin, &fixed->crawler());
   FOCUS_CHECK(fixed->crawler().Crawl().ok());
   std::printf("crawl with good = {business}: %zu pages, final harvest "
               "= %.2f  <- recovered\n",
               fixed->crawler().visits().size(),
               FinalHarvest(fixed->crawler().visits()));
+
+  // --- provenance: how did the crawler reach its last find? ---
+  // Every admit/fetch/retry/breaker decision is in the event log; the
+  // canned query walks first-admit edges back to a seed (§3.7 asks "why is
+  // the crawler here?" — this answers it for any URL).
+  const auto& visits = fixed->crawler().visits();
+  if (!visits.empty()) {
+    // Prefer a multi-hop story over a seed: walk back from the last visit
+    // until a path at least three hops deep turns up.
+    std::vector<crawl::DiscoveryHop> best;
+    for (size_t i = visits.size(); i-- > 0 && i + 200 >= visits.size();) {
+      auto path =
+          crawl::DiscoveryPath(event_log, fixed->db(), visits[i].oid);
+      FOCUS_CHECK(path.ok());
+      if (path.value().size() > best.size()) best = path.TakeValue();
+      if (best.size() >= 3) break;
+    }
+    std::printf("\ndiscovery path of a recently visited page (%llu events "
+                "logged so far):\n%s",
+                static_cast<unsigned long long>(event_log.TotalRecorded()),
+                crawl::FormatDiscoveryPath(best).c_str());
+  }
 
   // --- under the hood: EXPLAIN ANALYZE the two relational workhorses ---
   // (a) The Figure 3 bulk-probe classifier plan, over a small batch of
@@ -220,12 +278,35 @@ int Run() {
   for (const auto& [micros, op] : op_micros) {
     std::printf("    %-18s %9.2f ms\n", op.c_str(), micros / 1000.0);
   }
+
+  // Keep serving so a scraper (the CI smoke job, a human with curl) can
+  // hit the admin endpoints after the tour finishes.
+  if (admin.running() && admin_linger_s > 0) {
+    std::printf("\nlingering %d s for admin scrapes...\n", admin_linger_s);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(admin_linger_s));
+  }
+  admin.Stop();
   return 0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   focus::SetLogLevel(focus::LogLevel::kWarning);
-  return Run();
+  int admin_port = -1;   // -1 = no admin server
+  int admin_linger_s = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
+      admin_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--admin-linger") == 0 && i + 1 < argc) {
+      admin_linger_s = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--admin-port N] [--admin-linger SECONDS]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return Run(admin_port, admin_linger_s);
 }

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Append one point to BENCH_trajectory.json from bench-run artifacts.
+
+The trajectory file records how the repo's headline numbers move commit to
+commit, so a perf regression is visible as a trend break instead of a
+guess. Each point stores the *median* across however many repeat runs of
+each bench artifact the caller passes (CI runs each bench three times;
+locally one run per bench is fine — the median of one value is itself).
+
+Usage:
+  python3 scripts/append_bench_trajectory.py \
+      --trajectory BENCH_trajectory.json \
+      --commit "$(git rev-parse --short HEAD)" --source local \
+      --fig8a BENCH_fig8a_run*.json \
+      --fig8d BENCH_fig8d_run*.json \
+      --throughput BENCH_throughput_run*.json
+
+Any of --fig8a / --fig8d / --throughput may be omitted; the point records
+whichever benches ran.
+"""
+
+import argparse
+import datetime
+import json
+import statistics
+import sys
+
+SCHEMA = 1
+
+
+def load_all(paths):
+    return [json.load(open(p)) for p in paths]
+
+
+def fig8a_point(runs):
+    """variant -> median seconds_per_doc (plus probe_s, the join pass)."""
+    by_variant = {}
+    for run in runs:
+        for row in run:
+            by_variant.setdefault(row["variant"], []).append(row)
+    return {
+        variant: {
+            "seconds_per_doc": statistics.median(
+                r["seconds_per_doc"] for r in rows
+            ),
+            "probe_s": statistics.median(r["probe_s"] for r in rows),
+        }
+        for variant, rows in by_variant.items()
+    }
+
+
+def fig8d_point(runs):
+    """variant -> median seconds_per_iter (plus join_s where present)."""
+    by_variant = {}
+    for run in runs:
+        for row in run:
+            by_variant.setdefault(row["variant"], []).append(row)
+    return {
+        variant: {
+            "seconds_per_iter": statistics.median(
+                r["seconds_per_iter"] for r in rows
+            ),
+            "join_s": statistics.median(r["join_s"] for r in rows),
+        }
+        for variant, rows in by_variant.items()
+    }
+
+
+def throughput_point(runs):
+    """threads -> median virtual/wall throughput across runs."""
+    by_threads = {}
+    for run in runs:
+        for row in run["rows"]:
+            by_threads.setdefault(row["threads"], []).append(row)
+    return {
+        str(threads): {
+            "pages_per_virtual_second": statistics.median(
+                r["pages_per_virtual_second"] for r in rows
+            ),
+            "pages_per_wall_second": statistics.median(
+                r["pages_per_wall_second"] for r in rows
+            ),
+        }
+        for threads, rows in sorted(by_threads.items())
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trajectory", required=True)
+    parser.add_argument("--commit", required=True)
+    parser.add_argument("--source", default="local",
+                        help="who measured (local, ci, ...)")
+    parser.add_argument("--fig8a", nargs="*", default=[])
+    parser.add_argument("--fig8d", nargs="*", default=[])
+    parser.add_argument("--throughput", nargs="*", default=[])
+    args = parser.parse_args()
+
+    if not (args.fig8a or args.fig8d or args.throughput):
+        sys.exit("nothing to append: pass at least one bench artifact")
+
+    try:
+        trajectory = json.load(open(args.trajectory))
+    except FileNotFoundError:
+        trajectory = {"schema": SCHEMA, "points": []}
+    if trajectory.get("schema") != SCHEMA:
+        sys.exit(f"unsupported trajectory schema: {trajectory.get('schema')}")
+
+    point = {
+        "commit": args.commit,
+        "date": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "source": args.source,
+    }
+    if args.fig8a:
+        point["fig8a"] = fig8a_point(load_all(args.fig8a))
+    if args.fig8d:
+        point["fig8d"] = fig8d_point(load_all(args.fig8d))
+    if args.throughput:
+        point["tab_throughput"] = throughput_point(load_all(args.throughput))
+
+    trajectory["points"].append(point)
+    with open(args.trajectory, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    runs = max(len(args.fig8a), len(args.fig8d), len(args.throughput))
+    print(f"appended {args.commit} ({args.source}, median of {runs} run(s)) "
+          f"-> {args.trajectory}: {len(trajectory['points'])} points")
+
+
+if __name__ == "__main__":
+    main()

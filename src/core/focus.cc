@@ -130,6 +130,7 @@ Result<std::unique_ptr<CrawlSession>> FocusSystem::NewCrawl(
                            session->data_disk_.get(), session->log_disk_.get()));
     session->wal_->BindMetrics(crawler_options.metrics_registry,
                                session_name);
+    session->wal_->BindEventLog(crawler_options.event_log);
     session_disk = session->wal_.get();
   }
   session->pool_ = std::make_unique<storage::BufferPool>(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/event_log.h"
+
 namespace focus::crawl {
 
 const char* BreakerStateName(BreakerState state) {
@@ -14,6 +16,16 @@ const char* BreakerStateName(BreakerState state) {
       return "half_open";
   }
   return "?";
+}
+
+void CircuitBreakerRegistry::EmitTransition(const BreakerOutcome& out,
+                                            int64_t now_us) const {
+  if (event_log_ == nullptr || !out.transitioned) return;
+  event_log_->Record(obs::CrawlEventType::kBreakerTransition, /*oid=*/-1,
+                     /*parent_oid=*/-1, out.record.sid,
+                     /*virtual_us=*/now_us,
+                     /*value=*/out.record.cooldown_s,
+                     /*aux=*/static_cast<int64_t>(out.record.state));
 }
 
 BreakerRecord CircuitBreakerRegistry::RecordOf(int32_t sid,
@@ -48,6 +60,7 @@ BreakerOutcome CircuitBreakerRegistry::Admit(int32_t sid, int64_t now_us) {
           now_us + static_cast<int64_t>(options_.probe_interval_s * 1e6);
       out.transitioned = true;
       out.record = RecordOf(sid, s);
+      EmitTransition(out, now_us);
       return out;
     case BreakerState::kHalfOpen:
       if (now_us < s.next_probe_at_us) {
@@ -77,6 +90,7 @@ BreakerOutcome CircuitBreakerRegistry::OnSuccess(int32_t sid) {
   if (was_tripped) {
     out.transitioned = true;
     out.record = RecordOf(sid, s);
+    EmitTransition(out, /*now_us=*/-1);
   }
   return out;
 }
@@ -109,6 +123,7 @@ BreakerOutcome CircuitBreakerRegistry::OnFailure(int32_t sid,
   ++open_count_;
   out.transitioned = true;
   out.record = RecordOf(sid, s);
+  EmitTransition(out, now_us);
   return out;
 }
 

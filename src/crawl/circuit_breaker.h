@@ -14,6 +14,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace focus::obs {
+class EventLog;
+}  // namespace focus::obs
+
 namespace focus::crawl {
 
 struct CircuitBreakerOptions {
@@ -67,7 +71,15 @@ class CircuitBreakerRegistry {
   // Breakers currently open or half-open.
   int64_t open_count() const;
 
+  // Provenance hook: state transitions record kBreakerTransition events.
+  // nullptr (the default) disables.
+  void SetEventLog(obs::EventLog* log) { event_log_ = log; }
+
  private:
+  // Records the transition carried by `out` (no-op without a log or when
+  // the call did not transition). `now_us` may be -1 (OnSuccess has no
+  // virtual timestamp).
+  void EmitTransition(const BreakerOutcome& out, int64_t now_us) const;
   struct State {
     BreakerState state = BreakerState::kClosed;
     int32_t fails = 0;
@@ -79,6 +91,7 @@ class CircuitBreakerRegistry {
   BreakerRecord RecordOf(int32_t sid, const State& s) const;
 
   CircuitBreakerOptions options_;
+  obs::EventLog* event_log_ = nullptr;
   mutable std::mutex mu_;
   std::unordered_map<int32_t, State> states_;
   int64_t open_count_ = 0;

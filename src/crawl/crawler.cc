@@ -6,6 +6,7 @@
 #include "crawl/metrics.h"
 #include "distill/join_distiller.h"
 #include "distill/pagerank.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 
 #include "util/clock.h"
@@ -46,6 +47,11 @@ Crawler::Crawler(webgraph::SimulatedWeb* web, RelevanceEvaluator* evaluator,
   }
   next_distill_at_ = options_.distill_every;
   next_pagerank_at_ = options_.pagerank_every;
+  if (options_.event_log != nullptr) {
+    frontier_.SetEventLog(options_.event_log);
+    breaker_.SetEventLog(options_.event_log);
+    retry_policy_.SetEventLog(options_.event_log);
+  }
 }
 
 Crawler::~Crawler() = default;
@@ -59,6 +65,13 @@ Status Crawler::AddSeed(std::string_view url) {
   entry.url = std::string(url);
   entry.relevance = 1.0;
   frontier_.AddOrUpdate(entry);
+  if (options_.event_log != nullptr) {
+    // Seeds are discovery roots: no parent.
+    options_.event_log->Record(obs::CrawlEventType::kFrontierAdmit,
+                               static_cast<int64_t>(entry.oid),
+                               /*parent_oid=*/-1, ServerIdOf(url),
+                               clock_.NowMicros(), /*value=*/1.0, /*aux=*/0);
+  }
   return Status::OK();
 }
 
@@ -94,6 +107,13 @@ Result<bool> Crawler::Step() {
             // Quarantined server: re-park until the breaker's next
             // probe/cooldown deadline (never earlier than now + 1 so the
             // pop loop can't spin).
+            if (options_.event_log != nullptr) {
+              options_.event_log->Record(
+                  obs::CrawlEventType::kBreakerDenied,
+                  static_cast<int64_t>(entry->oid), /*parent_oid=*/-1,
+                  ServerIdOf(entry->url), now, /*value=*/0.0,
+                  /*aux=*/adm.retry_at_us);
+            }
             FrontierEntry parked = std::move(*entry);
             parked.ready_at_us = std::max(adm.retry_at_us, now + 1);
             frontier_.AddOrUpdate(parked);
@@ -119,6 +139,13 @@ Result<bool> Crawler::Step() {
     }
     stage_metrics_->RecordPop(/*stolen=*/false);
     ++stats_.attempts;
+    if (options_.event_log != nullptr) {
+      options_.event_log->Record(obs::CrawlEventType::kFetchAttempt,
+                                 static_cast<int64_t>(entry->oid),
+                                 /*parent_oid=*/-1, ServerIdOf(entry->url),
+                                 clock_.NowMicros(), entry->relevance,
+                                 /*aux=*/entry->numtries + 1);
+    }
     // Attempts are numbered from durable state (numtries) so a crashed
     // crawler's refetch of an attempt whose bookkeeping was lost replays
     // the same outcome — the visited set becomes a deterministic fixpoint
@@ -142,6 +169,13 @@ Result<bool> Crawler::Step() {
       FOCUS_RETURN_IF_ERROR(FlushBreakerState());
     }
     fetch = fetched.TakeValue();
+    if (options_.event_log != nullptr) {
+      options_.event_log->Record(obs::CrawlEventType::kFetchSuccess,
+                                 static_cast<int64_t>(entry->oid),
+                                 /*parent_oid=*/-1, ServerIdOf(entry->url),
+                                 clock_.NowMicros(), /*value=*/0.0,
+                                 /*aux=*/entry->numtries + 1);
+    }
     in_flight_.fetch_add(1);
   }
 
@@ -173,8 +207,17 @@ Result<bool> Crawler::Step() {
   visit.best_leaf = judgment.best_leaf;
   visit.virtual_time_us = clock_.NowMicros();
   visits_.push_back(visit);
+  stage_metrics_->RecordVisitRelevance(judgment.relevance);
+  if (options_.event_log != nullptr) {
+    options_.event_log->Record(obs::CrawlEventType::kClassifyVerdict,
+                               static_cast<int64_t>(oid), /*parent_oid=*/-1,
+                               ServerIdOf(fetch.url), visit.virtual_time_us,
+                               judgment.relevance,
+                               /*aux=*/static_cast<int64_t>(
+                                   judgment.best_leaf));
+  }
 
-  FOCUS_RETURN_IF_ERROR(ExpandLinks(fetch, judgment));
+  FOCUS_RETURN_IF_ERROR(ExpandLinks(fetch, judgment, visit.virtual_time_us));
 
   if (options_.expand_backlinks &&
       judgment.relevance > options_.backlink_relevance_threshold) {
@@ -196,6 +239,13 @@ Result<bool> Crawler::Step() {
       entry.relevance = judgment.relevance;
       entry.serverload = server_fetches_[ServerIdOf(citer)];
       frontier_.AddOrUpdate(entry);
+      if (options_.event_log != nullptr) {
+        options_.event_log->Record(obs::CrawlEventType::kFrontierAdmit,
+                                   static_cast<int64_t>(citer_oid),
+                                   static_cast<int64_t>(oid),
+                                   ServerIdOf(citer), clock_.NowMicros(),
+                                   judgment.relevance, /*aux=*/2);
+      }
     }
   }
 
@@ -210,6 +260,13 @@ Status Crawler::HandleFetchFailure(const FrontierEntry& entry,
                                    const Status& error, int64_t at_us) {
   FailureClass cls = ClassifyFetchFailure(error);
   stage_metrics_->RecordFetchFailure(cls);
+  if (options_.event_log != nullptr) {
+    options_.event_log->Record(obs::CrawlEventType::kFetchFailure,
+                               static_cast<int64_t>(entry.oid),
+                               /*parent_oid=*/-1, ServerIdOf(entry.url),
+                               at_us, /*value=*/entry.relevance,
+                               /*aux=*/static_cast<int64_t>(cls));
+  }
   RetryPolicy::Decision d = retry_policy_.Decide(entry, cls, at_us);
   FOCUS_RETURN_IF_ERROR(
       db_->RecordFailure(entry.oid, d.cost, d.drop ? 0 : d.ready_at_us));
@@ -294,11 +351,12 @@ Status Crawler::RefreshPageRankPriorities() {
 }
 
 Status Crawler::ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
-                            const PageJudgment& judgment) {
+                            const PageJudgment& judgment, int64_t at_us) {
   bool expand_frontier = true;
   if (options_.expansion == ExpansionRule::kHardFocus) {
     expand_frontier = judgment.best_leaf_is_good;
   }
+  const int64_t src_oid = static_cast<int64_t>(UrlOid(fetch.url));
   // Revisits must not duplicate LINK rows.
   bool record_links = links_recorded_.insert(UrlOid(fetch.url)).second;
   for (const std::string& dst : fetch.outlink_urls) {
@@ -327,6 +385,12 @@ Status Crawler::ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
           entry.relevance = judgment.relevance;
           entry.serverload = server_fetches_[ServerIdOf(root)];
           frontier_.AddOrUpdate(entry);
+          if (options_.event_log != nullptr) {
+            options_.event_log->Record(
+                obs::CrawlEventType::kFrontierAdmit,
+                static_cast<int64_t>(entry.oid), src_oid,
+                ServerIdOf(root), at_us, judgment.relevance, /*aux=*/1);
+          }
         }
       }
     }
@@ -343,6 +407,12 @@ Status Crawler::ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
       entry.serverload = load;
       entry.backlinks = ++backlink_counts_[dst_oid];
       frontier_.AddOrUpdate(entry);
+      if (options_.event_log != nullptr) {
+        options_.event_log->Record(obs::CrawlEventType::kFrontierAdmit,
+                                   static_cast<int64_t>(dst_oid), src_oid,
+                                   ServerIdOf(dst), at_us, estimate,
+                                   /*aux=*/0);
+      }
     } else if (!existing->visited) {
       // A better citation raises the unvisited page's priority; every
       // citation raises its backlink count (Cho ordering signal).
@@ -422,13 +492,97 @@ Status Crawler::RunDistillationBoost() {
 
 Status Crawler::ResumeFromDb() {
   std::lock_guard<std::mutex> lock(state_mutex_);
-  auto it = db_->crawl_table()->Scan();
-  storage::Rid rid;
-  sql::Tuple row;
+  // Event reconciliation: a crash lost the in-memory rings, but the WAL
+  // replayed the durable CRAWL/LINK state — re-emit the discovery history
+  // from it, in table-scan order (heap insertion order == the commit order
+  // the WAL recovered), flagged `reconciled`. The discovering parent of a
+  // page is its earliest recorded citation.
+  obs::EventLog* elog = options_.event_log;
+  // Visit times gate which citations are plausible discoveries, so the
+  // CRAWL rows are collected up front (they are re-walked below anyway).
+  std::vector<CrawlRecord> records;
+  std::unordered_map<uint64_t, int64_t> visited_at;
+  {
+    auto crawl_it = db_->crawl_table()->Scan();
+    storage::Rid crawl_rid;
+    sql::Tuple crawl_row;
+    while (crawl_it.Next(&crawl_rid, &crawl_row)) {
+      records.push_back(CrawlDb::RecordFromTuple(crawl_row));
+      const CrawlRecord& rec = records.back();
+      if (rec.visited) visited_at.emplace(rec.oid, rec.lastvisited);
+    }
+    FOCUS_RETURN_IF_ERROR(crawl_it.status());
+  }
+  std::unordered_map<uint64_t, uint64_t> first_citer;
+  if (elog != nullptr) {
+    auto link_it = db_->link_table()->Scan();
+    storage::Rid link_rid;
+    sql::Tuple link_row;
+    while (link_it.Next(&link_rid, &link_row)) {
+      uint64_t src = static_cast<uint64_t>(link_row.Get(0).AsInt64());
+      uint64_t dst = static_cast<uint64_t>(link_row.Get(2).AsInt64());
+      // LINK is a graph with cycles (a seed gets cited by its own
+      // descendants), but discovery is causal: a citation only counts
+      // when the citer was itself visited, and strictly before the cited
+      // page's own visit. Parent chains then walk strictly back in visit
+      // time, so the synthesized admits can never cycle.
+      auto src_visit = visited_at.find(src);
+      if (src_visit == visited_at.end()) continue;
+      auto dst_visit = visited_at.find(dst);
+      if (dst_visit != visited_at.end() &&
+          src_visit->second >= dst_visit->second) {
+        continue;
+      }
+      first_citer.try_emplace(dst, src);
+    }
+    FOCUS_RETURN_IF_ERROR(link_it.status());
+  }
+  auto emit_reconciled = [&](const CrawlRecord& rec) {
+    if (elog == nullptr) return;
+    auto citer = first_citer.find(rec.oid);
+    int64_t parent = citer == first_citer.end()
+                         ? -1
+                         : static_cast<int64_t>(citer->second);
+    elog->Record(obs::CrawlEventType::kFrontierAdmit,
+                 static_cast<int64_t>(rec.oid), parent, rec.sid,
+                 /*virtual_us=*/-1, rec.relevance, /*aux=*/0,
+                 /*reconciled=*/true);
+    if (rec.numtries > 0 || rec.visited) {
+      // One summary event for the lost attempt history: a visited row
+      // proves a successful attempt even when numtries (the durable
+      // retry budget consumed) is still zero.
+      elog->Record(obs::CrawlEventType::kFetchAttempt,
+                   static_cast<int64_t>(rec.oid), /*parent_oid=*/-1,
+                   rec.sid, /*virtual_us=*/-1, rec.relevance,
+                   /*aux=*/rec.numtries, /*reconciled=*/true);
+    }
+    if (rec.visited) {
+      elog->Record(obs::CrawlEventType::kFetchSuccess,
+                   static_cast<int64_t>(rec.oid), /*parent_oid=*/-1,
+                   rec.sid, rec.lastvisited, /*value=*/0.0,
+                   /*aux=*/rec.numtries, /*reconciled=*/true);
+      elog->Record(obs::CrawlEventType::kClassifyVerdict,
+                   static_cast<int64_t>(rec.oid), /*parent_oid=*/-1,
+                   rec.sid, rec.lastvisited, rec.relevance,
+                   /*aux=*/static_cast<int64_t>(rec.kcid),
+                   /*reconciled=*/true);
+    } else if (rec.numtries >= options_.max_retries) {
+      elog->Record(obs::CrawlEventType::kUrlDropped,
+                   static_cast<int64_t>(rec.oid), /*parent_oid=*/-1,
+                   rec.sid, /*virtual_us=*/-1, /*value=*/0.0,
+                   /*aux=*/static_cast<int64_t>(FailureClass::kTransient),
+                   /*reconciled=*/true);
+    } else if (rec.next_retry_us > 0) {
+      elog->Record(obs::CrawlEventType::kRetryScheduled,
+                   static_cast<int64_t>(rec.oid), /*parent_oid=*/-1,
+                   rec.sid, /*virtual_us=*/-1, /*value=*/0.0,
+                   /*aux=*/rec.next_retry_us, /*reconciled=*/true);
+    }
+  };
   uint64_t restored = 0;
   int64_t max_visit_us = 0;
-  while (it.Next(&rid, &row)) {
-    CrawlRecord rec = CrawlDb::RecordFromTuple(row);
+  for (const CrawlRecord& rec : records) {
+    emit_reconciled(rec);
     if (rec.visited) {
       ++server_fetches_[rec.sid];
       links_recorded_.insert(rec.oid);
@@ -447,7 +601,6 @@ Status Crawler::ResumeFromDb() {
     frontier_.AddOrUpdate(entry);
     ++restored;
   }
-  FOCUS_RETURN_IF_ERROR(it.status());
   // Rejoin the dead crawl's virtual timeline so restored not-before times
   // (absolute virtual us) stay meaningful.
   if (max_visit_us > clock_.NowMicros()) {
@@ -549,6 +702,14 @@ std::vector<FrontierEntry> Crawler::GatherBatch(int worker,
       BreakerOutcome adm = breaker_.Admit(ServerIdOf(entry->url), now);
       NoteBreakerOutcome(adm);
       if (!adm.allow) {
+        if (options_.event_log != nullptr) {
+          options_.event_log->Record(obs::CrawlEventType::kBreakerDenied,
+                                     static_cast<int64_t>(entry->oid),
+                                     /*parent_oid=*/-1,
+                                     ServerIdOf(entry->url), now,
+                                     /*value=*/0.0,
+                                     /*aux=*/adm.retry_at_us);
+        }
         FrontierEntry parked = std::move(*entry);
         parked.ready_at_us = std::max(adm.retry_at_us, now + 1);
         frontier_.AddOrUpdate(parked);
@@ -592,8 +753,19 @@ Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
     visit.best_leaf = judgment.best_leaf;
     visit.virtual_time_us = page.fetched_at_us;
     visits_.push_back(visit);
+    stage_metrics_->RecordVisitRelevance(judgment.relevance);
+    if (options_.event_log != nullptr) {
+      options_.event_log->Record(obs::CrawlEventType::kClassifyVerdict,
+                                 static_cast<int64_t>(oid),
+                                 /*parent_oid=*/-1,
+                                 ServerIdOf(page.fetch.url),
+                                 page.fetched_at_us, judgment.relevance,
+                                 /*aux=*/static_cast<int64_t>(
+                                     judgment.best_leaf));
+    }
 
-    FOCUS_RETURN_IF_ERROR(ExpandLinks(page.fetch, judgment));
+    FOCUS_RETURN_IF_ERROR(
+        ExpandLinks(page.fetch, judgment, page.fetched_at_us));
 
     if (options_.expand_backlinks &&
         judgment.relevance > options_.backlink_relevance_threshold) {
@@ -620,6 +792,13 @@ Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
         entry.relevance = judgment.relevance;
         entry.serverload = server_fetches_[ServerIdOf(citer)];
         frontier_.AddOrUpdate(entry);
+        if (options_.event_log != nullptr) {
+          options_.event_log->Record(obs::CrawlEventType::kFrontierAdmit,
+                                     static_cast<int64_t>(citer_oid),
+                                     static_cast<int64_t>(oid),
+                                     ServerIdOf(citer), page.fetched_at_us,
+                                     judgment.relevance, /*aux=*/2);
+        }
       }
     }
     in_flight_.fetch_sub(1);
@@ -687,6 +866,14 @@ Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
       FOCUS_SPAN_VT("crawl.fetch_batch", worker_clock);
       for (FrontierEntry& entry : batch) {
         int32_t sid = ServerIdOf(entry.url);
+        if (options_.event_log != nullptr) {
+          options_.event_log->Record(obs::CrawlEventType::kFetchAttempt,
+                                     static_cast<int64_t>(entry.oid),
+                                     /*parent_oid=*/-1, sid,
+                                     worker_clock->NowMicros(),
+                                     entry.relevance,
+                                     /*aux=*/entry.numtries + 1);
+        }
         Result<webgraph::SimulatedWeb::FetchResult> result = [&] {
           std::lock_guard<std::mutex> web_lock(web_mutex_);
           // Same durable attempt numbering as the single-threaded path.
@@ -703,6 +890,14 @@ Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
         }
         if (options_.breaker.enabled) {
           NoteBreakerOutcome(breaker_.OnSuccess(sid));
+        }
+        if (options_.event_log != nullptr) {
+          options_.event_log->Record(obs::CrawlEventType::kFetchSuccess,
+                                     static_cast<int64_t>(entry.oid),
+                                     /*parent_oid=*/-1, sid,
+                                     worker_clock->NowMicros(),
+                                     /*value=*/0.0,
+                                     /*aux=*/entry.numtries + 1);
         }
         FetchedPage page;
         page.entry = std::move(entry);

@@ -24,6 +24,7 @@
 #include "webgraph/simulated_web.h"
 
 namespace focus::obs {
+class EventLog;
 class MetricsRegistry;
 }  // namespace focus::obs
 
@@ -100,6 +101,12 @@ struct CrawlerOptions {
   // Registry for the crawler's stage metrics; nullptr = process-global.
   // Benchmarks pass a private registry so repeated runs start from zero.
   obs::MetricsRegistry* metrics_registry = nullptr;
+
+  // Provenance event log; nullptr = disabled (the default — the hot path
+  // then pays only a branch per would-be event). When set, the crawler
+  // records the full URL lifecycle and attaches the log to its frontier,
+  // breaker registry and retry policy.
+  obs::EventLog* event_log = nullptr;
 };
 
 struct Visit {
@@ -156,6 +163,8 @@ class Crawler {
   const CrawlStats& stats() const { return stats_; }
   const VirtualClock& clock() const { return clock_; }
   ShardedFrontier* frontier() { return &frontier_; }
+  // Breaker states, for the admin /frontier endpoint (internally locked).
+  const CircuitBreakerRegistry& breakers() const { return breaker_; }
   // Per-stage pipeline counters (fetch/classify/expand time, lock wait,
   // batch occupancy, work stealing).
   const StageMetrics& stage_metrics() const { return *stage_metrics_; }
@@ -222,8 +231,9 @@ class Crawler {
   // than one interval of commits. Caller holds state_mutex_.
   Status CommitBatch();
 
+  // `at_us` is the visit's virtual time (stamps admit events).
   Status ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
-                     const PageJudgment& judgment);
+                     const PageJudgment& judgment, int64_t at_us);
   Status RunDistillationBoost();
   // Recomputes PageRank over LINK and pushes the scores into the frontier
   // (the Cho et al. perceived-prestige ordering).

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "crawl/crawl_db.h"
+#include "obs/event_log.h"
 
 namespace focus::crawl {
 
@@ -154,7 +155,24 @@ void Frontier::Promote(int64_t now_us) {
     it->second.second.ready_at_us = 0;
     heap_.push_back(HeapItem{item.oid, item.version, it->second.second});
     std::push_heap(heap_.begin(), heap_.end(), HeapLess{policy_});
+    if (event_log_ != nullptr) {
+      // now_us = the pop deadline that surfaced the entry; aux = the
+      // not-before time it had been parked behind.
+      event_log_->Record(obs::CrawlEventType::kFrontierPromote,
+                         static_cast<int64_t>(item.oid), /*parent_oid=*/-1,
+                         /*sid=*/-1,
+                         /*virtual_us=*/now_us == kNoTimeGate ? -1 : now_us,
+                         /*value=*/0.0, /*aux=*/item.ready_at_us);
+    }
   }
+}
+
+size_t Frontier::parked_count() const {
+  size_t n = 0;
+  for (const auto& [oid, versioned] : live_) {
+    if (versioned.second.ready_at_us > 0) ++n;
+  }
+  return n;
 }
 
 std::optional<int64_t> Frontier::NextReadyMicros() {
@@ -340,6 +358,38 @@ size_t ShardedFrontier::size() const {
     n += shard->frontier.size();
   }
   return n;
+}
+
+void ShardedFrontier::SetEventLog(obs::EventLog* log) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->frontier.SetEventLog(log);
+  }
+}
+
+std::vector<ShardedFrontier::ShardStats> ShardedFrontier::StatsSnapshot()
+    const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    ShardStats s;
+    s.shard = static_cast<int>(i);
+    s.live = shards_[i]->frontier.size();
+    s.parked = shards_[i]->frontier.parked_count();
+    // Min over live parked entries (exact, unlike the lazily-cleaned
+    // parked heap, and const-safe).
+    int64_t earliest = -1;
+    for (const FrontierEntry& e : shards_[i]->frontier.Snapshot()) {
+      if (e.ready_at_us > 0 &&
+          (earliest < 0 || e.ready_at_us < earliest)) {
+        earliest = e.ready_at_us;
+      }
+    }
+    s.next_ready_us = earliest;
+    out.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace focus::crawl

@@ -22,6 +22,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace focus::obs {
+class EventLog;
+}  // namespace focus::obs
+
 namespace focus::crawl {
 
 struct FrontierEntry {
@@ -111,6 +115,13 @@ class Frontier {
   size_t size() const { return live_.size(); }
   bool empty() const { return live_.empty(); }
 
+  // Provenance hook: parked→ready promotions record kFrontierPromote
+  // events. nullptr (the default) disables.
+  void SetEventLog(obs::EventLog* log) { event_log_ = log; }
+
+  // Live entries currently parked behind a not-before time.
+  size_t parked_count() const;
+
  private:
   struct HeapItem {
     uint64_t oid;
@@ -146,6 +157,7 @@ class Frontier {
   void CleanParkedTop();
 
   PriorityPolicy policy_;
+  obs::EventLog* event_log_ = nullptr;
   // oid -> (current version, entry). Heap items with stale versions are
   // discarded on pop.
   std::unordered_map<uint64_t, std::pair<uint64_t, FrontierEntry>> live_;
@@ -212,6 +224,20 @@ class ShardedFrontier {
   bool empty() const { return size() == 0; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int ShardOf(std::string_view url) const;
+
+  // Attaches the provenance event log to every shard (see
+  // Frontier::SetEventLog).
+  void SetEventLog(obs::EventLog* log);
+
+  // Bounded per-shard introspection for the admin /frontier endpoint.
+  struct ShardStats {
+    int shard = 0;
+    size_t live = 0;    // entries in the shard (ready + parked)
+    size_t parked = 0;  // entries gated behind a not-before time
+    // Earliest parked ready_at_us; -1 when nothing is parked.
+    int64_t next_ready_us = -1;
+  };
+  std::vector<ShardStats> StatsSnapshot() const;
 
  private:
   struct Shard {

@@ -45,7 +45,33 @@ StageMetrics::StageMetrics(obs::MetricsRegistry* registry) {
   breaker_skips_ = r->GetCounter("focus_crawl_breaker_skips_total");
   open_breakers_ = r->GetGauge("focus_crawl_open_breakers");
   backoff_ms_hist_ = r->GetHistogram("focus_crawl_backoff_delay_ms");
+  harvest_rate_ = r->GetGauge("focus_crawl_harvest_rate");
+  harvest_ring_.assign(kHarvestWindow, 0.0);
+  r->SetHelp("focus_crawl_harvest_rate",
+             "Mean relevance over the last 256 visited pages (the paper's "
+             "sliding-window harvest-rate signal).");
+  r->SetHelp("focus_crawl_stage_micros_total",
+             "Wall microseconds spent inside each crawl pipeline stage.");
+  r->SetHelp("focus_crawl_fetch_failures_total",
+             "Failed fetch attempts by fault class.");
+  r->SetHelp("focus_crawl_retries_total",
+             "Failures rescheduled with backoff, by fault class.");
+  r->SetHelp("focus_crawl_breaker_transitions_total",
+             "Circuit-breaker state transitions by target state.");
   Reset();
+}
+
+void StageMetrics::RecordVisitRelevance(double r) {
+  std::lock_guard<std::mutex> lock(harvest_mu_);
+  if (harvest_count_ < kHarvestWindow) {
+    ++harvest_count_;
+  } else {
+    harvest_sum_ -= harvest_ring_[harvest_next_];
+  }
+  harvest_ring_[harvest_next_] = r;
+  harvest_next_ = (harvest_next_ + 1) % kHarvestWindow;
+  harvest_sum_ += r;
+  harvest_rate_->Set(harvest_sum_ / static_cast<double>(harvest_count_));
 }
 
 StageMetricsSnapshot StageMetrics::Raw() const {

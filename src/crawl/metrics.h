@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -101,6 +102,12 @@ class StageMetrics {
     distill_iterations_->Add(residuals.size());
     if (!residuals.empty()) distill_residual_->Set(residuals.back());
   }
+  // One visited page's relevance. Maintains the paper's harvest-rate signal
+  // (§3.4) live: the mean R(p) over the last `kHarvestWindow` visits,
+  // exported as the focus_crawl_harvest_rate gauge. Called from the record
+  // stage (already serialized on the crawl-state lock), so a small mutex
+  // here is off the fetch workers' hot path.
+  void RecordVisitRelevance(double r);
 
   // Deltas since construction (or the last Reset).
   StageMetricsSnapshot Snapshot() const;
@@ -132,6 +139,14 @@ class StageMetrics {
   obs::Counter* breaker_skips_;
   obs::Gauge* open_breakers_;
   obs::Histogram* backoff_ms_hist_;
+  // Sliding window behind the harvest-rate gauge.
+  static constexpr size_t kHarvestWindow = 256;
+  obs::Gauge* harvest_rate_;
+  std::mutex harvest_mu_;
+  std::vector<double> harvest_ring_;
+  size_t harvest_next_ = 0;
+  size_t harvest_count_ = 0;
+  double harvest_sum_ = 0.0;
   StageMetricsSnapshot baseline_;
 };
 

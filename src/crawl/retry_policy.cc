@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/event_log.h"
 #include "util/hash.h"
 
 namespace focus::crawl {
@@ -60,10 +61,22 @@ RetryPolicy::Decision RetryPolicy::Decide(const FrontierEntry& entry,
     // Charge the drop up to the full budget: "numtries >= budget" is the
     // durable dropped marker ResumeFromDb skips.
     d.cost = std::max(d.cost, retry_budget_ - entry.numtries);
+    if (event_log_ != nullptr) {
+      event_log_->Record(obs::CrawlEventType::kUrlDropped,
+                         static_cast<int64_t>(entry.oid), /*parent_oid=*/-1,
+                         /*sid=*/-1, /*virtual_us=*/now_us, /*value=*/0.0,
+                         /*aux=*/static_cast<int64_t>(cls));
+    }
     return d;
   }
   d.backoff_s = BackoffSeconds(entry.oid, after);
   d.ready_at_us = now_us + static_cast<int64_t>(d.backoff_s * 1e6);
+  if (event_log_ != nullptr) {
+    event_log_->Record(obs::CrawlEventType::kRetryScheduled,
+                       static_cast<int64_t>(entry.oid), /*parent_oid=*/-1,
+                       /*sid=*/-1, /*virtual_us=*/now_us,
+                       /*value=*/d.backoff_s, /*aux=*/d.cost);
+  }
   return d;
 }
 

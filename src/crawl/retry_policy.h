@@ -14,6 +14,10 @@
 #include "crawl/frontier.h"
 #include "util/status.h"
 
+namespace focus::obs {
+class EventLog;
+}  // namespace focus::obs
+
 namespace focus::crawl {
 
 // Failure classes the fetch path can produce, mapped from Status codes.
@@ -64,9 +68,14 @@ class RetryPolicy {
   // compute identical schedules.
   double BackoffSeconds(uint64_t oid, int32_t numtries) const;
 
+  // Provenance hook: Decide() records kRetryScheduled / kUrlDropped
+  // events. The decision itself stays a pure function of its inputs.
+  void SetEventLog(obs::EventLog* log) { event_log_ = log; }
+
  private:
   RetryPolicyOptions options_;
   int retry_budget_;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace focus::crawl

@@ -1,0 +1,122 @@
+// Read-only HTTP/1.1 introspection server for a live crawl.
+//
+// The paper's §3.7 argument is that a focused crawler must be *watchable*:
+// the admin monitors the harvest rate mid-flight and intervenes. This
+// server is the modern rendition — a minimal, dependency-free HTTP endpoint
+// (POSIX sockets, loopback only) that renders the process's observability
+// surfaces on demand:
+//
+//   /healthz       200 "ok" liveness probe
+//   /metrics       Prometheus text exposition of the metrics registry
+//   /metrics.json  JSON snapshot of the same registry
+//   /trace         Chrome trace_event JSON of the trace buffer
+//   /events        JSONL tail of the crawl event log; filterable via
+//                  ?type=<name>&oid=<n>&min_seq=<n>&limit=<n>
+//
+// plus any routes the host binary registers with AddHandler — the crawl
+// layer uses that to serve /frontier (per-shard depth / not-before /
+// breaker state) without obs depending on crawl.
+//
+// Every response is built from a bounded snapshot taken at request time
+// (registry/trace/event-log snapshot calls are already safe against
+// concurrent writers), so serving never blocks the crawl and a response is
+// internally consistent enough for monitoring. Requests are handled
+// serially on one accept thread: this is an introspection port, not a web
+// server. Binds 127.0.0.1 only; port 0 picks an ephemeral port, readable
+// via port() after Start().
+#ifndef FOCUS_OBS_ADMIN_SERVER_H_
+#define FOCUS_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace focus::obs {
+
+class EventLog;
+class MetricsRegistry;
+class TraceBuffer;
+
+// One parsed GET request: decoded path plus query parameters.
+struct AdminRequest {
+  std::string path;
+  std::map<std::string, std::string> query;
+
+  // Query parameter or `def` when absent.
+  std::string Param(const std::string& key, const std::string& def = "") const;
+  int64_t ParamInt(const std::string& key, int64_t def) const;
+};
+
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminServer {
+ public:
+  struct Options {
+    // 0 = ephemeral (kernel-assigned, see port()).
+    int port = 0;
+    // nullptr = process-global registry / trace buffer.
+    MetricsRegistry* metrics = nullptr;
+    TraceBuffer* trace = nullptr;
+    // nullptr = /events serves an empty log.
+    EventLog* events = nullptr;
+  };
+
+  explicit AdminServer(Options options);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Registers `handler` for an exact path ("/frontier"), replacing any
+  // previous handler for it. Safe while the server is running (the route
+  // table has its own lock), so a long-lived server can re-point routes at
+  // each new crawl session.
+  void AddHandler(std::string path,
+                  std::function<AdminResponse(const AdminRequest&)> handler);
+
+  // Binds 127.0.0.1:<port> and spawns the accept thread.
+  Status Start();
+  // Stops the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Bound port (the ephemeral choice when Options::port was 0); valid
+  // after a successful Start().
+  int port() const { return port_; }
+
+  // Exposed for tests: dispatches one already-parsed request exactly as
+  // the socket path would.
+  AdminResponse Handle(const AdminRequest& request) const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  mutable std::mutex handlers_mu_;
+  std::map<std::string, std::function<AdminResponse(const AdminRequest&)>>
+      handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+};
+
+// Parses "/events?type=fetch_failure&limit=10" into an AdminRequest
+// (exposed for tests; percent-decoding covers %XX and '+').
+AdminRequest ParseRequestTarget(const std::string& target);
+
+}  // namespace focus::obs
+
+#endif  // FOCUS_OBS_ADMIN_SERVER_H_

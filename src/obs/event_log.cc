@@ -1,0 +1,203 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json_writer.h"
+
+namespace focus::obs {
+
+namespace {
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread ring cache. A thread may record into several EventLog
+// instances (tests build private logs next to the global one), so the
+// cache maps instance id -> ring. Entries for destroyed logs are inert:
+// instance ids are never reused, so a stale pointer is never looked up.
+struct CachedRing {
+  uint64_t instance_id;
+  EventLog::Ring* ring;
+};
+thread_local std::vector<CachedRing> tls_rings;
+
+std::atomic<uint64_t> next_instance_id{1};
+
+}  // namespace
+
+const char* CrawlEventTypeName(CrawlEventType type) {
+  switch (type) {
+    case CrawlEventType::kFrontierAdmit: return "frontier_admit";
+    case CrawlEventType::kFrontierPromote: return "frontier_promote";
+    case CrawlEventType::kFetchAttempt: return "fetch_attempt";
+    case CrawlEventType::kFetchSuccess: return "fetch_success";
+    case CrawlEventType::kFetchFailure: return "fetch_failure";
+    case CrawlEventType::kRetryScheduled: return "retry_scheduled";
+    case CrawlEventType::kUrlDropped: return "url_dropped";
+    case CrawlEventType::kBreakerTransition: return "breaker_transition";
+    case CrawlEventType::kBreakerDenied: return "breaker_denied";
+    case CrawlEventType::kClassifyVerdict: return "classify_verdict";
+    case CrawlEventType::kWalCommit: return "wal_commit";
+    case CrawlEventType::kWalCheckpoint: return "wal_checkpoint";
+    case CrawlEventType::kWalReplay: return "wal_replay";
+  }
+  return "unknown";
+}
+
+bool CrawlEventTypeFromName(const std::string& name, CrawlEventType* out) {
+  for (int32_t v = 0; v <= static_cast<int32_t>(CrawlEventType::kWalReplay);
+       ++v) {
+    CrawlEventType t = static_cast<CrawlEventType>(v);
+    if (name == CrawlEventTypeName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+EventLog::EventLog()
+    : instance_id_(next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
+}
+
+EventLog::~EventLog() = default;
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+void EventLog::Enable(size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  if (!epoch_set_.load(std::memory_order_relaxed)) {
+    epoch_steady_us_.store(SteadyMicros(), std::memory_order_relaxed);
+    epoch_set_.store(true, std::memory_order_relaxed);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventLog::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+int64_t EventLog::NowWallMicros() const {
+  return SteadyMicros() - epoch_steady_us_.load(std::memory_order_relaxed);
+}
+
+EventLog::Ring* EventLog::RingForThisThread() {
+  for (const CachedRing& cached : tls_rings) {
+    if (cached.instance_id == instance_id_) return cached.ring;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<uint32_t>(rings_.size() + 1);
+  ring->capacity = ring_capacity_;
+  ring->events.reserve(ring->capacity);
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  tls_rings.push_back(CachedRing{instance_id_, raw});
+  return raw;
+}
+
+void EventLog::Record(CrawlEventType type, int64_t oid, int64_t parent_oid,
+                      int32_t sid, int64_t virtual_us, double value,
+                      int64_t aux, bool reconciled) {
+  if (!enabled()) return;
+  Ring* ring = RingForThisThread();
+  CrawlEvent event;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.type = type;
+  event.tid = ring->tid;
+  event.reconciled = reconciled;
+  event.oid = oid;
+  event.parent_oid = parent_oid;
+  event.sid = sid;
+  event.wall_us = NowWallMicros();
+  event.virtual_us = virtual_us;
+  event.value = value;
+  event.aux = aux;
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->events.size() < ring->capacity) {
+    ring->events.push_back(event);
+  } else {
+    ring->events[ring->next] = event;
+    ring->wrapped = true;
+  }
+  ring->next = (ring->next + 1) % ring->capacity;
+}
+
+std::vector<CrawlEvent> EventLog::Snapshot(const EventFilter& filter) const {
+  std::vector<CrawlEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      for (const CrawlEvent& e : ring->events) {
+        if (filter.type >= 0 &&
+            static_cast<int32_t>(e.type) != filter.type) {
+          continue;
+        }
+        // oids span the full 64-bit hash range (negative as int64), so
+        // only the exact sentinel -1 disables the oid filter.
+        if (filter.oid != -1 && e.oid != filter.oid) continue;
+        if (e.seq < filter.min_seq) continue;
+        out.push_back(e);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CrawlEvent& a, const CrawlEvent& b) {
+              return a.seq < b.seq;
+            });
+  if (filter.limit > 0 && out.size() > filter.limit) {
+    out.erase(out.begin(),
+              out.end() - static_cast<ptrdiff_t>(filter.limit));
+  }
+  return out;
+}
+
+void AppendEventJson(const CrawlEvent& event, std::string* out) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("seq", event.seq)
+      .Field("type", CrawlEventTypeName(event.type))
+      .Field("oid", event.oid)
+      .Field("parent_oid", event.parent_oid)
+      .Field("sid", static_cast<int64_t>(event.sid))
+      .Field("tid", static_cast<int64_t>(event.tid))
+      .Field("wall_us", event.wall_us)
+      .Field("virtual_us", event.virtual_us)
+      .Field("value", event.value)
+      .Field("aux", event.aux);
+  if (event.reconciled) w.Field("reconciled", true);
+  w.EndObject();
+  out->append(w.TakeString());
+}
+
+std::string EventLog::ToJsonl(const EventFilter& filter) const {
+  std::vector<CrawlEvent> events = Snapshot(filter);
+  std::string out;
+  out.reserve(events.size() * 160);
+  for (const CrawlEvent& e : events) {
+    AppendEventJson(e, &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+  }
+}
+
+}  // namespace focus::obs

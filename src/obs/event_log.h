@@ -1,0 +1,150 @@
+// Crawl provenance event log: typed per-URL lifecycle events in per-thread
+// rings.
+//
+// Metrics answer "how much"; trace spans answer "how long"; this log answers
+// "why": for any URL the crawl touched, which parent cited it, at what
+// priority it entered the frontier, every fetch attempt with its fault
+// class, every retry/backoff decision, every circuit-breaker denial, and
+// the classify verdict — each event dual-stamped with wall time and
+// simulated crawl time, plus the WAL commit/checkpoint/replay markers that
+// order the crawl's durable history.
+//
+// Hot-path contract (mirrors TraceBuffer): when disabled, Record() is one
+// relaxed atomic load and a branch — no allocation, no lock. When enabled,
+// a record is a global relaxed fetch_add (the sequence number that totals
+// the order across threads) plus a short critical section on the calling
+// thread's own ring mutex; rings overwrite oldest on wrap so a long crawl
+// keeps the most recent window. Events are fixed-size PODs — no strings —
+// so recording never allocates once a ring exists. URLs are identified by
+// their 64-bit oid; join with the CRAWL table (or Crawler::UrlOfOid) to
+// get text back.
+#ifndef FOCUS_OBS_EVENT_LOG_H_
+#define FOCUS_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace focus::obs {
+
+// The URL-lifecycle vocabulary. Values are stable — they are exported in
+// JSONL and materialized into the EVENTS relational table.
+enum class CrawlEventType : int32_t {
+  kFrontierAdmit = 0,      // oid entered the frontier; parent_oid = citer
+                           // (-1 for a seed), value = priority estimate
+  kFrontierPromote = 1,    // parked not-before entry became ready
+  kFetchAttempt = 2,       // aux = attempt ordinal (numtries at fetch)
+  kFetchSuccess = 3,       // value = page relevance is on kClassifyVerdict
+  kFetchFailure = 4,       // aux = FailureClass, value = server load
+  kRetryScheduled = 5,     // value = backoff seconds, aux = retry cost
+  kUrlDropped = 6,         // retry budget exhausted or permanent failure
+  kBreakerTransition = 7,  // aux = new BreakerState
+  kBreakerDenied = 8,      // open breaker refused the fetch
+  kClassifyVerdict = 9,    // value = relevance
+  kWalCommit = 10,         // aux = batch sequence / record count
+  kWalCheckpoint = 11,
+  kWalReplay = 12,         // recovery replayed records; aux = record count
+};
+
+// Stable lowercase snake_case name ("fetch_attempt"); used in JSONL and
+// admin /events filters.
+const char* CrawlEventTypeName(CrawlEventType type);
+// Reverse lookup; returns false if `name` is not a known type.
+bool CrawlEventTypeFromName(const std::string& name, CrawlEventType* out);
+
+// Fixed-size, string-free record. `value` and `aux` are typed per event
+// kind (see CrawlEventType comments).
+struct CrawlEvent {
+  uint64_t seq = 0;        // global total order across threads
+  CrawlEventType type = CrawlEventType::kFrontierAdmit;
+  uint32_t tid = 0;        // small sequential id per recording thread
+  bool reconciled = false; // synthesized from durable state after recovery
+  int64_t oid = -1;        // URL oid; -1 for process-level events (WAL)
+  int64_t parent_oid = -1; // discovering parent for admits; -1 otherwise
+  int32_t sid = -1;        // server id; -1 when not applicable
+  int64_t wall_us = 0;     // microseconds since the log epoch (steady)
+  int64_t virtual_us = -1; // simulated crawl time; -1 = none
+  double value = 0.0;      // relevance / priority / backoff seconds / load
+  int64_t aux = 0;         // fault class / breaker state / ordinal / count
+};
+
+// Snapshot/export filter. Default-constructed = everything.
+struct EventFilter {
+  int32_t type = -1;    // match CrawlEventType value; -1 = all
+  int64_t oid = -1;     // match oid (full-range hash, may be negative);
+                        // exactly -1 = all
+  uint64_t min_seq = 0; // keep events with seq >= min_seq
+  size_t limit = 0;     // keep only the LAST `limit` events; 0 = all
+};
+
+class EventLog {
+ public:
+  EventLog();
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // The process-wide log. Components take an EventLog* and treat nullptr
+  // as "disabled" (not as the global — callers opt in explicitly).
+  static EventLog& Global();
+
+  // Starts recording. Each recording thread gets its own ring of
+  // `ring_capacity` events; a full ring overwrites its oldest events.
+  void Enable(size_t ring_capacity = 65536);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends one event (thread-safe). No-op when disabled.
+  void Record(CrawlEventType type, int64_t oid, int64_t parent_oid,
+              int32_t sid, int64_t virtual_us, double value, int64_t aux,
+              bool reconciled = false);
+
+  // All surviving events across threads, in sequence order, filtered.
+  std::vector<CrawlEvent> Snapshot(const EventFilter& filter = {}) const;
+  // One JSON object per line (JSONL), in sequence order.
+  std::string ToJsonl(const EventFilter& filter = {}) const;
+  // Drops all recorded events (rings stay registered; seq keeps rising).
+  void Clear();
+
+  // Total events ever recorded (monotonic, includes overwritten ones).
+  uint64_t TotalRecorded() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  // Microseconds since the log epoch (steady clock; epoch = first Enable).
+  int64_t NowWallMicros() const;
+
+  struct Ring {
+    mutable std::mutex mu;
+    uint32_t tid = 0;
+    std::vector<CrawlEvent> events;  // ring storage
+    size_t next = 0;
+    bool wrapped = false;
+    size_t capacity = 0;
+  };
+
+ private:
+  Ring* RingForThisThread();
+
+  // Distinguishes instances in the per-thread ring cache, so tests that
+  // build private logs never alias the global one's rings.
+  const uint64_t instance_id_;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_seq_{0};
+  mutable std::mutex mu_;  // guards rings_ registration and capacity
+  std::vector<std::unique_ptr<Ring>> rings_;
+  size_t ring_capacity_ = 65536;
+  std::atomic<int64_t> epoch_steady_us_{0};
+  std::atomic<bool> epoch_set_{false};
+};
+
+// Appends one event's JSON object (no trailing newline) to `out`.
+void AppendEventJson(const CrawlEvent& event, std::string* out);
+
+}  // namespace focus::obs
+
+#endif  // FOCUS_OBS_EVENT_LOG_H_

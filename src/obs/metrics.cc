@@ -121,17 +121,61 @@ void MetricsRegistry::RemoveCollector(uint64_t id) {
   std::erase_if(collectors_, [id](const auto& c) { return c.first == id; });
 }
 
+std::string PrometheusEscapeLabelValue(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string FormatLabels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
   bool first = true;
   for (const auto& [k, v] : labels) {
     if (!first) out += ',';
-    out += StrCat(k, "=\"", JsonEscape(v), "\"");
+    out += StrCat(k, "=\"", PrometheusEscapeLabelValue(v), "\"");
     first = false;
   }
   out += '}';
   return out;
+}
+
+void MetricsRegistry::SetHelp(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[std::string(name)] = std::string(help);
 }
 
 std::vector<const MetricsRegistry::Entry*> MetricsRegistry::SortedEntries()
@@ -150,12 +194,19 @@ std::vector<const MetricsRegistry::Entry*> MetricsRegistry::SortedEntries()
 std::string MetricsRegistry::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  // HELP text: registered via SetHelp, or the family name itself (a HELP
+  // line must precede TYPE for conformant scrapes either way).
+  auto help_for = [this](const std::string& name) -> std::string {
+    auto it = help_.find(name);
+    return PrometheusEscapeHelp(it == help_.end() ? name : it->second);
+  };
   const std::string* last_typed = nullptr;
   for (const Entry* e : SortedEntries()) {
     if (last_typed == nullptr || *last_typed != e->name) {
       const char* type = e->kind == Kind::kCounter   ? "counter"
                          : e->kind == Kind::kGauge   ? "gauge"
                                                      : "histogram";
+      out += StrCat("# HELP ", e->name, " ", help_for(e->name), "\n");
       out += StrCat("# TYPE ", e->name, " ", type, "\n");
       last_typed = &e->name;
     }
@@ -203,6 +254,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
   const std::string* last_sample_name = nullptr;
   for (const GaugeSample& s : samples) {
     if (last_sample_name == nullptr || *last_sample_name != s.name) {
+      out += StrCat("# HELP ", s.name, " ", help_for(s.name), "\n");
       out += StrCat("# TYPE ", s.name, " gauge\n");
       last_sample_name = &s.name;
     }

@@ -136,6 +136,12 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name, Labels labels = {});
   Histogram* GetHistogram(std::string_view name, Labels labels = {});
 
+  // Registers help text for a metric family, emitted as a "# HELP" line
+  // ahead of the family's samples in ToPrometheusText. One string per
+  // name (all label sets of a family share it); unregistered families
+  // fall back to the name itself so the exposition stays conformant.
+  void SetHelp(std::string_view name, std::string_view help);
+
   // Registers a callback evaluated at snapshot time — the bridge for
   // components that already keep their own stats structs (buffer pool,
   // disk manager). Returns an id for RemoveCollector; collectors must be
@@ -171,6 +177,7 @@ class MetricsRegistry {
   std::vector<const Entry*> SortedEntries() const;
 
   mutable std::mutex mu_;
+  std::map<std::string, std::string, std::less<>> help_;
   // deques: stable addresses across growth.
   std::deque<Entry> entries_;
   std::deque<Counter> counters_;
@@ -182,8 +189,16 @@ class MetricsRegistry {
   uint64_t next_collector_id_ = 1;
 };
 
-// Renders labels as {k="v",...} (empty string for no labels).
+// Renders labels as {k="v",...} (empty string for no labels), with label
+// values escaped per the Prometheus text exposition format.
 std::string FormatLabels(const Labels& labels);
+
+// Prometheus text-format escaping for label values: exactly backslash,
+// double-quote and newline are escaped (the format's spec — unlike JSON,
+// control characters and non-ASCII pass through verbatim).
+std::string PrometheusEscapeLabelValue(std::string_view raw);
+// Same for # HELP text, where only backslash and newline are escaped.
+std::string PrometheusEscapeHelp(std::string_view raw);
 
 }  // namespace focus::obs
 

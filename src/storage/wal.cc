@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "util/hash.h"
 #include "util/string_util.h"
 
@@ -380,6 +381,7 @@ Status WalDiskManager::Checkpoint(std::string_view metadata) {
 
 Status WalDiskManager::CommitLocked(std::string_view metadata) {
   if (dirty_.empty() && metadata == metadata_) return Status::OK();
+  uint64_t logged = dirty_.size();
   for (PageId id : dirty_) {
     wal_.Append(id, overlay_[id]->data);
   }
@@ -387,6 +389,12 @@ Status WalDiskManager::CommitLocked(std::string_view metadata) {
       wal_.Commit(num_pages_, metadata));
   dirty_.clear();
   metadata_.assign(metadata.data(), metadata.size());
+  if (event_log_ != nullptr) {
+    event_log_->Record(obs::CrawlEventType::kWalCommit, /*oid=*/-1,
+                       /*parent_oid=*/-1, /*sid=*/-1, /*virtual_us=*/-1,
+                       /*value=*/static_cast<double>(logged),
+                       /*aux=*/static_cast<int64_t>(wal_.stats().commits));
+  }
   return Status::OK();
 }
 
@@ -408,6 +416,11 @@ Status WalDiskManager::CheckpointLocked(std::string_view metadata) {
   ++epoch_;
   overlay_.clear();
   dirty_.clear();
+  if (event_log_ != nullptr) {
+    event_log_->Record(obs::CrawlEventType::kWalCheckpoint, /*oid=*/-1,
+                       /*parent_oid=*/-1, /*sid=*/-1, /*virtual_us=*/-1,
+                       /*value=*/0.0, /*aux=*/static_cast<int64_t>(epoch_));
+  }
   return Status::OK();
 }
 
@@ -468,6 +481,20 @@ void WalDiskManager::BindMetrics(obs::MetricsRegistry* registry,
         emit("focus_wal_overlay_pages", overlay_pages);
         emit("focus_wal_epoch", epoch);
       });
+}
+
+void WalDiskManager::BindEventLog(obs::EventLog* log) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event_log_ = log;
+  if (event_log_ != nullptr && replayed_ > 0) {
+    // Recovery ran inside Open(), before any log could be attached:
+    // report it retrospectively so the event stream still shows the
+    // replay boundary ahead of post-recovery events.
+    event_log_->Record(obs::CrawlEventType::kWalReplay, /*oid=*/-1,
+                       /*parent_oid=*/-1, /*sid=*/-1, /*virtual_us=*/-1,
+                       /*value=*/static_cast<double>(recovered_commits_),
+                       /*aux=*/static_cast<int64_t>(replayed_));
+  }
 }
 
 }  // namespace focus::storage

@@ -56,6 +56,10 @@
 #include "storage/page.h"
 #include "util/status.h"
 
+namespace focus::obs {
+class EventLog;
+}  // namespace focus::obs
+
 namespace focus::storage {
 
 // Counters for the logging layer, exported through obs as
@@ -183,6 +187,13 @@ class WalDiskManager final : public DiskManager {
   // {wal=<name>}. Follows the BufferPool::BindMetrics collector pattern.
   void BindMetrics(obs::MetricsRegistry* registry, std::string name);
 
+  // Provenance hook: commits and checkpoints record kWalCommit /
+  // kWalCheckpoint events (the durable batch boundaries that order the
+  // crawl's event history). Binding after a recovery that replayed
+  // records emits one retrospective kWalReplay event, since recovery runs
+  // inside Open() before any log can be attached.
+  void BindEventLog(obs::EventLog* log);
+
  private:
   WalDiskManager(DiskManager* data, DiskManager* log, Options options)
       : options_(options), data_(data), log_(log), wal_(log) {}
@@ -212,6 +223,7 @@ class WalDiskManager final : public DiskManager {
 
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   uint64_t collector_id_ = 0;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace focus::storage

@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <cctype>
+#include <limits>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
@@ -442,6 +445,54 @@ TEST(TraceTest, DisabledTracingRecordsNothing) {
   EXPECT_TRUE(buffer.Snapshot().empty());
 }
 
+TEST(TraceTest, ConcurrentWritersNeverLoseOrTearSpans) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Enable(64);  // small rings force wraparound under load
+  buffer.Clear();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        FOCUS_SPAN("stress");
+      }
+    });
+  }
+  // Concurrent readers snapshot and render while the writers hammer the
+  // rings — the crash/tear surface the admin /trace endpoint lives on.
+  std::atomic<bool> stop{false};
+  std::thread reader([&buffer, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<SpanEvent> spans = buffer.Snapshot();
+      for (const SpanEvent& s : spans) {
+        ASSERT_STREQ(s.name, "stress");  // never a torn/garbage pointer
+        ASSERT_GE(s.dur_us, 0);
+      }
+      std::string json = buffer.ToChromeTraceJson();
+      ASSERT_FALSE(json.empty());
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  std::vector<SpanEvent> spans = buffer.Snapshot();
+  buffer.Disable();
+  buffer.Clear();
+  // Every writer thread kept exactly one full ring (wraparound dropped
+  // the rest); snapshots stay wall-start ordered.
+  EXPECT_EQ(spans.size(), static_cast<size_t>(kThreads) * 64);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].wall_start_us, spans[i - 1].wall_start_us);
+  }
+}
+
 TEST(TraceTest, RingOverwritesOldestWhenFull) {
   TraceBuffer& buffer = TraceBuffer::Global();
   buffer.Enable(4);
@@ -458,6 +509,174 @@ TEST(TraceTest, RingOverwritesOldestWhenFull) {
   buffer.Disable();
   buffer.Clear();
   EXPECT_EQ(spans.size(), 4u);  // only the most recent window survives
+}
+
+TEST(EventLogTest, DisabledRecordIsAFreeNoOp) {
+  EventLog log;
+  log.Record(CrawlEventType::kFetchAttempt, 1, -1, 0, 0, 0.0, 0);
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.TotalRecorded(), 0u);
+  log.Enable(16);
+  log.Record(CrawlEventType::kFetchAttempt, 1, -1, 0, 0, 0.0, 0);
+  log.Disable();
+  log.Record(CrawlEventType::kFetchAttempt, 2, -1, 0, 0, 0.0, 0);
+  std::vector<CrawlEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].oid, 1);
+}
+
+TEST(EventLogTest, TypeNamesRoundTrip) {
+  for (int32_t v = 0; v <= static_cast<int32_t>(CrawlEventType::kWalReplay);
+       ++v) {
+    CrawlEventType type = static_cast<CrawlEventType>(v);
+    CrawlEventType parsed;
+    ASSERT_TRUE(CrawlEventTypeFromName(CrawlEventTypeName(type), &parsed))
+        << CrawlEventTypeName(type);
+    EXPECT_EQ(parsed, type);
+  }
+  CrawlEventType ignored;
+  EXPECT_FALSE(CrawlEventTypeFromName("bogus", &ignored));
+  EXPECT_FALSE(CrawlEventTypeFromName("", &ignored));
+}
+
+TEST(EventLogTest, FilterMatchesNegativeOidsExactly) {
+  EventLog log;
+  log.Enable(64);
+  // oids are full-range 64-bit hashes: half of them are negative as
+  // int64, so the "all oids" sentinel must be exactly -1, not "oid < 0".
+  const int64_t neg = std::numeric_limits<int64_t>::min() + 5;
+  log.Record(CrawlEventType::kFrontierAdmit, neg, -1, 0, 0, 0.1, 0);
+  log.Record(CrawlEventType::kFrontierAdmit, 7, neg, 0, 1, 0.2, 0);
+  log.Record(CrawlEventType::kFetchSuccess, neg, -1, 0, 2, 0.0, 0);
+
+  EventFilter by_oid;
+  by_oid.oid = neg;
+  std::vector<CrawlEvent> hits = log.Snapshot(by_oid);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].type, CrawlEventType::kFrontierAdmit);
+  EXPECT_EQ(hits[1].type, CrawlEventType::kFetchSuccess);
+
+  EventFilter all;  // oid defaults to the -1 sentinel
+  EXPECT_EQ(log.Snapshot(all).size(), 3u);
+
+  EventFilter by_type;
+  by_type.type = static_cast<int32_t>(CrawlEventType::kFrontierAdmit);
+  EXPECT_EQ(log.Snapshot(by_type).size(), 2u);
+
+  EventFilter since;
+  since.min_seq = 1;
+  EXPECT_EQ(log.Snapshot(since).size(), 2u);
+
+  EventFilter tail;
+  tail.limit = 1;  // keeps the LAST event
+  std::vector<CrawlEvent> last = log.Snapshot(tail);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].type, CrawlEventType::kFetchSuccess);
+}
+
+TEST(EventLogTest, RingWrapKeepsTheNewestWindow) {
+  EventLog log;
+  log.Enable(4);
+  for (int64_t i = 0; i < 10; ++i) {
+    log.Record(CrawlEventType::kFetchAttempt, i, -1, 0, i, 0.0, 0);
+  }
+  EXPECT_EQ(log.TotalRecorded(), 10u);  // monotonic, counts overwritten
+  std::vector<CrawlEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].oid, static_cast<int64_t>(6 + i));
+  }
+}
+
+TEST(EventLogTest, JsonlLinesAreValidJsonWithStableFields) {
+  EventLog log;
+  log.Enable(16);
+  log.Record(CrawlEventType::kFetchFailure, -9, 3, 2, 1234, 0.5, 1);
+  log.Record(CrawlEventType::kFrontierAdmit, 4, -9, 2, 1300, 0.9, 0,
+             /*reconciled=*/true);
+  std::string jsonl = log.ToJsonl();
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    lines.push_back(jsonl.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(IsValidJson(line)) << line;
+  }
+  EXPECT_NE(lines[0].find("\"type\":\"fetch_failure\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"oid\":-9"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"virtual_us\":1234"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"aux\":1"), std::string::npos);
+  // "reconciled" appears only on reconciled events.
+  EXPECT_EQ(lines[0].find("\"reconciled\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"reconciled\":true"), std::string::npos);
+}
+
+TEST(EventLogTest, ClearDropsEventsButSequenceKeepsRising) {
+  EventLog log;
+  log.Enable(16);
+  log.Record(CrawlEventType::kFetchAttempt, 1, -1, 0, 0, 0.0, 0);
+  log.Record(CrawlEventType::kFetchAttempt, 2, -1, 0, 0, 0.0, 0);
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+  log.Record(CrawlEventType::kFetchAttempt, 3, -1, 0, 0, 0.0, 0);
+  std::vector<CrawlEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  // A post-Clear event never reuses a sequence number, so provenance
+  // queries can order across sessions if a caller chooses not to clear.
+  EXPECT_GE(events[0].seq, 2u);
+  EXPECT_EQ(log.TotalRecorded(), 3u);
+}
+
+TEST(EventLogTest, InstancesOnOneThreadStayIsolated) {
+  EventLog a;
+  EventLog b;
+  a.Enable(16);
+  b.Enable(16);
+  a.Record(CrawlEventType::kFetchAttempt, 100, -1, 0, 0, 0.0, 0);
+  b.Record(CrawlEventType::kFetchAttempt, 200, -1, 0, 0, 0.0, 0);
+  std::vector<CrawlEvent> ea = a.Snapshot();
+  std::vector<CrawlEvent> eb = b.Snapshot();
+  ASSERT_EQ(ea.size(), 1u);
+  ASSERT_EQ(eb.size(), 1u);
+  EXPECT_EQ(ea[0].oid, 100);
+  EXPECT_EQ(eb[0].oid, 200);
+}
+
+TEST(EventLogTest, ConcurrentWritersKeepSequencesUniqueAndRingsBounded) {
+  EventLog log;
+  log.Enable(128);
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 1000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(CrawlEventType::kFetchAttempt, t * kPerThread + i, -1,
+                   t, i, 0.0, 0);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(log.TotalRecorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  std::vector<CrawlEvent> events = log.Snapshot();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads) * 128);
+  std::set<uint64_t> seqs;
+  for (const CrawlEvent& e : events) {
+    EXPECT_TRUE(seqs.insert(e.seq).second) << "duplicate seq " << e.seq;
+  }
+  // Snapshot is sequence-ordered.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
 }
 
 }  // namespace
