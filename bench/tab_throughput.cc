@@ -38,6 +38,17 @@
 //                        commits); reports appends/syncs per committed
 //                        batch so the WAL overhead vs the in-memory
 //                        baseline is visible on both time axes
+//
+// Distributed (the multi-shard supervisor; see src/dist/):
+//   --shards N           partition the URL space across N crawl shards and
+//                        run the supervisor to its fixpoint instead of the
+//                        thread sweep; reports per-shard pages/restarts and
+//                        the link-exchange counters. --budget applies per
+//                        shard (each shard owns a disjoint URL partition).
+//   --kill-shard S@T     schedule a shard death: kill shard S when its
+//                        virtual clock reaches T seconds (repeatable); the
+//                        supervisor must recover it and still converge.
+//                        Recovery counters land in the --json artifact.
 #include <unistd.h>
 
 #include <cstdio>
@@ -50,6 +61,8 @@
 #include "core/focus.h"
 #include "core/sample_taxonomy.h"
 #include "crawl/metrics.h"
+#include "crawl/relevance_evaluator.h"
+#include "dist/dist_crawl.h"
 #include "crawl/monitor.h"
 #include "crawl/provenance.h"
 #include "obs/admin_server.h"
@@ -66,6 +79,8 @@ namespace {
 struct Flags {
   int budget = 2000;
   bool tiny = false;
+  int shards = 1;
+  std::vector<std::pair<int, double>> kills;  // (shard, virtual seconds)
   double fail_prob = 0;
   int timeout_ms = 2000;
   int outage_servers = 0;
@@ -132,6 +147,16 @@ Flags ParseFlags(int argc, char** argv) {
       flags.events_path = argv[++i];
     } else if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
       flags.admin_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      flags.shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-shard") == 0 && i + 1 < argc) {
+      int shard = 0;
+      double at_s = 0;
+      if (std::sscanf(argv[++i], "%d@%lf", &shard, &at_s) != 2) {
+        std::fprintf(stderr, "--kill-shard wants S@T (e.g. 2@5.0)\n");
+        std::exit(2);
+      }
+      flags.kills.emplace_back(shard, at_s);
     } else {
       std::fprintf(stderr,
                    "usage: tab_throughput [--budget N] [--tiny] "
@@ -139,7 +164,8 @@ Flags ParseFlags(int argc, char** argv) {
                    "[--metrics-text PATH] [--trace PATH] "
                    "[--events PATH] [--admin-port N] "
                    "[--fail-prob P] [--timeout-ms N] [--outage-servers N] "
-                   "[--dead-servers F] [--no-breaker] [--wal]\n");
+                   "[--dead-servers F] [--no-breaker] [--wal] "
+                   "[--shards N] [--kill-shard S@T]\n");
       std::exit(2);
     }
   }
@@ -200,6 +226,104 @@ int Run(const Flags& flags) {
   FOCUS_CHECK(system->Train().ok());
   auto cycling = system->tax().FindByName("cycling").value();
   auto seeds = system->web().KeywordSeeds(cycling, 12);
+
+  if (flags.shards > 1) {
+    // Multi-shard supervisor instead of the thread sweep: hash-partition
+    // the URL space, run to the distributed fixpoint (recovering any
+    // scheduled shard deaths), and report the recovery counters.
+    crawl::ClassifierEvaluator evaluator(&system->classifier());
+    dist::ShardFaultPlan plan;
+    for (const auto& [shard, at_s] : flags.kills) {
+      FOCUS_CHECK(shard >= 0 && shard < flags.shards,
+                  "--kill-shard shard out of range");
+      plan.KillAt(shard, static_cast<int64_t>(at_s * 1e6));
+    }
+    dist::DistCrawlOptions dopts;
+    dopts.num_shards = flags.shards;
+    dopts.crawler.max_fetches = flags.budget;
+    dopts.crawler.breaker.enabled = flags.breaker;
+    dopts.crawler.distill_every = 0;
+    dopts.metrics_registry = &registry;
+    dopts.fault_plan = flags.kills.empty() ? nullptr : &plan;
+    dopts.enable_event_logs = flags.WantEvents();
+    auto dc_or = dist::DistCrawl::Create(&system->web(), &evaluator, dopts);
+    FOCUS_CHECK(dc_or.ok(), dc_or.status().ToString());
+    std::unique_ptr<dist::DistCrawl> dc = std::move(dc_or).TakeValue();
+    for (const std::string& url : seeds) {
+      FOCUS_CHECK(dc->AddSeed(url).ok());
+    }
+    Stopwatch wall;
+    Status fixpoint = dc->RunToFixpoint();
+    FOCUS_CHECK(fixpoint.ok(), fixpoint.ToString());
+    double wall_s = wall.ElapsedSeconds();
+    auto visited = dc->VisitedRelevance();
+    FOCUS_CHECK(visited.ok(), visited.status().ToString());
+    auto harvest = dc->HarvestRate(0.5);
+    FOCUS_CHECK(harvest.ok(), harvest.status().ToString());
+    const dist::ExchangeStats& ex = dc->exchange_stats();
+
+    Note("distributed crawl (per-server hash partitioning, crash-safe "
+         "link exchange)");
+    std::printf("shards=%d pages=%zu wall_seconds=%.2f harvest_rate=%.3f\n",
+                flags.shards, visited.value().size(), wall_s,
+                harvest.value());
+    std::printf("exchange: delivered=%llu replayed=%llu batches=%llu\n",
+                static_cast<unsigned long long>(ex.delivered),
+                static_cast<unsigned long long>(ex.replayed),
+                static_cast<unsigned long long>(ex.batches));
+    std::printf("kills: scheduled=%zu fired=%d restarts=%d\n",
+                flags.kills.size(), plan.fired(), dc->total_restarts());
+    std::printf("shard,frontier,restarts\n");
+    for (int s = 0; s < flags.shards; ++s) {
+      std::printf("%d,%zu,%d\n", s, dc->crawler(s)->frontier()->size(),
+                  dc->restarts(s));
+    }
+
+    if (!flags.json_path.empty()) {
+      // The recovery-counter artifact the CI chaos smoke uploads.
+      JsonWriter w;
+      w.BeginObject()
+          .Field("schema", 1)
+          .Field("benchmark", "tab_throughput_distributed")
+          .Field("shards", flags.shards)
+          .Field("pages", static_cast<uint64_t>(visited.value().size()))
+          .Field("wall_seconds", wall_s)
+          .Field("harvest_rate", harvest.value())
+          .Field("kills_scheduled", static_cast<uint64_t>(flags.kills.size()))
+          .Field("kills_fired", plan.fired())
+          .Field("total_restarts", dc->total_restarts())
+          .Field("exchange_delivered", ex.delivered)
+          .Field("exchange_replayed", ex.replayed)
+          .Field("exchange_batches", ex.batches);
+      w.Key("shard_restarts").BeginArray();
+      for (int s = 0; s < flags.shards; ++s) {
+        w.BeginObject()
+            .Field("shard", s)
+            .Field("restarts", dc->restarts(s))
+            .EndObject();
+      }
+      w.EndArray().EndObject();
+      if (!WriteTextFile(flags.json_path, w.TakeString())) return 1;
+    }
+    if (!flags.metrics_json_path.empty() &&
+        !WriteTextFile(flags.metrics_json_path, registry.ToJson())) {
+      return 1;
+    }
+    if (!flags.metrics_text_path.empty() &&
+        !WriteTextFile(flags.metrics_text_path,
+                       registry.ToPrometheusText())) {
+      return 1;
+    }
+    if (!flags.events_path.empty()) {
+      std::string jsonl;
+      for (int s = 0; s < flags.shards; ++s) {
+        jsonl += dc->event_log(s)->ToJsonl();
+      }
+      if (!WriteTextFile(flags.events_path, jsonl)) return 1;
+    }
+    admin.Stop();
+    return 0;
+  }
 
   Note("crawler throughput (paper: ~30 threads, 5-10 pages/s, ~10k "
        "pages/hour)");

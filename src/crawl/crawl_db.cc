@@ -1,5 +1,7 @@
 #include "crawl/crawl_db.h"
 
+#include <algorithm>
+
 #include "util/hash.h"
 #include "util/string_util.h"
 
@@ -74,6 +76,24 @@ Schema BreakerSchema() {
 std::vector<IndexSpec> BreakerIndexes() {
   return {IndexSpec{"by_sid", {0}, {}}};
 }
+Schema OutboxSchema() {
+  return Schema({{"seq", TypeId::kInt64},
+                 {"dst_shard", TypeId::kInt32},
+                 {"src_oid", TypeId::kInt64},
+                 {"dst_url", TypeId::kString},
+                 {"relevance", TypeId::kDouble},
+                 {"raise", TypeId::kInt32}});
+}
+std::vector<IndexSpec> OutboxIndexes() {
+  return {IndexSpec{"by_seq", {0}, {}}};
+}
+Schema XwmarkSchema() {
+  return Schema(
+      {{"src_shard", TypeId::kInt32}, {"applied_seq", TypeId::kInt64}});
+}
+std::vector<IndexSpec> XwmarkIndexes() {
+  return {IndexSpec{"by_src", {0}, {}}};
+}
 }  // namespace
 
 Result<CrawlDb> CrawlDb::Create(sql::Catalog* catalog) {
@@ -122,7 +142,112 @@ Result<CrawlDb> CrawlDb::Open(sql::Catalog* catalog,
       db.breaker_,
       catalog->AttachTable("BREAKER", BreakerSchema(), BreakerIndexes(),
                            layouts.at("BREAKER")));
+  if (layouts.contains("OUTBOX") && layouts.contains("XWMARK")) {
+    FOCUS_ASSIGN_OR_RETURN(
+        db.outbox_, catalog->AttachTable("OUTBOX", OutboxSchema(),
+                                         OutboxIndexes(),
+                                         layouts.at("OUTBOX")));
+    FOCUS_ASSIGN_OR_RETURN(
+        db.xwmark_, catalog->AttachTable("XWMARK", XwmarkSchema(),
+                                         XwmarkIndexes(),
+                                         layouts.at("XWMARK")));
+    // The next seq resumes past the highest durable one, so replayed
+    // crawls keep the sequence monotone.
+    auto it = db.outbox_->Scan();
+    storage::Rid rid;
+    Tuple row;
+    int64_t max_seq = 0;
+    while (it.Next(&rid, &row)) {
+      max_seq = std::max(max_seq, row.Get(0).AsInt64());
+    }
+    FOCUS_RETURN_IF_ERROR(it.status());
+    db.next_outbox_seq_ = max_seq + 1;
+  }
   return db;
+}
+
+Status CrawlDb::EnableExchange() {
+  if (outbox_ != nullptr) return Status::OK();
+  FOCUS_ASSIGN_OR_RETURN(
+      outbox_,
+      catalog_->CreateTable("OUTBOX", OutboxSchema(), OutboxIndexes()));
+  FOCUS_ASSIGN_OR_RETURN(
+      xwmark_,
+      catalog_->CreateTable("XWMARK", XwmarkSchema(), XwmarkIndexes()));
+  return Status::OK();
+}
+
+Status CrawlDb::AppendOutbox(int32_t dst_shard, uint64_t src_oid,
+                             std::string_view dst_url, double relevance,
+                             bool raise_if_known) {
+  if (outbox_ == nullptr) {
+    return Status::InvalidArgument("exchange tables not enabled");
+  }
+  int64_t seq = next_outbox_seq_;
+  FOCUS_RETURN_IF_ERROR(
+      outbox_
+          ->Insert(Tuple({Value::Int64(seq), Value::Int32(dst_shard),
+                          Value::Int64(static_cast<int64_t>(src_oid)),
+                          Value::Str(std::string(dst_url)),
+                          Value::Double(relevance),
+                          Value::Int32(raise_if_known ? 1 : 0)}))
+          .status());
+  next_outbox_seq_ = seq + 1;
+  return Status::OK();
+}
+
+Result<std::vector<ExchangeLink>> CrawlDb::ReadOutboxAfter(
+    int32_t dst_shard, int64_t after_seq) const {
+  if (outbox_ == nullptr) {
+    return Status::InvalidArgument("exchange tables not enabled");
+  }
+  std::vector<ExchangeLink> out;
+  auto it = outbox_->Scan();
+  storage::Rid rid;
+  Tuple row;
+  while (it.Next(&rid, &row)) {
+    if (row.Get(1).AsInt32() != dst_shard) continue;
+    if (row.Get(0).AsInt64() <= after_seq) continue;
+    ExchangeLink msg;
+    msg.seq = row.Get(0).AsInt64();
+    msg.dst_shard = dst_shard;
+    msg.src_oid = static_cast<uint64_t>(row.Get(2).AsInt64());
+    msg.dst_url = row.Get(3).AsString();
+    msg.relevance = row.Get(4).AsDouble();
+    msg.raise_if_known = row.Get(5).AsInt32() != 0;
+    out.push_back(std::move(msg));
+  }
+  FOCUS_RETURN_IF_ERROR(it.status());
+  std::sort(out.begin(), out.end(),
+            [](const ExchangeLink& a, const ExchangeLink& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+Result<int64_t> CrawlDb::ExchangeWatermark(int32_t src_shard) const {
+  if (xwmark_ == nullptr) {
+    return Status::InvalidArgument("exchange tables not enabled");
+  }
+  std::vector<storage::Rid> rids;
+  FOCUS_RETURN_IF_ERROR(
+      xwmark_->IndexLookup(0, {Value::Int32(src_shard)}, &rids));
+  if (rids.empty()) return int64_t{0};
+  Tuple row;
+  FOCUS_RETURN_IF_ERROR(xwmark_->Get(rids[0], &row));
+  return row.Get(1).AsInt64();
+}
+
+Status CrawlDb::SetExchangeWatermark(int32_t src_shard, int64_t seq) {
+  if (xwmark_ == nullptr) {
+    return Status::InvalidArgument("exchange tables not enabled");
+  }
+  std::vector<storage::Rid> rids;
+  FOCUS_RETURN_IF_ERROR(
+      xwmark_->IndexLookup(0, {Value::Int32(src_shard)}, &rids));
+  Tuple row({Value::Int32(src_shard), Value::Int64(seq)});
+  if (rids.empty()) return xwmark_->Insert(row).status();
+  return xwmark_->Update(rids[0], row);
 }
 
 Status CrawlDb::Commit() {

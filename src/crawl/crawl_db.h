@@ -9,6 +9,17 @@
 //   BREAKER(sid:int32, state:int32, failures:int32, open_until:int64,
 //           cooldown:double)                index by_sid
 //
+// Distributed crawls additionally opt in (EnableExchange) to:
+//   OUTBOX(seq:int64, dst_shard:int32, src_oid:int64, dst_url:string,
+//          relevance:double, raise:int32)   index by_seq
+//   XWMARK(src_shard:int32, applied_seq:int64)  index by_src
+// OUTBOX journals cross-shard link admissions this shard produced (seq is
+// a per-shard monotone sequence, appended in the same commit as the LINK
+// row); XWMARK records, per source shard, the highest OUTBOX seq this
+// shard has durably applied — the exactly-once watermark of the link
+// exchange. Both ride the ordinary Commit/Checkpoint path, so a crash on
+// either side of an exchange replays rather than drops or duplicates.
+//
 // nextretry is the not-before virtual time (us) of a failed entry's next
 // attempt; BREAKER persists per-server circuit-breaker state so a resumed
 // crawl keeps its quarantines and retry schedule.
@@ -39,6 +50,20 @@ int32_t ServerIdOf(std::string_view url);
 // "http://host/path" -> "http://host/" (the §3.2 URL-truncation device).
 // Returns the input unchanged when there is no path to strip.
 std::string TruncateToHostRoot(std::string_view url);
+
+// One cross-shard link admission queued in a source shard's OUTBOX.
+struct ExchangeLink {
+  int64_t seq = 0;        // per-source-shard monotone sequence
+  int32_t dst_shard = 0;  // owning shard of dst_url
+  uint64_t src_oid = 0;   // citing page (provenance parent)
+  std::string dst_url;    // cited URL, owned by dst_shard
+  double relevance = 0;   // citer's relevance estimate for dst_url
+  // Admission semantics at the owner, mirroring the local expansion paths:
+  // true = admit-or-raise (ordinary outlink: AddUrl, or RaiseRelevance on
+  // a known unvisited row), false = admit-if-unknown (truncated host
+  // roots and backlink citers never raise existing rows).
+  bool raise_if_known = true;
+};
 
 struct CrawlRecord {
   uint64_t oid = 0;
@@ -117,6 +142,35 @@ class CrawlDb {
   Status UpsertBreaker(const BreakerRecord& rec);
   Result<std::vector<BreakerRecord>> LoadBreakers() const;
 
+  // --- Cross-shard link exchange (distributed crawl) ---
+
+  // Creates the OUTBOX/XWMARK tables. Idempotent; Open() reattaches them
+  // automatically when the recovered catalog has them, so single-shard
+  // stores never grow the extra tables.
+  Status EnableExchange();
+  bool has_exchange() const { return outbox_ != nullptr; }
+
+  // Journals one cross-shard admission, assigning the next seq. Durable
+  // with (and only with) the surrounding Commit, i.e. atomically with the
+  // LINK row recorded in the same batch.
+  Status AppendOutbox(int32_t dst_shard, uint64_t src_oid,
+                      std::string_view dst_url, double relevance,
+                      bool raise_if_known);
+
+  // All OUTBOX messages for `dst_shard` with seq > after_seq, ascending.
+  Result<std::vector<ExchangeLink>> ReadOutboxAfter(int32_t dst_shard,
+                                                    int64_t after_seq) const;
+
+  // Highest seq from `src_shard` this shard has durably applied (0 =
+  // nothing yet).
+  Result<int64_t> ExchangeWatermark(int32_t src_shard) const;
+  // Upserts the watermark. Callers commit it in the same batch as the
+  // admissions it covers — that atomicity is the exactly-once guarantee.
+  Status SetExchangeWatermark(int32_t src_shard, int64_t seq);
+
+  // Highest seq ever assigned by AppendOutbox (0 when empty).
+  int64_t outbox_tail_seq() const { return next_outbox_seq_ - 1; }
+
   sql::Table* crawl_table() const { return crawl_; }
   sql::Table* link_table() const { return link_; }
   sql::Table* breaker_table() const { return breaker_; }
@@ -136,6 +190,9 @@ class CrawlDb {
   sql::Table* crawl_ = nullptr;
   sql::Table* link_ = nullptr;
   sql::Table* breaker_ = nullptr;
+  sql::Table* outbox_ = nullptr;  // null until EnableExchange/reattach
+  sql::Table* xwmark_ = nullptr;
+  int64_t next_outbox_seq_ = 1;   // restored from max(OUTBOX.seq) on Open
 };
 
 }  // namespace focus::crawl

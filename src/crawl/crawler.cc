@@ -88,6 +88,11 @@ Status Crawler::CommitBatch() {
 }
 
 Result<bool> Crawler::Step() {
+  if (options_.interrupt) {
+    // Scheduled shard deaths (dist::ShardFaultPlan) land between steps —
+    // i.e. between durable batches, like any other crash point.
+    FOCUS_RETURN_IF_ERROR(options_.interrupt(clock_.NowMicros()));
+  }
   webgraph::SimulatedWeb::FetchResult fetch;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -227,6 +232,13 @@ Result<bool> Crawler::Step() {
         web_->Backlinks(fetch.url, options_.backlinks_per_page));
     for (const std::string& citer : citers) {
       uint64_t citer_oid = UrlOid(citer);
+      if (options_.link_sink != nullptr &&
+          !options_.link_sink->Owns(citer)) {
+        FOCUS_RETURN_IF_ERROR(ExportRemoteLink(oid, citer,
+                                               judgment.relevance,
+                                               /*raise_if_known=*/false));
+        continue;
+      }
       FOCUS_ASSIGN_OR_RETURN(std::optional<CrawlRecord> known,
                              db_->Lookup(citer_oid));
       if (known.has_value()) continue;
@@ -368,6 +380,23 @@ Status Crawler::ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
     if (!expand_frontier) continue;
 
     uint64_t dst_oid = UrlOid(dst);
+    if (options_.link_sink != nullptr && !options_.link_sink->Owns(dst)) {
+      // Cross-shard target (its whole server belongs to another shard, so
+      // its host root does too): journal the admission for the owner and
+      // leave the local frontier alone.
+      if (options_.try_truncated_urls) {
+        std::string root = TruncateToHostRoot(dst);
+        if (root != dst) {
+          FOCUS_RETURN_IF_ERROR(
+              ExportRemoteLink(UrlOid(fetch.url), root, judgment.relevance,
+                               /*raise_if_known=*/false));
+        }
+      }
+      FOCUS_RETURN_IF_ERROR(ExportRemoteLink(UrlOid(fetch.url), dst,
+                                             judgment.relevance,
+                                             /*raise_if_known=*/true));
+      continue;
+    }
     if (options_.try_truncated_urls) {
       // Also consider the target's host root (server index pages are often
       // excellent resource lists).
@@ -430,6 +459,67 @@ Status Crawler::ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
         frontier_.AddOrUpdate(updated);
       }
     }
+  }
+  return Status::OK();
+}
+
+Status Crawler::ExportRemoteLink(uint64_t src_oid, const std::string& dst_url,
+                                 double relevance, bool raise_if_known) {
+  uint64_t dst_oid = UrlOid(dst_url);
+  if (raise_if_known) {
+    // The owner applies max-raise semantics, so only a strictly better
+    // estimate is worth journaling. The dedup map is in-memory: a crash
+    // loses it and the replayed batch re-exports, which the owner no-ops.
+    auto [it, inserted] = raise_exported_.try_emplace(dst_oid, relevance);
+    if (!inserted) {
+      if (relevance <= it->second) return Status::OK();
+      it->second = relevance;
+    }
+  } else {
+    // Admit-if-unknown targets never raise existing rows, so one export
+    // is enough.
+    if (!admit_exported_.insert(dst_oid).second) return Status::OK();
+  }
+  return options_.link_sink->ExportLink(src_oid, dst_url, relevance,
+                                        raise_if_known);
+}
+
+Status Crawler::AdmitRemoteLink(std::string_view url, double relevance,
+                                int64_t parent_oid, bool raise_if_known) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  uint64_t oid = UrlOid(url);
+  int32_t sid = ServerIdOf(url);
+  FOCUS_ASSIGN_OR_RETURN(std::optional<CrawlRecord> existing,
+                         db_->Lookup(oid));
+  if (!existing.has_value()) {
+    FOCUS_RETURN_IF_ERROR(db_->AddUrl(url, relevance, server_fetches_[sid]));
+    FrontierEntry entry;
+    entry.oid = oid;
+    entry.url = std::string(url);
+    entry.relevance = relevance;
+    entry.serverload = server_fetches_[sid];
+    entry.backlinks = ++backlink_counts_[oid];
+    frontier_.AddOrUpdate(entry);
+    if (options_.event_log != nullptr) {
+      options_.event_log->Record(obs::CrawlEventType::kFrontierAdmit,
+                                 static_cast<int64_t>(oid), parent_oid, sid,
+                                 clock_.NowMicros(), relevance, /*aux=*/3);
+    }
+    return Status::OK();
+  }
+  if (!raise_if_known || existing->visited) return Status::OK();
+  // Same as the local ExpandLinks path for a known unvisited citation:
+  // count the backlink, raise the estimate (max), re-rank if live.
+  int32_t backlinks = ++backlink_counts_[oid];
+  if (relevance > existing->relevance) {
+    FOCUS_RETURN_IF_ERROR(db_->RaiseRelevance(oid, relevance));
+  }
+  if (std::optional<FrontierEntry> in_frontier = frontier_.PeekCopy(oid);
+      in_frontier.has_value()) {
+    FrontierEntry updated = *in_frontier;
+    updated.relevance = std::max(updated.relevance, relevance);
+    updated.backlinks = backlinks;
+    frontier_.AddOrUpdate(updated);
   }
   return Status::OK();
 }
@@ -780,6 +870,13 @@ Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
       }
       for (const std::string& citer : citers) {
         uint64_t citer_oid = UrlOid(citer);
+        if (options_.link_sink != nullptr &&
+            !options_.link_sink->Owns(citer)) {
+          FOCUS_RETURN_IF_ERROR(ExportRemoteLink(oid, citer,
+                                                 judgment.relevance,
+                                                 /*raise_if_known=*/false));
+          continue;
+        }
         FOCUS_ASSIGN_OR_RETURN(std::optional<CrawlRecord> known,
                                db_->Lookup(citer_oid));
         if (known.has_value()) continue;
@@ -821,6 +918,9 @@ Status Crawler::RecordBatch(std::vector<FetchedPage>* pages,
 Status Crawler::PipelineWorker(int worker, VirtualClock* worker_clock) {
   for (;;) {
     if (abort_.load()) return Status::OK();
+    if (options_.interrupt) {
+      FOCUS_RETURN_IF_ERROR(options_.interrupt(worker_clock->NowMicros()));
+    }
     std::vector<FrontierEntry> batch = GatherBatch(worker, worker_clock);
     if (batch.empty()) {
       std::unique_lock<std::mutex> lock(state_mutex_);

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +43,24 @@ enum class ExpansionRule {
   // Ignore the classifier for control (still recorded for measurement):
   // the standard-crawler baseline of Figure 5(a).
   kUnfocused,
+};
+
+// Routes link discoveries whose target belongs to another crawl shard
+// (distributed crawl, src/dist). When a crawler has a sink, expansion of a
+// non-owned target journals an admission for the owner (CrawlDb's OUTBOX)
+// instead of touching the local frontier; the LINK row is still recorded
+// locally, so the crawl graph stays lossless. All calls arrive under the
+// crawler's state lock, inside the batch that will commit them.
+class CrossShardLinkSink {
+ public:
+  virtual ~CrossShardLinkSink() = default;
+  // True when this crawler's shard owns `url`.
+  virtual bool Owns(std::string_view url) const = 0;
+  // Journals an admission of `dst_url` discovered by `src_oid`.
+  // `raise_if_known` carries the local expansion semantics the owner must
+  // mirror (see ExchangeLink::raise_if_known).
+  virtual Status ExportLink(uint64_t src_oid, std::string_view dst_url,
+                            double relevance, bool raise_if_known) = 0;
 };
 
 struct CrawlerOptions {
@@ -107,6 +126,15 @@ struct CrawlerOptions {
   // records the full URL lifecycle and attaches the log to its frontier,
   // breaker registry and retry policy.
   obs::EventLog* event_log = nullptr;
+
+  // Distributed crawl hooks (src/dist). `link_sink` diverts expansion of
+  // non-owned URLs into the cross-shard exchange; nullptr = single-shard
+  // behavior. `interrupt` is polled with the current virtual time at every
+  // step/batch boundary; a non-OK return aborts the crawl with that status
+  // (the ShardFaultPlan's scheduled shard deaths). Both borrowed/copied;
+  // the sink must outlive the crawler.
+  CrossShardLinkSink* link_sink = nullptr;
+  std::function<Status(int64_t virtual_us)> interrupt;
 };
 
 struct Visit {
@@ -187,6 +215,15 @@ class Crawler {
   // the first visit.
   Status ScheduleRevisits(const sql::Table* hubs, int count);
 
+  // Applies one cross-shard admission delivered by the link exchange:
+  // unknown URLs enter CRAWL and the frontier with `relevance` as their
+  // estimate; known unvisited rows are raised to `relevance` when
+  // `raise_if_known` (max semantics, so redelivery after a crash is
+  // idempotent); visited rows are no-ops. The caller owns durability —
+  // admissions and the exchange watermark commit as one batch.
+  Status AdmitRemoteLink(std::string_view url, double relevance,
+                         int64_t parent_oid, bool raise_if_known);
+
  private:
   // A page that cleared the fetch stage, waiting for classification.
   struct FetchedPage {
@@ -234,6 +271,11 @@ class Crawler {
   // `at_us` is the visit's virtual time (stamps admit events).
   Status ExpandLinks(const webgraph::SimulatedWeb::FetchResult& fetch,
                      const PageJudgment& judgment, int64_t at_us);
+  // Journals a non-owned link target into the sink, suppressing exports
+  // the owner would no-op (same estimate or lower for raise-mode targets;
+  // any repeat for admit-if-unknown targets). Caller holds state_mutex_.
+  Status ExportRemoteLink(uint64_t src_oid, const std::string& dst_url,
+                          double relevance, bool raise_if_known);
   Status RunDistillationBoost();
   // Recomputes PageRank over LINK and pushes the scores into the frontier
   // (the Cho et al. perceived-prestige ordering).
@@ -264,6 +306,12 @@ class Crawler {
   std::unordered_set<uint64_t> links_recorded_;
   // Citations seen so far per unvisited page (Cho backlink ordering).
   std::unordered_map<uint64_t, int32_t> backlink_counts_;
+  // Export dedup (guarded by state_mutex_): best estimate already
+  // journaled per raise-mode target, and admit-if-unknown targets already
+  // journaled once. Purely an outbox-volume optimization — both are lost
+  // on a crash and re-exports are idempotent at the owner.
+  std::unordered_map<uint64_t, double> raise_exported_;
+  std::unordered_set<uint64_t> admit_exported_;
   std::vector<Visit> visits_;
   CrawlStats stats_;
   // Visit counts at which the next distillation / PageRank refresh fire

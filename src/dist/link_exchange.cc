@@ -1,0 +1,64 @@
+#include "dist/link_exchange.h"
+
+#include <algorithm>
+
+namespace focus::dist {
+
+LinkExchange::DrainResult LinkExchange::Drain(
+    crawl::CrawlDb* src_db, int src_shard, crawl::CrawlDb* dst_db,
+    crawl::Crawler* dst_crawler, int dst_shard, obs::EventLog* dst_log) {
+  DrainResult result;
+  auto fail = [&result](DrainResult::FailedSide side, Status status) {
+    result.failed = side;
+    result.status = std::move(status);
+    return result;
+  };
+
+  Result<int64_t> watermark = dst_db->ExchangeWatermark(src_shard);
+  if (!watermark.ok()) {
+    return fail(DrainResult::FailedSide::kDest, watermark.status());
+  }
+  Result<std::vector<crawl::ExchangeLink>> pending =
+      src_db->ReadOutboxAfter(dst_shard, *watermark);
+  if (!pending.ok()) {
+    return fail(DrainResult::FailedSide::kSource, pending.status());
+  }
+  if (pending->empty()) return result;
+
+  int64_t& high =
+      read_high_[static_cast<size_t>(src_shard) * num_shards_ + dst_shard];
+  // Replays are counted against the read mark, not the durable watermark:
+  // a message this process already *read* but whose delivery batch died
+  // before its commit comes back here with the watermark unchanged — the
+  // redelivery the protocol promises.
+  for (const crawl::ExchangeLink& msg : *pending) {
+    if (msg.seq <= high) ++stats_.replayed;
+  }
+  int64_t last = pending->back().seq;
+  high = std::max(high, last);
+  for (const crawl::ExchangeLink& msg : *pending) {
+    Status s = dst_crawler->AdmitRemoteLink(
+        msg.dst_url, msg.relevance, static_cast<int64_t>(msg.src_oid),
+        msg.raise_if_known);
+    if (!s.ok()) return fail(DrainResult::FailedSide::kDest, std::move(s));
+  }
+  // Watermark and admissions become durable in the same batch — the
+  // exactly-once edge of the protocol.
+  Status s = dst_db->SetExchangeWatermark(src_shard, last);
+  if (!s.ok()) return fail(DrainResult::FailedSide::kDest, std::move(s));
+  s = dst_db->Commit();
+  if (!s.ok()) return fail(DrainResult::FailedSide::kDest, std::move(s));
+
+  result.delivered = pending->size();
+  stats_.delivered += result.delivered;
+  ++stats_.batches;
+  if (dst_log != nullptr) {
+    dst_log->Record(obs::CrawlEventType::kExchangeBatch, /*oid=*/-1,
+                    /*parent_oid=*/src_shard, /*sid=*/-1, /*virtual_us=*/-1,
+                    /*value=*/static_cast<double>(last),
+                    /*aux=*/static_cast<int64_t>(result.delivered));
+  }
+  return result;
+}
+
+}  // namespace focus::dist

@@ -1,0 +1,99 @@
+// Crash-safe cross-shard link exchange.
+//
+// Source side: a crawler whose link expansion hits a URL owned by another
+// shard journals the admission into its own CrawlDb's OUTBOX table
+// (ExchangeEndpoint, a crawl::CrossShardLinkSink). The append rides the
+// crawler's ordinary batch commit, so the admission is durable exactly
+// when the LINK row that motivated it is.
+//
+// Delivery side: LinkExchange::Drain reads one (src, dst) queue above
+// dst's durable watermark (XWMARK row for src), applies each message via
+// Crawler::AdmitRemoteLink, then commits the admissions *and* the raised
+// watermark as one dst batch. Crash anywhere in that window reverts dst
+// to the previous watermark and the messages redeliver; admissions are
+// idempotent (AddUrl dedups by oid, raises are monotone max), so
+// redelivery converges instead of duplicating. Nothing is ever dropped:
+// OUTBOX rows are only ever filtered by a watermark that was committed
+// together with their application.
+#ifndef FOCUS_DIST_LINK_EXCHANGE_H_
+#define FOCUS_DIST_LINK_EXCHANGE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "crawl/crawl_db.h"
+#include "crawl/crawler.h"
+#include "dist/shard_router.h"
+#include "obs/event_log.h"
+#include "util/status.h"
+
+namespace focus::dist {
+
+// Adapts one shard's CrawlDb to the crawler's CrossShardLinkSink.
+class ExchangeEndpoint final : public crawl::CrossShardLinkSink {
+ public:
+  ExchangeEndpoint(const ShardRouter* router, int shard_id)
+      : router_(router), shard_id_(shard_id) {}
+
+  // (Re)binds the shard's CrawlDb — called after every restart, when the
+  // reopened store yields a new CrawlDb instance.
+  void Bind(crawl::CrawlDb* db) { db_ = db; }
+
+  bool Owns(std::string_view url) const override {
+    return router_->ShardOfUrl(url) == shard_id_;
+  }
+
+  Status ExportLink(uint64_t src_oid, std::string_view dst_url,
+                    double relevance, bool raise_if_known) override {
+    return db_->AppendOutbox(router_->ShardOfUrl(dst_url), src_oid, dst_url,
+                             relevance, raise_if_known);
+  }
+
+ private:
+  const ShardRouter* router_;
+  int shard_id_;
+  crawl::CrawlDb* db_ = nullptr;
+};
+
+struct ExchangeStats {
+  uint64_t delivered = 0;  // messages applied (replays included)
+  uint64_t replayed = 0;   // redeliveries after a dst crash: seq at or
+                           // below a high mark this process already read
+  uint64_t batches = 0;    // committed (src,dst) delivery batches
+};
+
+class LinkExchange {
+ public:
+  explicit LinkExchange(int num_shards)
+      : num_shards_(num_shards),
+        read_high_(static_cast<size_t>(num_shards) * num_shards, 0) {}
+
+  struct DrainResult {
+    uint64_t delivered = 0;
+    // Which side's storage failed, so the supervisor knows whom to
+    // restart. kNone when status is OK.
+    enum class FailedSide { kNone, kSource, kDest } failed = FailedSide::kNone;
+    Status status;
+  };
+
+  // Delivers every pending src -> dst message (seq above dst's durable
+  // watermark), committing dst once at the end.
+  DrainResult Drain(crawl::CrawlDb* src_db, int src_shard,
+                    crawl::CrawlDb* dst_db, crawl::Crawler* dst_crawler,
+                    int dst_shard, obs::EventLog* dst_log);
+
+  const ExchangeStats& stats() const { return stats_; }
+
+ private:
+  int num_shards_;
+  // Highest seq this *process* has read per (src,dst) — survives dst
+  // restarts (unlike dst's in-memory state), so a redelivery at or below
+  // it is provably a replay of a batch whose commit died.
+  std::vector<int64_t> read_high_;
+  ExchangeStats stats_;
+};
+
+}  // namespace focus::dist
+
+#endif  // FOCUS_DIST_LINK_EXCHANGE_H_

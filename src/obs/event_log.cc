@@ -44,13 +44,16 @@ const char* CrawlEventTypeName(CrawlEventType type) {
     case CrawlEventType::kWalCommit: return "wal_commit";
     case CrawlEventType::kWalCheckpoint: return "wal_checkpoint";
     case CrawlEventType::kWalReplay: return "wal_replay";
+    case CrawlEventType::kShardDeath: return "shard_death";
+    case CrawlEventType::kShardRestart: return "shard_restart";
+    case CrawlEventType::kExchangeBatch: return "exchange_batch";
   }
   return "unknown";
 }
 
 bool CrawlEventTypeFromName(const std::string& name, CrawlEventType* out) {
-  for (int32_t v = 0; v <= static_cast<int32_t>(CrawlEventType::kWalReplay);
-       ++v) {
+  for (int32_t v = 0;
+       v <= static_cast<int32_t>(CrawlEventType::kExchangeBatch); ++v) {
     CrawlEventType t = static_cast<CrawlEventType>(v);
     if (name == CrawlEventTypeName(t)) {
       *out = t;
@@ -114,6 +117,7 @@ void EventLog::Record(CrawlEventType type, int64_t oid, int64_t parent_oid,
   event.type = type;
   event.tid = ring->tid;
   event.reconciled = reconciled;
+  event.shard_id = shard_id_.load(std::memory_order_relaxed);
   event.oid = oid;
   event.parent_oid = parent_oid;
   event.sid = sid;
@@ -169,6 +173,7 @@ void AppendEventJson(const CrawlEvent& event, std::string* out) {
       .Field("oid", event.oid)
       .Field("parent_oid", event.parent_oid)
       .Field("sid", static_cast<int64_t>(event.sid))
+      .Field("shard_id", static_cast<int64_t>(event.shard_id))
       .Field("tid", static_cast<int64_t>(event.tid))
       .Field("wall_us", event.wall_us)
       .Field("virtual_us", event.virtual_us)

@@ -47,6 +47,12 @@ enum class CrawlEventType : int32_t {
   kWalCommit = 10,         // aux = batch sequence / record count
   kWalCheckpoint = 11,
   kWalReplay = 12,         // recovery replayed records; aux = record count
+  kShardDeath = 13,        // distributed shard died; aux = boot ordinal
+  kShardRestart = 14,      // supervisor restarted a shard; aux = boot
+                           // ordinal, value = frontier size after resume
+  kExchangeBatch = 15,     // cross-shard delivery batch applied; aux =
+                           // messages delivered, value = new watermark,
+                           // parent_oid = source shard
 };
 
 // Stable lowercase snake_case name ("fetch_attempt"); used in JSONL and
@@ -62,6 +68,8 @@ struct CrawlEvent {
   CrawlEventType type = CrawlEventType::kFrontierAdmit;
   uint32_t tid = 0;        // small sequential id per recording thread
   bool reconciled = false; // synthesized from durable state after recovery
+  int32_t shard_id = 0;    // crawl shard that recorded the event (0 for
+                           // single-shard runs; see EventLog::SetShardId)
   int64_t oid = -1;        // URL oid; -1 for process-level events (WAL)
   int64_t parent_oid = -1; // discovering parent for admits; -1 otherwise
   int32_t sid = -1;        // server id; -1 when not applicable
@@ -102,6 +110,17 @@ class EventLog {
               int32_t sid, int64_t virtual_us, double value, int64_t aux,
               bool reconciled = false);
 
+  // Stamps every subsequent event with `shard_id`. Each distributed crawl
+  // shard owns its own EventLog instance, so the shard id is a property of
+  // the log rather than a parameter threaded through every Record call.
+  // Defaults to 0 (single-shard runs).
+  void SetShardId(int32_t shard_id) {
+    shard_id_.store(shard_id, std::memory_order_relaxed);
+  }
+  int32_t shard_id() const {
+    return shard_id_.load(std::memory_order_relaxed);
+  }
+
   // All surviving events across threads, in sequence order, filtered.
   std::vector<CrawlEvent> Snapshot(const EventFilter& filter = {}) const;
   // One JSON object per line (JSONL), in sequence order.
@@ -134,6 +153,7 @@ class EventLog {
   const uint64_t instance_id_;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<int32_t> shard_id_{0};
   std::atomic<uint64_t> next_seq_{0};
   mutable std::mutex mu_;  // guards rings_ registration and capacity
   std::vector<std::unique_ptr<Ring>> rings_;

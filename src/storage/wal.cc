@@ -453,6 +453,11 @@ WalStats WalDiskManager::wal_stats() const {
   return s;
 }
 
+Wal::SegmentStats WalDiskManager::wal_segment_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wal_.segment_stats();
+}
+
 void WalDiskManager::BindMetrics(obs::MetricsRegistry* registry,
                                  std::string name) {
   if (collector_id_ != 0) metrics_registry_->RemoveCollector(collector_id_);

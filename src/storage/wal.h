@@ -118,6 +118,25 @@ class Wal {
   uint64_t epoch() const { return epoch_; }
   const WalStats& stats() const { return stats_; }
 
+  // Point-in-time occupancy of the current log segment (ROADMAP's
+  // segment-recycling groundwork: callers can now *observe* that a
+  // checkpoint really returns the tail to the start of the device, and
+  // regression tests can pin log growth across checkpoint cycles).
+  struct SegmentStats {
+    uint64_t epoch = 0;          // current log epoch
+    uint64_t tail_bytes = 0;     // durable append tail (page-aligned)
+    uint64_t pending_bytes = 0;  // buffered, not yet committed
+    uint32_t device_pages = 0;   // pages allocated on the log device
+  };
+  SegmentStats segment_stats() const {
+    SegmentStats s;
+    s.epoch = epoch_;
+    s.tail_bytes = tail_;
+    s.pending_bytes = pending_.size();
+    s.device_pages = log_->NumPages();
+    return s;
+  }
+
  private:
   Status Flush();  // write pending_ out as log pages + sync
 
@@ -182,6 +201,7 @@ class WalDiskManager final : public DiskManager {
   const std::string& recovered_metadata() const { return recovered_metadata_; }
   uint64_t epoch() const { return epoch_; }
   WalStats wal_stats() const;
+  Wal::SegmentStats wal_segment_stats() const;
 
   // Exports WAL counters through the metrics registry, labeled
   // {wal=<name>}. Follows the BufferPool::BindMetrics collector pattern.

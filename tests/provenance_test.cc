@@ -127,9 +127,13 @@ TEST(EventLogCrawlTest, LifecycleEventsCoverEveryVisit) {
 
   std::vector<obs::CrawlEvent> events = log.Snapshot();
   ASSERT_GT(events.size(), 0u);
-  // Sequence order is total and strictly increasing.
+  // Sequence order is total and strictly increasing, and a single-shard
+  // crawl stamps every event with shard 0.
   for (size_t i = 1; i < events.size(); ++i) {
     EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  for (const obs::CrawlEvent& e : events) {
+    EXPECT_EQ(e.shard_id, 0);
   }
   // Every visit has attempt, success and verdict events.
   std::unordered_set<int64_t> attempted, succeeded, judged;
@@ -385,6 +389,32 @@ TEST(AdminEndpointTest, FrontierRouteServesLiveCrawlState) {
   EXPECT_NE(events.body.find("\"oid\":" + std::to_string(target)),
             std::string::npos)
       << events.body;
+  // The JSONL export carries the shard id on every line (0 here — the
+  // admin server fronts a single-shard crawl).
+  EXPECT_NE(events.body.find("\"shard_id\":0"), std::string::npos)
+      << events.body;
+}
+
+TEST(EventLogShardStampTest, ShardIdFlowsThroughSnapshotAndJsonl) {
+  obs::EventLog log;
+  log.Enable();
+  log.SetShardId(3);
+  log.Record(obs::CrawlEventType::kFetchAttempt, /*oid=*/42,
+             /*parent_oid=*/-1, /*sid=*/7, /*virtual_us=*/100, /*value=*/0.5,
+             /*aux=*/0);
+  std::vector<obs::CrawlEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].shard_id, 3);
+  std::string jsonl = log.ToJsonl();
+  EXPECT_NE(jsonl.find("\"shard_id\":3"), std::string::npos) << jsonl;
+  // A log that never calls SetShardId reports shard 0 (the single-shard
+  // default every pre-distributed consumer relies on).
+  obs::EventLog plain;
+  plain.Enable();
+  plain.Record(obs::CrawlEventType::kFetchAttempt, 1, -1, 0, 0, 0.0, 0);
+  ASSERT_EQ(plain.Snapshot().size(), 1u);
+  EXPECT_EQ(plain.Snapshot()[0].shard_id, 0);
+  EXPECT_NE(plain.ToJsonl().find("\"shard_id\":0"), std::string::npos);
 }
 
 }  // namespace
