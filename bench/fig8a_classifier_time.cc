@@ -6,6 +6,8 @@
 //   CLI     — BulkProbe, the Figure 3 sort-merge plan, scalar engine
 //   CLI-VEC — the same plan on the vectorized batch engine
 //   CLI-PAR — the same plan morsel-parallel (`--threads=N`, default 4)
+//   CLI-ENC — the same plan on dictionary codes with cost-based access
+//             paths (semi-join-reduced STAT, dense run-table probes)
 //
 // `--json` switches the report from CSV to a JSON array (one object per
 // variant) for the CI bench-smoke gate, which asserts the vectorized join
@@ -157,6 +159,7 @@ int Run(bool json, bool explain, int threads) {
   run_bulk(sql::ExecEngine::kScalar, "CLI");
   run_bulk(sql::ExecEngine::kVectorized, "CLI-VEC");
   run_bulk(sql::ExecEngine::kParallel, "CLI-PAR");
+  run_bulk(sql::ExecEngine::kEncoded, "CLI-ENC");
 
   if (json) {
     std::printf("[\n");

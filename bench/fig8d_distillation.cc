@@ -5,12 +5,16 @@
 // (the old main-memory style, on disk) against the Figure 4 join
 // formulation, and finds the join about a factor of three faster, with
 // the naive time split into scan / lookup / update. The JoinVec row runs
-// the same join plan on the vectorized batch engine.
+// the same join plan on the vectorized batch engine; JoinEnc runs it on
+// dictionary codes with cost-based access-path selection per join node.
 //
 // The crawl graph comes from a real focused crawl; its LINK/CRAWL tables
 // are then copied into a database whose buffer pool is far smaller than
 // the tables, with per-miss latency modelling the 1999 disk. The JoinPar
 // row runs the plan morsel-parallel (`--threads=N`, default 4);
+// `--explain` prints each join variant's plan with EXPLAIN ANALYZE
+// (the JoinEnc plan annotates every join node with the cost model's
+// chosen access path and cardinality estimate);
 // `--fast-disk` zeroes the modelled read latency so the CPU-bound join
 // cost dominates (the CI speedup gate compares JoinPar vs JoinVec
 // join_s under this flag), and `--json` emits the same rows as a JSON
@@ -57,7 +61,7 @@ sql::Table* CopyTable(sql::Catalog* dst_catalog, const sql::Table* src,
   return dst.value();
 }
 
-int Run(bool json, int threads, bool fast_disk) {
+int Run(bool json, int threads, bool fast_disk, bool explain) {
   // --- build a crawl graph with the full pipeline (fast disk) ---
   taxonomy::Taxonomy tax = core::BuildSampleTaxonomy();
   core::FocusOptions options;
@@ -133,6 +137,12 @@ int Run(bool json, int threads, bool fast_disk) {
     Stopwatch timer;
     FOCUS_CHECK(join.Run({.iterations = kIterations, .rho = kRho}).ok());
     double per_iter = timer.ElapsedSeconds() / kIterations;
+    if (explain) {
+      sql::PlanStats plan;
+      FOCUS_CHECK(join.RunIterationWithPlan(kRho, &plan).ok());
+      std::fprintf(stderr, "# --- %s plan ---\n%s", name,
+                   plan.Format().c_str());
+    }
     report.push_back(Row{name, per_iter, 0.0, 0.0,
                          join.stats().update_seconds / kIterations,
                          join.stats().join_seconds / kIterations,
@@ -143,6 +153,7 @@ int Run(bool json, int threads, bool fast_disk) {
   run_join(sql::ExecEngine::kScalar, "Join");
   run_join(sql::ExecEngine::kVectorized, "JoinVec");
   run_join(sql::ExecEngine::kParallel, "JoinPar");
+  run_join(sql::ExecEngine::kEncoded, "JoinEnc");
 
   if (json) {
     std::printf("[\n");
@@ -176,13 +187,15 @@ int main(int argc, char** argv) {
   focus::SetLogLevel(focus::LogLevel::kWarning);
   bool json = false;
   bool fast_disk = false;
+  bool explain = false;
   int threads = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--fast-disk") == 0) fast_disk = true;
+    if (std::strcmp(argv[i], "--explain") == 0) explain = true;
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::max(1, std::atoi(argv[i] + 10));
     }
   }
-  return focus::bench::Run(json, threads, fast_disk);
+  return focus::bench::Run(json, threads, fast_disk, explain);
 }

@@ -1,14 +1,17 @@
 #include "classify/bulk_probe.h"
 
+#include <algorithm>
 #include <map>
 #include <unordered_set>
 
 #include "sql/exec/aggregate.h"
 #include "sql/exec/basic.h"
 #include "sql/exec/batch_ops.h"
+#include "sql/exec/cost_model.h"
 #include "sql/exec/join.h"
 #include "sql/exec/scan.h"
 #include "sql/exec/sort.h"
+#include "storage/page.h"
 #include "util/clock.h"
 #include "util/string_util.h"
 
@@ -250,6 +253,7 @@ Status BulkProbeClassifier::BulkProbeNode(
 
 Status BulkProbeClassifier::BulkProbeNodeVec(
     taxonomy::Cid c0, const sql::ColumnSet& doc_sorted,
+    const sql::ColumnDictionary* tid_dict,
     std::unordered_map<uint64_t, std::vector<double>>* acc) const {
   auto it = tables_->stat.find(c0);
   if (it == tables_->stat.end()) {
@@ -257,8 +261,9 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
   }
   const sql::Table* stat = it->second;
   const bool par = engine_ == sql::ExecEngine::kParallel;
+  const bool enc = tid_dict != nullptr;
   sql::MorselDispatcher* disp = par ? dispatcher() : nullptr;
-  const char* eng = par ? "Parallel" : "Batch";
+  const char* eng = par ? "Parallel" : (enc ? "Enc" : "Batch");
   const auto& children = ref_->tax().Children(c0);
   std::unordered_map<taxonomy::Cid, int> child_index;
   for (size_t i = 0; i < children.size(); ++i) {
@@ -297,6 +302,39 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
     FOCUS_RETURN_IF_ERROR(sql::CollectInto(scan_once.get(), &stat_cols));
   }
 
+  // kEncoded: rewrite STAT's tid into the document dictionary's code
+  // domain. STAT arrives (tid, kcid)-sorted, so encoding is one linear
+  // merge against the sorted dictionary; rows whose tid is outside the
+  // document vocabulary get kMissingCode and are dropped right here —
+  // no inner join on tid downstream can observe them (the PARTIAL join
+  // directly, the DOCLEN join through features(tid)), so results are
+  // unchanged while the inner side shrinks to the terms actually probed.
+  // Codes inherit tid's sort order (the dictionary is sorted), so every
+  // merge-order precondition below survives the rewrite.
+  if (enc) {
+    sql::ColumnPtr codes =
+        sql::EncodeSortedColumn(stat_cols.col(1), *tid_dict);
+    std::vector<sql::Column> enc_schema = stat_cols.schema().columns();
+    enc_schema[1].type = TypeId::kInt32;
+    if (std::all_of(codes->i32.begin(), codes->i32.end(),
+                    [](int32_t c) { return c >= 0; })) {
+      stat_cols = sql::ColumnSet(
+          sql::Schema(std::move(enc_schema)),
+          {stat_cols.col_ptr(0), codes, stat_cols.col_ptr(2)});
+    } else {
+      std::vector<int64_t> sel;
+      sel.reserve(codes->i32.size());
+      for (size_t i = 0; i < codes->i32.size(); ++i) {
+        if (codes->i32[i] >= 0) sel.push_back(static_cast<int64_t>(i));
+      }
+      stat_cols = sql::ColumnSet(
+          sql::Schema(std::move(enc_schema)),
+          {sql::Gather(stat_cols.col(0), sel.data(), sel.size()),
+           sql::Gather(*codes, sel.data(), sel.size()),
+           sql::Gather(stat_cols.col(2), sel.data(), sel.size())});
+    }
+  }
+
   sql::BatchOperatorPtr doc_src = sql::AnalyzeBatch(
       plan_, "BatchSource DOCUMENT(sorted)",
       std::make_unique<sql::BatchSource>(&doc_sorted));
@@ -306,10 +344,46 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
   // STAT_c0's heap is already in (tid, kcid) order. (The parallel merge
   // join re-sorts internally; a stable sort of sorted input is the
   // identity permutation, so the plan stays bit-exact.)
-  sql::BatchOperatorPtr joined = sql::AnalyzeBatch(
-      plan_, StrCat(eng, "MergeJoin DOCUMENT~STAT"),
-      EngineMergeJoin(par, disp, std::move(doc_src), std::move(stat_scan),
-                      std::vector<int>{1}, std::vector<int>{1}));
+  //
+  // kEncoded picks the access path per node: the cost model weighs a
+  // sort-merge pass against probing STAT through a dense run table over
+  // the code domain. Hash is excluded — the final outer join consumes
+  // merge order, and hash output order differs (parallel.h). Both
+  // allowed paths emit left-major sorted pairs, so the choice is
+  // invisible to results.
+  sql::BatchOperatorPtr joined;
+  if (enc) {
+    sql::JoinStats js;
+    js.left_rows = static_cast<uint64_t>(doc_sorted.num_rows());
+    js.left_distinct = static_cast<uint64_t>(tid_dict->size());
+    js.right_rows = static_cast<uint64_t>(stat_cols.num_rows());
+    js.right_distinct = 0;  // ≤ left_distinct; containment uses max
+    js.right_domain = static_cast<uint64_t>(tid_dict->size());
+    js.right_bytes = static_cast<uint64_t>(stat_cols.num_rows()) * 16;
+    js.buffer_bytes = static_cast<uint64_t>(
+                          stat->buffer_pool()->num_frames()) *
+                      storage::kPageSize;
+    sql::PathChoice choice = sql::ChooseJoinPath(js);
+    sql::RecordPathChoice("classify.partial", choice);
+    sql::BatchOperatorPtr join_op =
+        choice.path == sql::AccessPath::kIndexProbe
+            ? sql::BatchOperatorPtr(std::make_unique<sql::BatchProbeJoin>(
+                  std::move(doc_src), std::move(stat_scan), 1, 1,
+                  /*left_outer=*/false,
+                  static_cast<int64_t>(tid_dict->size())))
+            : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
+                  std::move(doc_src), std::move(stat_scan),
+                  std::vector<int>{1}, std::vector<int>{1}));
+    joined = sql::AnalyzeBatchCost(
+        plan_, StrCat(eng, "Join DOCUMENT~STAT"),
+        sql::CountActualRows("classify.partial", std::move(join_op)),
+        sql::AccessPathName(choice.path), choice.est_rows);
+  } else {
+    joined = sql::AnalyzeBatch(
+        plan_, StrCat(eng, "MergeJoin DOCUMENT~STAT"),
+        EngineMergeJoin(par, disp, std::move(doc_src), std::move(stat_scan),
+                        std::vector<int>{1}, std::vector<int>{1}));
+  }
   // joined: 0 did, 1 tid, 2 freq, 3 kcid, 4 tid, 5 logtheta
   sql::BatchOperatorPtr contrib = sql::AnalyzeBatch(
       plan_, StrCat(eng, "Project did,kcid,contrib"),
@@ -362,10 +436,44 @@ Status BulkProbeClassifier::BulkProbeNodeVec(
   sql::BatchOperatorPtr doc_src2 = sql::AnalyzeBatch(
       plan_, "BatchSource DOCUMENT(sorted)",
       std::make_unique<sql::BatchSource>(&doc_sorted));
-  sql::BatchOperatorPtr doc_features = sql::AnalyzeBatch(
-      plan_, StrCat(eng, "MergeJoin DOCUMENT~features"),
-      EngineMergeJoin(par, disp, std::move(doc_src2), std::move(features),
-                      std::vector<int>{1}, std::vector<int>{0}));
+  sql::BatchOperatorPtr doc_features;
+  if (enc) {
+    // features is (tid_code, cnt), one row per distinct code, ascending —
+    // a textbook dense-probe inner. Same allowed set as above.
+    sql::JoinStats js;
+    js.left_rows = static_cast<uint64_t>(doc_sorted.num_rows());
+    js.left_distinct = static_cast<uint64_t>(tid_dict->size());
+    uint64_t feat_rows =
+        std::min(static_cast<uint64_t>(stat_cols.num_rows()),
+                 static_cast<uint64_t>(tid_dict->size()));
+    js.right_rows = feat_rows;
+    js.right_distinct = feat_rows;
+    js.right_domain = static_cast<uint64_t>(tid_dict->size());
+    js.right_bytes = feat_rows * 12;
+    js.buffer_bytes = static_cast<uint64_t>(
+                          stat->buffer_pool()->num_frames()) *
+                      storage::kPageSize;
+    sql::PathChoice choice = sql::ChooseJoinPath(js);
+    sql::RecordPathChoice("classify.doclen", choice);
+    sql::BatchOperatorPtr join_op =
+        choice.path == sql::AccessPath::kIndexProbe
+            ? sql::BatchOperatorPtr(std::make_unique<sql::BatchProbeJoin>(
+                  std::move(doc_src2), std::move(features), 1, 0,
+                  /*left_outer=*/false,
+                  static_cast<int64_t>(tid_dict->size())))
+            : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
+                  std::move(doc_src2), std::move(features),
+                  std::vector<int>{1}, std::vector<int>{0}));
+    doc_features = sql::AnalyzeBatchCost(
+        plan_, StrCat(eng, "Join DOCUMENT~features"),
+        sql::CountActualRows("classify.doclen", std::move(join_op)),
+        sql::AccessPathName(choice.path), choice.est_rows);
+  } else {
+    doc_features = sql::AnalyzeBatch(
+        plan_, StrCat(eng, "MergeJoin DOCUMENT~features"),
+        EngineMergeJoin(par, disp, std::move(doc_src2), std::move(features),
+                        std::vector<int>{1}, std::vector<int>{0}));
+  }
   // doc_features: 0 did, 1 tid, 2 freq, 3 tid, 4 cnt
   sql::BatchOperatorPtr doclen_op = sql::AnalyzeBatch(
       plan_, StrCat(eng, "SortAggregate DOCLEN(did)"),
@@ -550,6 +658,29 @@ BulkProbeClassifier::ClassifyAllVectorized(
                  std::vector<SortKey>{{1, false}}));
   sql::ColumnSet doc_sorted;
   FOCUS_RETURN_IF_ERROR(sql::CollectInto(doc_sort.get(), &doc_sorted));
+
+  // kEncoded: one dictionary over the sorted tid column (linear build,
+  // since the column is the sort key) encodes the shared temp once for
+  // all nodes. did/freq columns are adopted zero-copy; only the tid
+  // column is replaced by its int32 codes — nothing downstream of the
+  // joins reads tid values, so no decode is ever needed in this plan.
+  const bool enc = engine_ == sql::ExecEngine::kEncoded;
+  sql::DictionaryPtr tid_dict;
+  sql::ColumnSet doc_enc;
+  if (enc) {
+    tid_dict = sql::ColumnDictionary::BuildFromSorted(doc_sorted.col(1));
+    std::vector<sql::ColumnPtr> cols;
+    cols.reserve(doc_sorted.num_columns());
+    for (int i = 0; i < doc_sorted.num_columns(); ++i) {
+      cols.push_back(doc_sorted.col_ptr(i));
+    }
+    cols[1] = sql::EncodeSortedColumn(doc_sorted.col(1), *tid_dict);
+    std::vector<sql::Column> enc_schema = doc_sorted.schema().columns();
+    enc_schema[1].type = sql::TypeId::kInt32;
+    doc_enc = sql::ColumnSet(sql::Schema(std::move(enc_schema)),
+                             std::move(cols));
+  }
+  const sql::ColumnSet& doc_temp = enc ? doc_enc : doc_sorted;
   stats_.join_seconds += sort_timer.ElapsedSeconds();
 
   std::unordered_set<uint64_t> seen;
@@ -564,7 +695,8 @@ BulkProbeClassifier::ClassifyAllVectorized(
                      std::unordered_map<uint64_t, std::vector<double>>>
       node_acc;
   for (taxonomy::Cid c0 : ref_->tax().InternalPreorder()) {
-    FOCUS_RETURN_IF_ERROR(BulkProbeNodeVec(c0, doc_sorted, &node_acc[c0]));
+    FOCUS_RETURN_IF_ERROR(
+        BulkProbeNodeVec(c0, doc_temp, tid_dict.get(), &node_acc[c0]));
   }
   return Finalize(dids, &node_acc);
 }

@@ -21,6 +21,7 @@
 #include "classify/db_tables.h"
 #include "classify/hierarchical_classifier.h"
 #include "sql/exec/analyze.h"
+#include "sql/exec/dictionary.h"
 #include "sql/exec/parallel.h"
 #include "util/status.h"
 
@@ -41,8 +42,11 @@ class BulkProbeClassifier {
 
   // Selects the executor for the Figure 3 plans. Defaults to the
   // vectorized batch engine; the scalar Volcano path stays available for
-  // comparison benchmarks and equivalence tests, and kParallel runs the
-  // batch plans morsel-parallel with bit-identical results.
+  // comparison benchmarks and equivalence tests, kParallel runs the
+  // batch plans morsel-parallel, and kEncoded dictionary-encodes the tid
+  // join key (dictionary.h) so the per-node joins run on int32 codes with
+  // the access path — index probe vs sort-merge — chosen per node by the
+  // cost model (cost_model.h). All engines are bit-identical.
   void SetEngine(sql::ExecEngine engine) { engine_ = engine; }
   sql::ExecEngine engine() const { return engine_; }
 
@@ -84,9 +88,14 @@ class BulkProbeClassifier {
       std::unordered_map<uint64_t, std::vector<double>>* acc) const;
 
   // The same plan on the vectorized engine, over the columnar
-  // sorted-DOCUMENT temp.
+  // sorted-DOCUMENT temp. Non-null `tid_dict` selects the encoded plan:
+  // doc_sorted's tid column then holds dictionary codes, STAT is encoded
+  // against the same dictionary per node (dropping feature rows outside
+  // the document vocabulary — a semi-join no inner join can observe), and
+  // the cost model picks each join's access path.
   Status BulkProbeNodeVec(
       taxonomy::Cid c0, const sql::ColumnSet& doc_sorted,
+      const sql::ColumnDictionary* tid_dict,
       std::unordered_map<uint64_t, std::vector<double>>* acc) const;
 
   Result<std::unordered_map<uint64_t, ClassScores>> ClassifyAllScalar(

@@ -201,6 +201,10 @@ Result<std::vector<sql::Tuple>> DiscoveryEdges(const sql::Table* events,
       return DiscoveryEdgesVectorized(events, link);
     case sql::ExecEngine::kParallel:
       return DiscoveryEdgesParallel(events, link, num_threads);
+    case sql::ExecEngine::kEncoded:
+      // The introspection join is tiny; codes would cost more than they
+      // save. Encoded sessions fall back to the vectorized plan.
+      return DiscoveryEdgesVectorized(events, link);
   }
   return Status::InvalidArgument("unknown exec engine");
 }

@@ -1,14 +1,17 @@
 #include "distill/join_distiller.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sql/exec/aggregate.h"
 #include "sql/exec/basic.h"
 #include "sql/exec/batch_ops.h"
+#include "sql/exec/cost_model.h"
 #include "sql/exec/join.h"
 #include "sql/exec/scan.h"
 #include "sql/exec/external_sort.h"
 #include "sql/exec/sort.h"
+#include "storage/page.h"
 #include "util/clock.h"
 
 namespace focus::distill {
@@ -275,6 +278,7 @@ Status JoinDistiller::UpdateHubs() {
 Status JoinDistiller::UpdateAuthVec(double rho) {
   Stopwatch join_timer;
   const bool par = engine_ == sql::ExecEngine::kParallel;
+  const bool enc = engine_ == sql::ExecEngine::kEncoded;
   sql::MorselDispatcher* disp = par ? dispatcher() : nullptr;
   // Relevant pages, pruned at the scan: CRAWL carries URL strings the
   // plan never reads, so the batch scan copies only (oid, relevance).
@@ -326,17 +330,60 @@ Status JoinDistiller::UpdateAuthVec(double rho) {
                                   std::vector<SortKey>{{2, false}}));
   // Eligible links: off-server links whose destination is relevant, via
   // merge join on oid_dst.
-  sql::BatchOperatorPtr eligible = sql::AnalyzeBatch(
-      plan_,
-      par ? "ParallelMergeJoin LINK~relevant" : "BatchMergeJoin LINK~relevant",
-      par ? sql::BatchOperatorPtr(std::make_unique<sql::ParallelMergeJoin>(
-                std::move(links_sorted), std::move(relevant),
-                std::vector<int>{2}, std::vector<int>{0}, disp))
-          : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
-                std::move(links_sorted), std::move(relevant),
-                std::vector<int>{2}, std::vector<int>{0})));
+  //
+  // kEncoded materializes the relevant oids (the sorted domain of the
+  // restriction — CRAWL oids are unique, so each link matches at most
+  // once) and lets the cost model choose: an index-probe semi-join
+  // (binary-search membership filter over the domain, dropping the
+  // redundant oid(relevant) column) or the same merge join. Both emit
+  // the surviving links in identical order; `score_idx` below absorbs
+  // the one-column schema difference.
+  sql::ColumnSet rel_cols;  // must outlive the plan (BatchSource borrows)
+  sql::BatchOperatorPtr eligible;
+  int score_idx = 8;
+  if (enc) {
+    FOCUS_RETURN_IF_ERROR(sql::CollectInto(relevant.get(), &rel_cols));
+    sql::JoinStats js;
+    js.left_rows = static_cast<uint64_t>(tables_.link->num_rows());
+    js.left_distinct = static_cast<uint64_t>(tables_.crawl->num_rows());
+    js.right_rows = static_cast<uint64_t>(rel_cols.num_rows());
+    js.right_distinct = js.right_rows;
+    js.right_bytes = js.right_rows * 8;
+    js.buffer_bytes = static_cast<uint64_t>(
+                          tables_.link->buffer_pool()->num_frames()) *
+                      storage::kPageSize;
+    sql::PathChoice choice = sql::ChooseJoinPath(js);
+    sql::RecordPathChoice("distill.relevant", choice);
+    sql::BatchOperatorPtr node_op;
+    if (choice.path == sql::AccessPath::kIndexProbe) {
+      node_op = std::make_unique<sql::BatchFilter>(
+          std::move(links_sorted),
+          sql::DomainMembershipPredicate(2, rel_cols.col_ptr(0)));
+      score_idx = 7;
+    } else {
+      node_op = std::make_unique<sql::BatchMergeJoin>(
+          std::move(links_sorted),
+          std::make_unique<sql::BatchSource>(&rel_cols),
+          std::vector<int>{2}, std::vector<int>{0});
+    }
+    eligible = sql::AnalyzeBatchCost(
+        plan_, "EncJoin LINK~relevant",
+        sql::CountActualRows("distill.relevant", std::move(node_op)),
+        sql::AccessPathName(choice.path), choice.est_rows);
+  } else {
+    eligible = sql::AnalyzeBatch(
+        plan_,
+        par ? "ParallelMergeJoin LINK~relevant"
+            : "BatchMergeJoin LINK~relevant",
+        par ? sql::BatchOperatorPtr(std::make_unique<sql::ParallelMergeJoin>(
+                  std::move(links_sorted), std::move(relevant),
+                  std::vector<int>{2}, std::vector<int>{0}, disp))
+            : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
+                  std::move(links_sorted), std::move(relevant),
+                  std::vector<int>{2}, std::vector<int>{0})));
+  }
   // eligible: 0 oid_src, 1 sid_src, 2 oid_dst, 3 sid_dst, 4 wgt_fwd,
-  //           5 wgt_rev, 6 oid(relevant)
+  //           5 wgt_rev [, 6 oid(relevant) unless the semi-join dropped it]
   sql::BatchOperatorPtr by_src =
       par ? std::move(eligible)
           : sql::AnalyzeBatch(plan_, "BatchSort by oid_src",
@@ -351,22 +398,64 @@ Status JoinDistiller::UpdateAuthVec(double rho) {
                 tables_.hubs, disp))
           : sql::BatchOperatorPtr(
                 std::make_unique<sql::BatchTableScan>(tables_.hubs)));
-  sql::BatchOperatorPtr with_hub = sql::AnalyzeBatch(
-      plan_, par ? "ParallelMergeJoin links~HUBS" : "BatchMergeJoin links~HUBS",
-      par ? sql::BatchOperatorPtr(std::make_unique<sql::ParallelMergeJoin>(
-                std::move(by_src), std::move(hubs_scan), std::vector<int>{0},
-                std::vector<int>{0}, disp))
-          : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
-                std::move(by_src), std::move(hubs_scan), std::vector<int>{0},
-                std::vector<int>{0})));
-  // with_hub: ..., 7 oid(hub), 8 score
+  sql::BatchOperatorPtr with_hub;
+  if (enc) {
+    // Cascaded estimate: the relevant node's output estimate is this
+    // node's outer cardinality. HUBS is tiny and ascending-oid; probe
+    // vs merge flips with the eligible-link volume.
+    sql::JoinStats js;
+    js.left_rows = std::max<uint64_t>(
+        sql::EstimateJoinRows([&] {
+          sql::JoinStats rel;
+          rel.left_rows = static_cast<uint64_t>(tables_.link->num_rows());
+          rel.left_distinct =
+              static_cast<uint64_t>(tables_.crawl->num_rows());
+          rel.right_rows = static_cast<uint64_t>(rel_cols.num_rows());
+          rel.right_distinct = rel.right_rows;
+          return rel;
+        }()),
+        1);
+    js.left_distinct = static_cast<uint64_t>(tables_.crawl->num_rows());
+    js.right_rows = static_cast<uint64_t>(tables_.hubs->num_rows());
+    js.right_distinct = js.right_rows;
+    js.right_bytes = js.right_rows * 16;
+    js.buffer_bytes = static_cast<uint64_t>(
+                          tables_.hubs->buffer_pool()->num_frames()) *
+                      storage::kPageSize;
+    sql::PathChoice choice = sql::ChooseJoinPath(js);
+    sql::RecordPathChoice("distill.hubs", choice);
+    sql::BatchOperatorPtr node_op =
+        choice.path == sql::AccessPath::kIndexProbe
+            ? sql::BatchOperatorPtr(std::make_unique<sql::BatchProbeJoin>(
+                  std::move(by_src), std::move(hubs_scan), 0, 0))
+            : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
+                  std::move(by_src), std::move(hubs_scan),
+                  std::vector<int>{0}, std::vector<int>{0}));
+    with_hub = sql::AnalyzeBatchCost(
+        plan_, "EncJoin links~HUBS",
+        sql::CountActualRows("distill.hubs", std::move(node_op)),
+        sql::AccessPathName(choice.path), choice.est_rows);
+  } else {
+    with_hub = sql::AnalyzeBatch(
+        plan_,
+        par ? "ParallelMergeJoin links~HUBS" : "BatchMergeJoin links~HUBS",
+        par ? sql::BatchOperatorPtr(std::make_unique<sql::ParallelMergeJoin>(
+                  std::move(by_src), std::move(hubs_scan),
+                  std::vector<int>{0}, std::vector<int>{0}, disp))
+            : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
+                  std::move(by_src), std::move(hubs_scan),
+                  std::vector<int>{0}, std::vector<int>{0})));
+  }
+  // with_hub: ..., oid(hub), score at score_idx (7 after the semi-join
+  // dropped oid(relevant), 8 otherwise)
   std::vector<sql::BatchExpr> contrib_exprs;
   contrib_exprs.push_back(
       sql::BatchExpr::Passthrough("oid_dst", TypeId::kInt64, 2));
   contrib_exprs.push_back(
-      sql::BatchExpr{"w", TypeId::kDouble, [](const sql::Batch& in) {
+      sql::BatchExpr{"w", TypeId::kDouble,
+                     [score_idx](const sql::Batch& in) {
                        const auto& wgt = in.col(4).f64;
-                       const auto& score = in.col(8).f64;
+                       const auto& score = in.col(score_idx).f64;
                        sql::ColumnPtr out = sql::NewColumn(TypeId::kDouble);
                        out->f64.reserve(wgt.size());
                        for (size_t i = 0; i < wgt.size(); ++i) {
@@ -406,6 +495,7 @@ Status JoinDistiller::UpdateAuthVec(double rho) {
 Status JoinDistiller::UpdateHubsVec() {
   Stopwatch join_timer;
   const bool par = engine_ == sql::ExecEngine::kParallel;
+  const bool enc = engine_ == sql::ExecEngine::kEncoded;
   sql::MorselDispatcher* disp = par ? dispatcher() : nullptr;
   sql::BatchOperatorPtr links = BatchOffServerLinks(tables_.link, plan_, disp);
   // The parallel merge join sorts internally, so the explicit sort node
@@ -424,14 +514,41 @@ Status JoinDistiller::UpdateHubsVec() {
                 tables_.auth, disp))
           : sql::BatchOperatorPtr(
                 std::make_unique<sql::BatchTableScan>(tables_.auth)));
-  sql::BatchOperatorPtr with_auth = sql::AnalyzeBatch(
-      plan_, par ? "ParallelMergeJoin links~AUTH" : "BatchMergeJoin links~AUTH",
-      par ? sql::BatchOperatorPtr(std::make_unique<sql::ParallelMergeJoin>(
-                std::move(by_dst), std::move(auth_scan), std::vector<int>{2},
-                std::vector<int>{0}, disp))
-          : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
-                std::move(by_dst), std::move(auth_scan), std::vector<int>{2},
-                std::vector<int>{0})));
+  sql::BatchOperatorPtr with_auth;
+  if (enc) {
+    sql::JoinStats js;
+    js.left_rows = static_cast<uint64_t>(tables_.link->num_rows());
+    js.left_distinct = static_cast<uint64_t>(tables_.crawl->num_rows());
+    js.right_rows = static_cast<uint64_t>(tables_.auth->num_rows());
+    js.right_distinct = js.right_rows;
+    js.right_bytes = js.right_rows * 16;
+    js.buffer_bytes = static_cast<uint64_t>(
+                          tables_.auth->buffer_pool()->num_frames()) *
+                      storage::kPageSize;
+    sql::PathChoice choice = sql::ChooseJoinPath(js);
+    sql::RecordPathChoice("distill.auth", choice);
+    sql::BatchOperatorPtr node_op =
+        choice.path == sql::AccessPath::kIndexProbe
+            ? sql::BatchOperatorPtr(std::make_unique<sql::BatchProbeJoin>(
+                  std::move(by_dst), std::move(auth_scan), 2, 0))
+            : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
+                  std::move(by_dst), std::move(auth_scan),
+                  std::vector<int>{2}, std::vector<int>{0}));
+    with_auth = sql::AnalyzeBatchCost(
+        plan_, "EncJoin links~AUTH",
+        sql::CountActualRows("distill.auth", std::move(node_op)),
+        sql::AccessPathName(choice.path), choice.est_rows);
+  } else {
+    with_auth = sql::AnalyzeBatch(
+        plan_,
+        par ? "ParallelMergeJoin links~AUTH" : "BatchMergeJoin links~AUTH",
+        par ? sql::BatchOperatorPtr(std::make_unique<sql::ParallelMergeJoin>(
+                  std::move(by_dst), std::move(auth_scan),
+                  std::vector<int>{2}, std::vector<int>{0}, disp))
+            : sql::BatchOperatorPtr(std::make_unique<sql::BatchMergeJoin>(
+                  std::move(by_dst), std::move(auth_scan),
+                  std::vector<int>{2}, std::vector<int>{0})));
+  }
   // with_auth: 0 oid_src .. 5 wgt_rev, 6 oid(auth), 7 score
   std::vector<sql::BatchExpr> contrib_exprs;
   contrib_exprs.push_back(

@@ -34,7 +34,12 @@ class JoinDistiller final : public Distiller {
   // Selects the executor for the Figure 4 plans. Defaults to the
   // vectorized batch engine; the scalar Volcano path stays available for
   // comparison benchmarks and equivalence tests, and kParallel runs the
-  // batch plans morsel-parallel with bit-identical results.
+  // batch plans morsel-parallel with bit-identical results. kEncoded
+  // lets the cost model (cost_model.h) pick the access path per join
+  // node: the relevant-page restriction becomes a semi-join against the
+  // sorted oid domain when probing wins, and the HUBS/AUTH joins switch
+  // between index probe and sort-merge as their sizes dictate — all
+  // bit-identical to the other engines.
   void SetEngine(sql::ExecEngine engine) { engine_ = engine; }
   sql::ExecEngine engine() const { return engine_; }
 

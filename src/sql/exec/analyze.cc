@@ -76,6 +76,12 @@ class AnalyzedBatchOperator final : public BatchOperator {
     node_->is_batch = true;
   }
 
+  void AnnotateCost(const char* access_path, uint64_t est_rows) {
+    node_->access_path = access_path;
+    node_->est_rows = est_rows;
+    node_->has_cost = true;
+  }
+
   Status Open() override {
     if (!linked_) {
       linked_ = true;
@@ -154,6 +160,10 @@ void FormatNode(const PlanStats::Node& node, const std::string& prefix,
   uint64_t children = ChildMicros(node);
   uint64_t self = total > children ? total - children : 0;
   std::string line = root ? "" : StrCat(prefix, last ? "`- " : "|- ");
+  std::string cost;
+  if (node.has_cost) {
+    cost = StrCat(" path=", node.access_path, " est_rows=", node.est_rows);
+  }
   if (node.is_batch) {
     std::string par;
     if (node.morsels > 0) {
@@ -163,12 +173,12 @@ void FormatNode(const PlanStats::Node& node, const std::string& prefix,
                       " max_part_rows=", node.max_partition_rows);
       }
     }
-    *out += StrCat(line, node.label, "  rows=", node.rows_out,
+    *out += StrCat(line, node.label, cost, "  rows=", node.rows_out,
                    " batches=", node.batches, par,
                    " total=", FormatMicros(total),
                    " self=", FormatMicros(self), "\n");
   } else {
-    *out += StrCat(line, node.label, "  rows=", node.rows_out,
+    *out += StrCat(line, node.label, cost, "  rows=", node.rows_out,
                    " next=", node.next_calls, " total=", FormatMicros(total),
                    " self=", FormatMicros(self), "\n");
   }
@@ -190,6 +200,10 @@ void NodeToJson(const PlanStats::Node& node, obs::JsonWriter* w) {
       .Field("total_micros", total)
       .Field("self_micros", total > children ? total - children : 0);
   if (node.is_batch) w->Field("batches", node.batches);
+  if (node.has_cost) {
+    w->Field("access_path", node.access_path)
+        .Field("est_rows", node.est_rows);
+  }
   if (node.morsels > 0) {
     w->Field("morsels", node.morsels)
         .Field("partitions", node.partitions)
@@ -229,6 +243,17 @@ BatchOperatorPtr AnalyzeBatch(PlanStats* stats, std::string label,
   if (stats == nullptr) return child;
   return std::make_unique<AnalyzedBatchOperator>(stats, std::move(label),
                                                  std::move(child));
+}
+
+BatchOperatorPtr AnalyzeBatchCost(PlanStats* stats, std::string label,
+                                  BatchOperatorPtr child,
+                                  const char* access_path,
+                                  uint64_t est_rows) {
+  if (stats == nullptr) return child;
+  auto wrapper = std::make_unique<AnalyzedBatchOperator>(
+      stats, std::move(label), std::move(child));
+  wrapper->AnnotateCost(access_path, est_rows);
+  return wrapper;
 }
 
 }  // namespace focus::sql

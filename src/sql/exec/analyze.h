@@ -50,6 +50,12 @@ class PlanStats {
     uint64_t morsels = 0;
     uint64_t partitions = 0;
     uint64_t max_partition_rows = 0;
+    // Cost-model annotation (cost_model.h): the access path chosen at
+    // plan-build time and its cardinality estimate, rendered next to the
+    // actual rows_out so estimate quality is visible per node.
+    std::string access_path;
+    uint64_t est_rows = 0;
+    bool has_cost = false;
     std::vector<Node*> children;
     bool has_parent = false;
   };
@@ -90,6 +96,14 @@ OperatorPtr Analyze(PlanStats* stats, std::string label, OperatorPtr child);
 // open stack, so mixed plans still render as one tree).
 BatchOperatorPtr AnalyzeBatch(PlanStats* stats, std::string label,
                               BatchOperatorPtr child);
+
+// AnalyzeBatch plus the cost-model annotation: the node renders
+// `path=<access_path> est_rows=<n>` next to its actual row count. As with
+// the plain wrappers, null `stats` returns the child unchanged.
+BatchOperatorPtr AnalyzeBatchCost(PlanStats* stats, std::string label,
+                                  BatchOperatorPtr child,
+                                  const char* access_path,
+                                  uint64_t est_rows);
 
 }  // namespace focus::sql
 

@@ -265,6 +265,15 @@ ColumnSet::ColumnSet(const Schema& schema) : schema_(schema) {
   for (const Column& c : schema_.columns()) cols_.push_back(NewColumn(c.type));
 }
 
+ColumnSet::ColumnSet(Schema schema, std::vector<ColumnPtr> cols)
+    : schema_(std::move(schema)), cols_(std::move(cols)) {
+  FOCUS_DCHECK(static_cast<int>(cols_.size()) == schema_.num_columns());
+  for (const ColumnPtr& c : cols_) {
+    FOCUS_DCHECK(c != nullptr);
+    FOCUS_DCHECK(c->size() == cols_[0]->size());
+  }
+}
+
 void ColumnSet::AppendBatch(const Batch& b) {
   FOCUS_DCHECK(b.num_columns() == num_columns());
   size_t n = b.num_rows();

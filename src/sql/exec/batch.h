@@ -120,6 +120,9 @@ class ColumnSet {
  public:
   ColumnSet() = default;
   explicit ColumnSet(const Schema& schema);
+  // Adopts existing columns (shared, zero-copy). Column count must match
+  // the schema and all columns must have equal lengths.
+  ColumnSet(Schema schema, std::vector<ColumnPtr> cols);
 
   const Schema& schema() const { return schema_; }
   int num_columns() const { return static_cast<int>(cols_.size()); }

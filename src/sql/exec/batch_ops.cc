@@ -668,6 +668,213 @@ Result<bool> BatchMergeJoin::DoNextBatch(Batch* out) {
   return true;
 }
 
+// ---------------------------------------------------------- probe join --
+
+DenseRunTable BuildDenseRunTable(const ColumnData& rk, int64_t domain) {
+  DenseRunTable t;
+  t.lo.assign(static_cast<size_t>(domain), 0);
+  t.hi.assign(static_cast<size_t>(domain), 0);
+  const size_t nr = rk.size();
+  size_t j = 0;
+  while (j < nr) {
+    int32_t code = rk.i32[j];
+    size_t end = j + 1;
+    while (end < nr && rk.i32[end] == code) ++end;
+    FOCUS_DCHECK(code >= 0 && code < domain);
+    t.lo[code] = static_cast<int64_t>(j);
+    t.hi[code] = static_cast<int64_t>(end);
+    j = end;
+  }
+  return t;
+}
+
+void ProbeJoinIndices(const ColumnSet& lrows, const ColumnSet& rrows,
+                      int left_key, int right_key, bool left_outer,
+                      const DenseRunTable* dense, size_t lbegin, size_t lend,
+                      std::vector<int64_t>* li, std::vector<int64_t>* ri) {
+  const ColumnData& lk = lrows.col(left_key);
+  const ColumnData& rk = rrows.col(right_key);
+  const size_t nr = rrows.num_rows();
+
+  size_t i = lbegin;
+  size_t rpos = 0;  // both sides ascend, so searches never look back
+  while (i < lend) {
+    size_t run_end = i + 1;
+    while (run_end < lend && CompareColumnRows(lk, run_end, lk, i) == 0) {
+      ++run_end;
+    }
+    size_t rlo = 0, rhi = 0;
+    if (dense != nullptr) {
+      int32_t code = lk.IsNull(i) ? -1 : lk.i32[i];
+      if (code >= 0 && code < static_cast<int64_t>(dense->lo.size())) {
+        rlo = static_cast<size_t>(dense->lo[code]);
+        rhi = static_cast<size_t>(dense->hi[code]);
+      }
+    } else {
+      size_t lo = rpos, hi = nr;
+      while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (CompareColumnRows(rk, mid, lk, i) < 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      rlo = lo;
+      hi = nr;
+      while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (CompareColumnRows(rk, mid, lk, i) <= 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      rhi = lo;
+      rpos = rhi;
+    }
+    // Left-major within the key group — MergeJoinIndices' emission order.
+    for (size_t l = i; l < run_end; ++l) {
+      if (rlo == rhi) {
+        if (left_outer) {
+          li->push_back(static_cast<int64_t>(l));
+          ri->push_back(-1);
+        }
+        continue;
+      }
+      for (size_t r = rlo; r < rhi; ++r) {
+        li->push_back(static_cast<int64_t>(l));
+        ri->push_back(static_cast<int64_t>(r));
+      }
+    }
+    i = run_end;
+  }
+}
+
+BatchProbeJoin::BatchProbeJoin(BatchOperatorPtr left, BatchOperatorPtr right,
+                               int left_key, int right_key, bool left_outer,
+                               int64_t dense_domain, int batch_rows)
+    : BatchOperator("probe_join"),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(left_key),
+      right_key_(right_key),
+      left_outer_(left_outer),
+      dense_domain_(dense_domain),
+      batch_rows_(batch_rows),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Status BatchProbeJoin::Open() {
+  lrows_ = ColumnSet(left_->schema());
+  rrows_ = ColumnSet(right_->schema());
+  li_.clear();
+  ri_.clear();
+  pos_ = 0;
+  probed_ = false;
+  FOCUS_RETURN_IF_ERROR(left_->Open());
+  return right_->Open();
+}
+
+void BatchProbeJoin::Close() {
+  lrows_ = ColumnSet();
+  rrows_ = ColumnSet();
+  li_.clear();
+  ri_.clear();
+  left_->Close();
+  right_->Close();
+}
+
+Status BatchProbeJoin::Probe() {
+  Batch b;
+  for (;;) {
+    FOCUS_ASSIGN_OR_RETURN(bool more, left_->NextBatch(&b));
+    if (!more) break;
+    lrows_.AppendBatch(b);
+  }
+  for (;;) {
+    FOCUS_ASSIGN_OR_RETURN(bool more, right_->NextBatch(&b));
+    if (!more) break;
+    rrows_.AppendBatch(b);
+  }
+  DenseRunTable table;
+  if (dense_domain_ > 0) {
+    table = BuildDenseRunTable(rrows_.col(right_key_), dense_domain_);
+  }
+  ProbeJoinIndices(lrows_, rrows_, left_key_, right_key_, left_outer_,
+                   dense_domain_ > 0 ? &table : nullptr, 0,
+                   lrows_.num_rows(), &li_, &ri_);
+  return Status::OK();
+}
+
+Result<bool> BatchProbeJoin::DoNextBatch(Batch* out) {
+  out->Reset();
+  if (!probed_) {
+    probed_ = true;
+    FOCUS_RETURN_IF_ERROR(Probe());
+  }
+  if (pos_ >= li_.size()) return false;
+  size_t end = std::min(li_.size(), pos_ + static_cast<size_t>(batch_rows_));
+  size_t n = end - pos_;
+  for (int i = 0; i < lrows_.num_columns(); ++i) {
+    out->AddColumn(Gather(lrows_.col(i), li_.data() + pos_, n));
+  }
+  for (int i = 0; i < rrows_.num_columns(); ++i) {
+    out->AddColumn(Gather(rrows_.col(i), ri_.data() + pos_, n));
+  }
+  pos_ = end;
+  return true;
+}
+
+// ---------------------------------------------- dictionary predicates --
+
+BatchPredicate CodeRangePredicate(int col, int32_t lo_code,
+                                  int32_t hi_code) {
+  return [col, lo_code, hi_code](const Batch& in,
+                                 std::vector<int64_t>* sel) {
+    const ColumnData& c = in.col(col);
+    for (size_t i = 0; i < c.i32.size(); ++i) {
+      int32_t v = c.i32[i];
+      if (v >= lo_code && v < hi_code && !c.IsNull(i)) {
+        sel->push_back(static_cast<int64_t>(i));
+      }
+    }
+  };
+}
+
+BatchPredicate DomainMembershipPredicate(int col, ColumnPtr domain) {
+  return [col, domain = std::move(domain)](const Batch& in,
+                                           std::vector<int64_t>* sel) {
+    const ColumnData& c = in.col(col);
+    const ColumnData& d = *domain;
+    const size_t n = c.size();
+    if (d.type == TypeId::kInt64 && c.type == TypeId::kInt64 &&
+        !c.has_nulls()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (std::binary_search(d.i64.begin(), d.i64.end(), c.i64[i])) {
+          sel->push_back(static_cast<int64_t>(i));
+        }
+      }
+      return;
+    }
+    const size_t nd = d.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (c.IsNull(i)) continue;
+      size_t lo = 0, hi = nd;
+      while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (CompareColumnRows(d, mid, c, i) < 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < nd && CompareColumnRows(d, lo, c, i) == 0) {
+        sel->push_back(static_cast<int64_t>(i));
+      }
+    }
+  };
+}
+
 // ---------------------------------------------------------- cross join --
 
 BatchCrossJoin::BatchCrossJoin(BatchOperatorPtr left, BatchOperatorPtr right,

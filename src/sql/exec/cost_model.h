@@ -1,0 +1,101 @@
+// Cost-based access-path selection for the hot join nodes (Fig. 8).
+//
+// The paper's central systems claim is that the right access path —
+// index probe vs sort-merge vs hash join over DOCUMENT/STAT/LINK —
+// dominates crawler-side query cost, and that the winner flips as table
+// sizes and memory budgets change. The repo used to hard-code those
+// choices per plan; this model makes them automatic, the way Hyrise's
+// cost-model feature extractor does: a handful of per-path formulas over
+// table stats the dictionary layer exposes for free (row counts, distinct
+// counts → join selectivity, sortedness, buffer-pool budget), evaluated
+// once at plan-build time.
+//
+// The formulas are unit costs (abstract row touches), calibrated so the
+// crossovers land where measurement puts them (sql_cost_model_test pits
+// the chosen path against wall-clock on the Fig-8 shapes):
+//   sort-merge:  sort whichever inputs are unsorted + scan both + emit
+//   index probe: scan the outer + one binary search per outer key run
+//                into the sorted inner (random access: penalized when the
+//                inner exceeds the buffer budget); a dense code domain
+//                (dictionary-encoded key) turns the search into an O(1)
+//                run-table lookup
+//   hash join:   build the inner + probe the outer (+ spill partitions
+//                when the build side exceeds the buffer budget)
+//
+// Every choice is recorded to focus_sql_cost_* metrics and annotated on
+// the EXPLAIN ANALYZE node (chosen path + estimated rows next to actual).
+#ifndef FOCUS_SQL_EXEC_COST_MODEL_H_
+#define FOCUS_SQL_EXEC_COST_MODEL_H_
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "sql/exec/batch_ops.h"
+
+namespace focus::sql {
+
+enum class AccessPath { kIndexProbe, kSortMerge, kHashJoin };
+
+// Stable short name, used in EXPLAIN output and metric labels:
+// "index-probe", "sort-merge", "hash".
+const char* AccessPathName(AccessPath path);
+
+// Per-node stats the chooser consumes. "left" is the outer (probe/scan)
+// side, "right" the inner (searched/built) side.
+struct JoinStats {
+  uint64_t left_rows = 0;
+  uint64_t left_distinct = 0;  // distinct outer join keys (0 = unknown)
+  uint64_t right_rows = 0;
+  uint64_t right_distinct = 0;  // distinct inner join keys (0 = unknown)
+  bool left_sorted = true;      // already sorted on the join key?
+  bool right_sorted = true;
+  // Dense dictionary-code domain size of the inner key (0 = none): probes
+  // become O(1) run-table lookups over [0, right_domain).
+  uint64_t right_domain = 0;
+  // Inner-side footprint vs the memory budget (0 budget = unlimited).
+  // Above budget, index probes thrash (random access) and hash joins
+  // spill partitions.
+  uint64_t right_bytes = 0;
+  uint64_t buffer_bytes = 0;
+};
+
+struct PathChoice {
+  AccessPath path = AccessPath::kSortMerge;
+  uint64_t est_rows = 0;  // estimated join cardinality
+  double cost = 0;        // unit cost of the chosen path
+};
+
+// Estimated join cardinality under the containment assumption:
+// |L ⋈ R| ≈ |L|·|R| / max(d_L, d_R).
+uint64_t EstimateJoinRows(const JoinStats& s);
+
+// Unit cost of running `path` on shape `s` (strictly monotone in both
+// row counts; sql_cost_model_test asserts this).
+double JoinPathCost(AccessPath path, const JoinStats& s);
+
+// Cheapest allowed path plus its cardinality estimate. Plan builders
+// restrict `allowed` to what preserves their ordering contract (e.g. a
+// serial plan whose consumer needs merge order excludes hash).
+PathChoice ChooseJoinPath(const JoinStats& s,
+                          std::initializer_list<AccessPath> allowed = {
+                              AccessPath::kIndexProbe,
+                              AccessPath::kSortMerge});
+
+// Records a plan-build-time choice to the batch metrics registry:
+// focus_sql_cost_path_total{path=...,node=...} and
+// focus_sql_cost_est_rows_total{node=...}.
+void RecordPathChoice(const char* node, const PathChoice& choice);
+
+// Records the actual cardinality observed at execution for the same node
+// (focus_sql_cost_actual_rows_total{node=...}), the counterpart the
+// estimate is judged against.
+void RecordActualRows(const char* node, uint64_t rows);
+
+// Transparent wrapper that counts the child's output rows and records
+// them against `node` (RecordActualRows) when the plan closes, so every
+// cost-model estimate has its measured counterpart in the metrics.
+BatchOperatorPtr CountActualRows(const char* node, BatchOperatorPtr child);
+
+}  // namespace focus::sql
+
+#endif  // FOCUS_SQL_EXEC_COST_MODEL_H_

@@ -1,0 +1,327 @@
+#include "sql/exec/dictionary.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace focus::sql {
+
+namespace {
+
+// One-row column holding `v`, the needle for generic binary searches.
+ColumnData NeedleColumn(TypeId type, const Value& v) {
+  ColumnData needle(type);
+  needle.AppendValue(v);
+  return needle;
+}
+
+template <typename T>
+void SortUniqueInto(std::vector<T> vals, std::vector<T>* out) {
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  *out = std::move(vals);
+}
+
+template <typename T>
+std::vector<T> ValidRows(const std::vector<T>& v,
+                         const std::vector<uint8_t>& nulls) {
+  if (nulls.empty()) return v;
+  std::vector<T> out;
+  out.reserve(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!nulls[i]) out.push_back(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DictionaryPtr ColumnDictionary::Build(const ColumnData& col) {
+  ColumnPtr values = NewColumn(col.type);
+  switch (col.type) {
+    case TypeId::kInt32:
+      SortUniqueInto(ValidRows(col.i32, col.nulls), &values->i32);
+      break;
+    case TypeId::kInt64:
+      SortUniqueInto(ValidRows(col.i64, col.nulls), &values->i64);
+      break;
+    case TypeId::kDouble:
+      SortUniqueInto(ValidRows(col.f64, col.nulls), &values->f64);
+      break;
+    case TypeId::kString: {
+      std::vector<std::string_view> svs;
+      svs.reserve(col.size());
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (!col.IsNull(i)) svs.push_back(col.StringAt(i));
+      }
+      std::sort(svs.begin(), svs.end());
+      svs.erase(std::unique(svs.begin(), svs.end()), svs.end());
+      for (std::string_view sv : svs) {
+        values->arena.append(sv);
+        values->str_offsets.push_back(
+            static_cast<uint32_t>(values->arena.size()));
+      }
+      break;
+    }
+  }
+  return DictionaryPtr(new ColumnDictionary(std::move(values)));
+}
+
+DictionaryPtr ColumnDictionary::BuildFromSorted(const ColumnData& col) {
+  ColumnPtr values = NewColumn(col.type);
+  const size_t n = col.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (col.IsNull(i)) continue;  // NULLs sort first; skip the prefix
+    if (values->size() == 0 ||
+        CompareColumnRows(*values, values->size() - 1, col, i) != 0) {
+      FOCUS_DCHECK(values->size() == 0 ||
+                   CompareColumnRows(*values, values->size() - 1, col, i) < 0);
+      values->AppendFrom(col, i);
+    }
+  }
+  return DictionaryPtr(new ColumnDictionary(std::move(values)));
+}
+
+Value ColumnDictionary::ValueOf(int32_t code) const {
+  if (code < 0) return Value::Null(value_type());
+  return values_->ValueAt(static_cast<size_t>(code));
+}
+
+int32_t ColumnDictionary::LowerBound(const Value& v) const {
+  if (v.is_null()) return 0;
+  switch (value_type()) {
+    case TypeId::kInt32:
+      return static_cast<int32_t>(
+          std::lower_bound(values_->i32.begin(), values_->i32.end(),
+                           v.AsInt32()) -
+          values_->i32.begin());
+    case TypeId::kInt64:
+      return static_cast<int32_t>(
+          std::lower_bound(values_->i64.begin(), values_->i64.end(),
+                           v.AsInt64()) -
+          values_->i64.begin());
+    case TypeId::kDouble:
+      return static_cast<int32_t>(
+          std::lower_bound(values_->f64.begin(), values_->f64.end(),
+                           v.AsDouble()) -
+          values_->f64.begin());
+    case TypeId::kString: {
+      std::string_view needle = v.AsString();
+      int32_t lo = 0, hi = size();
+      while (lo < hi) {
+        int32_t mid = lo + (hi - lo) / 2;
+        if (values_->StringAt(mid) < needle) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    }
+  }
+  return size();
+}
+
+int32_t ColumnDictionary::UpperBound(const Value& v) const {
+  if (v.is_null()) return 0;
+  int32_t lo = LowerBound(v);
+  if (lo < size()) {
+    ColumnData needle = NeedleColumn(value_type(), v);
+    if (CompareColumnRows(*values_, lo, needle, 0) == 0) return lo + 1;
+  }
+  return lo;
+}
+
+int32_t ColumnDictionary::CodeOf(const Value& v) const {
+  if (v.is_null()) return kNullCode;
+  int32_t lo = LowerBound(v);
+  if (lo >= size()) return kMissingCode;
+  ColumnData needle = NeedleColumn(value_type(), v);
+  return CompareColumnRows(*values_, lo, needle, 0) == 0 ? lo : kMissingCode;
+}
+
+ColumnPtr EncodeColumn(const ColumnData& col, const ColumnDictionary& dict) {
+  FOCUS_CHECK(col.type == dict.value_type());
+  ColumnPtr codes = NewColumn(TypeId::kInt32);
+  const size_t n = col.size();
+  codes->i32.reserve(n);
+  const ColumnData& values = dict.values();
+  const int32_t d = dict.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (col.IsNull(i)) {
+      codes->i32.push_back(ColumnDictionary::kNullCode);
+      continue;
+    }
+    int32_t lo = 0, hi = d;
+    while (lo < hi) {
+      int32_t mid = lo + (hi - lo) / 2;
+      if (CompareColumnRows(values, mid, col, i) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    codes->i32.push_back(lo < d && CompareColumnRows(values, lo, col, i) == 0
+                             ? lo
+                             : ColumnDictionary::kMissingCode);
+  }
+  return codes;
+}
+
+ColumnPtr EncodeSortedColumn(const ColumnData& col,
+                             const ColumnDictionary& dict) {
+  FOCUS_CHECK(col.type == dict.value_type());
+  ColumnPtr codes = NewColumn(TypeId::kInt32);
+  const size_t n = col.size();
+  codes->i32.reserve(n);
+  const ColumnData& values = dict.values();
+  const int32_t d = dict.size();
+  int32_t c = 0;  // dictionary cursor; both sequences ascend
+  for (size_t i = 0; i < n; ++i) {
+    if (col.IsNull(i)) {
+      codes->i32.push_back(ColumnDictionary::kNullCode);
+      continue;
+    }
+    while (c < d && CompareColumnRows(values, c, col, i) < 0) ++c;
+    codes->i32.push_back(c < d && CompareColumnRows(values, c, col, i) == 0
+                             ? c
+                             : ColumnDictionary::kMissingCode);
+  }
+  return codes;
+}
+
+ColumnPtr DecodeColumn(const ColumnData& codes, const ColumnDictionary& dict) {
+  FOCUS_CHECK(codes.type == TypeId::kInt32);
+  // Fresh column per call: decode output is never a shared fill of one
+  // buffer, so mutating one materialized column cannot touch another.
+  ColumnPtr out = NewColumn(dict.value_type());
+  const ColumnData& values = dict.values();
+  out->Reserve(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    int32_t code = codes.IsNull(i) ? ColumnDictionary::kNullCode
+                                   : codes.i32[i];
+    if (code < 0) {
+      out->AppendNull();
+    } else {
+      out->AppendFrom(values, static_cast<size_t>(code));
+    }
+  }
+  return out;
+}
+
+ColumnPtr UnifiedDictionary::Remap(const ColumnData& codes, bool left) const {
+  FOCUS_CHECK(codes.type == TypeId::kInt32);
+  const std::vector<int32_t>& map = left ? left_map : right_map;
+  ColumnPtr out = NewColumn(TypeId::kInt32);
+  out->i32.reserve(codes.size());
+  for (int32_t code : codes.i32) {
+    out->i32.push_back(code < 0 ? code : map[code]);
+  }
+  return out;
+}
+
+UnifiedDictionary UnifyDictionaries(const ColumnDictionary& left,
+                                    const ColumnDictionary& right) {
+  FOCUS_CHECK(left.value_type() == right.value_type());
+  const ColumnData& lv = left.values();
+  const ColumnData& rv = right.values();
+  ColumnPtr merged = NewColumn(left.value_type());
+  UnifiedDictionary out;
+  out.left_map.resize(lv.size());
+  out.right_map.resize(rv.size());
+  size_t i = 0, j = 0;
+  while (i < lv.size() || j < rv.size()) {
+    int cmp;
+    if (i >= lv.size()) {
+      cmp = 1;
+    } else if (j >= rv.size()) {
+      cmp = -1;
+    } else {
+      cmp = CompareColumnRows(lv, i, rv, j);
+    }
+    int32_t code = static_cast<int32_t>(merged->size());
+    if (cmp <= 0) {
+      merged->AppendFrom(lv, i);
+      out.left_map[i++] = code;
+      if (cmp == 0) out.right_map[j++] = code;
+    } else {
+      merged->AppendFrom(rv, j);
+      out.right_map[j++] = code;
+    }
+  }
+  // The merge emitted sorted distinct values, so `merged` already is the
+  // dictionary's value column.
+  out.dict = ColumnDictionary::BuildFromSorted(*merged);
+  return out;
+}
+
+EncodedColumnSet EncodedColumnSet::FromColumnSet(const ColumnSet& rows,
+                                                 const EncodeOptions& opts) {
+  EncodedColumnSet out;
+  out.schema_ = rows.schema();
+  const int ncols = rows.num_columns();
+  out.dicts_.resize(ncols);
+  out.stats_.resize(ncols);
+  std::vector<Column> code_cols;
+  std::vector<ColumnPtr> code_data;
+  code_cols.reserve(ncols);
+  code_data.reserve(ncols);
+  for (int c = 0; c < ncols; ++c) {
+    const ColumnData& col = rows.col(c);
+    ColumnStats& st = out.stats_[c];
+    st.rows = col.size();
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (col.IsNull(r)) ++st.nulls;
+    }
+    bool candidate =
+        std::find(opts.skip_columns.begin(), opts.skip_columns.end(), c) ==
+        opts.skip_columns.end();
+    switch (col.type) {
+      case TypeId::kInt32:
+      case TypeId::kInt64:
+        candidate = candidate && opts.encode_ints;
+        break;
+      case TypeId::kString:
+        candidate = candidate && opts.encode_strings;
+        break;
+      case TypeId::kDouble:
+        candidate = candidate && opts.encode_doubles;
+        break;
+    }
+    if (candidate) {
+      DictionaryPtr dict = ColumnDictionary::Build(col);
+      st.distinct = static_cast<uint64_t>(dict->size());
+      uint64_t valid = st.rows - st.nulls;
+      if (valid == 0 ||
+          static_cast<double>(st.distinct) <=
+              opts.max_distinct_fraction * static_cast<double>(valid)) {
+        st.encoded = true;
+        out.dicts_[c] = std::move(dict);
+        code_cols.push_back({rows.schema().column(c).name, TypeId::kInt32});
+        code_data.push_back(EncodeColumn(col, *out.dicts_[c]));
+        continue;
+      }
+    }
+    code_cols.push_back(rows.schema().column(c));
+    code_data.push_back(rows.col_ptr(c));  // shared zero-copy
+  }
+  out.code_view_ = ColumnSet(Schema(std::move(code_cols)),
+                             std::move(code_data));
+  return out;
+}
+
+ColumnPtr EncodedColumnSet::MaterializeFrom(const ColumnData& codes_or_values,
+                                            int col) const {
+  if (!encoded(col)) {
+    // Fresh copy even for plain columns, so every materialized column is
+    // an independent buffer (aliasing audit: no shared fills).
+    ColumnPtr out = NewColumn(codes_or_values.type);
+    out->AppendRange(codes_or_values, 0, codes_or_values.size());
+    return out;
+  }
+  return DecodeColumn(codes_or_values, *dicts_[col]);
+}
+
+}  // namespace focus::sql

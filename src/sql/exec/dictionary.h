@@ -1,0 +1,168 @@
+// Column-level dictionary encoding (exemplar: Hyrise DictionaryCompression).
+//
+// A ColumnDictionary holds the distinct non-NULL values of one column,
+// sorted ascending by Value::Compare; a row's code is its value's position
+// in that order. Codes are plain int32 stored in an ordinary kInt32
+// ColumnData, so every existing batch/parallel operator — filter, sort,
+// merge join, sorted-run aggregate, radix partitioning — runs on codes
+// unchanged. Because the dictionary is sorted, the value→code mapping is
+// strictly monotonic: sorting by code is sorting by value, equal codes are
+// equal values, and range predicates become code-range comparisons after
+// one binary search into the dictionary. NULL encodes as kNullCode (-1),
+// which sorts before every valid code exactly as NULL sorts before every
+// value, so NULL-first sort order survives encoding too.
+//
+// Encoding against a *foreign* dictionary (the other side of a join, a
+// shared domain from UnifyDictionaries) marks values absent from it with
+// kMissingCode (-2); such rows can never match an inner join on the
+// dictionary's domain and are filtered before joining.
+//
+// Late materialization: DecodeColumn / EncodedColumnSet::Materialize map
+// codes back to exact original values at plan output. Decoding always
+// allocates a fresh ColumnData per output column — never a shared fill —
+// so downstream mutation of one materialized column cannot alias another
+// (the PR-6 ColumnSet shared_ptr aliasing bug class).
+#ifndef FOCUS_SQL_EXEC_DICTIONARY_H_
+#define FOCUS_SQL_EXEC_DICTIONARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sql/exec/batch.h"
+
+namespace focus::sql {
+
+class ColumnDictionary;
+using DictionaryPtr = std::shared_ptr<const ColumnDictionary>;
+
+class ColumnDictionary {
+ public:
+  static constexpr int32_t kNullCode = -1;
+  static constexpr int32_t kMissingCode = -2;
+
+  // Builds from the distinct non-NULL values of `col` (any order, NULLs
+  // and duplicates allowed).
+  static DictionaryPtr Build(const ColumnData& col);
+  // Builds from a column already sorted ascending (NULLs first) in one
+  // linear run-collapsing pass — used on join keys the plan has already
+  // sorted, where a second sort would be wasted work.
+  static DictionaryPtr BuildFromSorted(const ColumnData& col);
+
+  TypeId value_type() const { return values_->type; }
+  // Number of distinct non-NULL values (= the exact distinct count the
+  // cost model consumes).
+  int32_t size() const { return static_cast<int32_t>(values_->size()); }
+
+  // Value of a code in [0, size()); negative codes return NULL.
+  Value ValueOf(int32_t code) const;
+  // Code of `v`, kMissingCode if absent, kNullCode for NULL.
+  int32_t CodeOf(const Value& v) const;
+  // First code whose value is >= / > `v` (size() if none) — the dictionary
+  // probe that turns a value-range predicate into a code-range predicate.
+  int32_t LowerBound(const Value& v) const;
+  int32_t UpperBound(const Value& v) const;
+
+  // The sorted value column itself (no NULLs).
+  const ColumnData& values() const { return *values_; }
+
+ private:
+  explicit ColumnDictionary(ColumnPtr values) : values_(std::move(values)) {}
+
+  ColumnPtr values_;
+};
+
+// Encodes `col` against `dict`: returns a kInt32 code column of the same
+// length (no nulls vector; NULL rows become kNullCode, values absent from
+// `dict` become kMissingCode).
+ColumnPtr EncodeColumn(const ColumnData& col, const ColumnDictionary& dict);
+
+// EncodeColumn for a column sorted ascending: one merge pass over column
+// and dictionary, O(rows + dict size) instead of a binary search per row.
+ColumnPtr EncodeSortedColumn(const ColumnData& col,
+                             const ColumnDictionary& dict);
+
+// Maps codes back to values: a fresh column of the dictionary's value
+// type; negative codes decode to NULL (callers filter kMissingCode before
+// any inner join, so only outer-join padding reaches decode as NULL).
+ColumnPtr DecodeColumn(const ColumnData& codes, const ColumnDictionary& dict);
+
+// A shared code domain for joining two independently encoded columns: the
+// sorted union of both value sets plus per-side old-code → merged-code
+// remaps. Both remaps are strictly increasing, so remapped code columns
+// keep their sort order and equal merged codes mean equal values across
+// sides.
+struct UnifiedDictionary {
+  DictionaryPtr dict;
+  std::vector<int32_t> left_map;
+  std::vector<int32_t> right_map;
+
+  // Remaps a code column into the merged domain (negative codes pass
+  // through). `left` selects which side's map applies.
+  ColumnPtr Remap(const ColumnData& codes, bool left) const;
+};
+UnifiedDictionary UnifyDictionaries(const ColumnDictionary& left,
+                                    const ColumnDictionary& right);
+
+// Per-column facts the encoder collects in passing; the cost model's
+// stats inputs (row count, distinct count → join selectivity).
+struct ColumnStats {
+  uint64_t rows = 0;
+  uint64_t distinct = 0;  // distinct non-NULL values (0 when not computed)
+  uint64_t nulls = 0;
+  bool encoded = false;
+};
+
+// Encoding policy at materialization time. Doubles default to unencoded
+// (measurements rarely repeat; a dictionary would be as large as the
+// column), and max_distinct_fraction opts out near-unique columns where
+// codes would cost space without shrinking anything.
+struct EncodeOptions {
+  bool encode_ints = true;
+  bool encode_strings = true;
+  bool encode_doubles = false;
+  double max_distinct_fraction = 1.0;  // opt out above this distinct/rows
+  std::vector<int> skip_columns;       // explicit per-column opt-out
+};
+
+// A dictionary-encoded materialized rowset, built from a ColumnSet at
+// table-materialization time. Per column either (dictionary, code vector)
+// or the original column forwarded untouched (opt-out / unsupported /
+// too distinct). code_view() is the rowset the engines execute on:
+// encoded columns appear as their kInt32 code columns (same positions,
+// same row order), plain columns are shared zero-copy.
+class EncodedColumnSet {
+ public:
+  static EncodedColumnSet FromColumnSet(const ColumnSet& rows,
+                                        const EncodeOptions& opts = {});
+
+  const Schema& schema() const { return schema_; }  // original value schema
+  size_t num_rows() const { return code_view_.num_rows(); }
+  int num_columns() const { return static_cast<int>(dicts_.size()); }
+
+  bool encoded(int col) const { return dicts_[col] != nullptr; }
+  const DictionaryPtr& dict(int col) const { return dicts_[col]; }
+  const ColumnStats& stats(int col) const { return stats_[col]; }
+
+  // The code-domain image the batch/parallel operators run on directly.
+  const ColumnSet& code_view() const { return code_view_; }
+
+  // Late materialization of one code_view column (or of the same-position
+  // column of any rowset derived from it, e.g. a join output) back to
+  // values. Always a freshly allocated column.
+  ColumnPtr Materialize(int col) const {
+    return MaterializeFrom(code_view_.col(col), col);
+  }
+  ColumnPtr MaterializeFrom(const ColumnData& codes_or_values,
+                            int col) const;
+
+ private:
+  Schema schema_;
+  ColumnSet code_view_;
+  std::vector<DictionaryPtr> dicts_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace focus::sql
+
+#endif  // FOCUS_SQL_EXEC_DICTIONARY_H_

@@ -620,6 +620,96 @@ Result<bool> ParallelMergeJoin::DoNextBatch(Batch* out) {
   return true;
 }
 
+// ------------------------------------------------ parallel probe join --
+
+ParallelProbeJoin::ParallelProbeJoin(BatchOperatorPtr left,
+                                     BatchOperatorPtr right, int left_key,
+                                     int right_key,
+                                     MorselDispatcher* dispatcher,
+                                     bool left_outer, int64_t dense_domain,
+                                     int batch_rows)
+    : BatchOperator("parallel_probe_join"),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(left_key),
+      right_key_(right_key),
+      dispatcher_(dispatcher),
+      left_outer_(left_outer),
+      dense_domain_(dense_domain),
+      batch_rows_(batch_rows),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Status ParallelProbeJoin::Open() {
+  lrows_ = ColumnSet();
+  rrows_ = ColumnSet();
+  li_.clear();
+  ri_.clear();
+  pos_ = 0;
+  loaded_ = false;
+  FOCUS_RETURN_IF_ERROR(left_->Open());
+  return right_->Open();
+}
+
+void ParallelProbeJoin::Close() {
+  lrows_ = ColumnSet();
+  rrows_ = ColumnSet();
+  li_.clear();
+  ri_.clear();
+  left_->Close();
+  right_->Close();
+}
+
+Status ParallelProbeJoin::Load() {
+  FOCUS_RETURN_IF_ERROR(DrainInto(left_.get(), &lrows_));
+  FOCUS_RETURN_IF_ERROR(DrainInto(right_.get(), &rrows_));
+  DenseRunTable table;
+  if (dense_domain_ > 0) {
+    table = BuildDenseRunTable(rrows_.col(right_key_), dense_domain_);
+  }
+  const DenseRunTable* dense = dense_domain_ > 0 ? &table : nullptr;
+  const size_t nl = lrows_.num_rows();
+  const size_t chunk = static_cast<size_t>(dispatcher_->morsel_rows());
+  const size_t num_morsels = nl == 0 ? 0 : (nl + chunk - 1) / chunk;
+  std::vector<std::vector<int64_t>> lis(num_morsels), ris(num_morsels);
+  // Each morsel probes its own left range; a key run split across morsel
+  // boundaries still emits the same pairs because every left row finds
+  // its right run independently of its neighbours.
+  stats_.morsels += dispatcher_->ParallelFor(nl, chunk, [&](size_t b,
+                                                            size_t e) {
+    size_t m = b / chunk;
+    ProbeJoinIndices(lrows_, rrows_, left_key_, right_key_, left_outer_,
+                     dense, b, e, &lis[m], &ris[m]);
+  });
+  size_t total = 0;
+  for (const auto& v : lis) total += v.size();
+  li_.reserve(total);
+  ri_.reserve(total);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    li_.insert(li_.end(), lis[m].begin(), lis[m].end());
+    ri_.insert(ri_.end(), ris[m].begin(), ris[m].end());
+  }
+  return Status::OK();
+}
+
+Result<bool> ParallelProbeJoin::DoNextBatch(Batch* out) {
+  out->Reset();
+  if (!loaded_) {
+    loaded_ = true;
+    FOCUS_RETURN_IF_ERROR(Load());
+  }
+  if (pos_ >= li_.size()) return false;
+  size_t end = std::min(li_.size(), pos_ + static_cast<size_t>(batch_rows_));
+  size_t n = end - pos_;
+  for (int i = 0; i < lrows_.num_columns(); ++i) {
+    out->AddColumn(Gather(lrows_.col(i), li_.data() + pos_, n));
+  }
+  for (int i = 0; i < rrows_.num_columns(); ++i) {
+    out->AddColumn(Gather(rrows_.col(i), ri_.data() + pos_, n));
+  }
+  pos_ = end;
+  return true;
+}
+
 // ------------------------------------------------- parallel hash join --
 
 ParallelHashJoin::ParallelHashJoin(BatchOperatorPtr left,

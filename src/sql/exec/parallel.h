@@ -301,6 +301,49 @@ class ParallelMergeJoin final : public BatchOperator {
   ParallelOpStats stats_;
 };
 
+// Morsel-parallel index-probe join (the cost model's kIndexProbe arm on
+// the parallel engine): both inputs must arrive sorted ascending on their
+// single join key — typically dictionary-code columns the plan sorted
+// anyway. The outer side splits into morsels and every morsel probes the
+// shared sorted inner independently (binary search per key run, or an
+// O(1) dense run-table lookup when the inner key is a dictionary-code
+// domain); morsel results concatenate in morsel order, which is exactly
+// BatchProbeJoin's — and the merge join's — left-major emission at any
+// thread count.
+class ParallelProbeJoin final : public BatchOperator {
+ public:
+  ParallelProbeJoin(BatchOperatorPtr left, BatchOperatorPtr right,
+                    int left_key, int right_key, MorselDispatcher* dispatcher,
+                    bool left_outer = false, int64_t dense_domain = 0,
+                    int batch_rows = kDefaultBatchRows);
+
+  Status Open() override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  const ParallelOpStats* parallel_stats() const override { return &stats_; }
+
+ protected:
+  Result<bool> DoNextBatch(Batch* out) override;
+
+ private:
+  Status Load();
+
+  BatchOperatorPtr left_;
+  BatchOperatorPtr right_;
+  int left_key_;
+  int right_key_;
+  MorselDispatcher* dispatcher_;
+  bool left_outer_;
+  int64_t dense_domain_;
+  int batch_rows_;
+  Schema schema_;
+  ColumnSet lrows_, rrows_;
+  std::vector<int64_t> li_, ri_;
+  size_t pos_ = 0;
+  bool loaded_ = false;
+  ParallelOpStats stats_;
+};
+
 // Partitioned hash join (inner only): both sides radix-partition on the
 // packed key word, each partition builds a word-keyed hash table over its
 // right rows and probes its left rows. Output order is deterministic and

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "classify/bulk_probe.h"
@@ -18,6 +19,7 @@
 #include "sql/exec/basic.h"
 #include "sql/exec/batch.h"
 #include "sql/exec/batch_ops.h"
+#include "sql/exec/dictionary.h"
 #include "sql/exec/join.h"
 #include "sql/exec/operator.h"
 #include "sql/exec/sort.h"
@@ -327,6 +329,170 @@ TEST(BatchOperatorTest, EmptyInputThroughEveryOperator) {
                   .empty());
 }
 
+// ---- Dictionary encoding: edge cases + aliasing regression ----
+
+TEST(DictionaryTest, AllNullColumnEncodesToNullCodes) {
+  ColumnPtr col = NewColumn(TypeId::kInt32);
+  for (int i = 0; i < 200; ++i) col->AppendNull();
+  DictionaryPtr dict = ColumnDictionary::Build(*col);
+  EXPECT_EQ(dict->size(), 0);
+  ColumnPtr codes = EncodeColumn(*col, *dict);
+  ASSERT_EQ(codes->size(), 200u);
+  for (int32_t c : codes->i32) EXPECT_EQ(c, ColumnDictionary::kNullCode);
+  ColumnPtr decoded = DecodeColumn(*codes, *dict);
+  ASSERT_EQ(decoded->size(), 200u);
+  for (size_t i = 0; i < decoded->size(); ++i) {
+    EXPECT_TRUE(decoded->IsNull(i)) << "row " << i;
+  }
+  ColumnSet rows(Schema({{"v", TypeId::kInt32}}), {col});
+  EncodedColumnSet enc = EncodedColumnSet::FromColumnSet(rows);
+  EXPECT_EQ(enc.stats(0).rows, 200u);
+  EXPECT_EQ(enc.stats(0).nulls, 200u);
+  EXPECT_EQ(enc.stats(0).distinct, 0u);
+}
+
+TEST(DictionaryTest, SingleDistinctValueColumnRoundTrips) {
+  ColumnPtr col = NewColumn(TypeId::kInt64);
+  for (int i = 0; i < 500; ++i) {
+    if (i % 7 == 3) {
+      col->AppendNull();
+    } else {
+      col->AppendValue(Value::Int64(42));
+    }
+  }
+  DictionaryPtr dict = ColumnDictionary::Build(*col);
+  ASSERT_EQ(dict->size(), 1);
+  EXPECT_EQ(dict->CodeOf(Value::Int64(42)), 0);
+  EXPECT_EQ(dict->CodeOf(Value::Int64(41)), ColumnDictionary::kMissingCode);
+  EXPECT_EQ(dict->CodeOf(Value::Null(TypeId::kInt64)),
+            ColumnDictionary::kNullCode);
+  ColumnPtr codes = EncodeColumn(*col, *dict);
+  ColumnPtr decoded = DecodeColumn(*codes, *dict);
+  ASSERT_EQ(decoded->size(), col->size());
+  for (size_t i = 0; i < col->size(); ++i) {
+    EXPECT_EQ(decoded->ValueAt(i).ToString(), col->ValueAt(i).ToString())
+        << "row " << i;
+  }
+}
+
+TEST(DictionaryTest, CodesPast16BitsStayExact) {
+  // > 2^16 distinct values: codes are int32, not uint16 — positions past
+  // 65535 must survive encode/decode unclamped. Values spaced by 3 so
+  // near-miss probes land between entries; insertion order descending so
+  // Build must actually sort.
+  constexpr int32_t kDistinct = 70000;
+  ColumnPtr col = NewColumn(TypeId::kInt64);
+  for (int32_t i = kDistinct - 1; i >= 0; --i) {
+    col->AppendValue(Value::Int64(static_cast<int64_t>(i) * 3));
+  }
+  DictionaryPtr dict = ColumnDictionary::Build(*col);
+  ASSERT_EQ(dict->size(), kDistinct);
+  for (int32_t code : {0, 65535, 65536, kDistinct - 1}) {
+    EXPECT_EQ(dict->ValueOf(code).AsInt64(), static_cast<int64_t>(code) * 3);
+    EXPECT_EQ(dict->CodeOf(Value::Int64(static_cast<int64_t>(code) * 3)),
+              code);
+  }
+  EXPECT_EQ(dict->CodeOf(Value::Int64(1)), ColumnDictionary::kMissingCode);
+  ColumnPtr codes = EncodeColumn(*col, *dict);
+  EXPECT_EQ(codes->i32.front(), kDistinct - 1);
+  EXPECT_EQ(codes->i32.back(), 0);
+  ColumnPtr decoded = DecodeColumn(*codes, *dict);
+  EXPECT_EQ(decoded->i64.front(), static_cast<int64_t>(kDistinct - 1) * 3);
+  EXPECT_EQ(decoded->i64.back(), 0);
+}
+
+TEST(DictionaryTest, MixedEncodedUnencodedJoinMatchesValueJoin) {
+  // One join input arrives dictionary-encoded, the other as raw values:
+  // the raw side is encoded on the fly against the foreign dictionary,
+  // kMissingCode rows (absent from the encoded side's domain, so
+  // unmatchable) are filtered, the join runs purely on codes, and both
+  // key columns decode at output. Must equal the scalar value join.
+  Rng rng(1234);
+  Schema schema({{"k", TypeId::kInt32}, {"p", TypeId::kDouble}});
+  std::vector<Tuple> left = SortedKeyed(&rng, 160, 12, 1.0);
+  // Wider key domain: some right keys are outside the left dictionary.
+  std::vector<Tuple> right = SortedKeyed(&rng, 110, 30, 10.0);
+  auto scalar = std::make_unique<MergeJoin>(
+      Source(schema, left), Source(schema, right), std::vector<int>{0},
+      std::vector<int>{0});
+  std::vector<std::string> expected = RowStrings(scalar.get());
+
+  ColumnSet lcols(schema), rcols(schema);
+  for (const Tuple& t : left) lcols.AppendTuple(t);
+  for (const Tuple& t : right) rcols.AppendTuple(t);
+  DictionaryPtr dict = ColumnDictionary::BuildFromSorted(lcols.col(0));
+  ColumnPtr lcodes = EncodeSortedColumn(lcols.col(0), *dict);
+  ColumnPtr rcodes = EncodeSortedColumn(rcols.col(0), *dict);
+  std::vector<int64_t> keep;
+  for (size_t i = 0; i < rcodes->i32.size(); ++i) {
+    if (rcodes->i32[i] >= 0) keep.push_back(static_cast<int64_t>(i));
+  }
+  Schema cschema({{"k", TypeId::kInt32}, {"p", TypeId::kDouble}});
+  ColumnSet lenc(cschema, {lcodes, lcols.col_ptr(1)});
+  ColumnSet renc(cschema, {Gather(*rcodes, keep), Gather(rcols.col(1), keep)});
+  for (bool dense : {false, true}) {
+    auto join = std::make_unique<BatchProbeJoin>(
+        std::make_unique<BatchSource>(&lenc),
+        std::make_unique<BatchSource>(&renc), 0, 0, /*left_outer=*/false,
+        dense ? static_cast<int64_t>(dict->size()) : 0);
+    ColumnSet joined;
+    ASSERT_TRUE(CollectInto(join.get(), &joined).ok());
+    // Late materialization of both key columns.
+    ColumnSet decoded(
+        Schema({{"k", TypeId::kInt32},
+                {"p", TypeId::kDouble},
+                {"k2", TypeId::kInt32},
+                {"p2", TypeId::kDouble}}),
+        {DecodeColumn(joined.col(0), *dict), joined.col_ptr(1),
+         DecodeColumn(joined.col(2), *dict), joined.col_ptr(3)});
+    EXPECT_EQ(RowStrings(std::make_unique<BatchSource>(&decoded)), expected)
+        << "dense=" << dense;
+  }
+}
+
+TEST(DictionaryTest, MaterializeReturnsFreshUnaliasedColumns) {
+  // Regression for the ColumnSet shared_ptr aliasing bug class (PR 6):
+  // a materialized/decoded column surfacing as a shared buffer in two
+  // output slots, so mutating one mutates the other. Every Materialize /
+  // DecodeColumn call must return freshly allocated storage — for
+  // encoded and plain (forwarded) columns alike.
+  ColumnPtr scol = NewColumn(TypeId::kString);
+  ColumnPtr dcol = NewColumn(TypeId::kDouble);
+  for (int i = 0; i < 50; ++i) {
+    scol->AppendValue(Value::Str(StrCat("v", i % 5)));
+    dcol->AppendValue(Value::Double(i * 0.5));
+  }
+  ColumnSet rows(Schema({{"s", TypeId::kString}, {"x", TypeId::kDouble}}),
+                 {scol, dcol});
+  EncodedColumnSet enc = EncodedColumnSet::FromColumnSet(rows);
+  ASSERT_TRUE(enc.encoded(0));
+  ASSERT_FALSE(enc.encoded(1));  // doubles default to unencoded
+
+  ColumnPtr a = enc.Materialize(0);
+  ColumnPtr b = enc.Materialize(0);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), scol.get());
+  a->arena[0] = 'X';
+  EXPECT_EQ(b->StringAt(0), "v0");
+  EXPECT_EQ(scol->StringAt(0), "v0");
+
+  ColumnPtr c = enc.Materialize(1);
+  ColumnPtr d = enc.Materialize(1);
+  EXPECT_NE(c.get(), d.get());
+  EXPECT_NE(c.get(), dcol.get());
+  c->f64[0] = 999.0;
+  EXPECT_EQ(d->f64[0], 0.0);
+  EXPECT_EQ(dcol->f64[0], 0.0);
+
+  // Same guarantee through standalone decode.
+  ColumnPtr codes = EncodeColumn(*scol, *enc.dict(0));
+  ColumnPtr e = DecodeColumn(*codes, *enc.dict(0));
+  ColumnPtr f = DecodeColumn(*codes, *enc.dict(0));
+  EXPECT_NE(e.get(), f.get());
+  e->arena[0] = 'Y';
+  EXPECT_EQ(f->StringAt(0), "v0");
+}
+
 // ---- Figure 3: BulkProbe scalar vs vectorized ----
 
 TEST(EngineEquivalenceTest, BulkProbeScoresWithin1em9) {
@@ -389,14 +555,27 @@ TEST(EngineEquivalenceTest, BulkProbeScoresWithin1em9) {
   bulk.SetEngine(ExecEngine::kVectorized);
   auto vectorized = bulk.ClassifyAll(doc_table.value());
   ASSERT_TRUE(vectorized.ok()) << vectorized.status();
+  bulk.SetEngine(ExecEngine::kEncoded);
+  auto encoded = bulk.ClassifyAll(doc_table.value());
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
 
   ASSERT_EQ(scalar.value().size(), vectorized.value().size());
+  ASSERT_EQ(scalar.value().size(), encoded.value().size());
   for (const auto& [doc, expected] : scalar.value()) {
     auto it = vectorized.value().find(doc);
     ASSERT_NE(it, vectorized.value().end()) << "doc " << doc;
     ASSERT_EQ(it->second.logp.size(), expected.logp.size());
+    auto enc_it = encoded.value().find(doc);
+    ASSERT_NE(enc_it, encoded.value().end()) << "doc " << doc;
+    ASSERT_EQ(enc_it->second.logp.size(), expected.logp.size());
     for (size_t c = 0; c < expected.logp.size(); ++c) {
       EXPECT_NEAR(it->second.logp[c], expected.logp[c], 1e-9)
+          << "doc " << doc << " cid " << c;
+      // The encoded plan runs the same floating-point operations in the
+      // same order as the vectorized one (codes only replace join keys;
+      // the STAT semi-join drops rows that never contributed), so it is
+      // bit-identical to it, not merely close.
+      EXPECT_EQ(enc_it->second.logp[c], it->second.logp[c])
           << "doc " << doc << " cid " << c;
     }
   }
@@ -473,9 +652,10 @@ std::vector<std::pair<int64_t, double>> TableRows(Table* t) {
 
 TEST(EngineEquivalenceTest, DistillerRankingsIdentical) {
   for (uint64_t seed : {7u, 21u, 99u}) {
-    DistillFixture scalar_fx, vec_fx;
+    DistillFixture scalar_fx, vec_fx, enc_fx;
     ASSERT_TRUE(scalar_fx.Build(seed, 60, 9, 400).ok());
     ASSERT_TRUE(vec_fx.Build(seed, 60, 9, 400).ok());
+    ASSERT_TRUE(enc_fx.Build(seed, 60, 9, 400).ok());
 
     distill::JoinDistiller scalar(scalar_fx.tables);
     scalar.SetEngine(ExecEngine::kScalar);
@@ -483,23 +663,38 @@ TEST(EngineEquivalenceTest, DistillerRankingsIdentical) {
     distill::JoinDistiller vectorized(vec_fx.tables);
     vectorized.SetEngine(ExecEngine::kVectorized);
     ASSERT_TRUE(vectorized.Initialize().ok());
+    distill::JoinDistiller encoded(enc_fx.tables);
+    encoded.SetEngine(ExecEngine::kEncoded);
+    ASSERT_TRUE(encoded.Initialize().ok());
 
     for (int iter = 0; iter < 4; ++iter) {
       ASSERT_TRUE(scalar.RunIteration(0.3).ok());
       ASSERT_TRUE(vectorized.RunIteration(0.3).ok());
+      ASSERT_TRUE(encoded.RunIteration(0.3).ok());
     }
 
-    for (auto [s_table, v_table] :
-         {std::pair{scalar_fx.tables.hubs, vec_fx.tables.hubs},
-          std::pair{scalar_fx.tables.auth, vec_fx.tables.auth}}) {
+    for (auto [s_table, v_table, e_table] :
+         {std::tuple{scalar_fx.tables.hubs, vec_fx.tables.hubs,
+                     enc_fx.tables.hubs},
+          std::tuple{scalar_fx.tables.auth, vec_fx.tables.auth,
+                     enc_fx.tables.auth}}) {
       auto s_rows = TableRows(s_table);
       auto v_rows = TableRows(v_table);
+      auto e_rows = TableRows(e_table);
       ASSERT_EQ(s_rows.size(), v_rows.size()) << "seed " << seed;
+      ASSERT_EQ(s_rows.size(), e_rows.size()) << "seed " << seed;
       for (size_t i = 0; i < s_rows.size(); ++i) {
         // Identical ranking: same oid at every (score-ordered) heap slot.
         EXPECT_EQ(s_rows[i].first, v_rows[i].first)
             << "seed " << seed << " row " << i;
         EXPECT_NEAR(s_rows[i].second, v_rows[i].second, 1e-9)
+            << "seed " << seed << " row " << i;
+        // Cost-model path choices only swap access paths that emit the
+        // same rows in the same order, so the encoded run is bit-equal
+        // to the vectorized one.
+        EXPECT_EQ(e_rows[i].first, v_rows[i].first)
+            << "seed " << seed << " row " << i;
+        EXPECT_EQ(e_rows[i].second, v_rows[i].second)
             << "seed " << seed << " row " << i;
       }
     }

@@ -1,0 +1,282 @@
+// Cost-model lockdown: the stats the dictionary layer feeds the model
+// (exact distinct counts, code-range selectivity), the formula's shape
+// (strict monotonicity in both row counts, buffer-pressure flips), a
+// measured-fastest regression matrix on Fig-8-like join shapes (the
+// chosen path must match wall-clock at the extremes), and the EXPLAIN
+// ANALYZE rendering of the per-node annotation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/exec/analyze.h"
+#include "sql/exec/batch.h"
+#include "sql/exec/batch_ops.h"
+#include "sql/exec/cost_model.h"
+#include "sql/exec/dictionary.h"
+#include "sql/exec/operator.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace focus::sql {
+namespace {
+
+// ---- Stats collection ----
+
+TEST(EncodedStatsTest, DistinctAndNullCountsAreExact) {
+  // 7 distinct int64 values, 300 rows, 40 NULLs; one never-repeating
+  // double column (stays unencoded by default policy).
+  ColumnSet rows(Schema({{"k", TypeId::kInt64}, {"x", TypeId::kDouble}}));
+  Rng rng(404);
+  uint64_t nulls = 0;
+  for (int i = 0; i < 300; ++i) {
+    bool null = (i < 120 && i % 3 == 0);
+    if (null) ++nulls;
+    rows.AppendTuple(Tuple({null ? Value::Null(TypeId::kInt64)
+                                 : Value::Int64(i % 7),
+                            Value::Double(i + rng.NextDouble())}));
+  }
+  EncodedColumnSet enc = EncodedColumnSet::FromColumnSet(rows);
+  ASSERT_TRUE(enc.encoded(0));
+  EXPECT_EQ(enc.stats(0).rows, 300u);
+  EXPECT_EQ(enc.stats(0).distinct, 7u);
+  EXPECT_EQ(enc.stats(0).nulls, nulls);
+  EXPECT_EQ(enc.dict(0)->size(), 7);
+  EXPECT_FALSE(enc.encoded(1));  // doubles opt out by default
+  EXPECT_EQ(enc.stats(1).rows, 300u);
+}
+
+TEST(EncodedStatsTest, CodeRangeSelectivityMatchesExactCount) {
+  ColumnSet rows(Schema({{"k", TypeId::kInt32}}));
+  Rng rng(505);
+  std::vector<int32_t> raw;
+  for (int i = 0; i < 1000; ++i) {
+    int32_t v = static_cast<int32_t>(rng.Uniform(50)) * 2;  // even 0..98
+    raw.push_back(v);
+    rows.AppendTuple(Tuple({Value::Int32(v)}));
+  }
+  DictionaryPtr dict = ColumnDictionary::Build(rows.col(0));
+  ColumnPtr codes = EncodeColumn(rows.col(0), *dict);
+  std::vector<Column> sch{{"k", TypeId::kInt32}};
+  ColumnSet encoded(Schema(sch), {codes});
+
+  // Three value ranges, including bounds that fall between dictionary
+  // entries (odd values never occur).
+  struct Range {
+    int32_t lo, hi;
+  };
+  for (Range rg : std::vector<Range>{{10, 40}, {11, 41}, {0, 99}, {97, 98}}) {
+    size_t exact = 0;
+    for (int32_t v : raw) {
+      if (v >= rg.lo && v < rg.hi) ++exact;
+    }
+    BatchOperatorPtr scan = std::make_unique<BatchSource>(&encoded);
+    BatchOperatorPtr filt = std::make_unique<BatchFilter>(
+        std::move(scan),
+        CodeRangePredicate(0, dict->LowerBound(Value::Int32(rg.lo)),
+                           dict->LowerBound(Value::Int32(rg.hi))));
+    ColumnSet out;
+    ASSERT_TRUE(CollectInto(filt.get(), &out).ok());
+    EXPECT_EQ(out.num_rows(), exact) << "range [" << rg.lo << "," << rg.hi
+                                     << ")";
+  }
+}
+
+// ---- The formula ----
+
+TEST(CostModelTest, EstimateJoinRowsContainment) {
+  JoinStats s;
+  s.left_rows = 100;
+  s.left_distinct = 10;
+  s.right_rows = 50;
+  s.right_distinct = 25;
+  EXPECT_EQ(EstimateJoinRows(s), 100u * 50u / 25u);
+  s.right_rows = 0;
+  EXPECT_EQ(EstimateJoinRows(s), 0u);  // empty side: no output
+  s.right_rows = 1;
+  EXPECT_GE(EstimateJoinRows(s), 1u);  // never rounds to zero
+  // Unknown distinct counts fall back to row counts (key-like columns).
+  JoinStats u;
+  u.left_rows = 80;
+  u.right_rows = 40;
+  EXPECT_EQ(EstimateJoinRows(u), 80u * 40u / 80u);
+}
+
+TEST(CostModelTest, CostStrictlyMonotoneInRowCounts) {
+  for (AccessPath p : {AccessPath::kIndexProbe, AccessPath::kSortMerge,
+                       AccessPath::kHashJoin}) {
+    double prev = -1;
+    for (uint64_t l : {100u, 1000u, 10000u, 100000u}) {
+      JoinStats s;
+      s.left_rows = l;
+      s.left_distinct = l;
+      s.right_rows = 20000;
+      s.right_distinct = 20000;
+      double c = JoinPathCost(p, s);
+      EXPECT_GT(c, prev) << AccessPathName(p) << " left_rows=" << l;
+      prev = c;
+    }
+    prev = -1;
+    for (uint64_t r : {100u, 1000u, 10000u, 100000u}) {
+      JoinStats s;
+      s.left_rows = 5000;
+      s.left_distinct = 5000;
+      s.right_rows = r;
+      s.right_distinct = r;
+      double c = JoinPathCost(p, s);
+      EXPECT_GT(c, prev) << AccessPathName(p) << " right_rows=" << r;
+      prev = c;
+    }
+  }
+}
+
+TEST(CostModelTest, BufferPressureFlipsProbeToMerge) {
+  // A probe-friendly shape: few outer runs against a large sorted inner.
+  JoinStats s;
+  s.left_rows = 2000;
+  s.left_distinct = 2000;
+  s.right_rows = 100000;
+  s.right_distinct = 100000;
+  s.right_bytes = 100000 * 16;
+  s.buffer_bytes = 1 << 30;  // inner fits: probes stay warm
+  EXPECT_EQ(ChooseJoinPath(s).path, AccessPath::kIndexProbe);
+
+  s.buffer_bytes = 1 << 20;  // inner exceeds the pool: probes thrash
+  EXPECT_EQ(ChooseJoinPath(s).path, AccessPath::kSortMerge);
+
+  // The same flip with a dense code domain (run-table probe).
+  s.right_domain = 100000;
+  s.buffer_bytes = 1 << 30;
+  EXPECT_EQ(ChooseJoinPath(s).path, AccessPath::kIndexProbe);
+  s.buffer_bytes = 1 << 20;
+  EXPECT_EQ(ChooseJoinPath(s).path, AccessPath::kSortMerge);
+}
+
+TEST(CostModelTest, UnsortedInputsChargeTheSortToMergeOnly) {
+  // Sort-merge pays n·log n for each unsorted side; the probe path pays
+  // it too (it binary-searches a sorted inner), so relative order shifts
+  // toward probing only via the merge side's larger constant.
+  JoinStats sorted;
+  sorted.left_rows = 50000;
+  sorted.left_distinct = 50000;
+  sorted.right_rows = 60000;
+  sorted.right_distinct = 60000;
+  JoinStats unsorted = sorted;
+  unsorted.left_sorted = false;
+  unsorted.right_sorted = false;
+  EXPECT_GT(JoinPathCost(AccessPath::kSortMerge, unsorted),
+            JoinPathCost(AccessPath::kSortMerge, sorted));
+  // Hash joins never sort: the flag must not change their cost.
+  EXPECT_EQ(JoinPathCost(AccessPath::kHashJoin, unsorted),
+            JoinPathCost(AccessPath::kHashJoin, sorted));
+}
+
+// ---- Measured-fastest regression matrix (Fig-8 shapes) ----
+
+ColumnSet SortedTable(size_t rows, int64_t key_step, uint64_t payload_seed) {
+  ColumnSet t(Schema({{"k", TypeId::kInt64}, {"v", TypeId::kDouble}}));
+  Rng rng(payload_seed);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendTuple(Tuple({Value::Int64(static_cast<int64_t>(i) * key_step),
+                         Value::Double(rng.NextDouble())}));
+  }
+  return t;
+}
+
+double MinJoinSeconds(bool probe, const ColumnSet& l, const ColumnSet& r) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    BatchOperatorPtr op;
+    if (probe) {
+      op = std::make_unique<BatchProbeJoin>(
+          std::make_unique<BatchSource>(&l), std::make_unique<BatchSource>(&r),
+          0, 0);
+    } else {
+      op = std::make_unique<BatchMergeJoin>(
+          std::make_unique<BatchSource>(&l), std::make_unique<BatchSource>(&r),
+          std::vector<int>{0}, std::vector<int>{0});
+    }
+    ColumnSet out;
+    Status st = CollectInto(op.get(), &out);
+    EXPECT_TRUE(st.ok()) << st;
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    best = std::min(best, secs);
+  }
+  return best;
+}
+
+TEST(CostModelTest, ChosenPathMatchesMeasuredFastestAtExtremes) {
+  // The two ends of the Fig-8 size axis. Tiny outer vs large inner:
+  // a handful of binary searches beats walking the whole inner (both
+  // paths drain the inner once; merge additionally compares every row).
+  // Comparable large sides: the sequential merge walk beats one
+  // cache-missing search per outer run.
+  const size_t kBig = 100000;
+  ColumnSet big_l = SortedTable(kBig, 1, 1);
+  ColumnSet big_r = SortedTable(kBig, 1, 2);
+  ColumnSet tiny_l = SortedTable(64, static_cast<int64_t>(kBig) / 64, 3);
+
+  struct Shape {
+    const ColumnSet* l;
+    const ColumnSet* r;
+    const char* name;
+  };
+  for (const Shape& sh : std::vector<Shape>{{&tiny_l, &big_r, "tiny~big"},
+                                            {&big_l, &big_r, "big~big"}}) {
+    JoinStats s;
+    s.left_rows = sh.l->num_rows();
+    s.left_distinct = sh.l->num_rows();
+    s.right_rows = sh.r->num_rows();
+    s.right_distinct = sh.r->num_rows();
+    s.right_bytes = sh.r->num_rows() * 16;
+    s.buffer_bytes = 1u << 30;
+    PathChoice choice = ChooseJoinPath(s);
+    double probe_s = MinJoinSeconds(true, *sh.l, *sh.r);
+    double merge_s = MinJoinSeconds(false, *sh.l, *sh.r);
+    // Both paths drain the inner side once, so at tiny~big the measured
+    // gap can be a few percent — within scheduler noise when the whole
+    // suite runs in parallel. Only hold the model to the measurement
+    // when the measurement itself is decisive.
+    double gap = std::abs(probe_s - merge_s) / std::max(probe_s, merge_s);
+    if (gap < 0.25) continue;
+    AccessPath fastest = probe_s < merge_s ? AccessPath::kIndexProbe
+                                           : AccessPath::kSortMerge;
+    EXPECT_EQ(choice.path, fastest)
+        << sh.name << ": probe=" << probe_s << "s merge=" << merge_s
+        << "s but model chose " << AccessPathName(choice.path);
+  }
+}
+
+// ---- EXPLAIN ANALYZE rendering ----
+
+TEST(CostModelTest, ExplainRendersPathAndEstimateNextToActual) {
+  ColumnSet rows(Schema({{"k", TypeId::kInt32}}));
+  for (int i = 0; i < 17; ++i) rows.AppendTuple(Tuple({Value::Int32(i)}));
+  PlanStats stats;
+  BatchOperatorPtr op = AnalyzeBatchCost(
+      &stats, "Join DOCUMENT~STAT", std::make_unique<BatchSource>(&rows),
+      AccessPathName(AccessPath::kIndexProbe), 42);
+  ColumnSet out;
+  ASSERT_TRUE(CollectInto(op.get(), &out).ok());
+  std::string report = stats.Format();
+  EXPECT_NE(report.find("Join DOCUMENT~STAT"), std::string::npos) << report;
+  EXPECT_NE(report.find("path=index-probe"), std::string::npos) << report;
+  EXPECT_NE(report.find("est_rows=42"), std::string::npos) << report;
+  EXPECT_NE(report.find("rows=17"), std::string::npos) << report;
+
+  // Null stats: the wrapper must vanish (production plans pay nothing).
+  BatchOperatorPtr plain = AnalyzeBatchCost(
+      nullptr, "x", std::make_unique<BatchSource>(&rows), "sort-merge", 1);
+  ColumnSet out2;
+  EXPECT_TRUE(CollectInto(plain.get(), &out2).ok());
+  EXPECT_EQ(out2.num_rows(), 17u);
+}
+
+}  // namespace
+}  // namespace focus::sql
