@@ -45,6 +45,10 @@ constexpr int kTrainDocsPerLeaf = 8;
 constexpr int kTestDocs = 200;
 constexpr int kBufferFrames = 256;        // 1 MiB — far below the model size
 constexpr double kReadLatencyUs = 120;    // a (conservative) 1999-era seek
+// Streaming a page after the head is positioned is much cheaper than the
+// seek: batched readahead amortizes one seek over a whole window.
+constexpr double kTransferLatencyUs = 10;
+constexpr uint32_t kReadaheadWindow = 32;
 
 int Run(bool json, bool explain, int threads) {
   taxonomy::Taxonomy tax = MakeWideTaxonomy(kCategories, kLeavesPerCategory);
@@ -71,10 +75,14 @@ int Run(bool json, bool explain, int threads) {
   FOCUS_CHECK(model.ok(), model.status().ToString());
   classify::HierarchicalClassifier ref(&tax, &model.value());
 
-  storage::MemDiskManager disk(
-      storage::MemDiskManager::Options{.read_latency_us = kReadLatencyUs,
-                                       .write_latency_us = 0});
-  storage::BufferPool pool(&disk, kBufferFrames);
+  storage::MemDiskManager disk(storage::MemDiskManager::Options{
+      .read_latency_us = kReadLatencyUs,
+      .write_latency_us = 0,
+      .transfer_latency_us = kTransferLatencyUs});
+  storage::BufferPool pool(&disk, kBufferFrames,
+                           storage::BufferPool::Options{
+                               .readahead_window = kReadaheadWindow,
+                               .auto_readahead = true});
   sql::Catalog catalog(&pool);
   auto tables = classify::BuildClassifierTables(&catalog, tax,
                                                 model.value());
@@ -100,9 +108,31 @@ int Run(bool json, bool explain, int threads) {
   struct Row {
     const char* variant;
     double per_doc, scan_doc_s, probe_s, cpu_s, misses_per_doc, relative;
+    double hit_ratio, readahead_used_frac;
   };
   std::vector<Row> report;
   double baseline = 0;
+
+  // Pool behaviour of the variant that just ran (EvictAll + ResetStats
+  // precede each one).
+  auto pool_hit_ratio = [&] { return pool.stats().hit_ratio(); };
+  auto pool_readahead_used = [&] {
+    storage::BufferPool::Stats s = pool.stats();
+    if (std::getenv("FOCUS_POOL_TRACE") != nullptr) {
+      std::fprintf(stderr,
+                   "POOL fetches=%llu hits=%llu misses=%llu evict=%llu "
+                   "ra_issued=%llu ra_used=%llu\n",
+                   (unsigned long long)s.fetches, (unsigned long long)s.hits,
+                   (unsigned long long)s.misses,
+                   (unsigned long long)s.evictions,
+                   (unsigned long long)s.readahead_issued,
+                   (unsigned long long)s.readahead_used);
+    }
+    return s.readahead_issued == 0
+               ? 0.0
+               : static_cast<double>(s.readahead_used) /
+                     static_cast<double>(s.readahead_issued);
+  };
 
   auto run_single = [&](classify::SingleProbeClassifier::Variant variant,
                         const char* name) {
@@ -126,7 +156,8 @@ int Run(bool json, bool explain, int threads) {
                          clf.stats().compute_seconds / kTestDocs,
                          static_cast<double>(pool.stats().misses) /
                              kTestDocs,
-                         per_doc / baseline});
+                         per_doc / baseline, pool_hit_ratio(),
+                         pool_readahead_used()});
   };
   run_single(classify::SingleProbeClassifier::Variant::kSqlRows, "SQL");
   run_single(classify::SingleProbeClassifier::Variant::kBlob, "BLOB");
@@ -154,7 +185,7 @@ int Run(bool json, bool explain, int threads) {
             bulk.stats().join_seconds / kTestDocs,
             bulk.stats().finalize_seconds / kTestDocs,
             static_cast<double>(pool.stats().misses) / kTestDocs,
-            per_doc / baseline});
+            per_doc / baseline, pool_hit_ratio(), pool_readahead_used()});
   };
   run_bulk(sql::ExecEngine::kScalar, "CLI");
   run_bulk(sql::ExecEngine::kVectorized, "CLI-VEC");
@@ -167,19 +198,22 @@ int Run(bool json, bool explain, int threads) {
       const Row& r = report[i];
       std::printf("  {\"variant\":\"%s\",\"seconds_per_doc\":%.6f,"
                   "\"scan_doc_s\":%.6f,\"probe_s\":%.6f,\"cpu_s\":%.6f,"
-                  "\"misses_per_doc\":%.1f,\"relative\":%.2f}%s\n",
+                  "\"misses_per_doc\":%.1f,\"relative\":%.2f,"
+                  "\"hit_ratio\":%.4f,\"readahead_used_frac\":%.4f}%s\n",
                   r.variant, r.per_doc, r.scan_doc_s, r.probe_s, r.cpu_s,
-                  r.misses_per_doc, r.relative,
+                  r.misses_per_doc, r.relative, r.hit_ratio,
+                  r.readahead_used_frac,
                   i + 1 < report.size() ? "," : "");
     }
     std::printf("]\n");
   } else {
     std::printf("variant,seconds_per_doc,scan_doc_s,probe_s,cpu_s,"
-                "misses_per_doc,relative\n");
+                "misses_per_doc,relative,hit_ratio,readahead_used_frac\n");
     for (const Row& r : report) {
-      std::printf("%s,%.6f,%.6f,%.6f,%.6f,%.1f,%.2f\n", r.variant,
+      std::printf("%s,%.6f,%.6f,%.6f,%.6f,%.1f,%.2f,%.4f,%.4f\n", r.variant,
                   r.per_doc, r.scan_doc_s, r.probe_s, r.cpu_s,
-                  r.misses_per_doc, r.relative);
+                  r.misses_per_doc, r.relative, r.hit_ratio,
+                  r.readahead_used_frac);
     }
   }
   return 0;

@@ -178,7 +178,8 @@ struct Row {
   double wall_s = 0;
   double virtual_s = 0;
   double batch_occupancy = 0;
-  storage::WalStats wal;  // zero when running without --wal
+  storage::WalStats wal;            // zero when running without --wal
+  storage::BufferPool::Stats pool;  // the session's buffer-pool counters
 
   double PerWallSecond() const { return wall_s == 0 ? 0 : pages / wall_s; }
   double PerVirtualSecond() const {
@@ -186,6 +187,12 @@ struct Row {
   }
   double PerCommit(uint64_t n) const {
     return wal.commits == 0 ? 0 : static_cast<double>(n) / wal.commits;
+  }
+  double ReadaheadUsedFrac() const {
+    return pool.readahead_issued == 0
+               ? 0
+               : static_cast<double>(pool.readahead_used) /
+                     static_cast<double>(pool.readahead_issued);
   }
 };
 
@@ -364,6 +371,11 @@ int Run(const Flags& flags) {
     if (threads > 1 || faulty) {
       std::printf("%s", crawl::FormatStageMetrics(metrics).c_str());
     }
+    row.pool = session->pool()->stats();
+    std::printf("  pool: hit_ratio=%.4f readahead issued=%llu used=%llu\n",
+                row.pool.hit_ratio(),
+                static_cast<unsigned long long>(row.pool.readahead_issued),
+                static_cast<unsigned long long>(row.pool.readahead_used));
     if (session->wal() != nullptr) {
       row.wal = session->wal()->wal_stats();
       std::printf("  wal: %llu commits, %.1f appends/commit, "
@@ -394,6 +406,10 @@ int Run(const Flags& flags) {
           .Field("wal_commits", r.wal.commits)
           .Field("wal_appends_per_commit", r.PerCommit(r.wal.appends))
           .Field("wal_syncs_per_commit", r.PerCommit(r.wal.syncs))
+          .Field("pool_hit_ratio", r.pool.hit_ratio())
+          .Field("pool_readahead_issued", r.pool.readahead_issued)
+          .Field("pool_readahead_used", r.pool.readahead_used)
+          .Field("pool_readahead_used_frac", r.ReadaheadUsedFrac())
           .EndObject();
     }
     w.EndArray().EndObject();

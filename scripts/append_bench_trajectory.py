@@ -13,10 +13,11 @@ Usage:
       --commit "$(git rev-parse --short HEAD)" --source local \
       --fig8a BENCH_fig8a_run*.json \
       --fig8d BENCH_fig8d_run*.json \
-      --throughput BENCH_throughput_run*.json
+      --throughput BENCH_throughput_run*.json \
+      --storage BENCH_storage_run*.json
 
-Any of --fig8a / --fig8d / --throughput may be omitted; the point records
-whichever benches ran.
+Any of --fig8a / --fig8d / --throughput / --storage may be omitted; the
+point records whichever benches ran.
 """
 
 import argparse
@@ -85,6 +86,31 @@ def throughput_point(runs):
     }
 
 
+def storage_point(runs):
+    """workload/frames/shards -> median throughput and pool behaviour.
+
+    The micro_storage --json sweep: one row per (workload, frames,
+    shards) configuration; keys look like "seq/256f/4s".
+    """
+    by_config = {}
+    for run in runs:
+        for row in run:
+            key = f"{row['workload']}/{row['frames']}f/{row['shards']}s"
+            by_config.setdefault(key, []).append(row)
+    return {
+        key: {
+            "ops_per_second": statistics.median(
+                r["ops_per_second"] for r in rows
+            ),
+            "hit_ratio": statistics.median(r["hit_ratio"] for r in rows),
+            "readahead_used_frac": statistics.median(
+                r["readahead_used_frac"] for r in rows
+            ),
+        }
+        for key, rows in sorted(by_config.items())
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trajectory", required=True)
@@ -94,9 +120,10 @@ def main():
     parser.add_argument("--fig8a", nargs="*", default=[])
     parser.add_argument("--fig8d", nargs="*", default=[])
     parser.add_argument("--throughput", nargs="*", default=[])
+    parser.add_argument("--storage", nargs="*", default=[])
     args = parser.parse_args()
 
-    if not (args.fig8a or args.fig8d or args.throughput):
+    if not (args.fig8a or args.fig8d or args.throughput or args.storage):
         sys.exit("nothing to append: pass at least one bench artifact")
 
     try:
@@ -118,12 +145,15 @@ def main():
         point["fig8d"] = fig8d_point(load_all(args.fig8d))
     if args.throughput:
         point["tab_throughput"] = throughput_point(load_all(args.throughput))
+    if args.storage:
+        point["micro_storage"] = storage_point(load_all(args.storage))
 
     trajectory["points"].append(point)
     with open(args.trajectory, "w") as f:
         json.dump(trajectory, f, indent=2)
         f.write("\n")
-    runs = max(len(args.fig8a), len(args.fig8d), len(args.throughput))
+    runs = max(len(args.fig8a), len(args.fig8d), len(args.throughput),
+               len(args.storage))
     print(f"appended {args.commit} ({args.source}, median of {runs} run(s)) "
           f"-> {args.trajectory}: {len(trajectory['points'])} points")
 

@@ -90,6 +90,10 @@ class CrawlSession {
   // The session's write-ahead log, or nullptr for in-memory sessions.
   storage::WalDiskManager* wal() const { return wal_.get(); }
 
+  // The session's sharded buffer pool (hit ratios, readahead counters,
+  // per-shard stats).
+  storage::BufferPool* pool() const { return pool_.get(); }
+
   // The label ("session-<id>") under which this session's storage and
   // distillation metrics are registered.
   const std::string& name() const { return name_; }

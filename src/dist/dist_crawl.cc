@@ -83,11 +83,12 @@ Status DistCrawl::BootShard(int s) {
     return Status::InvalidArgument("store provider returned a null device");
   }
   // Recovery: replay the shard's redo log to its last durable batch.
-  FOCUS_ASSIGN_OR_RETURN(sh.wal, storage::WalDiskManager::Open(dev.data,
-                                                               dev.log));
+  FOCUS_ASSIGN_OR_RETURN(
+      sh.wal,
+      storage::WalDiskManager::Open(dev.data, dev.log, options_.wal_options));
   if (sh.log != nullptr) sh.wal->BindEventLog(sh.log.get());
-  sh.pool = std::make_unique<storage::BufferPool>(sh.wal.get(),
-                                                  options_.buffer_frames);
+  sh.pool = std::make_unique<storage::BufferPool>(
+      sh.wal.get(), options_.buffer_frames, options_.pool_options);
   sh.catalog = std::make_unique<sql::Catalog>(sh.pool.get());
   FOCUS_ASSIGN_OR_RETURN(crawl::CrawlDb db,
                          crawl::CrawlDb::Open(sh.catalog.get(), sh.wal.get()));

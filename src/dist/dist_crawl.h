@@ -112,6 +112,12 @@ struct DistCrawlOptions {
   crawl::CrawlerOptions crawler;
   // Buffer-pool frames per shard.
   size_t buffer_frames = 4096;
+  // Per-shard buffer-pool tuning (sub-pool count, readahead); the default
+  // auto-shards by size with readahead off.
+  storage::BufferPool::Options pool_options;
+  // Per-shard WAL tuning (group-commit linger, log-segment size and
+  // recycling threshold, end-of-recovery checkpoint).
+  storage::WalDiskManager::Options wal_options;
   // Storage for each shard; nullptr = internal in-memory devices.
   ShardStoreProvider store_provider;
   // Scheduled kills; borrowed, may be nullptr. Shared with the test so it

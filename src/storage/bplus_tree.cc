@@ -339,6 +339,9 @@ bool BPlusTree::Iterator::Next(uint64_t* key, uint64_t* value) {
     }
     leaf_ = page.Read<uint32_t>(kOffNextOrChild0);
     index_ = 0;
+    // Leaves split off each other in rough key order, so the sibling chain
+    // is near-sequential on disk: stream a window ahead for range scans.
+    tree_->pool_->MaybePrefetchChain(leaf_);
   }
   return false;
 }

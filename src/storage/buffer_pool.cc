@@ -1,21 +1,75 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "util/string_util.h"
 
 namespace focus::storage {
 
-BufferPool::BufferPool(DiskManager* disk, size_t num_frames) : disk_(disk) {
+namespace {
+// Auto-sharding: one sub-pool per this many frames, capped below.
+constexpr size_t kFramesPerShard = 64;
+constexpr size_t kMaxAutoShards = 8;
+// Concurrent ascending miss streams tracked for auto-readahead. Table
+// builds interleave heap and index pages, so two or three streams advance
+// at once; eight gives slack without scanning cost.
+constexpr size_t kMaxStreams = 8;
+// A stream stays alive if the next miss lands within (window + gap) pages
+// of the predicted position: pages served by the previous readahead batch
+// produce no misses, so the stream only "hears" from its consumer again at
+// the window edge.
+constexpr uint32_t kStreamGap = 4;
+// Back-step tolerance: interleaved sub-streams of one region (heap pages
+// and the index leaves allocated alongside them) miss a few pages behind
+// the stream head without being a different stream.
+constexpr uint32_t kStreamBack = 8;
+// Pipelining distance: once a consumer touches a prefetched page within
+// this many pages of the stream's issued edge, the next window is read
+// immediately, so a steady consumer never stalls on an edge miss.
+constexpr uint32_t kStreamLead = 8;
+}  // namespace
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames, Options options)
+    : options_(options), disk_(disk) {
   if (num_frames < 4) num_frames = 4;  // room for a root, a leaf, a heap page
-  frames_.reserve(num_frames);
-  free_frames_.reserve(num_frames);
-  for (size_t i = 0; i < num_frames; ++i) {
-    frames_.push_back(std::make_unique<Frame>());
-    free_frames_.push_back(num_frames - 1 - i);
+  num_frames_ = num_frames;
+  size_t shards = options_.shards;
+  if (shards == 0) {
+    shards = std::clamp<size_t>(num_frames / kFramesPerShard, 1,
+                                kMaxAutoShards);
   }
+  // Every shard needs enough frames for one descent (root, leaf, heap).
+  shards = std::clamp<size_t>(shards, 1, std::max<size_t>(1, num_frames / 4));
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    size_t n = num_frames / shards + (s < num_frames % shards ? 1 : 0);
+    shard->frames.reserve(n);
+    shard->free_frames.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      shard->frames.push_back(std::make_unique<Frame>());
+      shard->free_frames.push_back(n - 1 - i);
+    }
+    shards_.push_back(std::move(shard));
+  }
+  streams_.resize(kMaxStreams);
 }
 
 BufferPool::~BufferPool() {
   if (collector_id_ != 0) metrics_registry_->RemoveCollector(collector_id_);
+#ifdef FOCUS_SANITIZE
+  int64_t pins = outstanding_pins_.load(std::memory_order_relaxed);
+  if (pins != 0) {
+    std::fprintf(stderr,
+                 "BufferPool destroyed with %lld outstanding pin(s): some "
+                 "FetchPage/NewPage was never balanced by UnpinPage\n",
+                 static_cast<long long>(pins));
+    std::abort();
+  }
+#endif
 }
 
 void BufferPool::BindMetrics(obs::MetricsRegistry* registry,
@@ -25,15 +79,14 @@ void BufferPool::BindMetrics(obs::MetricsRegistry* registry,
   obs::Labels labels = {{"pool", std::move(pool_name)}};
   collector_id_ = metrics_registry_->AddCollector(
       [this, labels](std::vector<obs::GaugeSample>* out) {
-        Stats pool;
+        Stats pool = stats();
         DiskManager::Stats disk;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
-          pool = stats_;
+          std::lock_guard<std::mutex> lock(io_mutex_);
           disk = disk_->stats();
         }
-        auto emit = [&](const char* name, uint64_t v) {
-          out->push_back({name, labels, static_cast<double>(v)});
+        auto emit = [&](const char* name, double v) {
+          out->push_back({name, labels, v});
         };
         emit("focus_bufferpool_fetches_total", pool.fetches);
         emit("focus_bufferpool_hits_total", pool.hits);
@@ -41,134 +94,412 @@ void BufferPool::BindMetrics(obs::MetricsRegistry* registry,
         emit("focus_bufferpool_evictions_total", pool.evictions);
         emit("focus_bufferpool_dirty_writebacks_total",
              pool.dirty_writebacks);
-        emit("focus_bufferpool_frames", frames_.size());
+        emit("focus_bufferpool_readahead_issued_total",
+             pool.readahead_issued);
+        emit("focus_bufferpool_readahead_used_total", pool.readahead_used);
+        emit("focus_bufferpool_hit_ratio", pool.hit_ratio());
+        emit("focus_bufferpool_frames", num_frames_);
+        emit("focus_bufferpool_shards", shards_.size());
         emit("focus_disk_reads_total", disk.reads);
+        emit("focus_disk_batch_reads_total", disk.batch_reads);
         emit("focus_disk_writes_total", disk.writes);
         emit("focus_disk_allocations_total", disk.allocations);
         emit("focus_disk_syncs_total", disk.syncs);
+        for (size_t s = 0; s < shards_.size(); ++s) {
+          Stats sh = shard_stats(s);
+          obs::Labels sl = labels;
+          sl.push_back({"shard", StrCat(s)});
+          auto emit_shard = [&](const char* name, double v) {
+            out->push_back({name, sl, v});
+          };
+          emit_shard("focus_bufferpool_shard_fetches_total", sh.fetches);
+          emit_shard("focus_bufferpool_shard_hits_total", sh.hits);
+          emit_shard("focus_bufferpool_shard_misses_total", sh.misses);
+          emit_shard("focus_bufferpool_shard_evictions_total", sh.evictions);
+        }
       });
 }
 
-void BufferPool::Touch(size_t frame_idx) {
-  Frame& f = *frames_[frame_idx];
-  if (f.in_lru) lru_.erase(f.lru_pos);
-  lru_.push_front(frame_idx);
-  f.lru_pos = lru_.begin();
-  f.in_lru = true;
+Page* BufferPool::TouchHitLocked(Shard* shard, Frame* f,
+                                 bool* first_spec_use) {
+  f->pin_count.fetch_add(1, std::memory_order_acq_rel);
+  f->last_used.store(
+      shard->clock.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  uint32_t prev = f->uses.fetch_add(1, std::memory_order_relaxed);
+  shard->stats.hits.fetch_add(1, std::memory_order_relaxed);
+  if (prev == 0) {
+    // First touch of a prefetched frame: the speculation paid off.
+    shard->stats.readahead_used.fetch_add(1, std::memory_order_relaxed);
+    *first_spec_use = true;
+  }
+#ifdef FOCUS_SANITIZE
+  outstanding_pins_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  return &f->page;
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::GetVictimLocked(Shard* shard) {
+  if (!shard->free_frames.empty()) {
+    size_t idx = shard->free_frames.back();
+    shard->free_frames.pop_back();
     return idx;
   }
-  // Scan from least-recently-used; skip pinned frames.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    size_t idx = *it;
-    Frame& f = *frames_[idx];
-    if (f.pin_count > 0) continue;
-    if (f.dirty) {
-      FOCUS_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page.data));
-      ++stats_.dirty_writebacks;
-      f.dirty = false;
+  // 2Q-style victim choice over three frame classes:
+  //   A1   — fetched exactly once (a scan's consumed pages): evict first,
+  //          LRU order. A sequential flood churns here and can never push
+  //          out a hot index page while any A1 frame is evictable.
+  //   spec — prefetched, never fetched: speculation with known future
+  //          value; protected while the hot queue is over budget.
+  //   hot  — fetched twice or more. Use counts only ever grow, so without
+  //          a bound every frame eventually looks hot and readahead is
+  //          squeezed into a handful of churn frames. Classic 2Q caps Am:
+  //          once hot frames exceed half the shard, the LRU hot frame is
+  //          evicted ahead of speculation.
+  size_t best_a1 = shard->frames.size(), best_spec = best_a1,
+         best_hot = best_a1;
+  uint64_t used_a1 = 0, used_spec = 0, used_hot = 0;
+  size_t hot_count = 0;
+  for (size_t i = 0; i < shard->frames.size(); ++i) {
+    Frame& f = *shard->frames[i];
+    if (f.page_id == kInvalidPageId) continue;
+    uint32_t uses = f.uses.load(std::memory_order_relaxed);
+    if (uses >= 2) ++hot_count;
+    if (f.pin_count.load(std::memory_order_acquire) > 0) continue;
+    uint64_t used = f.last_used.load(std::memory_order_relaxed);
+    if (uses == 1) {
+      if (best_a1 == shard->frames.size() || used < used_a1) {
+        best_a1 = i;
+        used_a1 = used;
+      }
+    } else if (uses == 0) {
+      if (best_spec == shard->frames.size() || used < used_spec) {
+        best_spec = i;
+        used_spec = used;
+      }
+    } else if (best_hot == shard->frames.size() || used < used_hot) {
+      best_hot = i;
+      used_hot = used;
     }
-    page_table_.erase(f.page_id);
-    lru_.erase(std::next(it).base());
-    f.in_lru = false;
-    f.page_id = kInvalidPageId;
-    ++stats_.evictions;
-    return idx;
   }
-  return Status::ResourceExhausted(
-      StrCat("all ", frames_.size(), " buffer frames are pinned"));
+  size_t best = best_a1;
+  if (best == shard->frames.size()) {
+    bool hot_over_budget = hot_count > shard->frames.size() / 2;
+    best = hot_over_budget && best_hot != shard->frames.size() ? best_hot
+                                                               : best_spec;
+    if (best == shard->frames.size()) best = best_hot;
+  }
+  if (best == shard->frames.size()) {
+    return Status::ResourceExhausted(
+        StrCat("all ", shard->frames.size(), " buffer frames of shard are ",
+               "pinned (", num_frames_, " frames, ", shards_.size(),
+               " shards)"));
+  }
+  Frame& f = *shard->frames[best];
+  if (f.dirty.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> io(io_mutex_);
+    FOCUS_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page.data));
+    shard->stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+    f.dirty.store(false, std::memory_order_relaxed);
+  }
+  shard->table.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  f.uses.store(0, std::memory_order_relaxed);
+  shard->stats.evictions.fetch_add(1, std::memory_order_relaxed);
+  return best;
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.fetches;
-  if (auto it = page_table_.find(id); it != page_table_.end()) {
-    ++stats_.hits;
-    Frame& f = *frames_[it->second];
-    ++f.pin_count;
-    Touch(it->second);
-    return &f.page;
+  Shard* shard = shards_[ShardOf(id)].get();
+  shard->stats.fetches.fetch_add(1, std::memory_order_relaxed);
+  bool first_spec_use = false;
+  Page* page = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard->latch);
+    if (auto it = shard->table.find(id); it != shard->table.end()) {
+      page = TouchHitLocked(shard, shard->frames[it->second].get(),
+                            &first_spec_use);
+    }
   }
-  ++stats_.misses;
-  FOCUS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Frame& f = *frames_[idx];
-  Status s = disk_->ReadPage(id, f.page.data);
-  if (!s.ok()) {
-    free_frames_.push_back(idx);
-    return s;
+  if (page != nullptr) {
+    // The hit pinned the frame, so extending readahead (which takes shard
+    // latches and the io mutex) is safe latch-free here.
+    if (first_spec_use) MaybeExtendReadahead(id);
+    return page;
   }
-  f.page_id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  page_table_[id] = idx;
-  Touch(idx);
-  return &f.page;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard->latch);
+    // Another thread may have loaded the page between latch modes.
+    if (auto it = shard->table.find(id); it != shard->table.end()) {
+      page = TouchHitLocked(shard, shard->frames[it->second].get(),
+                            &first_spec_use);
+      lock.unlock();
+      if (first_spec_use) MaybeExtendReadahead(id);
+      return page;
+    }
+    shard->stats.misses.fetch_add(1, std::memory_order_relaxed);
+    FOCUS_ASSIGN_OR_RETURN(size_t idx, GetVictimLocked(shard));
+    Frame& f = *shard->frames[idx];
+    {
+      std::lock_guard<std::mutex> io(io_mutex_);
+      Status s = disk_->ReadPage(id, f.page.data);
+      if (!s.ok()) {
+        shard->free_frames.push_back(idx);
+        return s;
+      }
+    }
+    f.page_id = id;
+    f.pin_count.store(1, std::memory_order_release);
+    f.dirty.store(false, std::memory_order_relaxed);
+    f.uses.store(1, std::memory_order_relaxed);
+    f.last_used.store(
+        shard->clock.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    shard->table[id] = idx;
+    page = &f.page;
+  }
+#ifdef FOCUS_SANITIZE
+  outstanding_pins_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  // The fetched frame is pinned, so readahead (which takes other shard
+  // latches) is safe to run latch-free here.
+  MaybeAutoReadahead(id);
+  return page;
 }
 
 Result<Page*> BufferPool::NewPage(PageId* out_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  FOCUS_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
-  FOCUS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Frame& f = *frames_[idx];
+  PageId id;
+  {
+    std::lock_guard<std::mutex> io(io_mutex_);
+    FOCUS_ASSIGN_OR_RETURN(id, disk_->AllocatePage());
+  }
+  Shard* shard = shards_[ShardOf(id)].get();
+  std::unique_lock<std::shared_mutex> lock(shard->latch);
+  FOCUS_ASSIGN_OR_RETURN(size_t idx, GetVictimLocked(shard));
+  Frame& f = *shard->frames[idx];
   f.page.Zero();
   f.page_id = id;
-  f.pin_count = 1;
-  f.dirty = true;  // must be written back even if untouched
-  page_table_[id] = idx;
-  Touch(idx);
+  f.pin_count.store(1, std::memory_order_release);
+  f.dirty.store(true, std::memory_order_relaxed);  // must reach disk even
+                                                   // if never touched
+  f.uses.store(1, std::memory_order_relaxed);
+  f.last_used.store(shard->clock.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  shard->table[id] = idx;
+#ifdef FOCUS_SANITIZE
+  outstanding_pins_.fetch_add(1, std::memory_order_relaxed);
+#endif
   *out_id = id;
   return &f.page;
 }
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) return;
-  Frame& f = *frames_[it->second];
-  if (f.pin_count > 0) --f.pin_count;
-  if (dirty) f.dirty = true;
+  Shard* shard = shards_[ShardOf(id)].get();
+  std::shared_lock<std::shared_mutex> lock(shard->latch);
+  auto it = shard->table.find(id);
+  if (it == shard->table.end()) return;
+  Frame& f = *shard->frames[it->second];
+  if (dirty) f.dirty.store(true, std::memory_order_relaxed);
+  int32_t prev = f.pin_count.load(std::memory_order_relaxed);
+  while (prev > 0 &&
+         !f.pin_count.compare_exchange_weak(prev, prev - 1,
+                                            std::memory_order_acq_rel)) {
+  }
+#ifdef FOCUS_SANITIZE
+  if (prev <= 0) {
+    std::fprintf(stderr, "UnpinPage(%u) without a matching pin\n", id);
+    std::abort();
+  }
+  outstanding_pins_.fetch_sub(1, std::memory_order_relaxed);
+#endif
+}
+
+void BufferPool::Prefetch(PageId first, uint32_t n) {
+  if (n == 0) return;
+  {
+    // The common mid-window probe: the previous batch already covers the
+    // next page, so the iterator's per-advance call costs one map lookup.
+    Shard* shard = shards_[ShardOf(first)].get();
+    std::shared_lock<std::shared_mutex> lock(shard->latch);
+    if (shard->table.count(first) != 0) return;
+  }
+  std::vector<char> buf;
+  {
+    std::lock_guard<std::mutex> io(io_mutex_);
+    uint32_t device_pages = disk_->NumPages();
+    if (first >= device_pages) return;
+    n = std::min<uint32_t>(n, device_pages - first);
+    buf.resize(static_cast<size_t>(n) * kPageSize);
+    if (!disk_->ReadPages(first, n, buf.data()).ok()) return;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    PageId id = first + i;
+    Shard* shard = shards_[ShardOf(id)].get();
+    std::unique_lock<std::shared_mutex> lock(shard->latch);
+    if (shard->table.count(id) != 0) continue;
+    auto victim = GetVictimLocked(shard);
+    if (!victim.ok()) continue;  // shard fully pinned: drop the speculation
+    Frame& f = *shard->frames[victim.value()];
+    std::memcpy(f.page.data, buf.data() + static_cast<size_t>(i) * kPageSize,
+                kPageSize);
+    f.page_id = id;
+    f.pin_count.store(0, std::memory_order_release);
+    f.dirty.store(false, std::memory_order_relaxed);
+    f.uses.store(0, std::memory_order_relaxed);  // evict-first until used
+    f.last_used.store(shard->clock.fetch_add(1, std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    shard->table[id] = victim.value();
+    shard->stats.readahead_issued.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BufferPool::MaybeAutoReadahead(PageId missed) {
+  if (!options_.auto_readahead || options_.readahead_window == 0) return;
+  PageId start = kInvalidPageId;
+  {
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    ++stream_tick_;
+    Stream* match = nullptr;
+    for (Stream& s : streams_) {
+      // Tolerate small back-steps as well as forward gaps: access paths
+      // whose pages interleave in one region (a heap and the index built
+      // alongside it) look like one ascending stream with +-stride jitter,
+      // and splitting them into per-page-parity streams would thrash the
+      // table.
+      if (s.run > 0 && missed + kStreamBack >= s.next &&
+          missed < s.next + options_.readahead_window + kStreamGap) {
+        match = &s;
+        break;
+      }
+    }
+    if (match != nullptr) {
+      // The stream's consumer surfaced again (pages in between were served
+      // by the last batch): extend it and, once confirmed, read ahead —
+      // but never below the issued edge. Jitter misses inside an already
+      // issued window (an evicted straggler) must not re-read the whole
+      // window; only a miss at or past the edge advances it.
+      match->next = std::max<PageId>(match->next, missed + 1);
+      match->tick = stream_tick_;
+      if (++match->run >= 2 && missed + kStreamLead >= match->issued) {
+        start = std::max<PageId>(missed + 1, match->issued);
+        match->issued = start + options_.readahead_window;
+      }
+    } else {
+      Stream* victim = &streams_[0];
+      for (Stream& s : streams_) {
+        if (s.run == 0) {
+          victim = &s;
+          break;
+        }
+        if (s.tick < victim->tick) victim = &s;
+      }
+      victim->next = missed + 1;
+      victim->issued = 0;
+      victim->run = 1;
+      victim->tick = stream_tick_;
+    }
+  }
+  if (start != kInvalidPageId) Prefetch(start, options_.readahead_window);
+}
+
+void BufferPool::MaybeExtendReadahead(PageId used) {
+  if (!options_.auto_readahead || options_.readahead_window == 0) return;
+  PageId start = kInvalidPageId;
+  {
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    for (Stream& s : streams_) {
+      if (s.run < 2 || s.issued == 0) continue;
+      if (used >= s.issued || s.issued - used > kStreamLead) continue;
+      // The consumer is closing in on this stream's issued edge: read the
+      // next window now, while the tail of the current one still feeds it.
+      start = s.issued;
+      s.issued = start + options_.readahead_window;
+      s.next = std::max<PageId>(s.next, used + 1);
+      s.tick = ++stream_tick_;
+      break;
+    }
+  }
+  if (start != kInvalidPageId) Prefetch(start, options_.readahead_window);
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [page_id, idx] : page_table_) {
-    Frame& f = *frames_[idx];
-    if (f.dirty) {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->latch);
+    for (auto& [page_id, idx] : shard->table) {
+      Frame& f = *shard->frames[idx];
+      if (!f.dirty.load(std::memory_order_relaxed)) continue;
+      std::lock_guard<std::mutex> io(io_mutex_);
       FOCUS_RETURN_IF_ERROR(disk_->WritePage(page_id, f.page.data));
-      ++stats_.dirty_writebacks;
-      f.dirty = false;
+      shard->stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+      f.dirty.store(false, std::memory_order_relaxed);
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::EvictAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = page_table_.begin(); it != page_table_.end();) {
-    Frame& f = *frames_[it->second];
-    if (f.pin_count > 0) {
-      ++it;
-      continue;
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->latch);
+    for (auto it = shard->table.begin(); it != shard->table.end();) {
+      Frame& f = *shard->frames[it->second];
+      if (f.pin_count.load(std::memory_order_acquire) > 0) {
+        ++it;
+        continue;
+      }
+      if (f.dirty.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> io(io_mutex_);
+        FOCUS_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page.data));
+        shard->stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+        f.dirty.store(false, std::memory_order_relaxed);
+      }
+      shard->free_frames.push_back(it->second);
+      f.page_id = kInvalidPageId;
+      f.uses.store(0, std::memory_order_relaxed);
+      it = shard->table.erase(it);
     }
-    if (f.dirty) {
-      FOCUS_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page.data));
-      ++stats_.dirty_writebacks;
-      f.dirty = false;
-    }
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
-    }
-    free_frames_.push_back(it->second);
-    f.page_id = kInvalidPageId;
-    it = page_table_.erase(it);
   }
   return Status::OK();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats total;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Stats sh = shard_stats(s);
+    total.fetches += sh.fetches;
+    total.hits += sh.hits;
+    total.misses += sh.misses;
+    total.evictions += sh.evictions;
+    total.dirty_writebacks += sh.dirty_writebacks;
+    total.readahead_issued += sh.readahead_issued;
+    total.readahead_used += sh.readahead_used;
+  }
+  return total;
+}
+
+BufferPool::Stats BufferPool::shard_stats(size_t i) const {
+  const ShardStats& s = shards_[i]->stats;
+  Stats out;
+  out.fetches = s.fetches.load(std::memory_order_relaxed);
+  out.hits = s.hits.load(std::memory_order_relaxed);
+  out.misses = s.misses.load(std::memory_order_relaxed);
+  out.evictions = s.evictions.load(std::memory_order_relaxed);
+  out.dirty_writebacks = s.dirty_writebacks.load(std::memory_order_relaxed);
+  out.readahead_issued = s.readahead_issued.load(std::memory_order_relaxed);
+  out.readahead_used = s.readahead_used.load(std::memory_order_relaxed);
+  return out;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    ShardStats& s = shard->stats;
+    s.fetches.store(0, std::memory_order_relaxed);
+    s.hits.store(0, std::memory_order_relaxed);
+    s.misses.store(0, std::memory_order_relaxed);
+    s.evictions.store(0, std::memory_order_relaxed);
+    s.dirty_writebacks.store(0, std::memory_order_relaxed);
+    s.readahead_issued.store(0, std::memory_order_relaxed);
+    s.readahead_used.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace focus::storage

@@ -1,9 +1,47 @@
-// LRU buffer pool.
+// Sharded, scan-resistant buffer pool.
 //
 // Every table and index access in focus goes through this pool, so the
 // hit/miss counters directly measure the access-path behaviour that the
 // paper's Figure 8 experiments are about (random index probes vs sequential
 // sort-merge scans under a bounded number of 4 KiB frames).
+//
+// Layout. Frames are partitioned by PageId hash into K sub-pools
+// ("shards"), each with its own reader/writer latch, page table and free
+// list. A fetch that finds its page resident takes only the shard latch in
+// shared mode and bumps the pin count atomically — concurrent hits on
+// different pages (or even the same page) never serialize on a writer
+// lock. Misses, evictions and prefetch installs take the shard latch
+// exclusively; raw device I/O is serialized pool-wide by a separate I/O
+// mutex (DiskManager implementations are not thread safe), so a miss in
+// one shard never blocks hits in any shard.
+//
+// Replacement is a 2Q variant keyed on a per-frame use count:
+//   A1   — fetched exactly once (the "cold" A1 queue of 2Q): evicted
+//          first, in LRU order. A sequential flood — a heap scan touching
+//          every page once — churns entirely here and cannot evict hot
+//          pages, which is the scan-resistance property
+//          tests/storage_pool_test.cc pins down.
+//   spec — prefetched, never fetched: speculation whose value is still
+//          ahead; protected from the flood, second in line otherwise.
+//   hot  — fetched two or more times (index upper levels, roots, hot STAT
+//          pages). Use counts only grow, so 2Q's Am bound applies: once
+//          hot frames exceed half a shard, the LRU hot frame is evicted
+//          ahead of speculation — otherwise every frame eventually looks
+//          hot and readahead is squeezed into a handful of churn frames.
+//
+// Readahead. Prefetch(first, n) batch-reads a contiguous page run in one
+// DiskManager::ReadPages op (one simulated seek instead of n) and installs
+// the missing pages as evict-first speculation. HeapFile and B+-tree
+// iterators call it when advancing along their page chains; with
+// Options::auto_readahead the pool additionally detects ascending miss
+// streams itself (a small stream table with forward-gap and back-step
+// tolerance, so interleaved heap/leaf page streams of one region merge
+// into one stream) and reads ahead of them. Each stream remembers its
+// issued edge: a swept region is transferred from disk at most once, and
+// the first use of a prefetched page near the edge extends the window
+// ahead of the consumer (pipelining), so a steady consumer misses only at
+// stream startup. Readahead is purely advisory: failures are swallowed
+// and speculation never fails the fetch that triggered it.
 //
 // Crash safety: the pool itself is free to write back dirty pages at any
 // time (eviction, FlushAll). When the DiskManager underneath is a
@@ -15,12 +53,14 @@
 #ifndef FOCUS_STORAGE_BUFFER_POOL_H_
 #define FOCUS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -32,12 +72,31 @@ namespace focus::storage {
 
 class BufferPool {
  public:
+  struct Options {
+    // Number of sub-pools. 0 = auto: one shard per 64 frames, capped at 8,
+    // so small test pools stay single-sharded (exact LRU-observable
+    // behaviour) and big pools spread latch pressure.
+    size_t shards = 0;
+    // Pages fetched per readahead batch (explicit Prefetch callers may ask
+    // for more; auto-detected streams use exactly this). 0 disables
+    // auto-readahead issue even when auto_readahead is set.
+    uint32_t readahead_window = 16;
+    // Readahead master switch: enables iterator-cooperative chain prefetch
+    // (MaybePrefetchChain) and the pool's own ascending miss-stream
+    // detection for access paths with no iterator cooperation. Off by
+    // default: tests that count cold misses rely on the pool reading
+    // exactly the pages asked for.
+    bool auto_readahead = false;
+  };
+
   struct Stats {
     uint64_t fetches = 0;    // FetchPage calls
     uint64_t hits = 0;       // served from a resident frame
     uint64_t misses = 0;     // required a disk read
     uint64_t evictions = 0;  // victim frames recycled
     uint64_t dirty_writebacks = 0;
+    uint64_t readahead_issued = 0;  // pages installed by Prefetch
+    uint64_t readahead_used = 0;    // prefetched pages later fetched
 
     Stats operator-(const Stats& other) const {
       Stats d;
@@ -46,33 +105,66 @@ class BufferPool {
       d.misses = misses - other.misses;
       d.evictions = evictions - other.evictions;
       d.dirty_writebacks = dirty_writebacks - other.dirty_writebacks;
+      d.readahead_issued = readahead_issued - other.readahead_issued;
+      d.readahead_used = readahead_used - other.readahead_used;
       return d;
+    }
+    double hit_ratio() const {
+      return fetches == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(fetches);
     }
   };
 
   // The pool holds at most `num_frames` pages of `disk`. `disk` must outlive
   // the pool.
-  BufferPool(DiskManager* disk, size_t num_frames);
+  BufferPool(DiskManager* disk, size_t num_frames)
+      : BufferPool(disk, num_frames, Options{}) {}
+  BufferPool(DiskManager* disk, size_t num_frames, Options options);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Registers a snapshot-time collector exporting this pool's hit/miss/
-  // eviction counters (and the backing DiskManager's read/write counters)
-  // as focus_bufferpool_* / focus_disk_* samples labeled {pool=pool_name}.
-  // Rebinding replaces the previous binding; the destructor unregisters.
+  // eviction/readahead counters and hit ratio (and the backing DiskManager's
+  // read/write counters) as focus_bufferpool_* / focus_disk_* samples
+  // labeled {pool=pool_name}, plus per-shard fetch/hit/miss samples labeled
+  // {pool=pool_name, shard=i}. Rebinding replaces the previous binding; the
+  // destructor unregisters.
   void BindMetrics(obs::MetricsRegistry* registry, std::string pool_name);
 
   // Pins page `id` in memory and returns it. The caller must balance with
-  // UnpinPage. Fails if every frame is pinned.
+  // UnpinPage. Fails if every frame of the page's shard is pinned.
   Result<Page*> FetchPage(PageId id);
 
   // Allocates a fresh page on disk, pins it and returns it via `out_id`.
   Result<Page*> NewPage(PageId* out_id);
 
   // Releases one pin; `dirty` marks the frame for write-back on eviction.
+  // The dirty bit only ever accumulates (unpinning clean never clears a
+  // dirty mark left by an earlier pin); eviction/flush clears it after the
+  // write-back.
   void UnpinPage(PageId id, bool dirty);
+
+  // Advisory batched readahead: reads pages [first, first + n) in one
+  // ReadPages op and installs the non-resident ones as evict-first
+  // speculation. Returns immediately if the first page is already resident
+  // (the common mid-window case for chained iterators). Never fails the
+  // caller: I/O errors and frame exhaustion just mean no speculation.
+  void Prefetch(PageId first, uint32_t n);
+
+  // Iterator cooperation: HeapFile and B+-tree iterators call this when
+  // advancing to the next page of their chain. A no-op unless readahead is
+  // enabled (Options::auto_readahead), so scans through a default pool
+  // read exactly the pages they touch — tests that count cold misses
+  // depend on that.
+  void MaybePrefetchChain(PageId next) {
+    if (options_.auto_readahead && options_.readahead_window > 0 &&
+        next != kInvalidPageId) {
+      Prefetch(next, options_.readahead_window);
+    }
+  }
 
   // Writes back every dirty resident page.
   Status FlushAll();
@@ -81,40 +173,102 @@ class BufferPool {
   // to measure cold-cache behaviour.
   Status EvictAll();
 
-  size_t num_frames() const { return frames_.size(); }
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  size_t num_frames() const { return num_frames_; }
+  size_t num_shards() const { return shards_.size(); }
+  uint32_t readahead_window() const { return options_.readahead_window; }
+  // Aggregated over shards; a point-in-time snapshot, not a reference.
+  Stats stats() const;
+  // Counters of one shard (i < num_shards()).
+  Stats shard_stats(size_t i) const;
+  void ResetStats();
 
  private:
   struct Frame {
     Page page;
     PageId page_id = kInvalidPageId;
-    int pin_count = 0;
-    bool dirty = false;
-    // Position in lru_ when the frame is resident and unpinned-eligible.
-    std::list<size_t>::iterator lru_pos;
-    bool in_lru = false;
+    std::atomic<int32_t> pin_count{0};
+    std::atomic<uint64_t> last_used{0};
+    // 0 = prefetched & untouched, 1 = fetched once, >= 2 = hot. Saturating
+    // in spirit: only the 0/1/2+ distinction matters for eviction.
+    std::atomic<uint32_t> uses{0};
+    std::atomic<bool> dirty{false};
   };
 
-  // Picks a frame to hold a new page: a free frame if any, else the least
-  // recently used unpinned frame (writing it back if dirty).
-  Result<size_t> GetVictimFrame();
-  void Touch(size_t frame_idx);
+  // Per-shard atomic counters (bumped on the shared-latch hit path).
+  struct ShardStats {
+    std::atomic<uint64_t> fetches{0}, hits{0}, misses{0}, evictions{0},
+        dirty_writebacks{0}, readahead_issued{0}, readahead_used{0};
+  };
 
+  struct Shard {
+    mutable std::shared_mutex latch;
+    std::vector<std::unique_ptr<Frame>> frames;
+    std::unordered_map<PageId, size_t> table;
+    std::vector<size_t> free_frames;
+    std::atomic<uint64_t> clock{0};
+    ShardStats stats;
+  };
+
+  // Ascending miss-stream tracker for auto-readahead.
+  struct Stream {
+    PageId next = kInvalidPageId;  // first page the stream expects next
+    PageId issued = 0;  // exclusive edge of pages already prefetched; the
+                        // stream never re-reads below it, so each page of
+                        // a swept region costs at most one disk transfer
+    uint32_t run = 0;   // consecutive matching misses
+    uint64_t tick = 0;  // LRU stamp for stream replacement
+  };
+
+  size_t ShardOf(PageId id) const {
+    // Fibonacci hash: contiguous runs spread across shards so one scan
+    // exercises every latch instead of convoying on one.
+    return (static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull >> 32) %
+           shards_.size();
+  }
+
+  // Picks a frame to hold a new page: a free frame if any, else the
+  // least-recently-used unpinned frame of the lowest populated level
+  // (writing it back if dirty). Caller holds the shard latch exclusively.
+  Result<size_t> GetVictimLocked(Shard* shard);
+  // Installs a hit on `f` from the shared-latch path (pin + touch + level
+  // promotion + readahead-used accounting).
+  Page* TouchHitLocked(Shard* shard, Frame* f, bool* first_spec_use);
+  void MaybeAutoReadahead(PageId missed);
+  // Pipelined window extension: called (latch-free) when a prefetched
+  // page is consumed for the first time. If the consumer is within
+  // kStreamLead pages of its stream's issued edge, the next window is
+  // read before the consumer can miss at the edge.
+  void MaybeExtendReadahead(PageId used);
+
+  const Options options_;
   DiskManager* disk_;
-  std::vector<std::unique_ptr<Frame>> frames_;
-  std::vector<size_t> free_frames_;
-  std::list<size_t> lru_;  // front = most recent
-  std::unordered_map<PageId, size_t> page_table_;
-  Stats stats_;
-  mutable std::mutex mutex_;
+  size_t num_frames_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Serializes every disk_ call: DiskManager implementations are not
+  // thread safe. Never held while acquiring a shard latch (shard -> io is
+  // the only nesting order).
+  mutable std::mutex io_mutex_;
+
+  std::mutex streams_mutex_;
+  std::vector<Stream> streams_;
+  uint64_t stream_tick_ = 0;
+
+#ifdef FOCUS_SANITIZE
+  // Pin/unpin balance: every successful FetchPage/NewPage must be matched
+  // by exactly one UnpinPage before the pool dies.
+  std::atomic<int64_t> outstanding_pins_{0};
+#endif
 
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   uint64_t collector_id_ = 0;  // 0 = not bound
 };
 
 // RAII pin guard. Fetches on construction (check ok()), unpins on
-// destruction.
+// destruction. Movable: ownership of the pin transfers and the moved-from
+// guard becomes released; copying is still forbidden. Release() is
+// idempotent, and a MarkDirty() before Release() is never lost — the pool
+// merges the dirty flag into the frame on unpin.
 class PageGuard {
  public:
   PageGuard(BufferPool* pool, PageId id) : pool_(pool), id_(id) {
@@ -130,10 +284,29 @@ class PageGuard {
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
 
+  PageGuard(PageGuard&& other) noexcept
+      : pool_(other.pool_),
+        id_(other.id_),
+        page_(std::exchange(other.page_, nullptr)),
+        dirty_(other.dirty_),
+        status_(std::move(other.status_)) {}
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      id_ = other.id_;
+      page_ = std::exchange(other.page_, nullptr);
+      dirty_ = other.dirty_;
+      status_ = std::move(other.status_);
+    }
+    return *this;
+  }
+
   bool ok() const { return page_ != nullptr; }
   const Status& status() const { return status_; }
   Page* page() { return page_; }
   const Page* page() const { return page_; }
+  PageId id() const { return id_; }
   void MarkDirty() { dirty_ = true; }
 
   // Unpins early (idempotent).

@@ -27,6 +27,14 @@ Status CrashFaultDiskManager::ReadPage(PageId id, char* out) {
   return inner_->ReadPage(id, out);
 }
 
+Status CrashFaultDiskManager::ReadPages(PageId first, uint32_t n, char* out) {
+  // Like ReadPage: batched reads are not crash points — they cannot tear
+  // state, and keeping them uncounted means readahead does not shift the
+  // crash-op numbering of the mutating workload being swept.
+  if (plan_->crashed.load(std::memory_order_acquire)) return Poisoned();
+  return inner_->ReadPages(first, n, out);
+}
+
 Status CrashFaultDiskManager::WritePage(PageId id, const char* in) {
   if (plan_->crashed.load(std::memory_order_acquire)) return Poisoned();
   if (NextOpCrashes()) {

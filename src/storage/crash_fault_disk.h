@@ -61,6 +61,7 @@ class CrashFaultDiskManager final : public DiskManager {
       : inner_(inner), plan_(plan) {}
 
   Status ReadPage(PageId id, char* out) override;
+  Status ReadPages(PageId first, uint32_t n, char* out) override;
   Status WritePage(PageId id, const char* in) override;
   Result<PageId> AllocatePage() override;
   uint32_t NumPages() const override { return inner_->NumPages(); }

@@ -31,6 +31,23 @@ Status MemDiskManager::ReadPage(PageId id, char* out) {
   return Status::OK();
 }
 
+Status MemDiskManager::ReadPages(PageId first, uint32_t n, char* out) {
+  if (n == 0) return Status::OK();
+  if (static_cast<size_t>(first) + n > pages_.size()) {
+    return Status::OutOfRange(
+        StrCat("batched read of unallocated pages [", first, ", ",
+               first + n, ")"));
+  }
+  SpinFor(options_.read_latency_us + (n - 1) * options_.transfer_latency_us);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::memcpy(out + static_cast<size_t>(i) * kPageSize,
+                pages_[first + i]->data, kPageSize);
+  }
+  stats_.reads += n;
+  ++stats_.batch_reads;
+  return Status::OK();
+}
+
 Status MemDiskManager::WritePage(PageId id, const char* in) {
   if (id >= pages_.size()) {
     return Status::OutOfRange(StrCat("write of unallocated page ", id));
@@ -86,6 +103,24 @@ Status FileDiskManager::ReadPage(PageId id, char* out) {
     return Status::IOError(StrCat("pread page ", id, " returned ", n));
   }
   ++stats_.reads;
+  return Status::OK();
+}
+
+Status FileDiskManager::ReadPages(PageId first, uint32_t n, char* out) {
+  if (n == 0) return Status::OK();
+  if (static_cast<uint64_t>(first) + n > num_pages_) {
+    return Status::OutOfRange(
+        StrCat("batched read of unallocated pages [", first, ", ",
+               first + n, ")"));
+  }
+  size_t want = static_cast<size_t>(n) * kPageSize;
+  ssize_t got = ::pread(fd_, out, want, static_cast<off_t>(first) * kPageSize);
+  if (got != static_cast<ssize_t>(want)) {
+    return Status::IOError(
+        StrCat("pread of ", n, " pages at ", first, " returned ", got));
+  }
+  stats_.reads += n;
+  ++stats_.batch_reads;
   return Status::OK();
 }
 

@@ -168,6 +168,9 @@ bool HeapFile::Iterator::Next(Rid* rid, std::string* record) {
     }
     page_id_ = page->Read<uint32_t>(kOffNext);
     slot_ = 0;
+    // Chained heap pages are allocated roughly in order: stream a window
+    // ahead so a full scan pays one seek per batch, not one per page.
+    file_->pool_->MaybePrefetchChain(page_id_);
   }
   return false;
 }

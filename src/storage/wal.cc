@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -87,52 +88,85 @@ void Wal::Append(PageId id, const char* image) {
   stats_.log_bytes += pending_.size() - before;
 }
 
-Status Wal::Flush() {
-  size_t first_page = static_cast<size_t>(tail_ / kPageSize);
-  size_t npages = (pending_.size() + kPageSize - 1) / kPageSize;
+void Wal::AppendCommit(uint32_t num_pages, std::string_view metadata) {
+  size_t before = pending_.size();
+  AppendRecord(&pending_, kRecCommit, epoch_, next_lsn_++,
+               CommitPayload(num_pages, metadata));
+  stats_.log_bytes += pending_.size() - before;
+  ++staged_commits_;
+}
+
+Wal::PendingFlush Wal::TakePending() {
+  PendingFlush f;
+  f.bytes = std::move(pending_);
+  pending_.clear();
+  f.first_page = tail_ / kPageSize;
+  f.commits = staged_commits_;
+  staged_commits_ = 0;
+  uint64_t npages = (f.bytes.size() + kPageSize - 1) / kPageSize;
+  f.new_tail = (f.first_page + npages) * kPageSize;
+  // Reserving the extent up front lets batches staged during this unit's
+  // device I/O land past it; page alignment keeps concurrent units from
+  // ever sharing a log page.
+  tail_ = f.new_tail;
+  return f;
+}
+
+Status Wal::WriteFlush(const PendingFlush& flush) {
+  size_t npages = (flush.bytes.size() + kPageSize - 1) / kPageSize;
   Page pg;
   for (size_t i = 0; i < npages; ++i) {
-    size_t p = first_page + i;
+    size_t p = static_cast<size_t>(flush.first_page) + i;
     while (log_->NumPages() <= p) {
       FOCUS_ASSIGN_OR_RETURN(PageId fresh, log_->AllocatePage());
       (void)fresh;
     }
     pg.Zero();
     size_t off = i * kPageSize;
-    size_t n = std::min<size_t>(kPageSize, pending_.size() - off);
-    std::memcpy(pg.data, pending_.data() + off, n);
+    size_t n = std::min<size_t>(kPageSize, flush.bytes.size() - off);
+    std::memcpy(pg.data, flush.bytes.data() + off, n);
     // Ascending order matters: the commit record sits in the final pages,
     // so a crash mid flush can only lose the batch, never half-commit it.
     FOCUS_RETURN_IF_ERROR(
         log_->WritePage(static_cast<PageId>(p), pg.data));
   }
-  FOCUS_RETURN_IF_ERROR(log_->Sync());
+  return log_->Sync();
+}
+
+void Wal::FinishFlush(const PendingFlush& flush) {
   ++stats_.syncs;
-  tail_ = static_cast<uint64_t>(first_page + npages) * kPageSize;
-  pending_.clear();
-  return Status::OK();
+  stats_.commits += flush.commits;
+  if (flush.commits > 0) {
+    ++stats_.group_commit_flushes;
+    stats_.group_commit_max_batch =
+        std::max(stats_.group_commit_max_batch, flush.commits);
+  }
 }
 
 Status Wal::Commit(uint32_t num_pages, std::string_view metadata) {
-  size_t before = pending_.size();
-  AppendRecord(&pending_, kRecCommit, epoch_, next_lsn_++,
-               CommitPayload(num_pages, metadata));
-  stats_.log_bytes += pending_.size() - before;
-  FOCUS_RETURN_IF_ERROR(Flush());
-  ++stats_.commits;
+  AppendCommit(num_pages, metadata);
+  PendingFlush flush = TakePending();
+  FOCUS_RETURN_IF_ERROR(WriteFlush(flush));
+  FinishFlush(flush);
   return Status::OK();
 }
 
 Status Wal::Reset(uint64_t new_epoch, uint32_t num_pages,
                   std::string_view metadata) {
+  // Every segment the old tail spanned becomes reusable under the new
+  // epoch (recovery ignores stale-epoch records, so no erase is needed).
+  stats_.segments_recycled += SegmentsSpanned(tail_);
   epoch_ = new_epoch;
   tail_ = 0;
   pending_.clear();
+  staged_commits_ = 0;
   size_t before = pending_.size();
   AppendRecord(&pending_, kRecCheckpoint, epoch_, next_lsn_++,
                CommitPayload(num_pages, metadata));
   stats_.log_bytes += pending_.size() - before;
-  FOCUS_RETURN_IF_ERROR(Flush());
+  PendingFlush flush = TakePending();
+  FOCUS_RETURN_IF_ERROR(WriteFlush(flush));
+  FinishFlush(flush);
   ++stats_.checkpoints;
   return Status::OK();
 }
@@ -217,6 +251,7 @@ Result<Wal::Recovered> Wal::Recover() {
   next_lsn_ = rec.empty ? 0 : max_lsn + 1;
   tail_ = AlignUp(committed_end);
   pending_.clear();
+  staged_commits_ = 0;
   return rec;
 }
 
@@ -233,7 +268,7 @@ WalDiskManager::~WalDiskManager() {
 }
 
 Status WalDiskManager::RecoverLocked() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   // A fresh data device gets its two manifest slots; after a crash during
   // creation one slot may be missing — both cases converge here.
   while (data_->NumPages() < kManifestPages) {
@@ -309,7 +344,7 @@ Status WalDiskManager::RecoverLocked() {
     FOCUS_RETURN_IF_ERROR(wal_.Reset(epoch_, num_pages_, metadata_));
   }
   if (options_.checkpoint_after_recovery && (replayed_ > 0 || stale_log)) {
-    FOCUS_RETURN_IF_ERROR(CheckpointLocked(metadata_));
+    FOCUS_RETURN_IF_ERROR(CheckpointLocked(metadata_, lock));
   }
   return Status::OK();
 }
@@ -331,6 +366,43 @@ Status WalDiskManager::ReadPage(PageId id, char* out) {
   }
   FOCUS_RETURN_IF_ERROR(data_->ReadPage(phys, out));
   ++stats_.reads;
+  return Status::OK();
+}
+
+Status WalDiskManager::ReadPages(PageId first, uint32_t n, char* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t i = 0;
+  while (i < n) {
+    PageId id = first + i;
+    if (id >= num_pages_) {
+      return Status::OutOfRange(StrCat("read of unallocated page ", id));
+    }
+    if (auto it = overlay_.find(id); it != overlay_.end()) {
+      std::memcpy(out + static_cast<size_t>(i) * kPageSize, it->second->data,
+                  kPageSize);
+      ++stats_.reads;
+      ++i;
+      continue;
+    }
+    // Extend the contiguous run of non-overlay committed pages and forward
+    // it to the data device as one batched read, so pool readahead keeps
+    // its single-seek cost through the decorator.
+    uint32_t run = 1;
+    while (i + run < n) {
+      PageId next = first + i + run;
+      if (next >= num_pages_ || overlay_.count(next) != 0) break;
+      ++run;
+    }
+    PageId phys = id + kManifestPages;
+    if (static_cast<uint64_t>(phys) + run > data_->NumPages()) {
+      return Status::Internal(StrCat("page ", id, " lost by recovery"));
+    }
+    FOCUS_RETURN_IF_ERROR(data_->ReadPages(
+        phys, run, out + static_cast<size_t>(i) * kPageSize));
+    stats_.reads += run;
+    ++stats_.batch_reads;
+    i += run;
+  }
   return Status::OK();
 }
 
@@ -364,31 +436,84 @@ uint32_t WalDiskManager::NumPages() const {
 }
 
 Status WalDiskManager::Sync() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.syncs;
-  return CommitLocked(metadata_);
+  std::string metadata = metadata_;  // CommitLocked may release the lock
+  FOCUS_RETURN_IF_ERROR(CommitLocked(metadata, lock));
+  return MaybeRecycleLocked(lock);
 }
 
 Status WalDiskManager::Commit(std::string_view metadata) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return CommitLocked(metadata);
+  std::unique_lock<std::mutex> lock(mutex_);
+  FOCUS_RETURN_IF_ERROR(CommitLocked(metadata, lock));
+  return MaybeRecycleLocked(lock);
 }
 
 Status WalDiskManager::Checkpoint(std::string_view metadata) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return CheckpointLocked(metadata);
+  std::unique_lock<std::mutex> lock(mutex_);
+  return CheckpointLocked(metadata, lock);
 }
 
-Status WalDiskManager::CommitLocked(std::string_view metadata) {
+Status WalDiskManager::CommitLocked(std::string_view metadata,
+                                    std::unique_lock<std::mutex>& lock) {
+  FOCUS_RETURN_IF_ERROR(log_failed_);
   if (dirty_.empty() && metadata == metadata_) return Status::OK();
   uint64_t logged = dirty_.size();
   for (PageId id : dirty_) {
     wal_.Append(id, overlay_[id]->data);
   }
-  FOCUS_RETURN_IF_ERROR(
-      wal_.Commit(num_pages_, metadata));
+  wal_.AppendCommit(num_pages_, metadata);
   dirty_.clear();
   metadata_.assign(metadata.data(), metadata.size());
+  uint64_t my_seq = ++staged_seq_;
+
+  // If another committer's flush is in flight, our batch is staged behind
+  // its reserved extent: wait for a barrier that covers us, or for the
+  // flight to end so we can lead the next one. The wait is bounded by one
+  // log flush (plus the leader's optional linger).
+  while (flush_in_progress_ && synced_seq_ < my_seq) {
+    group_cv_.wait(lock);
+  }
+  FOCUS_RETURN_IF_ERROR(log_failed_);
+  if (synced_seq_ < my_seq) {
+    // Become the flush leader for everything staged so far.
+    flush_in_progress_ = true;
+    if (options_.group_commit_wait_us > 0) {
+      // Bounded linger: let concurrent committers stage into our batch.
+      // They see flush_in_progress_ and park above, so one barrier will
+      // cover them all.
+      group_cv_.wait_for(
+          lock, std::chrono::duration<double, std::micro>(
+                    options_.group_commit_wait_us));
+    }
+    Wal::PendingFlush flush = wal_.TakePending();
+    uint64_t covered = staged_seq_;
+    Status st;
+    if (!flush.empty()) {
+      // The log device is touched by exactly one flusher at a time
+      // (flush_in_progress_), so the store lock can drop during the I/O
+      // and followers keep staging.
+      lock.unlock();
+      st = wal_.WriteFlush(flush);
+      lock.lock();
+      if (st.ok()) {
+        wal_.FinishFlush(flush);
+        if (group_hist_ != nullptr && flush.commits > 0) {
+          group_hist_->Observe(flush.commits);
+        }
+      } else {
+        // The log tail state is now unknown; poison every later commit
+        // until recovery re-establishes a consistent tail.
+        log_failed_ = st;
+      }
+    }
+    // An empty take means a concurrent checkpoint already flushed our
+    // staged batch inline; it is durable.
+    if (st.ok()) synced_seq_ = covered;
+    flush_in_progress_ = false;
+    group_cv_.notify_all();
+    FOCUS_RETURN_IF_ERROR(st);
+  }
   if (event_log_ != nullptr) {
     event_log_->Record(obs::CrawlEventType::kWalCommit, /*oid=*/-1,
                        /*parent_oid=*/-1, /*sid=*/-1, /*virtual_us=*/-1,
@@ -398,8 +523,45 @@ Status WalDiskManager::CommitLocked(std::string_view metadata) {
   return Status::OK();
 }
 
-Status WalDiskManager::CheckpointLocked(std::string_view metadata) {
-  FOCUS_RETURN_IF_ERROR(CommitLocked(metadata));
+Status WalDiskManager::MaybeRecycleLocked(std::unique_lock<std::mutex>& lock) {
+  if (options_.recycle_after_segments == 0) return Status::OK();
+  if (wal_.segment_stats().segments_in_use < options_.recycle_after_segments) {
+    return Status::OK();
+  }
+  // Copy: CheckpointLocked may release the lock while a committer
+  // reassigns metadata_, and its inline commit must not self-assign.
+  std::string metadata = metadata_;
+  return CheckpointLocked(metadata, lock);
+}
+
+Status WalDiskManager::CheckpointLocked(std::string_view metadata,
+                                        std::unique_lock<std::mutex>& lock) {
+  // Wait out any in-flight group flush: between the commit below and the
+  // log reset, no other thread may touch the log device.
+  while (flush_in_progress_) {
+    group_cv_.wait(lock);
+  }
+  FOCUS_RETURN_IF_ERROR(log_failed_);
+  // Commit inline with the lock held throughout (no group coalescing): a
+  // page written by another thread between this commit and the overlay
+  // fold below would otherwise be clobbered. This also flushes any batch a
+  // parked committer staged before we got the lock — its pages are in the
+  // overlay we are about to fold, so it stays durable across the reset.
+  if (!dirty_.empty() || metadata != metadata_) {
+    uint64_t logged = dirty_.size();
+    for (PageId id : dirty_) {
+      wal_.Append(id, overlay_[id]->data);
+    }
+    FOCUS_RETURN_IF_ERROR(wal_.Commit(num_pages_, metadata));
+    dirty_.clear();
+    metadata_.assign(metadata.data(), metadata.size());
+    if (event_log_ != nullptr) {
+      event_log_->Record(obs::CrawlEventType::kWalCommit, /*oid=*/-1,
+                         /*parent_oid=*/-1, /*sid=*/-1, /*virtual_us=*/-1,
+                         /*value=*/static_cast<double>(logged),
+                         /*aux=*/static_cast<int64_t>(wal_.stats().commits));
+    }
+  }
   if (overlay_.empty() && epoch_ > 0) return Status::OK();
   for (const auto& [id, page] : overlay_) {
     PageId phys = id + kManifestPages;
@@ -463,9 +625,15 @@ void WalDiskManager::BindMetrics(obs::MetricsRegistry* registry,
   if (collector_id_ != 0) metrics_registry_->RemoveCollector(collector_id_);
   metrics_registry_ = obs::MetricsRegistry::OrGlobal(registry);
   obs::Labels labels = {{"wal", std::move(name)}};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    group_hist_ = metrics_registry_->GetHistogram(
+        "focus_wal_group_commit_batch_size", labels);
+  }
   collector_id_ = metrics_registry_->AddCollector(
       [this, labels](std::vector<obs::GaugeSample>* out) {
         WalStats s = wal_stats();
+        Wal::SegmentStats seg = wal_segment_stats();
         size_t overlay_pages;
         uint64_t epoch;
         {
@@ -485,6 +653,13 @@ void WalDiskManager::BindMetrics(obs::MetricsRegistry* registry,
         emit("focus_wal_recovered_commits_total", s.recovered_commits);
         emit("focus_wal_overlay_pages", overlay_pages);
         emit("focus_wal_epoch", epoch);
+        emit("focus_wal_group_commit_flushes_total", s.group_commit_flushes);
+        emit("focus_wal_group_commit_max_batch", s.group_commit_max_batch);
+        emit("focus_wal_segment_pages", seg.segment_pages);
+        emit("focus_wal_segments_in_use", seg.segments_in_use);
+        emit("focus_wal_segments_recycled_total", seg.segments_recycled);
+        emit("focus_wal_log_tail_bytes", seg.tail_bytes);
+        emit("focus_wal_log_device_pages", seg.device_pages);
       });
 }
 

@@ -43,6 +43,7 @@
 #ifndef FOCUS_STORAGE_WAL_H_
 #define FOCUS_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -73,6 +74,10 @@ struct WalStats {
   uint64_t log_bytes = 0;          // record bytes appended (before padding)
   uint64_t recovery_replayed = 0;  // committed page images replayed on Open
   uint64_t recovered_commits = 0;  // committed batches found in the log
+  uint64_t segments_recycled = 0;  // log segments returned for reuse by
+                                   // checkpoints (see Wal segment docs)
+  uint64_t group_commit_flushes = 0;    // sync barriers covering >= 1 commit
+  uint64_t group_commit_max_batch = 0;  // most commits one sync covered
 };
 
 // The append/parse engine for one log device. Not thread safe; callers
@@ -108,6 +113,31 @@ class Wal {
   // Sync() barrier. On OK the batch is durable.
   Status Commit(uint32_t num_pages, std::string_view metadata);
 
+  // Group-commit building blocks (used by WalDiskManager's leader/follower
+  // protocol; Commit() above is AppendCommit + one full flush).
+  //
+  // AppendCommit stages a commit record without flushing: several batches
+  // may stage back to back and ride one sync barrier.
+  void AppendCommit(uint32_t num_pages, std::string_view metadata);
+  // A flush unit taken under the caller's lock. TakePending moves the
+  // staged bytes out and *reserves* their log-device extent by advancing
+  // the append tail, so later batches can stage (and even flush) while
+  // this unit's device I/O is still in flight.
+  struct PendingFlush {
+    std::string bytes;
+    uint64_t first_page = 0;
+    uint64_t commits = 0;   // commit records inside `bytes`
+    uint64_t new_tail = 0;  // page-aligned tail after this unit lands
+    bool empty() const { return bytes.empty(); }
+  };
+  PendingFlush TakePending();
+  // Writes the unit's pages (ascending, commit record last) and issues the
+  // sync barrier. Touches only the log device — safe to call without the
+  // owner's lock as long as only one flush is in flight at a time.
+  Status WriteFlush(const PendingFlush& flush);
+  // Folds a completed WriteFlush back into the stats (caller's lock held).
+  void FinishFlush(const PendingFlush& flush);
+
   // Starts epoch `new_epoch`: rewrites the log from page 0 with a single
   // checkpoint record and syncs. Pages beyond the new tail keep stale bytes;
   // their old epoch makes Recover() ignore them. The caller must have made
@@ -118,15 +148,30 @@ class Wal {
   uint64_t epoch() const { return epoch_; }
   const WalStats& stats() const { return stats_; }
 
-  // Point-in-time occupancy of the current log segment (ROADMAP's
-  // segment-recycling groundwork: callers can now *observe* that a
-  // checkpoint really returns the tail to the start of the device, and
-  // regression tests can pin log growth across checkpoint cycles).
+  // The log device is carved into fixed-size logical segments of this many
+  // pages. Segments have no on-disk framing — they are an accounting unit:
+  // `segments_in_use` is how many the durable tail currently spans, and a
+  // Reset (checkpoint) counts every in-use segment as recycled, since its
+  // pages become reusable by the next epoch (stale-epoch records are
+  // ignored by recovery, so no erase pass is needed).
+  void set_segment_pages(uint32_t pages) {
+    if (pages > 0) segment_pages_ = pages;
+  }
+  uint32_t segment_pages() const { return segment_pages_; }
+
+  // Point-in-time occupancy of the log (ROADMAP's segment recycling:
+  // callers can observe that a checkpoint really returns the tail to the
+  // start of the device, auto-checkpoint policies can bound
+  // segments_in_use, and regression tests can pin log growth across
+  // checkpoint cycles).
   struct SegmentStats {
     uint64_t epoch = 0;          // current log epoch
     uint64_t tail_bytes = 0;     // durable append tail (page-aligned)
     uint64_t pending_bytes = 0;  // buffered, not yet committed
     uint32_t device_pages = 0;   // pages allocated on the log device
+    uint32_t segment_pages = 0;  // logical segment size
+    uint32_t segments_in_use = 0;     // segments the tail spans
+    uint64_t segments_recycled = 0;   // cumulative, via checkpoints
   };
   SegmentStats segment_stats() const {
     SegmentStats s;
@@ -134,11 +179,17 @@ class Wal {
     s.tail_bytes = tail_;
     s.pending_bytes = pending_.size();
     s.device_pages = log_->NumPages();
+    s.segment_pages = segment_pages_;
+    s.segments_in_use = SegmentsSpanned(tail_);
+    s.segments_recycled = stats_.segments_recycled;
     return s;
   }
 
  private:
-  Status Flush();  // write pending_ out as log pages + sync
+  uint32_t SegmentsSpanned(uint64_t bytes) const {
+    uint64_t seg_bytes = static_cast<uint64_t>(segment_pages_) * kPageSize;
+    return static_cast<uint32_t>((bytes + seg_bytes - 1) / seg_bytes);
+  }
 
   DiskManager* log_;
   uint64_t epoch_ = 0;
@@ -148,6 +199,8 @@ class Wal {
   // shared tail page could otherwise destroy a *committed* record).
   uint64_t tail_ = 0;
   std::string pending_;
+  uint64_t staged_commits_ = 0;  // commit records in pending_
+  uint32_t segment_pages_ = 256;  // 1 MiB logical segments
   WalStats stats_;
 };
 
@@ -161,6 +214,22 @@ class WalDiskManager final : public DiskManager {
     // checkpoint. Gives recovery itself crash points (double-crash tests)
     // and bounds log growth across repeated crashes.
     bool checkpoint_after_recovery = false;
+    // Group commit: a committer that becomes flush leader waits this long
+    // (with the store lock released) for concurrent committers to stage
+    // their batches before issuing the shared sync barrier. 0 = sync
+    // immediately; concurrent commits still coalesce opportunistically
+    // whenever they stage while another flush's device I/O is in flight.
+    double group_commit_wait_us = 0;
+    // Logical log-segment size in pages (accounting unit for recycling).
+    uint32_t segment_pages = 256;
+    // Log-segment recycling: when > 0, a commit that leaves the log
+    // spanning at least this many segments triggers an automatic
+    // checkpoint, which folds the overlay into the data device and
+    // recycles every in-use segment. Steady-state log disk usage is then
+    // bounded by recycle_after_segments * segment_pages + one commit's
+    // worth of pages, no matter how long the workload runs. 0 = off
+    // (callers checkpoint explicitly).
+    uint32_t recycle_after_segments = 0;
   };
 
   // Attaches to `data` + `log` (borrowed; must outlive the manager) and
@@ -181,15 +250,25 @@ class WalDiskManager final : public DiskManager {
   // DiskManager interface, in *client* page ids (0-based; physical data
   // page = client page + 2, past the manifest slots).
   Status ReadPage(PageId id, char* out) override;
+  // Serves the overlay page by page but forwards each contiguous
+  // non-overlay run to the data device as one batched read, so pool
+  // readahead keeps its single-seek cost through the WAL decorator.
+  Status ReadPages(PageId first, uint32_t n, char* out) override;
   Status WritePage(PageId id, const char* in) override;
   Result<PageId> AllocatePage() override;
   uint32_t NumPages() const override;
   // Durability barrier == Commit with the previous metadata blob.
   Status Sync() override;
 
-  // Group commit: logs every page written since the last commit plus a
-  // commit record carrying `metadata`, then syncs the log. Atomic: after a
-  // crash the store recovers to exactly a commit boundary.
+  // Commit: logs every page written since the last commit plus a commit
+  // record carrying `metadata`, then syncs the log. Atomic: after a crash
+  // the store recovers to exactly a commit boundary.
+  //
+  // Concurrent commits group-commit: batches stage under the lock, and one
+  // leader's sync barrier covers every batch staged before it (followers
+  // block — bounded by the leader's I/O — and return once their batch is
+  // durable). Options::group_commit_wait_us lets the leader linger for
+  // late joiners.
   Status Commit(std::string_view metadata);
 
   // Applies the committed overlay to the data device and truncates the
@@ -216,11 +295,20 @@ class WalDiskManager final : public DiskManager {
 
  private:
   WalDiskManager(DiskManager* data, DiskManager* log, Options options)
-      : options_(options), data_(data), log_(log), wal_(log) {}
+      : options_(options), data_(data), log_(log), wal_(log) {
+    wal_.set_segment_pages(options.segment_pages);
+  }
 
   Status RecoverLocked();
-  Status CommitLocked(std::string_view metadata);
-  Status CheckpointLocked(std::string_view metadata);
+  // Stages the current dirty set + a commit record, then runs the
+  // leader/follower group-flush protocol (may release and reacquire
+  // `lock` around the device I/O).
+  Status CommitLocked(std::string_view metadata,
+                      std::unique_lock<std::mutex>& lock);
+  Status CheckpointLocked(std::string_view metadata,
+                          std::unique_lock<std::mutex>& lock);
+  // Auto-checkpoints when the log spans recycle_after_segments segments.
+  Status MaybeRecycleLocked(std::unique_lock<std::mutex>& lock);
   Status WriteManifestLocked(uint64_t epoch, std::string_view metadata);
 
   const Options options_;
@@ -241,8 +329,22 @@ class WalDiskManager final : public DiskManager {
   uint64_t replayed_ = 0;
   uint64_t recovered_commits_ = 0;
 
+  // Group-commit protocol state (all under mutex_). A committer stages its
+  // batch, takes a sequence number, and either becomes the flush leader
+  // (when no flush is in flight) or waits on group_cv_ for a leader whose
+  // sync barrier covers its sequence number.
+  std::condition_variable group_cv_;
+  bool flush_in_progress_ = false;
+  uint64_t staged_seq_ = 0;  // seq of the newest staged commit
+  uint64_t synced_seq_ = 0;  // commits with seq <= this are durable
+  // Sticky failure: once a group flush fails, the log tail state is
+  // unknown, so every later commit fails with the same status until the
+  // store is reopened (recovery re-establishes a consistent tail).
+  Status log_failed_;
+
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   uint64_t collector_id_ = 0;
+  obs::Histogram* group_hist_ = nullptr;  // group-commit batch sizes
   obs::EventLog* event_log_ = nullptr;
 };
 

@@ -17,10 +17,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crawl/crawl_db.h"
@@ -100,10 +102,11 @@ Status ApplyBatch(crawl::CrawlDb* db, int b) {
 // recovery must land at or one past that boundary. When `goldens` is
 // given, appends the snapshot after open and after every durable batch.
 Status RunWorkload(storage::DiskManager* data, storage::DiskManager* log,
-                   int* ok_batches, std::vector<DbImage>* goldens) {
+                   int* ok_batches, std::vector<DbImage>* goldens,
+                   WalDiskManager::Options options = {}) {
   *ok_batches = 0;
   FOCUS_ASSIGN_OR_RETURN(std::unique_ptr<WalDiskManager> wal,
-                         WalDiskManager::Open(data, log));
+                         WalDiskManager::Open(data, log, options));
   storage::BufferPool pool(wal.get(), 256);
   sql::Catalog catalog(&pool);
   FOCUS_ASSIGN_OR_RETURN(crawl::CrawlDb db,
@@ -287,10 +290,120 @@ TEST(WalBasicsTest, CheckpointCyclesKeepLogSegmentBounded) {
   EXPECT_GT(wal2->wal_segment_stats().device_pages, bounded_pages);
 }
 
+TEST(WalGroupCommitTest, ConcurrentCommitsShareOneSyncBarrier) {
+  // Eight committers released together against a leader that lingers:
+  // every batch must become durable, and far fewer sync barriers than
+  // commits must have been issued (the group-commit coalescing the
+  // focus_wal_group_commit_* counters report).
+  constexpr int kThreads = 8;
+  MemDiskManager data, log;
+  WalDiskManager::Options options;
+  options.group_commit_wait_us = 20000;  // 20 ms linger for late joiners
+  auto wal = WalDiskManager::Open(&data, &log, options).TakeValue();
+  std::vector<PageId> pages(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pages[t] = wal->AllocatePage().TakeValue();
+  }
+  uint64_t syncs_before = wal->wal_stats().syncs;
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Page img;
+      img.Zero();
+      img.Write<uint32_t>(0, 7000 + t);
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      if (!wal->WritePage(pages[t], img.data).ok() ||
+          !wal->Commit(StrCat("meta-", t)).ok()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true);
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  storage::WalStats stats = wal->wal_stats();
+  EXPECT_EQ(stats.commits, static_cast<uint64_t>(kThreads));
+  EXPECT_LT(stats.syncs - syncs_before, static_cast<uint64_t>(kThreads))
+      << "no commits coalesced";
+  EXPECT_GE(stats.group_commit_max_batch, 2u);
+  EXPECT_GE(stats.group_commit_flushes, 1u);
+
+  // Every batch is durable: each page carries its committer's image after
+  // reopen, and the last metadata blob is one of the committed ones.
+  auto reopened = WalDiskManager::Open(&data, &log).TakeValue();
+  for (int t = 0; t < kThreads; ++t) {
+    Page got;
+    ASSERT_TRUE(reopened->ReadPage(pages[t], got.data).ok());
+    EXPECT_EQ(got.Read<uint32_t>(0), 7000u + t);
+  }
+  EXPECT_EQ(reopened->recovered_metadata().rfind("meta-", 0), 0u);
+}
+
+TEST(WalSegmentRecyclingTest, AutoCheckpointBoundsTheLogDevice) {
+  // Small segments + recycle_after_segments: the store checkpoints itself
+  // whenever the log spans two segments, so a long commit-only workload
+  // keeps a bounded log device while the control (recycling off) grows
+  // without limit.
+  constexpr int kCycles = 18;
+  WalDiskManager::Options recycle;
+  recycle.segment_pages = 8;
+  recycle.recycle_after_segments = 2;
+
+  MemDiskManager data, log;
+  auto wal = WalDiskManager::Open(&data, &log, recycle).TakeValue();
+  storage::BufferPool pool(wal.get(), 256);
+  sql::Catalog catalog(&pool);
+  auto db = crawl::CrawlDb::Open(&catalog, wal.get()).TakeValue();
+  uint32_t plateau = 0;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    ASSERT_TRUE(ApplyBatch(&db, cycle).ok());
+    ASSERT_TRUE(db.Commit().ok());
+    storage::Wal::SegmentStats stats = wal->wal_segment_stats();
+    // The recycling invariant: a commit that leaves the tail spanning the
+    // threshold triggers the checkpoint, so the durable tail observed
+    // between commits never exceeds it.
+    EXPECT_LE(stats.segments_in_use, recycle.recycle_after_segments)
+        << "cycle " << cycle;
+    if (cycle == kCycles / 2) plateau = stats.device_pages;
+    if (cycle > kCycles / 2) {
+      EXPECT_LE(stats.device_pages, plateau + recycle.segment_pages)
+          << "log device outgrew its recycled plateau in cycle " << cycle;
+    }
+  }
+  storage::WalStats end = wal->wal_stats();
+  EXPECT_GT(end.segments_recycled, 0u);
+  EXPECT_GT(end.checkpoints, 0u);  // recycling really checkpoints
+  uint32_t bounded = wal->wal_segment_stats().device_pages;
+
+  // Control: same workload, recycling off, nobody checkpoints.
+  MemDiskManager data2, log2;
+  auto wal2 = WalDiskManager::Open(&data2, &log2).TakeValue();
+  storage::BufferPool pool2(wal2.get(), 256);
+  sql::Catalog catalog2(&pool2);
+  auto db2 = crawl::CrawlDb::Open(&catalog2, wal2.get()).TakeValue();
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    ASSERT_TRUE(ApplyBatch(&db2, cycle).ok());
+    ASSERT_TRUE(db2.Commit().ok());
+  }
+  EXPECT_EQ(wal2->wal_stats().segments_recycled, 0u);
+  EXPECT_GT(wal2->wal_segment_stats().device_pages, bounded);
+
+  // The recycled store still holds exactly what the control holds.
+  EXPECT_EQ(SnapshotDb(&db), SnapshotDb(&db2));
+}
+
 // ---------------------------------------------------------------------
 // The crash matrix.
 
-void SweepCrashMatrix(uint32_t torn_bytes) {
+void SweepCrashMatrix(uint32_t torn_bytes,
+                      WalDiskManager::Options options = {}) {
   CrashPlan plan;  // no crash scheduled: the golden pass only counts ops
   std::vector<DbImage> goldens;
   uint64_t total_ops = 0;
@@ -298,7 +411,7 @@ void SweepCrashMatrix(uint32_t torn_bytes) {
     MemDiskManager data, log;
     CrashFaultDiskManager cdata(&data, &plan), clog(&log, &plan);
     int ok = 0;
-    Status s = RunWorkload(&cdata, &clog, &ok, &goldens);
+    Status s = RunWorkload(&cdata, &clog, &ok, &goldens, options);
     ASSERT_TRUE(s.ok()) << s.ToString();
     ASSERT_EQ(ok, kBatches);
     total_ops = plan.op_count.load();
@@ -316,13 +429,13 @@ void SweepCrashMatrix(uint32_t torn_bytes) {
     plan.Reset(k, torn_bytes);
     CrashFaultDiskManager cdata(&data, &plan), clog(&log, &plan);
     int ok = 0;
-    Status s = RunWorkload(&cdata, &clog, &ok, nullptr);
+    Status s = RunWorkload(&cdata, &clog, &ok, nullptr, options);
     ASSERT_FALSE(s.ok());
     ASSERT_NE(s.message().find(storage::kCrashMessage), std::string::npos)
         << s.ToString();
 
     DbImage recovered;
-    Status r = RecoverAndSnapshot(&data, &log, {}, &recovered);
+    Status r = RecoverAndSnapshot(&data, &log, options, &recovered);
     ASSERT_TRUE(r.ok()) << r.ToString();
     // Atomic and durable: exactly the pre- or post-state of the batch in
     // flight — never earlier than the last acknowledged commit, never a
@@ -343,6 +456,17 @@ TEST(WalCrashMatrixTest, TornPagesNeverSurfaceAfterRecovery) {
   // The crashing write persists a 1037-byte prefix — a torn sector run.
   // Checksums must reject the fragment wherever it lands.
   SweepCrashMatrix(/*torn_bytes=*/1037);
+}
+
+TEST(WalCrashMatrixTest, SegmentRecyclingRecoversAtEveryCrashPoint) {
+  // Tiny segments force auto-checkpoints mid-workload, so the sweep now
+  // crosses segment boundaries and recycling checkpoints: a crash at any
+  // op of a recycle cycle — log flush, data fold, manifest flip, log
+  // reset — must still recover to a batch boundary.
+  WalDiskManager::Options recycle;
+  recycle.segment_pages = 4;
+  recycle.recycle_after_segments = 2;
+  SweepCrashMatrix(/*torn_bytes=*/0, recycle);
 }
 
 TEST(WalCrashMatrixTest, CrashDuringRecoveryStillRecovers) {
@@ -594,6 +718,74 @@ storage::WalStats CrawlThenRecover(int fetches, int checkpoint_every) {
   }
   auto wal = WalDiskManager::Open(&data, &log).TakeValue();
   return wal->wal_stats();
+}
+
+TEST(CrawlerRevisitTest, RevisitLoopKeepsLogDiskBounded) {
+  // The ROADMAP's segment-recycling item: a crawler that re-crawls its
+  // corpus forever (ScheduleRevisits rounds) commits without end. With
+  // recycling the log device plateaus at a constant number of segments;
+  // without it, it grows with every round.
+  taxonomy::Taxonomy tax;
+  taxonomy::Cid rec = tax.AddTopic(taxonomy::kRootCid, "recreation").value();
+  ASSERT_TRUE(tax.AddTopic(rec, "cycling").ok());
+  webgraph::WebConfig config;
+  config.seed = 5;
+  config.pages_per_topic = 150;
+  config.background_pages = 400;
+  auto web = webgraph::SimulatedWeb::Generate(tax, config, {});
+  ASSERT_TRUE(web.ok()) << web.status();
+
+  constexpr int kRounds = 6;
+  constexpr int kRevisitsPerRound = 24;
+  auto run = [&](WalDiskManager::Options options,
+                 std::vector<uint32_t>* log_pages) -> storage::WalStats {
+    MemDiskManager data, log;
+    auto wal = WalDiskManager::Open(&data, &log, options).TakeValue();
+    storage::BufferPool pool(wal.get(), 512);
+    sql::Catalog catalog(&pool);
+    auto db = crawl::CrawlDb::Create(&catalog).TakeValue();
+    db.BindWal(wal.get());
+    ConstantEvaluator evaluator;
+    crawl::CrawlerOptions copts;
+    copts.max_fetches = 60;
+    // No crawler-level checkpoint policy: bounding the log is entirely the
+    // storage layer's recycling (or nobody's, in the control run).
+    copts.checkpoint_every_batches = 0;
+    crawl::Crawler crawler(&web.value(), &evaluator, &db, &catalog, copts);
+    EXPECT_TRUE(crawler.AddSeed(web.value().page(0).url).ok());
+    EXPECT_TRUE(crawler.Crawl().ok());
+    EXPECT_GT(crawler.visits().size(), 0u);
+    for (int round = 0; round < kRounds; ++round) {
+      EXPECT_TRUE(
+          crawler.ScheduleRevisits(nullptr, kRevisitsPerRound).ok());
+      EXPECT_TRUE(crawler.Crawl().ok());
+      log_pages->push_back(wal->wal_segment_stats().device_pages);
+    }
+    return wal->wal_stats();
+  };
+
+  WalDiskManager::Options recycle;
+  recycle.segment_pages = 16;
+  recycle.recycle_after_segments = 4;
+  std::vector<uint32_t> bounded_pages;
+  storage::WalStats bounded = run(recycle, &bounded_pages);
+  EXPECT_GT(bounded.segments_recycled, 0u);
+  // Steady state: the high-water mark stops tracking round count (at most
+  // one segment of drift from batch-size variance between late rounds).
+  EXPECT_LE(bounded_pages.back(),
+            bounded_pages[bounded_pages.size() - 2] + recycle.segment_pages)
+      << "log still growing after " << kRounds << " revisit rounds";
+  // ...and is bounded by a constant number of segments over the warmup
+  // crawl's log, no matter how many rounds ran.
+  EXPECT_LE(bounded_pages.back(),
+            (recycle.recycle_after_segments + 1) * recycle.segment_pages +
+                bounded_pages.front());
+
+  std::vector<uint32_t> unbounded_pages;
+  storage::WalStats unbounded = run({}, &unbounded_pages);
+  EXPECT_EQ(unbounded.segments_recycled, 0u);
+  EXPECT_GT(unbounded_pages.back(), unbounded_pages.front());
+  EXPECT_GT(unbounded_pages.back(), bounded_pages.back());
 }
 
 TEST(CrawlerCheckpointTest, RecoveryReplaysAtMostOneCheckpointInterval) {
