@@ -139,7 +139,7 @@ Page* BufferPool::TouchHitLocked(Shard* shard, Frame* f,
   return &f->page;
 }
 
-Result<size_t> BufferPool::GetVictimLocked(Shard* shard) {
+Result<size_t> BufferPool::GetVictimLocked(Shard* shard, bool allow_steal) {
   if (!shard->free_frames.empty()) {
     size_t idx = shard->free_frames.back();
     shard->free_frames.pop_back();
@@ -161,6 +161,7 @@ Result<size_t> BufferPool::GetVictimLocked(Shard* shard) {
   uint64_t used_a1 = 0, used_spec = 0, used_hot = 0;
   size_t hot_count = 0;
   for (size_t i = 0; i < shard->frames.size(); ++i) {
+    if (shard->frames[i] == nullptr) continue;  // hole left by a steal
     Frame& f = *shard->frames[i];
     if (f.page_id == kInvalidPageId) continue;
     uint32_t uses = f.uses.load(std::memory_order_relaxed);
@@ -190,6 +191,10 @@ Result<size_t> BufferPool::GetVictimLocked(Shard* shard) {
     if (best == shard->frames.size()) best = best_hot;
   }
   if (best == shard->frames.size()) {
+    if (allow_steal) {
+      Result<size_t> stolen = StealFrameLocked(shard);
+      if (stolen.ok()) return stolen;
+    }
     return Status::ResourceExhausted(
         StrCat("all ", shard->frames.size(), " buffer frames of shard are ",
                "pinned (", num_frames_, " frames, ", shards_.size(),
@@ -201,12 +206,33 @@ Result<size_t> BufferPool::GetVictimLocked(Shard* shard) {
     FOCUS_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page.data));
     shard->stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
     f.dirty.store(false, std::memory_order_relaxed);
+    shard->writeback_gen.fetch_add(1, std::memory_order_release);
   }
   shard->table.erase(f.page_id);
   f.page_id = kInvalidPageId;
   f.uses.store(0, std::memory_order_relaxed);
   shard->stats.evictions.fetch_add(1, std::memory_order_relaxed);
   return best;
+}
+
+Result<size_t> BufferPool::StealFrameLocked(Shard* shard) {
+  for (auto& donor_owner : shards_) {
+    Shard* donor = donor_owner.get();
+    if (donor == shard) continue;
+    // try_lock only: we hold `shard`'s latch, and a thread stealing in the
+    // other direction holds `donor`'s, so blocking here could deadlock.
+    std::unique_lock<std::shared_mutex> donor_latch(donor->latch,
+                                                    std::try_to_lock);
+    if (!donor_latch.owns_lock()) continue;
+    // No nested stealing: the donor must give up one of its own frames
+    // (free, or evicted here — which also write-backs and bumps the
+    // donor's generation as any eviction does).
+    Result<size_t> victim = GetVictimLocked(donor, /*allow_steal=*/false);
+    if (!victim.ok()) continue;
+    shard->frames.push_back(std::move(donor->frames[victim.value()]));
+    return shard->frames.size() - 1;
+  }
+  return Status::ResourceExhausted("no shard has an evictable frame");
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
@@ -238,7 +264,8 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
       return page;
     }
     shard->stats.misses.fetch_add(1, std::memory_order_relaxed);
-    FOCUS_ASSIGN_OR_RETURN(size_t idx, GetVictimLocked(shard));
+    FOCUS_ASSIGN_OR_RETURN(size_t idx,
+                           GetVictimLocked(shard, /*allow_steal=*/true));
     Frame& f = *shard->frames[idx];
     {
       std::lock_guard<std::mutex> io(io_mutex_);
@@ -275,7 +302,8 @@ Result<Page*> BufferPool::NewPage(PageId* out_id) {
   }
   Shard* shard = shards_[ShardOf(id)].get();
   std::unique_lock<std::shared_mutex> lock(shard->latch);
-  FOCUS_ASSIGN_OR_RETURN(size_t idx, GetVictimLocked(shard));
+  FOCUS_ASSIGN_OR_RETURN(size_t idx,
+                         GetVictimLocked(shard, /*allow_steal=*/true));
   Frame& f = *shard->frames[idx];
   f.page.Zero();
   f.page_id = id;
@@ -324,6 +352,7 @@ void BufferPool::Prefetch(PageId first, uint32_t n) {
     if (shard->table.count(first) != 0) return;
   }
   std::vector<char> buf;
+  std::vector<uint64_t> gens(shards_.size());
   {
     std::lock_guard<std::mutex> io(io_mutex_);
     uint32_t device_pages = disk_->NumPages();
@@ -331,13 +360,32 @@ void BufferPool::Prefetch(PageId first, uint32_t n) {
     n = std::min<uint32_t>(n, device_pages - first);
     buf.resize(static_cast<size_t>(n) * kPageSize);
     if (!disk_->ReadPages(first, n, buf.data()).ok()) return;
+    // Sample each shard's write-back generation while still holding the
+    // I/O mutex (write-backs advance it under the same mutex): any page
+    // written back after this point makes its shard's installs below
+    // stale, and the per-page check catches exactly those.
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      gens[s] = shards_[s]->writeback_gen.load(std::memory_order_acquire);
+    }
   }
   for (uint32_t i = 0; i < n; ++i) {
     PageId id = first + i;
-    Shard* shard = shards_[ShardOf(id)].get();
+    size_t shard_idx = ShardOf(id);
+    Shard* shard = shards_[shard_idx].get();
     std::unique_lock<std::shared_mutex> lock(shard->latch);
+    // Stale-read guard: if any of this shard's pages was written back
+    // since the batch read, our buffered image of `id` may predate a
+    // modify+evict cycle of the very same page — installing it would
+    // resurrect the pre-modification version as a clean resident frame.
+    // Write-backs require residency and happen under this exclusive
+    // latch, so an unchanged generation here proves no such cycle
+    // completed, and none can start before the install below is visible.
+    if (shard->writeback_gen.load(std::memory_order_acquire) !=
+        gens[shard_idx]) {
+      continue;
+    }
     if (shard->table.count(id) != 0) continue;
-    auto victim = GetVictimLocked(shard);
+    auto victim = GetVictimLocked(shard, /*allow_steal=*/false);
     if (!victim.ok()) continue;  // shard fully pinned: drop the speculation
     Frame& f = *shard->frames[victim.value()];
     std::memcpy(f.page.data, buf.data() + static_cast<size_t>(i) * kPageSize,
@@ -432,6 +480,7 @@ Status BufferPool::FlushAll() {
       FOCUS_RETURN_IF_ERROR(disk_->WritePage(page_id, f.page.data));
       shard->stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
       f.dirty.store(false, std::memory_order_relaxed);
+      shard->writeback_gen.fetch_add(1, std::memory_order_release);
     }
   }
   return Status::OK();
@@ -451,6 +500,7 @@ Status BufferPool::EvictAll() {
         FOCUS_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page.data));
         shard->stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
         f.dirty.store(false, std::memory_order_relaxed);
+        shard->writeback_gen.fetch_add(1, std::memory_order_release);
       }
       shard->free_frames.push_back(it->second);
       f.page_id = kInvalidPageId;

@@ -13,7 +13,11 @@
 // lock. Misses, evictions and prefetch installs take the shard latch
 // exclusively; raw device I/O is serialized pool-wide by a separate I/O
 // mutex (DiskManager implementations are not thread safe), so a miss in
-// one shard never blocks hits in any shard.
+// one shard never blocks hits in any shard. Frames are owned by shards
+// but not imprisoned in them: a fetch into a fully-pinned shard steals an
+// evictable frame from a neighbour, so pin capacity stays pool-global —
+// callers holding up to num_frames concurrent pins never see a spurious
+// ResourceExhausted just because PageId hashing concentrated their pins.
 //
 // Replacement is a 2Q variant keyed on a per-frame use count:
 //   A1   — fetched exactly once (the "cold" A1 queue of 2Q): evicted
@@ -135,7 +139,9 @@ class BufferPool {
   void BindMetrics(obs::MetricsRegistry* registry, std::string pool_name);
 
   // Pins page `id` in memory and returns it. The caller must balance with
-  // UnpinPage. Fails if every frame of the page's shard is pinned.
+  // UnpinPage. When the page's shard is fully pinned, a frame is stolen
+  // from another shard, so pin capacity is pool-global: this fails only
+  // when no shard in the whole pool has an evictable frame.
   Result<Page*> FetchPage(PageId id);
 
   // Allocates a fresh page on disk, pins it and returns it via `out_id`.
@@ -202,10 +208,19 @@ class BufferPool {
 
   struct Shard {
     mutable std::shared_mutex latch;
+    // Slots may be null: a fully-pinned shard steals frames from its
+    // neighbours (StealFrameLocked), leaving holes behind. Holes are never
+    // referenced by `table` or `free_frames`; index scans must skip them.
     std::vector<std::unique_ptr<Frame>> frames;
     std::unordered_map<PageId, size_t> table;
     std::vector<size_t> free_frames;
     std::atomic<uint64_t> clock{0};
+    // Advances on every write-back of one of this shard's pages. Prefetch
+    // samples it under io_mutex_ when it batch-reads, and refuses to
+    // install any page of a shard whose generation moved since: a page
+    // fetched, modified, and evicted inside that window would otherwise be
+    // resurrected from the pre-modification disk image.
+    std::atomic<uint64_t> writeback_gen{0};
     ShardStats stats;
   };
 
@@ -228,8 +243,16 @@ class BufferPool {
 
   // Picks a frame to hold a new page: a free frame if any, else the
   // least-recently-used unpinned frame of the lowest populated level
-  // (writing it back if dirty). Caller holds the shard latch exclusively.
-  Result<size_t> GetVictimLocked(Shard* shard);
+  // (writing it back if dirty). With `allow_steal`, a fully-pinned shard
+  // falls back to migrating an evictable frame from another shard, so
+  // fetches fail only when the whole pool is pinned. Caller holds the
+  // shard latch exclusively.
+  Result<size_t> GetVictimLocked(Shard* shard, bool allow_steal);
+  // Moves an evictable frame out of some other shard into `shard` and
+  // returns its new index there. Donor latches are try-locked (we already
+  // hold `shard`'s latch, and lock order between shards is undefined), so
+  // a contended donor is simply skipped.
+  Result<size_t> StealFrameLocked(Shard* shard);
   // Installs a hit on `f` from the shared-latch path (pin + touch + level
   // promotion + readahead-used accounting).
   Page* TouchHitLocked(Shard* shard, Frame* f, bool* first_spec_use);
@@ -246,8 +269,8 @@ class BufferPool {
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Serializes every disk_ call: DiskManager implementations are not
-  // thread safe. Never held while acquiring a shard latch (shard -> io is
-  // the only nesting order).
+  // thread safe. Never held while acquiring a shard latch (the only
+  // nesting order is shard -> try-locked donor shard -> io).
   mutable std::mutex io_mutex_;
 
   std::mutex streams_mutex_;

@@ -344,7 +344,10 @@ Status WalDiskManager::RecoverLocked() {
     FOCUS_RETURN_IF_ERROR(wal_.Reset(epoch_, num_pages_, metadata_));
   }
   if (options_.checkpoint_after_recovery && (replayed_ > 0 || stale_log)) {
-    FOCUS_RETURN_IF_ERROR(CheckpointLocked(metadata_, lock));
+    // Copy: CheckpointLocked's inline commit assigns metadata_ from the
+    // view it is given, which must not alias metadata_'s own buffer.
+    std::string metadata = metadata_;
+    FOCUS_RETURN_IF_ERROR(CheckpointLocked(metadata, lock));
   }
   return Status::OK();
 }

@@ -186,6 +186,45 @@ TEST(BufferPoolPinningTest, FetchFailsOnlyWhileShardFullyPinned) {
   for (int i = 1; i < 4; ++i) pool.UnpinPage(ids[i], false);
 }
 
+TEST(BufferPoolPinningTest, FullyPinnedShardStealsFrameFromNeighbour) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 8, BufferPool::Options{.shards = 2});
+  std::vector<PageId> ids = SeedPages(&pool, 32);
+  // Replicate ShardOf's Fibonacci hash to collect pages of one shard.
+  auto shard_of = [](PageId id) {
+    return (static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull >> 32) % 2;
+  };
+  std::vector<PageId> same;
+  for (PageId id : ids) {
+    if (shard_of(id) == shard_of(ids[0])) same.push_back(id);
+  }
+  // Two shards of four frames: the fifth pin overflows its shard and must
+  // be served by stealing a frame from the other (entirely idle) shard.
+  ASSERT_GE(same.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    auto page = pool.FetchPage(same[i]);
+    ASSERT_TRUE(page.ok()) << "pin " << i << ": " << page.status().message();
+    EXPECT_EQ(page.value()->Read<uint32_t>(0), same[i]);
+  }
+  for (size_t i = 0; i < 5; ++i) pool.UnpinPage(same[i], false);
+}
+
+TEST(BufferPoolPinningTest, PinCapacityIsPoolGlobal) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 8, BufferPool::Options{.shards = 2});
+  std::vector<PageId> ids = SeedPages(&pool, 9);
+  // However the hash distributes pages over shards, callers may hold
+  // num_frames concurrent pins — the guarantee of the pre-sharding pool.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.FetchPage(ids[i]).ok()) << "pin " << i;
+  }
+  // Only a truly full pool refuses.
+  auto r = pool.FetchPage(ids[8]);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  for (int i = 0; i < 8; ++i) pool.UnpinPage(ids[i], false);
+}
+
 TEST(PageGuardTest, MoveConstructionTransfersThePin) {
   MemDiskManager disk;
   BufferPool pool(&disk, 8);
@@ -310,6 +349,52 @@ TEST(BufferPoolConcurrencyTest, ParallelPinUnpinKeepsContentsIntact) {
     EXPECT_EQ(page.value()->Read<uint32_t>(0), static_cast<uint32_t>(i));
     pool.UnpinPage(ids[i], false);
   }
+}
+
+TEST(BufferPoolConcurrencyTest, PrefetchNeverResurrectsStalePages) {
+  // One thread keeps prefetching the whole range while writers modify
+  // pages through a pool far smaller than the working set, so dirty
+  // write-backs race the prefetcher's batch reads constantly. A prefetch
+  // that installs its pre-write-back read as a clean resident frame
+  // surfaces as a lost update: each writer's private slot must always
+  // read back exactly what that writer last wrote.
+  constexpr int kPages = 64;
+  constexpr int kWriters = 4;
+  constexpr int kIters = 20000;
+  MemDiskManager disk;
+  BufferPool pool(&disk, 16, BufferPool::Options{.shards = 2});
+  std::vector<PageId> ids = SeedPages(&pool, kPages);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread prefetcher([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // One whole-range batch: the long install loop (64 latched installs
+      // racing the writers) is the window a modify+evict cycle must beat.
+      pool.Prefetch(ids[0], kPages);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      uint64_t state = 0x12345u + t;
+      std::vector<uint32_t> last(kPages, 0);
+      for (int i = 0; i < kIters; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        size_t idx = (state >> 33) % kPages;
+        auto page = pool.FetchPage(ids[idx]);
+        if (!page.ok()) continue;  // transiently full shard: legal
+        uint32_t v = page.value()->Read<uint32_t>(8 + 4 * t);
+        if (v != last[idx]) failures.fetch_add(1);
+        last[idx] = v + 1;
+        page.value()->Write<uint32_t>(8 + 4 * t, v + 1);
+        pool.UnpinPage(ids[idx], true);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  prefetcher.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(BufferPoolConcurrencyTest, ConcurrentReadaheadAndFetchesAgree) {
